@@ -1,0 +1,183 @@
+// Package cloudlens is a from-scratch, stdlib-only Go reproduction of
+// "How Different are the Cloud Workloads? Characterizing Large-Scale
+// Private and Public Cloud Workloads" (Qin et al., Microsoft, DSN 2023).
+//
+// The original study analyzes one week of proprietary Azure telemetry. This
+// package substitutes a calibrated synthetic substrate — a cloud-platform
+// simulator with regions, clusters, racks, nodes, an allocation service,
+// and generative workload models for both platforms — and then runs the
+// paper's full characterization pipeline over the generated trace:
+//
+//   - deployment characteristics (Figures 1-4): deployment and VM sizes,
+//     lifetimes, temporal creation patterns, multi-region spread;
+//   - resource utilization (Figures 5-6): the diurnal / stable / irregular /
+//     hourly-peak taxonomy and utilization distributions;
+//   - similarity structure (Figure 7): VM-to-node and cross-region
+//     utilization correlations, including the region-agnostic ServiceX;
+//   - the management pilots: chance-constrained over-subscription, spot-VM
+//     valley harvesting, the Canada region-shift pilot, deferrable-workload
+//     valley scheduling, and the workload knowledge base of Section V.
+//
+// Quick start:
+//
+//	tr, err := cloudlens.GenerateDefault(42)
+//	if err != nil { ... }
+//	ch := cloudlens.Characterize(tr)
+//	ch.WriteReport(os.Stdout)
+//
+// Everything is deterministic in the seed; no network or wall-clock access.
+package cloudlens
+
+import (
+	"net/http"
+
+	"cloudlens/internal/allocfail"
+	"cloudlens/internal/balance"
+	"cloudlens/internal/deferral"
+	"cloudlens/internal/kb"
+	"cloudlens/internal/oversub"
+	"cloudlens/internal/provision"
+	"cloudlens/internal/spot"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/workload"
+)
+
+// Core data types, aliased from the implementation packages so users of
+// the cloudlens module never import internal paths directly.
+type (
+	// Trace is one simulated week of VM inventory and utilization for
+	// both platforms.
+	Trace = trace.Trace
+	// VM is a single trace record.
+	VM = trace.VM
+	// Config controls synthetic-trace generation.
+	Config = workload.Config
+	// KnowledgeBase is the paper's centralized workload knowledge base
+	// (Section V): per-subscription profiles extracted from telemetry.
+	KnowledgeBase = kb.Store
+	// Profile is one subscription's extracted workload knowledge.
+	Profile = kb.Profile
+)
+
+// Policy experiment types.
+type (
+	// OversubOptions / OversubResult run the chance-constrained
+	// over-subscription experiment (Section III-B implication).
+	OversubOptions = oversub.Options
+	OversubResult  = oversub.Result
+	// SpotOptions / SpotResult run the spot-VM valley-harvesting
+	// experiment (Section III-B implication).
+	SpotOptions = spot.Options
+	SpotResult  = spot.Result
+	// BalancePlan / BalanceOutcome run the Canada region-shift pilot
+	// (Section IV-B).
+	BalancePlan    = balance.Plan
+	BalanceOutcome = balance.Outcome
+	// DeferralOptions / DeferralResult run the valley-scheduling policy
+	// (Section IV-A implication).
+	DeferralOptions = deferral.Options
+	DeferralResult  = deferral.Result
+	// MixtureOptions / MixtureResult run the dynamic spot/on-demand
+	// mixture (the Snape-style batch scheduling the paper cites).
+	MixtureOptions = spot.MixtureOptions
+	MixtureResult  = spot.MixtureResult
+	// ProvisionOptions / ProvisionResult run the predictive
+	// pre-provisioning experiment for hourly-peak workloads
+	// (Section IV-A implication).
+	ProvisionOptions = provision.Options
+	ProvisionResult  = provision.Result
+	// KBMergeOptions tunes the knowledge base's continuous update.
+	KBMergeOptions = kb.MergeOptions
+	// AllocFailOptions / AllocFailResult run the workload-aware
+	// allocation-failure prediction experiment (Section III-B
+	// implication).
+	AllocFailOptions = allocfail.Options
+	AllocFailResult  = allocfail.Result
+)
+
+// DefaultConfig returns the calibrated generator configuration documented
+// in DESIGN.md. Override fields selectively before calling Generate.
+func DefaultConfig(seed uint64) Config {
+	return workload.DefaultConfig(seed)
+}
+
+// Generate produces a synthetic week-long trace from the configuration.
+func Generate(cfg Config) (*Trace, error) {
+	return workload.Generate(cfg)
+}
+
+// GenerateDefault produces a trace with the default configuration at the
+// given seed.
+func GenerateDefault(seed uint64) (*Trace, error) {
+	return workload.Generate(workload.DefaultConfig(seed))
+}
+
+// LoadTrace reads a trace saved with (*Trace).SaveFile.
+func LoadTrace(path string) (*Trace, error) {
+	return trace.LoadFile(path)
+}
+
+// ExtractKnowledgeBase builds the workload knowledge base from a trace.
+func ExtractKnowledgeBase(t *Trace) *KnowledgeBase {
+	return kb.Extract(t, kb.ExtractOptions{})
+}
+
+// KnowledgeBaseHandler exposes a knowledge base over HTTP (JSON API); see
+// package kb for the route table.
+func KnowledgeBaseHandler(store *KnowledgeBase) http.Handler {
+	return kb.NewHandler(store)
+}
+
+// RunOversubscription executes the chance-constrained over-subscription
+// sweep on a trace.
+func RunOversubscription(t *Trace, opts OversubOptions) (OversubResult, error) {
+	return oversub.Run(t, opts)
+}
+
+// RunSpotHarvest executes the spot-VM valley-harvesting simulation.
+func RunSpotHarvest(t *Trace, opts SpotOptions) (SpotResult, error) {
+	return spot.Run(t, opts)
+}
+
+// RunRegionBalance executes the Canada pilot: it extracts (or reuses) the
+// knowledge base, recommends a region-agnostic workload shift from source
+// to dest, and evaluates it. Pass a nil store to extract one on the fly.
+func RunRegionBalance(t *Trace, store *KnowledgeBase, source, dest string) (BalanceOutcome, error) {
+	if store == nil {
+		store = ExtractKnowledgeBase(t)
+	}
+	return balance.Run(t, store, source, dest)
+}
+
+// RunDeferral executes the deferrable-workload valley-scheduling policy.
+func RunDeferral(t *Trace, opts DeferralOptions) (DeferralResult, error) {
+	return deferral.Run(t, opts)
+}
+
+// RunSpotMixture simulates a deadline batch job under the on-demand,
+// spot-only, and dynamic-mixture acquisition policies.
+func RunSpotMixture(t *Trace, opts MixtureOptions) ([]MixtureResult, error) {
+	return spot.RunMixture(t, opts)
+}
+
+// CheapestReliable returns the lowest-cost mixture policy among those that
+// met the deadline.
+func CheapestReliable(results []MixtureResult) (MixtureResult, bool) {
+	return spot.CheapestReliable(results)
+}
+
+// RunPreProvisioning compares reactive auto-scaling against knowledge-
+// base-informed predictive pre-provisioning for an hourly-peak service.
+// Pass a nil store to extract the knowledge base on the fly.
+func RunPreProvisioning(t *Trace, store *KnowledgeBase, opts ProvisionOptions) (ProvisionResult, error) {
+	if store == nil {
+		store = ExtractKnowledgeBase(t)
+	}
+	return provision.Run(t, store, opts)
+}
+
+// RunAllocFailPrediction trains and evaluates the workload-aware
+// allocation-failure predictor against the static capacity check.
+func RunAllocFailPrediction(t *Trace, opts AllocFailOptions) (AllocFailResult, error) {
+	return allocfail.Run(t, opts)
+}

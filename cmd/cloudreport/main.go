@@ -1,0 +1,67 @@
+// Command cloudreport runs the paper's complete characterization pipeline
+// over a trace (generated in-process or loaded from a cloudgen bundle) and
+// prints the figure-by-figure reproduction report, with the paper's
+// reference values alongside the measured ones.
+//
+// Usage:
+//
+//	cloudreport [-seed 42] [-scale 1.0]            # generate, then report
+//	cloudreport -trace bundle/trace.json.gz        # report a saved trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudlens"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
+		scale     = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
+		tracePath = flag.String("trace", "", "load a saved trace instead of generating")
+		csvDir    = flag.String("csv", "", "also export every figure's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	var (
+		tr  *cloudlens.Trace
+		err error
+	)
+	if *tracePath != "" {
+		tr, err = cloudlens.LoadTrace(*tracePath)
+	} else {
+		cfg := cloudlens.DefaultConfig(*seed)
+		cfg.Scale = *scale
+		tr, err = cloudlens.Generate(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "cloudlens characterization report — %d VMs, seed %d\n",
+		len(tr.VMs), tr.Meta.Seed)
+	ch := cloudlens.Characterize(tr)
+	if err := ch.WriteReport(w); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := ch.ExportCSV(*csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nfigure data exported to %s\n", *csvDir)
+	}
+	return nil
+}

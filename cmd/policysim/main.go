@@ -1,0 +1,276 @@
+// Command policysim runs the paper's management pilots over a trace:
+//
+//	oversub   chance-constrained over-subscription sweep (Section III-B);
+//	          the paper reports 20%-86% utilization improvement
+//	spot      spot-VM valley harvesting with eviction-rate prediction
+//	balance   the Canada region-shift pilot (Section IV-B): move a
+//	          region-agnostic service from a hot region to an idle one
+//	deferral  deferrable-workload valley scheduling (Section IV-A)
+//	mixture   dynamic spot/on-demand mixture for a deadline batch job
+//	provision reactive vs predictive pre-provisioning for hourly peaks
+//	allocfail workload-aware allocation-failure prediction
+//	all       everything above (default)
+//
+// Usage:
+//
+//	policysim [-seed 42] [-scale 1.0] [-trace bundle/trace.json.gz] [-experiment all]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cloudlens"
+	"cloudlens/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "policysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed       = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
+		scale      = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
+		tracePath  = flag.String("trace", "", "load a saved trace instead of generating")
+		experiment = flag.String("experiment", "all", "oversub | spot | balance | deferral | all")
+	)
+	flag.Parse()
+
+	var (
+		tr  *cloudlens.Trace
+		err error
+	)
+	if *tracePath != "" {
+		tr, err = cloudlens.LoadTrace(*tracePath)
+	} else {
+		cfg := cloudlens.DefaultConfig(*seed)
+		cfg.Scale = *scale
+		tr, err = cloudlens.Generate(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	runAll := *experiment == "all"
+	ran := false
+	if runAll || *experiment == "oversub" {
+		if err := runOversub(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || *experiment == "spot" {
+		if err := runSpot(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || *experiment == "balance" {
+		if err := runBalance(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || *experiment == "deferral" {
+		if err := runDeferral(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || *experiment == "mixture" {
+		if err := runMixture(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || *experiment == "provision" {
+		if err := runProvision(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if runAll || *experiment == "allocfail" {
+		if err := runAllocFail(w, tr); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func runOversub(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Chance-constrained over-subscription (paper: +20% to +86%)"); err != nil {
+		return err
+	}
+	res, err := cloudlens.RunOversubscription(tr, cloudlens.OversubOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "nodes=%d baseline reservation=%.0f cores, mean usage=%.0f cores\n",
+		res.Nodes, res.BaselineCores, res.MeanUsedCores)
+	t := report.NewTable("epsilon", "reserved cores", "utilization gain", "violation rate")
+	for _, p := range res.Points {
+		t.AddRow(fmt.Sprintf("%.4f", p.Epsilon),
+			fmt.Sprintf("%.0f", p.ReservedCores),
+			report.Pct(p.UtilizationGain),
+			fmt.Sprintf("%.4f", p.ViolationRate))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	lo, hi := res.GainRange()
+	fmt.Fprintf(w, "gain range across safety levels: %s .. %s\n", report.Pct(lo), report.Pct(hi))
+	return nil
+}
+
+func runSpot(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Spot-VM valley harvesting (public cloud)"); err != nil {
+		return err
+	}
+	res, err := cloudlens.RunSpotHarvest(tr, cloudlens.SpotOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pool=%d cores; utilization %s -> %s with spot; harvested %.0f core-hours\n",
+		res.PhysicalCores, report.Pct(res.OnDemandUtilization),
+		report.Pct(res.WithSpotUtilization), res.SpotCoreHours)
+	fmt.Fprintf(w, "spot VMs served=%d evictions=%d mean lifetime=%.1f h\n",
+		res.SpotVMsServed, res.Evictions, res.MeanSpotLifetimeHours)
+	fmt.Fprintf(w, "eviction predictor: correlation=%.2f MAE=%.4f\n",
+		res.Predictor.Correlation, res.Predictor.MAE)
+	fmt.Fprintf(w, "evictions by hour of day: %s\n",
+		report.Sparkline(res.EvictionsPerHourOfDay))
+	return nil
+}
+
+func runBalance(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Region-agnostic workload shift (Canada pilot, Section IV-B)"); err != nil {
+		return err
+	}
+	out, err := cloudlens.RunRegionBalance(tr, nil, "canada-a", "canada-b")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "plan: move %s (%d VMs, %d cores, agnostic score %.2f) from %s to %s\n",
+		out.Plan.Service, out.Plan.VMs, out.Plan.Cores, out.Plan.AgnosticScore,
+		out.Plan.Source, out.Plan.Destination)
+	t := report.NewTable("region", "phase", "utilization rate", "underutilized share")
+	t.AddRow(out.Plan.Source, "before", report.Pct(out.SourceBefore.UtilizationRate), report.Pct(out.SourceBefore.UnderutilizedShare))
+	t.AddRow(out.Plan.Source, "after", report.Pct(out.SourceAfter.UtilizationRate), report.Pct(out.SourceAfter.UnderutilizedShare))
+	t.AddRow(out.Plan.Destination, "before", report.Pct(out.DestBefore.UtilizationRate), report.Pct(out.DestBefore.UnderutilizedShare))
+	t.AddRow(out.Plan.Destination, "after", report.Pct(out.DestAfter.UtilizationRate), report.Pct(out.DestAfter.UnderutilizedShare))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "paper: source 42%%->37%% utilization, 23%%->16%% underutilized; health improved: %v\n",
+		out.HealthImproved())
+	return nil
+}
+
+func runDeferral(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Deferrable-workload valley scheduling (private cloud)"); err != nil {
+		return err
+	}
+	res, err := cloudlens.RunDeferral(tr, cloudlens.DeferralOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "deferred %d jobs (%.0f core-hours) into the %02d:00 UTC valley\n",
+		res.DeferrableVMs, res.DeferredCoreHours, res.ValleyHourUTC)
+	fmt.Fprintf(w, "peak-to-mean ratio: %.3f -> %.3f (peak reduction %s)\n",
+		res.PeakToMeanBefore, res.PeakToMeanAfter, report.Pct(res.PeakReduction))
+	fmt.Fprintf(w, "valley fill (valley mean / overall mean): %.3f -> %.3f\n",
+		res.ValleyFillBefore, res.ValleyFillAfter)
+	return nil
+}
+
+func runMixture(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Dynamic spot/on-demand mixture (deadline batch job)"); err != nil {
+		return err
+	}
+	results, err := cloudlens.RunSpotMixture(tr, cloudlens.MixtureOptions{})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("policy", "completed", "finish (h)", "cost (od VM-h)", "spot VM-h", "on-demand VM-h", "evictions")
+	for _, r := range results {
+		t.AddRow(r.Policy.String(),
+			fmt.Sprintf("%v", r.Completed),
+			fmt.Sprintf("%.1f", r.FinishHour),
+			fmt.Sprintf("%.1f", r.Cost),
+			fmt.Sprintf("%.1f", r.SpotVMHours),
+			fmt.Sprintf("%.1f", r.OnDemandVMHours),
+			fmt.Sprintf("%d", r.Evictions))
+	}
+	return t.Render(w)
+}
+
+func runProvision(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Predictive pre-provisioning for hourly-peak workloads"); err != nil {
+		return err
+	}
+	res, err := cloudlens.RunPreProvisioning(tr, nil, cloudlens.ProvisionOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "service %s: peak demand %.0f cores, mean %.0f cores over the test window\n",
+		res.Service, res.PeakDemandCores, res.MeanDemandCores)
+	t := report.NewTable("policy", "throttled core-h", "throttled steps", "mean provisioned", "overprovisioned core-h")
+	for _, pr := range []struct {
+		policy                    string
+		throttled, throttledSteps float64
+		mean, over                float64
+	}{
+		{res.Reactive.Policy, res.Reactive.ThrottledCoreHours, res.Reactive.ThrottledSteps,
+			res.Reactive.MeanProvisionedCores, res.Reactive.OverProvisionedCoreHours},
+		{res.Predictive.Policy, res.Predictive.ThrottledCoreHours, res.Predictive.ThrottledSteps,
+			res.Predictive.MeanProvisionedCores, res.Predictive.OverProvisionedCoreHours},
+	} {
+		t.AddRow(pr.policy,
+			fmt.Sprintf("%.2f", pr.throttled),
+			report.Pct(pr.throttledSteps),
+			fmt.Sprintf("%.1f", pr.mean),
+			fmt.Sprintf("%.1f", pr.over))
+	}
+	return t.Render(w)
+}
+
+func runAllocFail(w io.Writer, tr *cloudlens.Trace) error {
+	if err := report.Section(w, "Workload-aware allocation-failure prediction (private cloud)"); err != nil {
+		return err
+	}
+	res, err := cloudlens.RunAllocFailPrediction(tr, cloudlens.AllocFailOptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "planning horizon 12h; %d train / %d test at-risk requests; failure base rate %s\n",
+		res.TrainSamples, res.TestSamples, report.Pct(res.FailureRate))
+	t := report.NewTable("predictor", "accuracy", "precision", "recall", "F1")
+	for _, row := range []struct {
+		name string
+		m    struct{ Accuracy, Precision, Recall, F1 float64 }
+	}{
+		{"static capacity check", struct{ Accuracy, Precision, Recall, F1 float64 }(res.Baseline)},
+		{"workload-aware model", struct{ Accuracy, Precision, Recall, F1 float64 }(res.Model)},
+	} {
+		t.AddRow(row.name,
+			fmt.Sprintf("%.3f", row.m.Accuracy),
+			fmt.Sprintf("%.3f", row.m.Precision),
+			fmt.Sprintf("%.3f", row.m.Recall),
+			fmt.Sprintf("%.3f", row.m.F1))
+	}
+	return t.Render(w)
+}

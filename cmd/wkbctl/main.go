@@ -1,0 +1,160 @@
+// Command wkbctl queries a running workload knowledge base server
+// (cmd/wkbserver) from the command line — the operator's view of the
+// Section V system.
+//
+// Usage:
+//
+//	wkbctl -server http://localhost:8080 summary
+//	wkbctl -server http://localhost:8080 profiles -cloud private -min-agnostic 0.8 [-pattern diurnal] [-min-short-lived 0.5]
+//	wkbctl -server http://localhost:8080 profile <subscription-id>
+//
+// Global flags come before the subcommand; filter flags after it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"time"
+
+	"cloudlens"
+	"cloudlens/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wkbctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "http://localhost:8080", "knowledge base server base URL")
+	flag.Parse()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	switch flag.Arg(0) {
+	case "summary":
+		return showSummary(client, *server)
+	case "profiles":
+		// Filter flags follow the subcommand.
+		fs := flag.NewFlagSet("profiles", flag.ContinueOnError)
+		var (
+			cloud         = fs.String("cloud", "", "filter profiles by cloud: private | public")
+			minAgnostic   = fs.Float64("min-agnostic", -2, "minimum region-agnostic score")
+			pattern       = fs.String("pattern", "", "filter by dominant pattern")
+			minShortLived = fs.Float64("min-short-lived", 0, "minimum short-lived VM share")
+		)
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		return showProfiles(client, *server, *cloud, *minAgnostic, *pattern, *minShortLived)
+	case "profile":
+		if flag.Arg(1) == "" {
+			return fmt.Errorf("profile requires a subscription id")
+		}
+		return showProfile(client, *server, flag.Arg(1))
+	default:
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile)", flag.Arg(0))
+	}
+}
+
+func getJSON(client *http.Client, rawURL string, out interface{}) error {
+	resp, err := client.Get(rawURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", rawURL, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func showSummary(client *http.Client, server string) error {
+	var out map[string]struct {
+		Subscriptions     int                `json:"subscriptions"`
+		VMsObserved       int                `json:"vmsObserved"`
+		SnapshotCores     int                `json:"snapshotCores"`
+		MeanUtilization   float64            `json:"meanUtilization"`
+		PatternShares     map[string]float64 `json:"patternShares"`
+		RegionAgnostic    int                `json:"regionAgnostic"`
+		MultiRegion       int                `json:"multiRegion"`
+		MedianLifetimeMin float64            `json:"medianLifetimeMin"`
+	}
+	if err := getJSON(client, server+"/api/v1/summary", &out); err != nil {
+		return err
+	}
+	t := report.NewTable("cloud", "subscriptions", "VMs observed", "snapshot cores",
+		"mean util", "multi-region", "region-agnostic")
+	for _, cloud := range []string{"private", "public"} {
+		s := out[cloud]
+		t.AddRow(cloud,
+			strconv.Itoa(s.Subscriptions),
+			strconv.Itoa(s.VMsObserved),
+			strconv.Itoa(s.SnapshotCores),
+			report.Pct(s.MeanUtilization),
+			strconv.Itoa(s.MultiRegion),
+			strconv.Itoa(s.RegionAgnostic))
+	}
+	return t.Render(os.Stdout)
+}
+
+func showProfiles(client *http.Client, server, cloud string, minAgnostic float64, pattern string, minShortLived float64) error {
+	q := url.Values{}
+	if cloud != "" {
+		q.Set("cloud", cloud)
+	}
+	if minAgnostic > -2 {
+		q.Set("minAgnostic", strconv.FormatFloat(minAgnostic, 'f', -1, 64))
+	}
+	if pattern != "" {
+		q.Set("pattern", pattern)
+	}
+	if minShortLived > 0 {
+		q.Set("minShortLived", strconv.FormatFloat(minShortLived, 'f', -1, 64))
+	}
+	var profiles []cloudlens.Profile
+	rawURL := server + "/api/v1/profiles"
+	if enc := q.Encode(); enc != "" {
+		rawURL += "?" + enc
+	}
+	if err := getJSON(client, rawURL, &profiles); err != nil {
+		return err
+	}
+	t := report.NewTable("subscription", "cloud", "regions", "snapshot cores",
+		"dominant pattern", "agnostic score", "short-lived")
+	for _, p := range profiles {
+		t.AddRow(string(p.Subscription),
+			p.Cloud.String(),
+			strconv.Itoa(len(p.Regions)),
+			strconv.Itoa(p.SnapshotCores),
+			p.DominantPattern.String(),
+			fmt.Sprintf("%.2f", p.RegionAgnosticScore),
+			report.Pct(p.ShortLivedShare))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("%d profiles\n", len(profiles))
+	return nil
+}
+
+func showProfile(client *http.Client, server, id string) error {
+	var p cloudlens.Profile
+	if err := getJSON(client, server+"/api/v1/profiles/"+url.PathEscape(id), &p); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}

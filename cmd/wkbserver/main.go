@@ -1,0 +1,76 @@
+// Command wkbserver runs the workload knowledge base (the system proposed
+// in the paper's Section V) as an HTTP service: it extracts per-
+// subscription workload knowledge from a trace and serves it as JSON.
+//
+// Routes:
+//
+//	GET /healthz
+//	GET /api/v1/summary
+//	GET /api/v1/profiles?cloud=private&minAgnostic=0.8&pattern=diurnal
+//	GET /api/v1/profiles/{subscription-id}
+//
+// Usage:
+//
+//	wkbserver [-addr :8080] [-seed 42] [-trace bundle/trace.json.gz] [-save kb.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"cloudlens"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wkbserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
+		scale     = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
+		tracePath = flag.String("trace", "", "load a saved trace instead of generating")
+		save      = flag.String("save", "", "also persist the knowledge base JSON to this path")
+	)
+	flag.Parse()
+
+	var (
+		tr  *cloudlens.Trace
+		err error
+	)
+	if *tracePath != "" {
+		tr, err = cloudlens.LoadTrace(*tracePath)
+	} else {
+		cfg := cloudlens.DefaultConfig(*seed)
+		cfg.Scale = *scale
+		tr, err = cloudlens.Generate(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("extracting workload knowledge from %d VMs...\n", len(tr.VMs))
+	store := cloudlens.ExtractKnowledgeBase(tr)
+	fmt.Printf("knowledge base ready: %d profiles\n", store.Len())
+	if *save != "" {
+		if err := store.SaveFile(*save); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s\n", *save)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cloudlens.KnowledgeBaseHandler(store),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving on %s\n", *addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,46 @@
+// Over-subscription example: the paper's Section III-B implication. The
+// private cloud's irregular deployment pattern does not match its mostly
+// diurnal utilization, so reserving every requested core wastes capacity; a
+// chance-constrained reservation (P[usage > reservation] <= epsilon)
+// recovers it. The paper reports 20%-86% utilization improvement in Azure
+// depending on the safety level — this example sweeps epsilon and shows the
+// same band.
+//
+//	go run ./examples/oversubscription
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudlens"
+)
+
+func main() {
+	tr, err := cloudlens.GenerateDefault(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cloudlens.RunOversubscription(tr, cloudlens.OversubOptions{
+		Epsilons: []float64{0.0001, 0.001, 0.01, 0.02, 0.05, 0.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("private cloud, %d nodes\n", res.Nodes)
+	fmt.Printf("requested (no over-subscription): %8.0f cores\n", res.BaselineCores)
+	fmt.Printf("static baseline reservation:      %8.0f cores\n", res.StaticCores)
+	fmt.Printf("actual mean usage:                %8.0f cores\n\n", res.MeanUsedCores)
+
+	fmt.Println("epsilon   reserved   gain-vs-static   realized violations")
+	for _, p := range res.Points {
+		fmt.Printf("%7.4f   %8.0f   %13.1f%%   %.4f (target %.4f)\n",
+			p.Epsilon, p.ReservedCores, 100*p.UtilizationGain, p.ViolationRate, p.Epsilon)
+	}
+	lo, hi := res.GainRange()
+	fmt.Printf("\nutilization improvement band: %.0f%% .. %.0f%% (paper: 20%% .. 86%%)\n",
+		100*lo, 100*hi)
+	fmt.Println("tighter safety (smaller epsilon) -> smaller gain: the risk knob the paper describes.")
+}

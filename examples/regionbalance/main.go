@@ -1,0 +1,55 @@
+// Region-balance example: the paper's Section IV-B Canada pilot. A
+// geo-load-balanced service is region-agnostic — its utilization peaks
+// align across time zones (Figure 7c) — so it can be relocated from a hot
+// region to an idle one without hurting users. The pilot reduced Canada-A's
+// underutilized cores from 23% to 16% and its utilization rate from 42% to
+// 37% while barely moving Canada-B.
+//
+// The workload knowledge base (Section V) supplies the region-agnostic
+// evidence: only subscriptions with high cross-region utilization
+// correlation qualify.
+//
+//	go run ./examples/regionbalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudlens"
+)
+
+func main() {
+	tr, err := cloudlens.GenerateDefault(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Extract the knowledge base: per-subscription profiles with
+	// pattern mixes, lifetimes, and region-agnostic scores.
+	store := cloudlens.ExtractKnowledgeBase(tr)
+	fmt.Printf("knowledge base: %d subscription profiles\n", store.Len())
+
+	// The pilot: recommend and evaluate a shift from the hot region to
+	// the idle one.
+	out, err := cloudlens.RunRegionBalance(tr, store, "canada-a", "canada-b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommendation: move %q (%d VMs, %d cores)\n",
+		out.Plan.Service, out.Plan.VMs, out.Plan.Cores)
+	fmt.Printf("evidence: cross-region utilization correlation %.2f (region-agnostic)\n\n",
+		out.Plan.AgnosticScore)
+
+	fmt.Printf("%-10s %-8s %18s %20s\n", "region", "phase", "utilization rate", "underutilized share")
+	row := func(region, phase string, rate, under float64) {
+		fmt.Printf("%-10s %-8s %17.1f%% %19.1f%%\n", region, phase, 100*rate, 100*under)
+	}
+	row(out.Plan.Source, "before", out.SourceBefore.UtilizationRate, out.SourceBefore.UnderutilizedShare)
+	row(out.Plan.Source, "after", out.SourceAfter.UtilizationRate, out.SourceAfter.UnderutilizedShare)
+	row(out.Plan.Destination, "before", out.DestBefore.UtilizationRate, out.DestBefore.UnderutilizedShare)
+	row(out.Plan.Destination, "after", out.DestAfter.UtilizationRate, out.DestAfter.UnderutilizedShare)
+
+	fmt.Printf("\nsource region health improved: %v (paper: 42%%->37%% rate, 23%%->16%% underutilized)\n",
+		out.HealthImproved())
+}

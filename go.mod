@@ -1,0 +1,3 @@
+module cloudlens
+
+go 1.22

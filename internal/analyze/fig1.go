@@ -1,0 +1,86 @@
+package analyze
+
+import (
+	"cloudlens/internal/core"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+)
+
+// Fig1a reproduces Figure 1(a): CDFs of the number of VMs per subscription
+// for private and public cloud workloads at one weekday time point. The
+// paper's headline: private cloud workloads are deployed in larger groups.
+type Fig1a struct {
+	// CDF holds the per-platform ECDF of VMs per subscription.
+	CDF PerCloud[*stats.ECDF] `json:"-"`
+	// MedianVMsPerSub is the per-platform median deployment size.
+	MedianVMsPerSub PerCloud[float64] `json:"medianVMsPerSub"`
+	// Subscriptions counts subscriptions with at least one VM alive at
+	// the snapshot.
+	Subscriptions PerCloud[int] `json:"subscriptions"`
+	// SnapshotStep is the grid step the snapshot was taken at.
+	SnapshotStep int `json:"snapshotStep"`
+}
+
+// ComputeFig1a runs the Figure 1(a) analysis at the trace's canonical
+// weekday snapshot.
+func ComputeFig1a(t *trace.Trace) Fig1a {
+	out := Fig1a{SnapshotStep: t.SnapshotStep()}
+	for _, cloud := range core.Clouds() {
+		perSub := make(map[core.SubscriptionID]int)
+		for _, v := range t.AliveAt(cloud, out.SnapshotStep) {
+			perSub[v.Subscription]++
+		}
+		sample := make([]float64, 0, len(perSub))
+		for _, n := range perSub {
+			sample = append(sample, float64(n))
+		}
+		cdf := stats.NewECDF(sample)
+		out.CDF.Set(cloud, cdf)
+		out.MedianVMsPerSub.Set(cloud, stats.Quantile(sample, 0.5))
+		out.Subscriptions.Set(cloud, len(perSub))
+	}
+	return out
+}
+
+// Fig1b reproduces Figure 1(b): box plots of the number of subscriptions
+// per cluster. The paper reports a public cluster hosting about 20x more
+// subscriptions than a private one at the median.
+type Fig1b struct {
+	Box PerCloud[stats.BoxPlot] `json:"box"`
+	// MedianRatio is public median / private median.
+	MedianRatio  float64 `json:"medianRatio"`
+	SnapshotStep int     `json:"snapshotStep"`
+}
+
+// ComputeFig1b runs the Figure 1(b) analysis: distinct subscriptions with a
+// VM alive at the snapshot, per cluster.
+func ComputeFig1b(t *trace.Trace) Fig1b {
+	out := Fig1b{SnapshotStep: t.SnapshotStep()}
+	perCluster := make(map[core.ClusterID]map[core.SubscriptionID]bool)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if !v.AliveAt(out.SnapshotStep) {
+			continue
+		}
+		subs := perCluster[v.Node.Cluster]
+		if subs == nil {
+			subs = make(map[core.SubscriptionID]bool)
+			perCluster[v.Node.Cluster] = subs
+		}
+		subs[v.Subscription] = true
+	}
+	for _, cloud := range core.Clouds() {
+		var sample []float64
+		for _, c := range t.Topology.Clusters {
+			if c.Cloud != cloud {
+				continue
+			}
+			sample = append(sample, float64(len(perCluster[c.ID])))
+		}
+		out.Box.Set(cloud, stats.NewBoxPlot(sample))
+	}
+	if m := out.Box.Private.Median; m > 0 {
+		out.MedianRatio = out.Box.Public.Median / m
+	}
+	return out
+}

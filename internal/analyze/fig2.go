@@ -1,0 +1,65 @@
+package analyze
+
+import (
+	"math"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+)
+
+// Fig2 reproduces Figure 2: heatmaps of core and memory sizes per VM for
+// private (left) and public (right) cloud workloads. The paper's
+// observation: the bulk distributions are similar, but the public cloud
+// extends to both the very small (bottom-left) and the very large
+// (top-right) corners.
+type Fig2 struct {
+	// Heat holds per-platform 2-D histograms over log2(cores) x
+	// log2(memoryGB).
+	Heat PerCloud[*stats.Hist2D] `json:"heat"`
+	// ExtremeShare is the fraction of VMs in the extreme corners: at
+	// most 1 core, or at least 32 cores. The paper observes a
+	// "non-negligible demand for relatively large and small VMs" in the
+	// public cloud.
+	ExtremeShare PerCloud[float64] `json:"extremeShare"`
+	// DistinctSizes counts distinct (cores, memory) shapes in use, a
+	// direct diversity measure.
+	DistinctSizes PerCloud[int] `json:"distinctSizes"`
+	SnapshotStep  int           `json:"snapshotStep"`
+}
+
+// fig2Edges are log2 bin edges covering 1..64 cores and 1..1024 GB.
+func fig2Edges() (xs, ys []float64) {
+	for e := 0.0; e <= 7; e++ {
+		xs = append(xs, e-0.5)
+	}
+	for e := 0.0; e <= 11; e++ {
+		ys = append(ys, e-0.5)
+	}
+	return xs, ys
+}
+
+// ComputeFig2 runs the Figure 2 analysis over VMs alive at the snapshot.
+func ComputeFig2(t *trace.Trace) Fig2 {
+	out := Fig2{SnapshotStep: t.SnapshotStep()}
+	for _, cloud := range core.Clouds() {
+		xs, ys := fig2Edges()
+		h := stats.NewHist2D(xs, ys)
+		distinct := make(map[core.VMSize]bool)
+		extremes, total := 0, 0
+		for _, v := range t.AliveAt(cloud, out.SnapshotStep) {
+			h.Add(math.Log2(float64(v.Size.Cores)), math.Log2(float64(v.Size.MemoryGB)), 1)
+			distinct[v.Size] = true
+			total++
+			if v.Size.Cores <= 1 || v.Size.Cores >= 32 {
+				extremes++
+			}
+		}
+		out.Heat.Set(cloud, h)
+		out.DistinctSizes.Set(cloud, len(distinct))
+		if total > 0 {
+			out.ExtremeShare.Set(cloud, float64(extremes)/float64(total))
+		}
+	}
+	return out
+}

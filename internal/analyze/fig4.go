@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"cloudlens/internal/core"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+)
+
+// Fig4a reproduces Figure 4(a): CDFs of the number of deployed regions per
+// subscription. More than half of subscriptions on both platforms deploy
+// into a single region, but private subscriptions have the heavier
+// multi-region tail.
+type Fig4a struct {
+	CDF PerCloud[*stats.ECDF] `json:"-"`
+	// SingleRegionShare is the fraction of subscriptions deploying into
+	// exactly one region.
+	SingleRegionShare PerCloud[float64] `json:"singleRegionShare"`
+	// MeanRegions is the average region count per subscription.
+	MeanRegions PerCloud[float64] `json:"meanRegions"`
+}
+
+// ComputeFig4a runs the Figure 4(a) analysis over the whole week.
+func ComputeFig4a(t *trace.Trace) Fig4a {
+	var out Fig4a
+	for _, cloud := range core.Clouds() {
+		perSub := regionsPerSubscription(t, cloud)
+		var sample []float64
+		single := 0
+		for _, regions := range perSub {
+			sample = append(sample, float64(len(regions)))
+			if len(regions) == 1 {
+				single++
+			}
+		}
+		out.CDF.Set(cloud, stats.NewECDF(sample))
+		if len(perSub) > 0 {
+			out.SingleRegionShare.Set(cloud, float64(single)/float64(len(perSub)))
+		}
+		out.MeanRegions.Set(cloud, stats.Mean(sample))
+	}
+	return out
+}
+
+// Fig4b reproduces Figure 4(b): the same CDF weighted by each
+// subscription's allocated core count. The paper reports single-region
+// subscriptions holding ~40% of private cores but ~70% of public cores —
+// the private cloud's core mass is multi-region.
+type Fig4b struct {
+	CDF PerCloud[*stats.ECDF] `json:"-"`
+	// SingleRegionCoreShare is the fraction of cores owned by
+	// single-region subscriptions.
+	SingleRegionCoreShare PerCloud[float64] `json:"singleRegionCoreShare"`
+}
+
+// ComputeFig4b runs the Figure 4(b) analysis, weighting subscriptions by
+// the cores they have allocated at the snapshot (falling back to peak cores
+// for subscriptions without snapshot VMs).
+func ComputeFig4b(t *trace.Trace) Fig4b {
+	var out Fig4b
+	snap := t.SnapshotStep()
+	for _, cloud := range core.Clouds() {
+		perSub := regionsPerSubscription(t, cloud)
+		cores := make(map[core.SubscriptionID]float64)
+		for i := range t.VMs {
+			v := &t.VMs[i]
+			if v.Cloud != cloud || !v.AliveAt(snap) {
+				continue
+			}
+			cores[v.Subscription] += float64(v.Size.Cores)
+		}
+		var sample, weights []float64
+		var singleCores, totalCores float64
+		for sub, regions := range perSub {
+			w := cores[sub]
+			if w == 0 {
+				continue
+			}
+			sample = append(sample, float64(len(regions)))
+			weights = append(weights, w)
+			totalCores += w
+			if len(regions) == 1 {
+				singleCores += w
+			}
+		}
+		out.CDF.Set(cloud, stats.NewWeightedECDF(sample, weights))
+		if totalCores > 0 {
+			out.SingleRegionCoreShare.Set(cloud, singleCores/totalCores)
+		}
+	}
+	return out
+}
+
+// regionsPerSubscription collects each subscription's distinct deployment
+// regions over the week.
+func regionsPerSubscription(t *trace.Trace, cloud core.Cloud) map[core.SubscriptionID]map[string]bool {
+	perSub := make(map[core.SubscriptionID]map[string]bool)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud != cloud {
+			continue
+		}
+		set := perSub[v.Subscription]
+		if set == nil {
+			set = make(map[string]bool)
+			perSub[v.Subscription] = set
+		}
+		set[v.Region] = true
+	}
+	return perSub
+}

@@ -1,0 +1,109 @@
+package analyze
+
+import (
+	"cloudlens/internal/classify"
+	"cloudlens/internal/core"
+	"cloudlens/internal/trace"
+)
+
+// Fig5d reproduces Figure 5(d): the share of each utilization pattern type
+// among VMs alive at a weekday time point. The paper's findings: diurnal is
+// the most common pattern on both platforms, the private cloud has roughly
+// double the public cloud's diurnal share, stable is more common in the
+// public cloud, hourly-peak appears almost exclusively in the private
+// cloud, and irregular is rare in both.
+type Fig5d struct {
+	// Share maps each pattern to its fraction among classified VMs.
+	Share PerCloud[map[core.Pattern]float64] `json:"share"`
+	// Classified counts the VMs with enough history to classify.
+	Classified PerCloud[int] `json:"classified"`
+	// SnapshotStep is the figure's "particular time".
+	SnapshotStep int `json:"snapshotStep"`
+}
+
+// minClassifySteps requires one day of history before classification; the
+// daily periodicity test is meaningless below that.
+const minClassifySteps = 288
+
+// ComputeFig5d classifies every VM alive at the snapshot with at least one
+// day of in-window history and tallies the pattern shares.
+func ComputeFig5d(t *trace.Trace) Fig5d {
+	out := Fig5d{SnapshotStep: t.SnapshotStep()}
+	opts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
+	for _, cloud := range core.Clouds() {
+		share := map[core.Pattern]float64{}
+		n := 0
+		for _, v := range t.AliveAt(cloud, out.SnapshotStep) {
+			from, to, ok := v.AliveRange(t.Grid.N)
+			if !ok || to-from < minClassifySteps {
+				continue
+			}
+			series := v.Usage.Series(t.Grid, from, to)
+			res := classify.Classify(series, opts)
+			share[res.Pattern]++
+			n++
+		}
+		for k := range share {
+			share[k] /= float64(n)
+		}
+		out.Share.Set(cloud, share)
+		out.Classified.Set(cloud, n)
+	}
+	return out
+}
+
+// PatternSample is one exemplar utilization series, as shown in Figures
+// 5(a)-(c).
+type PatternSample struct {
+	Pattern core.Pattern `json:"pattern"`
+	Cloud   core.Cloud   `json:"cloud"`
+	VM      core.VMID    `json:"vm"`
+	// Series is the utilization fraction over the sample window.
+	Series []float64 `json:"series"`
+}
+
+// Fig5Samples reproduces Figures 5(a)-(c): one representative series per
+// pattern type. Diurnal, stable and irregular samples span the full week;
+// the hourly-peak sample spans one day, matching the paper's plots.
+type Fig5Samples struct {
+	Samples []PatternSample `json:"samples"`
+}
+
+// ComputeFig5Samples picks, for each pattern, the first VM of the
+// generating platform whose classified pattern matches its generated one.
+func ComputeFig5Samples(t *trace.Trace) Fig5Samples {
+	var out Fig5Samples
+	opts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
+	want := core.Patterns()
+	found := make(map[core.Pattern]bool, len(want))
+	for i := range t.VMs {
+		if len(found) == len(want) {
+			break
+		}
+		v := &t.VMs[i]
+		if found[v.Usage.Pattern] {
+			continue
+		}
+		from, to, ok := v.AliveRange(t.Grid.N)
+		if !ok || to-from < t.Grid.N {
+			continue // want full-window exemplars
+		}
+		series := v.Usage.Series(t.Grid, from, to)
+		if classify.Classify(series, opts).Pattern != v.Usage.Pattern {
+			continue
+		}
+		found[v.Usage.Pattern] = true
+		if v.Usage.Pattern == core.PatternHourlyPeak {
+			// One day, as in Figure 5(c): Tuesday.
+			day := 24 * 60 / t.Grid.StepMinutes()
+			series = v.Usage.Series(t.Grid, day, 2*day)
+		}
+		out.Samples = append(out.Samples, PatternSample{
+			Pattern: v.Usage.Pattern,
+			Cloud:   v.Cloud,
+			VM:      v.ID,
+			Series:  series,
+		})
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package analyze
+
+import (
+	"sort"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/workload"
+)
+
+// Fig7a reproduces Figure 7(a): CDFs of the Pearson correlation between
+// each VM's CPU utilization and its host node's. The paper reports medians
+// of ~0.55 (private) vs ~0.02 (public): private nodes host VMs with similar
+// utilization patterns; public nodes mix independent tenants. Nodes hosting
+// a single VM are excluded, as in the paper.
+type Fig7a struct {
+	CDF PerCloud[*stats.ECDF] `json:"-"`
+	// MedianCorrelation is the per-platform median VM-to-node Pearson r.
+	MedianCorrelation PerCloud[float64] `json:"medianCorrelation"`
+	// VMs counts the correlated VM samples.
+	VMs PerCloud[int] `json:"vms"`
+}
+
+// ComputeFig7a runs the Figure 7(a) analysis. For every node with at least
+// two VMs it materializes the node's core-weighted utilization series and
+// correlates each hosted VM (with at least a day of overlap) against it.
+func ComputeFig7a(t *trace.Trace) Fig7a {
+	var out Fig7a
+	for _, cloud := range core.Clouds() {
+		byNode := t.ByNode(cloud)
+		var sample []float64
+		for _, vms := range byNode {
+			if len(vms) < 2 {
+				continue // trivial single-VM nodes, filtered as in the paper
+			}
+			nodeSeries := t.NodeSeries(vms, 0, t.Grid.N)
+			for _, v := range vms {
+				from, to, ok := v.AliveRange(t.Grid.N)
+				if !ok || to-from < minCorrOverlapSteps {
+					continue
+				}
+				vmSeries := v.Usage.Series(t.Grid, from, to)
+				sample = append(sample, stats.Pearson(vmSeries, nodeSeries[from:to]))
+			}
+		}
+		out.CDF.Set(cloud, stats.NewECDF(sample))
+		out.MedianCorrelation.Set(cloud, stats.Quantile(sample, 0.5))
+		out.VMs.Set(cloud, len(sample))
+	}
+	return out
+}
+
+// Fig7b reproduces Figure 7(b): for each subscription deployed in multiple
+// US regions, the Pearson correlation of its region-averaged utilization
+// between every pair of deployed US regions. Private subscriptions
+// correlate strongly across regions (region-agnostic candidates); public
+// ones do not.
+type Fig7b struct {
+	CDF PerCloud[*stats.ECDF] `json:"-"`
+	// MedianCorrelation is the median region-pair correlation.
+	MedianCorrelation PerCloud[float64] `json:"medianCorrelation"`
+	// Pairs counts the correlated region pairs.
+	Pairs PerCloud[int] `json:"pairs"`
+}
+
+// ComputeFig7b runs the Figure 7(b) analysis at hourly resolution.
+func ComputeFig7b(t *trace.Trace) Fig7b {
+	var out Fig7b
+	usRegion := make(map[string]bool)
+	for _, r := range t.Topology.Regions {
+		if r.US {
+			usRegion[r.Name] = true
+		}
+	}
+	stepsPerHour := 60 / t.Grid.StepMinutes()
+	hours := t.Grid.Hours()
+	for _, cloud := range core.Clouds() {
+		var sample []float64
+		for _, vms := range t.BySubscription(cloud) {
+			// Region-averaged hourly utilization, US regions only.
+			perRegion := make(map[string][]float64)
+			perRegionCores := make(map[string][]float64)
+			for _, v := range vms {
+				if !usRegion[v.Region] {
+					continue
+				}
+				from, to, ok := v.AliveRange(t.Grid.N)
+				if !ok || to-from < minCorrOverlapSteps {
+					continue
+				}
+				series := perRegion[v.Region]
+				coresAt := perRegionCores[v.Region]
+				if series == nil {
+					series = make([]float64, hours)
+					coresAt = make([]float64, hours)
+					perRegion[v.Region] = series
+					perRegionCores[v.Region] = coresAt
+				}
+				w := float64(v.Size.Cores)
+				for h := 0; h < hours; h++ {
+					step := h * stepsPerHour
+					if from <= step && step < to {
+						series[h] += v.Usage.At(t.Grid, step) * w
+						coresAt[h] += w
+					}
+				}
+			}
+			if len(perRegion) < 2 {
+				continue
+			}
+			regions := make([]string, 0, len(perRegion))
+			for r := range perRegion {
+				avg := perRegion[r]
+				cores := perRegionCores[r]
+				for h := range avg {
+					if cores[h] > 0 {
+						avg[h] /= cores[h]
+					}
+				}
+				regions = append(regions, r)
+			}
+			sort.Strings(regions)
+			for i := 0; i < len(regions); i++ {
+				for j := i + 1; j < len(regions); j++ {
+					sample = append(sample,
+						stats.Pearson(perRegion[regions[i]], perRegion[regions[j]]))
+				}
+			}
+		}
+		out.CDF.Set(cloud, stats.NewECDF(sample))
+		out.MedianCorrelation.Set(cloud, stats.Quantile(sample, 0.5))
+		out.Pairs.Set(cloud, len(sample))
+	}
+	return out
+}
+
+// Fig7c reproduces Figure 7(c): ServiceX's average CPU utilization per
+// deployed region over one day. Although the regions sit in different time
+// zones, the peaks align — the signature of a geo-load-balanced,
+// region-agnostic service.
+type Fig7c struct {
+	Service string `json:"service"`
+	// Day is the day index plotted (0 = Monday).
+	Day int `json:"day"`
+	// Regions lists the deployed regions in plot order.
+	Regions []string `json:"regions"`
+	// Series maps region to its average utilization over the day.
+	Series map[string][]float64 `json:"series"`
+	// PeakStepSpreadMin is the spread, in minutes, between the earliest
+	// and latest region's daily peak: near zero for a region-agnostic
+	// service, hours for a region-sensitive one.
+	PeakStepSpreadMin int `json:"peakStepSpreadMin"`
+}
+
+// ComputeFig7c runs the Figure 7(c) analysis for the given service name
+// ("" selects the built-in ServiceX) on Tuesday.
+func ComputeFig7c(t *trace.Trace, service string) Fig7c {
+	if service == "" {
+		service = workload.ServiceXName
+	}
+	out := Fig7c{Service: service, Day: 1, Series: make(map[string][]float64)}
+	stepsPerDay := 24 * 60 / t.Grid.StepMinutes()
+	from := out.Day * stepsPerDay
+	to := from + stepsPerDay
+
+	byRegion := make(map[string][]*trace.VM)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Service == service {
+			byRegion[v.Region] = append(byRegion[v.Region], v)
+		}
+	}
+	var peakSteps []int
+	regions := make([]string, 0, len(byRegion))
+	for r := range byRegion {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, region := range regions {
+		vms := byRegion[region]
+		series := make([]float64, to-from)
+		for s := from; s < to; s++ {
+			var sum float64
+			var n int
+			for _, v := range vms {
+				if v.AliveAt(s) {
+					sum += v.Usage.At(t.Grid, s)
+					n++
+				}
+			}
+			if n > 0 {
+				series[s-from] = sum / float64(n)
+			}
+		}
+		out.Series[region] = series
+		peak := 0
+		for s, v := range series {
+			if v > series[peak] {
+				peak = s
+			}
+		}
+		peakSteps = append(peakSteps, peak)
+	}
+	out.Regions = regions
+	if len(peakSteps) > 1 {
+		minP, maxP := peakSteps[0], peakSteps[0]
+		for _, p := range peakSteps[1:] {
+			if p < minP {
+				minP = p
+			}
+			if p > maxP {
+				maxP = p
+			}
+		}
+		out.PeakStepSpreadMin = (maxP - minP) * t.Grid.StepMinutes()
+	}
+	return out
+}

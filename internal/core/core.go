@@ -1,0 +1,123 @@
+// Package core defines the shared domain vocabulary of the cloudlens
+// reproduction: the two cloud platforms under comparison, the four-way
+// CPU-utilization pattern taxonomy from the paper (Section IV-A), VM sizing,
+// and the identifier types used across subsystems.
+//
+// Keeping these definitions in one dependency-free package lets the platform
+// simulator, workload generator, trace model, analyses, and management
+// policies agree on terminology without import cycles.
+package core
+
+import "fmt"
+
+// Cloud identifies which of the two platforms a workload belongs to.
+//
+// In the paper, the private cloud hosts first-party (Microsoft) workloads
+// only, while the public cloud hosts first-party and third-party (customer)
+// workloads and is therefore more opaque and diverse.
+type Cloud int
+
+const (
+	// Private is the first-party cloud platform.
+	Private Cloud = iota + 1
+	// Public is the multi-tenant cloud platform.
+	Public
+)
+
+// Clouds lists both platforms in presentation order (private first, matching
+// the paper's figures).
+func Clouds() []Cloud { return []Cloud{Private, Public} }
+
+// String implements fmt.Stringer.
+func (c Cloud) String() string {
+	switch c {
+	case Private:
+		return "private"
+	case Public:
+		return "public"
+	default:
+		return fmt.Sprintf("Cloud(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is one of the two defined platforms.
+func (c Cloud) Valid() bool { return c == Private || c == Public }
+
+// Pattern is the CPU-utilization pattern taxonomy of Section IV-A.
+type Pattern int
+
+const (
+	// PatternUnknown marks a series the classifier could not attribute;
+	// it never appears in generated workloads.
+	PatternUnknown Pattern = iota
+	// PatternDiurnal is a daily periodic pattern: high during daytime, low
+	// at night, with a visible weekday/weekend difference.
+	PatternDiurnal
+	// PatternStable has a small standard deviation around a flat level.
+	PatternStable
+	// PatternIrregular is mostly idle with abrupt, unpredictable spikes.
+	PatternIrregular
+	// PatternHourlyPeak is a special diurnal pattern with sharp peaks at
+	// the hour and half-hour marks (e.g. scheduled-meeting joins).
+	PatternHourlyPeak
+)
+
+// Patterns lists the four concrete patterns in the paper's presentation
+// order.
+func Patterns() []Pattern {
+	return []Pattern{PatternDiurnal, PatternStable, PatternIrregular, PatternHourlyPeak}
+}
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case PatternUnknown:
+		return "unknown"
+	case PatternDiurnal:
+		return "diurnal"
+	case PatternStable:
+		return "stable"
+	case PatternIrregular:
+		return "irregular"
+	case PatternHourlyPeak:
+		return "hourly-peak"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// VMSize is the resource request of a single VM. The paper characterizes
+// VM sizes by CPU core count and memory (Figure 2).
+type VMSize struct {
+	Cores    int `json:"cores"`
+	MemoryGB int `json:"memoryGB"`
+}
+
+// String implements fmt.Stringer.
+func (s VMSize) String() string { return fmt.Sprintf("%dc/%dGB", s.Cores, s.MemoryGB) }
+
+// Identifier types. They are distinct named types so that the compiler
+// catches, say, a subscription ID used where a cluster ID was expected.
+type (
+	// VMID uniquely identifies a VM within a trace.
+	VMID int64
+	// SubscriptionID identifies a subscription (the paper's unit of
+	// ownership: each user creates one or more subscriptions which
+	// deploy VMs into regions).
+	SubscriptionID string
+	// ClusterID identifies a cluster: thousands of identically
+	// configured nodes within one datacenter, dedicated to either the
+	// private or the public platform.
+	ClusterID string
+)
+
+// NodeRef addresses a physical node (server) as a cluster plus the node's
+// index within that cluster. Nodes are stacked in racks, which serve as
+// fault domains.
+type NodeRef struct {
+	Cluster ClusterID `json:"cluster"`
+	Index   int       `json:"index"`
+}
+
+// String implements fmt.Stringer.
+func (n NodeRef) String() string { return fmt.Sprintf("%s/n%03d", n.Cluster, n.Index) }

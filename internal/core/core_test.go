@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+func TestCloudString(t *testing.T) {
+	tests := []struct {
+		cloud Cloud
+		want  string
+	}{
+		{Private, "private"},
+		{Public, "public"},
+		{Cloud(0), "Cloud(0)"},
+		{Cloud(9), "Cloud(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.cloud.String(); got != tt.want {
+			t.Errorf("Cloud(%d).String() = %q, want %q", int(tt.cloud), got, tt.want)
+		}
+	}
+}
+
+func TestCloudValid(t *testing.T) {
+	if !Private.Valid() || !Public.Valid() {
+		t.Fatal("defined platforms must be valid")
+	}
+	if Cloud(0).Valid() || Cloud(3).Valid() {
+		t.Fatal("undefined platforms must be invalid")
+	}
+}
+
+func TestClouds(t *testing.T) {
+	cs := Clouds()
+	if len(cs) != 2 || cs[0] != Private || cs[1] != Public {
+		t.Fatalf("Clouds() = %v; private must come first as in the paper's figures", cs)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	tests := []struct {
+		p    Pattern
+		want string
+	}{
+		{PatternUnknown, "unknown"},
+		{PatternDiurnal, "diurnal"},
+		{PatternStable, "stable"},
+		{PatternIrregular, "irregular"},
+		{PatternHourlyPeak, "hourly-peak"},
+		{Pattern(99), "Pattern(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Pattern.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPatternsOrder(t *testing.T) {
+	ps := Patterns()
+	want := []Pattern{PatternDiurnal, PatternStable, PatternIrregular, PatternHourlyPeak}
+	if len(ps) != len(want) {
+		t.Fatalf("Patterns() = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("Patterns()[%d] = %v, want %v", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestVMSizeString(t *testing.T) {
+	s := VMSize{Cores: 4, MemoryGB: 16}
+	if got := s.String(); got != "4c/16GB" {
+		t.Fatalf("VMSize.String() = %q", got)
+	}
+}
+
+func TestNodeRefString(t *testing.T) {
+	n := NodeRef{Cluster: "prv-us-east-01", Index: 7}
+	if got := n.String(); got != "prv-us-east-01/n007" {
+		t.Fatalf("NodeRef.String() = %q", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package deferral implements the valley-scheduling policy the paper
+// suggests for the private cloud (Section IV-A implication): because the
+// private cloud is dominated by diurnal workloads, its resource usage has
+// deep valleys; "identifying deferrable workloads and scheduling them to
+// the valley hour would be a feasible way" to reduce under-utilization.
+//
+// The policy identifies deferrable VMs — short, completed, non-user-facing
+// (stable or irregular pattern) jobs — and moves their start times into the
+// region's valley window, then measures how the aggregate usage peak-to-
+// mean ratio changes.
+package deferral
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+)
+
+// Options tunes the policy.
+type Options struct {
+	// Region restricts the experiment ("" = whole platform).
+	Region string
+	// Cloud selects the platform (default Private, the paper's target).
+	Cloud core.Cloud
+	// MaxJobSteps bounds a deferrable job's length (default 12 hours).
+	MaxJobSteps int
+	// MinJobSteps skips trivially short jobs (default 1 hour).
+	MinJobSteps int
+}
+
+func (o Options) withDefaults(stepMinutes int) Options {
+	if !o.Cloud.Valid() {
+		o.Cloud = core.Private
+	}
+	if o.MaxJobSteps == 0 {
+		o.MaxJobSteps = 12 * 60 / stepMinutes
+	}
+	if o.MinJobSteps == 0 {
+		o.MinJobSteps = 60 / stepMinutes
+	}
+	return o
+}
+
+// Result reports the before/after load shape.
+type Result struct {
+	Cloud  core.Cloud `json:"cloud"`
+	Region string     `json:"region"`
+	// DeferrableVMs is how many jobs were rescheduled.
+	DeferrableVMs int `json:"deferrableVMs"`
+	// DeferredCoreHours is the moved work volume.
+	DeferredCoreHours float64 `json:"deferredCoreHours"`
+	// PeakToMeanBefore/After is the aggregate used-cores peak divided by
+	// its mean.
+	PeakToMeanBefore float64 `json:"peakToMeanBefore"`
+	PeakToMeanAfter  float64 `json:"peakToMeanAfter"`
+	// PeakReduction is 1 - peakAfter/peakBefore.
+	PeakReduction float64 `json:"peakReduction"`
+	// ValleyFillBefore/After is the mean usage during the valley hour
+	// divided by the overall mean — the paper's goal is to "reduce
+	// under-utilized resource during the valley hour", i.e. push this
+	// ratio toward 1.
+	ValleyFillBefore float64 `json:"valleyFillBefore"`
+	ValleyFillAfter  float64 `json:"valleyFillAfter"`
+	// ValleyHourUTC is the chosen daily valley start.
+	ValleyHourUTC int `json:"valleyHourUTC"`
+}
+
+// Run evaluates the policy on a trace.
+func Run(t *trace.Trace, opts Options) (Result, error) {
+	opts = opts.withDefaults(t.Grid.StepMinutes())
+	res := Result{Cloud: opts.Cloud, Region: opts.Region}
+
+	inScope := func(v *trace.VM) bool {
+		if v.Cloud != opts.Cloud {
+			return false
+		}
+		return opts.Region == "" || v.Region == opts.Region
+	}
+
+	// Aggregate used cores per step, before deferral.
+	usage := make([]float64, t.Grid.N)
+	var scoped []*trace.VM
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if !inScope(v) {
+			continue
+		}
+		scoped = append(scoped, v)
+		addUsage(t, v, v.CreatedStep, usage, 1)
+	}
+	if len(scoped) == 0 {
+		return res, fmt.Errorf("deferral: no %s VMs in region %q", opts.Cloud, opts.Region)
+	}
+	meanBefore := stats.Mean(usage)
+	peakBefore := stats.Max(usage)
+	if meanBefore == 0 {
+		return res, fmt.Errorf("deferral: zero aggregate usage")
+	}
+	res.PeakToMeanBefore = peakBefore / meanBefore
+
+	// Find the daily valley: the hour-of-day with the lowest mean usage.
+	stepsPerHour := 60 / t.Grid.StepMinutes()
+	hourMean := make([]float64, 24)
+	hourN := make([]float64, 24)
+	for s, u := range usage {
+		h := t.Grid.HourOf(s) % 24
+		hourMean[h] += u
+		hourN[h]++
+	}
+	valley := 0
+	for h := 1; h < 24; h++ {
+		if hourMean[h]/hourN[h] < hourMean[valley]/hourN[valley] {
+			valley = h
+		}
+	}
+	res.ValleyHourUTC = valley
+
+	// Deferrable jobs: completed within the window, bounded length,
+	// stable or irregular utilization (batch-like, not user-facing).
+	var deferrable []*trace.VM
+	for _, v := range scoped {
+		if !v.WithinWindow(t.Grid.N) {
+			continue
+		}
+		life := v.LifetimeSteps()
+		if life < opts.MinJobSteps || life > opts.MaxJobSteps {
+			continue
+		}
+		if v.Usage.Pattern != core.PatternStable && v.Usage.Pattern != core.PatternIrregular {
+			continue
+		}
+		deferrable = append(deferrable, v)
+	}
+	sort.Slice(deferrable, func(i, j int) bool { return deferrable[i].ID < deferrable[j].ID })
+
+	// Reschedule each job to start at the valley hour of its own day
+	// (wrapping to the next day when the job already ran past it).
+	after := append([]float64(nil), usage...)
+	stepsPerDay := 24 * stepsPerHour
+	for _, v := range deferrable {
+		life := v.LifetimeSteps()
+		day := v.CreatedStep / stepsPerDay
+		newStart := day*stepsPerDay + valley*stepsPerHour
+		if newStart < v.CreatedStep {
+			newStart += stepsPerDay
+		}
+		if newStart+life > t.Grid.N {
+			continue // cannot move past the window
+		}
+		addUsage(t, v, v.CreatedStep, after, -1)
+		addUsage(t, v, newStart, after, +1)
+		res.DeferrableVMs++
+		res.DeferredCoreHours += float64(v.Size.Cores*life) * float64(t.Grid.StepMinutes()) / 60
+	}
+
+	meanAfter := stats.Mean(after)
+	peakAfter := stats.Max(after)
+	if meanAfter > 0 {
+		res.PeakToMeanAfter = peakAfter / meanAfter
+	}
+	if peakBefore > 0 {
+		res.PeakReduction = 1 - peakAfter/peakBefore
+	}
+	res.ValleyFillBefore = valleyFill(t, usage, valley, stepsPerHour, meanBefore)
+	res.ValleyFillAfter = valleyFill(t, after, valley, stepsPerHour, meanAfter)
+	return res, nil
+}
+
+// valleyFill returns the mean usage within the valley hour divided by the
+// overall mean.
+func valleyFill(t *trace.Trace, usage []float64, valleyHour, stepsPerHour int, overallMean float64) float64 {
+	if overallMean == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for s, u := range usage {
+		if (t.Grid.HourOf(s) % 24) == valleyHour {
+			sum += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n) / overallMean
+}
+
+// addUsage adds sign * the VM's used cores to agg, with the VM's lifetime
+// shifted to begin at start.
+func addUsage(t *trace.Trace, v *trace.VM, start int, agg []float64, sign float64) {
+	life := v.LifetimeSteps()
+	w := float64(v.Size.Cores) * sign
+	for off := 0; off < life; off++ {
+		s := start + off
+		if s < 0 || s >= t.Grid.N {
+			continue
+		}
+		// The job performs the same work regardless of when it runs:
+		// sample its utilization relative to its own elapsed time.
+		orig := v.CreatedStep + off
+		if orig < 0 {
+			orig = 0
+		}
+		if orig >= t.Grid.N {
+			orig = t.Grid.N - 1
+		}
+		agg[s] += v.Usage.At(t.Grid, orig) * w
+	}
+}

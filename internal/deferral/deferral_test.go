@@ -1,0 +1,101 @@
+package deferral
+
+import (
+	"sync"
+	"testing"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/workload"
+)
+
+var (
+	trOnce sync.Once
+	tr     *trace.Trace
+	trErr  error
+)
+
+func sharedTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	trOnce.Do(func() {
+		cfg := workload.DefaultConfig(37)
+		cfg.Scale = 0.5
+		tr, trErr = workload.Generate(cfg)
+	})
+	if trErr != nil {
+		t.Fatalf("generate: %v", trErr)
+	}
+	return tr
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cloud != core.Private {
+		t.Fatalf("default cloud = %v", res.Cloud)
+	}
+	if res.DeferrableVMs == 0 {
+		t.Fatal("no deferrable jobs found")
+	}
+	if res.DeferredCoreHours <= 0 {
+		t.Fatal("no work deferred")
+	}
+	if res.ValleyHourUTC < 0 || res.ValleyHourUTC > 23 {
+		t.Fatalf("valley hour %d", res.ValleyHourUTC)
+	}
+}
+
+func TestValleyFillImproves(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ValleyFillAfter <= res.ValleyFillBefore {
+		t.Fatalf("valley fill did not improve: %.4f -> %.4f",
+			res.ValleyFillBefore, res.ValleyFillAfter)
+	}
+	if res.ValleyFillBefore <= 0 || res.ValleyFillBefore >= 1 {
+		t.Fatalf("valley fill before %.4f implausible (valley must be below mean)",
+			res.ValleyFillBefore)
+	}
+}
+
+func TestPeakNotWorsened(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving work into the valley must not create a higher peak.
+	if res.PeakReduction < -0.02 {
+		t.Fatalf("peak grew by %.1f%%", -100*res.PeakReduction)
+	}
+}
+
+func TestRegionScopedRun(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{Region: "us-east"})
+	if err != nil {
+		t.Fatalf("Run(us-east): %v", err)
+	}
+	if res.Region != "us-east" {
+		t.Fatalf("region = %q", res.Region)
+	}
+}
+
+func TestUnknownRegionFails(t *testing.T) {
+	if _, err := Run(sharedTrace(t), Options{Region: "atlantis"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestJobBoundsRespected(t *testing.T) {
+	// With MaxJobSteps below MinJobSteps nothing qualifies.
+	res, err := Run(sharedTrace(t), Options{MinJobSteps: 100, MaxJobSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeferrableVMs != 0 {
+		t.Fatalf("%d jobs deferred despite impossible bounds", res.DeferrableVMs)
+	}
+}

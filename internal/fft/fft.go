@@ -1,0 +1,105 @@
+// Package fft implements an iterative radix-2 fast Fourier transform on
+// complex128 slices. It exists to power the periodogram in package periodic
+// (the period-detection approach of Vlachos et al. that the paper cites for
+// identifying diurnal and hourly-peak utilization patterns) without any
+// dependency outside the standard library.
+package fft
+
+import (
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Transform computes the in-place forward DFT of x. The length of x must be
+// a power of two; Transform panics otherwise. The convention is
+// X[k] = sum_n x[n] * exp(-2*pi*i*k*n/N), with no scaling.
+func Transform(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// scaling, so Inverse(Transform(x)) == x up to rounding. The length must be
+// a power of two.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("fft: length is not a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		angle := -2 * math.Pi / float64(size)
+		if inverse {
+			angle = -angle
+		}
+		wStep := complex(math.Cos(angle), math.Sin(angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// RealTransform computes the DFT of a real-valued signal, zero-padded to the
+// next power of two, and returns the complex spectrum. The input is not
+// modified.
+func RealTransform(signal []float64) []complex128 {
+	n := NextPow2(len(signal))
+	x := make([]complex128, n)
+	for i, v := range signal {
+		x[i] = complex(v, 0)
+	}
+	Transform(x)
+	return x
+}
+
+// PowerSpectrum returns the one-sided periodogram of a real signal: the
+// squared magnitude of each of the first N/2+1 spectral bins of the
+// zero-padded DFT, normalized by the (padded) length.
+func PowerSpectrum(signal []float64) []float64 {
+	spec := RealTransform(signal)
+	n := len(spec)
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		re, im := real(spec[k]), imag(spec[k])
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package kb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cloudlens/internal/core"
+)
+
+// NewHandler exposes a knowledge-base store over HTTP:
+//
+//	GET /healthz                     liveness probe
+//	GET /api/v1/summary              per-platform aggregates
+//	GET /api/v1/profiles             profile list; filters: cloud=private|public,
+//	                                 minAgnostic=<float>, pattern=<name>,
+//	                                 minShortLived=<float>
+//	GET /api/v1/profiles/{id}        one profile
+//
+// All responses are JSON. The handler is read-only; extraction happens
+// offline via Extract.
+func NewHandler(store *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/api/v1/summary", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		out := map[string]Summary{
+			core.Private.String(): store.Summarize(core.Private),
+			core.Public.String():  store.Summarize(core.Public),
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/api/v1/profiles", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q, err := parseQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, store.List(q))
+	})
+	mux.HandleFunc("/api/v1/profiles/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/api/v1/profiles/")
+		if id == "" {
+			http.Error(w, "missing subscription id", http.StatusBadRequest)
+			return
+		}
+		p, ok := store.Get(core.SubscriptionID(id))
+		if !ok {
+			http.Error(w, "profile not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	return mux
+}
+
+// parseQuery translates URL parameters into a store query.
+func parseQuery(r *http.Request) (Query, error) {
+	q := Query{MinRegionAgnosticScore: disabledScore}
+	vals := r.URL.Query()
+	switch vals.Get("cloud") {
+	case "":
+	case "private":
+		q.Cloud = core.Private
+	case "public":
+		q.Cloud = core.Public
+	default:
+		return q, errBadParam("cloud")
+	}
+	if s := vals.Get("minAgnostic"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return q, errBadParam("minAgnostic")
+		}
+		q.MinRegionAgnosticScore = v
+	}
+	if s := vals.Get("minShortLived"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return q, errBadParam("minShortLived")
+		}
+		q.MinShortLivedShare = v
+	}
+	if s := vals.Get("pattern"); s != "" {
+		found := false
+		for _, p := range core.Patterns() {
+			if p.String() == s {
+				q.Pattern = p
+				found = true
+				break
+			}
+		}
+		if !found {
+			return q, errBadParam("pattern")
+		}
+	}
+	return q, nil
+}
+
+type badParamError string
+
+func (e badParamError) Error() string { return "invalid query parameter: " + string(e) }
+
+func errBadParam(name string) error { return badParamError(name) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header write can only be logged; for this
+	// read-only API the client sees a truncated body and retries.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,246 @@
+// Package kb implements the centralized workload knowledge base the paper
+// proposes in Section V: a store of per-subscription workload knowledge
+// continuously extracted from telemetry signals (CPU utilization, VM
+// lifetime, deployment spread) that management policies consume instead of
+// raw traces. The paper positions this as "the key pillar of the future
+// workload-aware intelligent cloud platform"; the over-subscription, spot,
+// and region-balancing policies in this repository all accept knowledge-
+// base profiles as input.
+package kb
+
+import (
+	"sort"
+
+	"cloudlens/internal/classify"
+	"cloudlens/internal/core"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+)
+
+// Profile is the extracted knowledge about one subscription's workload.
+type Profile struct {
+	Subscription core.SubscriptionID `json:"subscription"`
+	Cloud        core.Cloud          `json:"cloud"`
+	// Services lists the subscription's deployment groups.
+	Services []string `json:"services"`
+	// Regions lists the deployment regions observed during the week.
+	Regions []string `json:"regions"`
+	// VMsObserved is the total number of VM records over the week;
+	// SnapshotVMs and SnapshotCores describe the weekday snapshot.
+	VMsObserved   int `json:"vmsObserved"`
+	SnapshotVMs   int `json:"snapshotVMs"`
+	SnapshotCores int `json:"snapshotCores"`
+	// MedianLifetimeMin is the median lifetime of the subscription's
+	// within-window VMs (0 when none completed inside the window).
+	MedianLifetimeMin float64 `json:"medianLifetimeMin"`
+	// ShortLivedShare is the fraction of within-window VMs below the
+	// shortest lifetime bin — the spot-VM candidate signal.
+	ShortLivedShare float64 `json:"shortLivedShare"`
+	// PatternShares holds the classified utilization-pattern mix of the
+	// subscription's long-running VMs.
+	PatternShares map[core.Pattern]float64 `json:"patternShares"`
+	// DominantPattern is the largest entry of PatternShares.
+	DominantPattern core.Pattern `json:"dominantPattern"`
+	// MeanUtilization is the average CPU fraction across long-running
+	// VMs over the week.
+	MeanUtilization float64 `json:"meanUtilization"`
+	// RegionAgnosticScore is the mean pairwise cross-region utilization
+	// correlation (the Figure 7b signal); -1 when the subscription is
+	// single-region and the score is undefined.
+	RegionAgnosticScore float64 `json:"regionAgnosticScore"`
+	// PeakHourUTC is the UTC hour of the subscription's highest mean
+	// utilization; -1 when unknown.
+	PeakHourUTC int `json:"peakHourUTC"`
+}
+
+// ExtractOptions tunes profile extraction.
+type ExtractOptions struct {
+	// MaxClassifyPerSub caps how many long-running VMs are classified
+	// per subscription (default 24); classification dominates cost.
+	MaxClassifyPerSub int
+	// ShortBinMinutes is the shortest-lifetime-bin width (default 30).
+	ShortBinMinutes int
+}
+
+func (o ExtractOptions) withDefaults() ExtractOptions {
+	if o.MaxClassifyPerSub == 0 {
+		o.MaxClassifyPerSub = 24
+	}
+	if o.ShortBinMinutes == 0 {
+		o.ShortBinMinutes = 30
+	}
+	return o
+}
+
+// minProfileSteps is the history (one day) a VM needs to contribute
+// pattern and utilization knowledge.
+const minProfileSteps = 288
+
+// Extract builds a knowledge base from a trace.
+func Extract(t *trace.Trace, opts ExtractOptions) *Store {
+	opts = opts.withDefaults()
+	store := NewStore()
+	clOpts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
+	snap := t.SnapshotStep()
+	stepMin := t.Grid.StepMinutes()
+
+	for _, cloud := range core.Clouds() {
+		for sub, vms := range t.BySubscription(cloud) {
+			p := &Profile{
+				Subscription:        sub,
+				Cloud:               cloud,
+				VMsObserved:         len(vms),
+				PatternShares:       make(map[core.Pattern]float64),
+				RegionAgnosticScore: -1,
+				PeakHourUTC:         -1,
+			}
+			regionSet := make(map[string]bool)
+			serviceSet := make(map[string]bool)
+			var lifetimes []float64
+			shortLived := 0
+			classified := 0
+			var utilSum float64
+			var utilN int
+			hourly := make([]float64, 24)
+			hourlyN := make([]float64, 24)
+
+			for _, v := range vms {
+				regionSet[v.Region] = true
+				serviceSet[v.Service] = true
+				if v.AliveAt(snap) {
+					p.SnapshotVMs++
+					p.SnapshotCores += v.Size.Cores
+				}
+				if v.WithinWindow(t.Grid.N) {
+					lifeMin := float64(v.LifetimeSteps() * stepMin)
+					lifetimes = append(lifetimes, lifeMin)
+					if lifeMin < float64(opts.ShortBinMinutes) {
+						shortLived++
+					}
+				}
+				from, to, ok := v.AliveRange(t.Grid.N)
+				if !ok || to-from < minProfileSteps {
+					continue
+				}
+				if classified < opts.MaxClassifyPerSub {
+					series := v.Usage.Series(t.Grid, from, to)
+					res := classify.Classify(series, clOpts)
+					p.PatternShares[res.Pattern]++
+					classified++
+					for i, u := range series {
+						utilSum += u
+						utilN++
+						h := t.Grid.HourOf(from+i) % 24
+						hourly[h] += u
+						hourlyN[h]++
+					}
+				}
+			}
+
+			p.Regions = sortedKeys(regionSet)
+			p.Services = sortedKeys(serviceSet)
+			if len(lifetimes) > 0 {
+				p.MedianLifetimeMin = stats.Quantile(lifetimes, 0.5)
+				p.ShortLivedShare = float64(shortLived) / float64(len(lifetimes))
+			}
+			if classified > 0 {
+				best := core.PatternUnknown
+				for k := range p.PatternShares {
+					p.PatternShares[k] /= float64(classified)
+					if best == core.PatternUnknown || p.PatternShares[k] > p.PatternShares[best] {
+						best = k
+					}
+				}
+				p.DominantPattern = best
+			}
+			if utilN > 0 {
+				p.MeanUtilization = utilSum / float64(utilN)
+				peak := 0
+				for h := 1; h < 24; h++ {
+					if mean(hourly[h], hourlyN[h]) > mean(hourly[peak], hourlyN[peak]) {
+						peak = h
+					}
+				}
+				p.PeakHourUTC = peak
+			}
+			if len(p.Regions) > 1 {
+				p.RegionAgnosticScore = regionAgnosticScore(t, vms)
+			}
+			store.Put(p)
+		}
+	}
+	return store
+}
+
+func mean(sum, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// regionAgnosticScore computes the mean pairwise Pearson correlation of the
+// subscription's region-averaged hourly utilization, across all its
+// deployment regions.
+func regionAgnosticScore(t *trace.Trace, vms []*trace.VM) float64 {
+	stepsPerHour := 60 / t.Grid.StepMinutes()
+	hours := t.Grid.Hours()
+	perRegion := make(map[string][]float64)
+	perRegionN := make(map[string][]float64)
+	for _, v := range vms {
+		from, to, ok := v.AliveRange(t.Grid.N)
+		if !ok || to-from < minProfileSteps {
+			continue
+		}
+		series := perRegion[v.Region]
+		counts := perRegionN[v.Region]
+		if series == nil {
+			series = make([]float64, hours)
+			counts = make([]float64, hours)
+			perRegion[v.Region] = series
+			perRegionN[v.Region] = counts
+		}
+		for h := 0; h < hours; h++ {
+			step := h * stepsPerHour
+			if from <= step && step < to {
+				series[h] += v.Usage.At(t.Grid, step)
+				counts[h]++
+			}
+		}
+	}
+	if len(perRegion) < 2 {
+		return -1
+	}
+	regions := make([]string, 0, len(perRegion))
+	for r := range perRegion {
+		avg := perRegion[r]
+		for h := range avg {
+			if perRegionN[r][h] > 0 {
+				avg[h] /= perRegionN[r][h]
+			}
+		}
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	var sum float64
+	var n int
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			sum += stats.Pearson(perRegion[regions[i]], perRegion[regions[j]])
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,195 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"cloudlens/internal/core"
+)
+
+// Store is the thread-safe profile repository. Management policies query it
+// for workload knowledge; the HTTP handler in this package exposes it to
+// other systems.
+type Store struct {
+	mu       sync.RWMutex
+	profiles map[core.SubscriptionID]*Profile
+}
+
+// NewStore returns an empty knowledge base.
+func NewStore() *Store {
+	return &Store{profiles: make(map[core.SubscriptionID]*Profile)}
+}
+
+// Put inserts or replaces a profile.
+func (s *Store) Put(p *Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[p.Subscription] = p
+}
+
+// Get returns the profile of one subscription.
+func (s *Store) Get(id core.SubscriptionID) (*Profile, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[id]
+	return p, ok
+}
+
+// Len returns the number of stored profiles.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// Query filters profiles. Zero-valued fields match everything.
+type Query struct {
+	// Cloud restricts to one platform when valid.
+	Cloud core.Cloud
+	// MinRegionAgnosticScore keeps profiles at or above the score
+	// (set to a negative value to disable; 0 keeps all multi-region
+	// profiles with non-negative correlation).
+	MinRegionAgnosticScore float64
+	// Pattern keeps profiles whose dominant pattern matches.
+	Pattern core.Pattern
+	// MinShortLivedShare keeps churn-heavy subscriptions (spot
+	// candidates).
+	MinShortLivedShare float64
+}
+
+// disabledScore marks MinRegionAgnosticScore as "no filter".
+const disabledScore = -2
+
+// List returns all profiles matching the query, sorted by subscription ID.
+func (s *Store) List(q Query) []*Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Profile
+	for _, p := range s.profiles {
+		if q.Cloud.Valid() && p.Cloud != q.Cloud {
+			continue
+		}
+		if q.MinRegionAgnosticScore > disabledScore && p.RegionAgnosticScore < q.MinRegionAgnosticScore {
+			continue
+		}
+		if q.Pattern != core.PatternUnknown && p.DominantPattern != q.Pattern {
+			continue
+		}
+		if p.ShortLivedShare < q.MinShortLivedShare {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subscription < out[j].Subscription })
+	return out
+}
+
+// Summary aggregates the knowledge base per platform.
+type Summary struct {
+	Cloud             core.Cloud               `json:"cloud"`
+	Subscriptions     int                      `json:"subscriptions"`
+	VMsObserved       int                      `json:"vmsObserved"`
+	SnapshotCores     int                      `json:"snapshotCores"`
+	MeanUtilization   float64                  `json:"meanUtilization"`
+	PatternShares     map[core.Pattern]float64 `json:"patternShares"`
+	RegionAgnostic    int                      `json:"regionAgnostic"`
+	MultiRegion       int                      `json:"multiRegion"`
+	MedianLifetimeMin float64                  `json:"medianLifetimeMin"`
+}
+
+// RegionAgnosticThreshold is the cross-region correlation above which a
+// multi-region subscription is considered region-agnostic.
+const RegionAgnosticThreshold = 0.8
+
+// Summarize aggregates all profiles of one platform.
+func (s *Store) Summarize(cloud core.Cloud) Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sum := Summary{
+		Cloud:         cloud,
+		PatternShares: make(map[core.Pattern]float64),
+	}
+	var utilSum float64
+	var lifetimes []float64
+	classifiedSubs := 0
+	for _, p := range s.profiles {
+		if p.Cloud != cloud {
+			continue
+		}
+		sum.Subscriptions++
+		sum.VMsObserved += p.VMsObserved
+		sum.SnapshotCores += p.SnapshotCores
+		if p.MeanUtilization > 0 {
+			utilSum += p.MeanUtilization
+			classifiedSubs++
+		}
+		for k, v := range p.PatternShares {
+			sum.PatternShares[k] += v
+		}
+		if len(p.Regions) > 1 {
+			sum.MultiRegion++
+			if p.RegionAgnosticScore >= RegionAgnosticThreshold {
+				sum.RegionAgnostic++
+			}
+		}
+		if p.MedianLifetimeMin > 0 {
+			lifetimes = append(lifetimes, p.MedianLifetimeMin)
+		}
+	}
+	if classifiedSubs > 0 {
+		sum.MeanUtilization = utilSum / float64(classifiedSubs)
+		total := 0.0
+		for _, v := range sum.PatternShares {
+			total += v
+		}
+		if total > 0 {
+			for k := range sum.PatternShares {
+				sum.PatternShares[k] /= total
+			}
+		}
+	}
+	sort.Float64s(lifetimes)
+	if len(lifetimes) > 0 {
+		sum.MedianLifetimeMin = lifetimes[len(lifetimes)/2]
+	}
+	return sum
+}
+
+// SaveFile persists the knowledge base as JSON.
+func (s *Store) SaveFile(path string) error {
+	s.mu.RLock()
+	list := make([]*Profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		list = append(list, p)
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Subscription < list[j].Subscription })
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("kb: save: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("kb: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a knowledge base written by SaveFile.
+func LoadFile(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kb: load: %w", err)
+	}
+	var list []*Profile
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("kb: load: %w", err)
+	}
+	s := NewStore()
+	for _, p := range list {
+		s.Put(p)
+	}
+	return s, nil
+}

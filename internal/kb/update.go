@@ -1,0 +1,121 @@
+package kb
+
+import "cloudlens/internal/core"
+
+// The paper's Section V envisions a knowledge base that "continuously
+// extracts workload knowledge from telemetry signals" — knowledge must be
+// refreshed as new observation windows arrive, without forgetting
+// established behaviour on a single noisy week. Merge implements that
+// continuous update as an exponentially weighted blend of profile
+// statistics.
+
+// MergeOptions tunes the continuous update.
+type MergeOptions struct {
+	// NewWeight is the weight of the incoming observation window in
+	// [0, 1]; the existing knowledge keeps 1-NewWeight (default 0.3,
+	// a slow-moving EWMA).
+	NewWeight float64
+}
+
+func (o MergeOptions) withDefaults() MergeOptions {
+	if o.NewWeight == 0 {
+		o.NewWeight = 0.3
+	}
+	if o.NewWeight < 0 {
+		o.NewWeight = 0
+	}
+	if o.NewWeight > 1 {
+		o.NewWeight = 1
+	}
+	return o
+}
+
+// Merge folds a newer extraction into the store. Subscriptions present
+// only in the update are inserted as-is; subscriptions present only in the
+// existing store are retained unchanged (a missing week does not erase
+// knowledge); overlapping subscriptions blend numerically and union their
+// region and service sets.
+func (s *Store) Merge(update *Store, opts MergeOptions) {
+	opts = opts.withDefaults()
+	w := opts.NewWeight
+	for _, newP := range update.List(Query{MinRegionAgnosticScore: disabledScore}) {
+		old, ok := s.Get(newP.Subscription)
+		if !ok {
+			clone := *newP
+			s.Put(&clone)
+			continue
+		}
+		merged := blendProfiles(old, newP, w)
+		s.Put(merged)
+	}
+}
+
+// blendProfiles combines two observations of the same subscription.
+func blendProfiles(prev, next *Profile, w float64) *Profile {
+	out := &Profile{
+		Subscription: prev.Subscription,
+		Cloud:        next.Cloud,
+		Services:     unionSorted(prev.Services, next.Services),
+		Regions:      unionSorted(prev.Regions, next.Regions),
+		// Counters describe the latest window.
+		VMsObserved:   next.VMsObserved,
+		SnapshotVMs:   next.SnapshotVMs,
+		SnapshotCores: next.SnapshotCores,
+		// Behavioural statistics blend.
+		MedianLifetimeMin: blend(prev.MedianLifetimeMin, next.MedianLifetimeMin, w),
+		ShortLivedShare:   blend(prev.ShortLivedShare, next.ShortLivedShare, w),
+		MeanUtilization:   blend(prev.MeanUtilization, next.MeanUtilization, w),
+		PatternShares:     make(map[core.Pattern]float64),
+		PeakHourUTC:       next.PeakHourUTC,
+	}
+	if out.PeakHourUTC < 0 {
+		out.PeakHourUTC = prev.PeakHourUTC
+	}
+	// Region-agnostic scores blend only when both are defined (-1 means
+	// single-region / unknown).
+	switch {
+	case prev.RegionAgnosticScore < 0:
+		out.RegionAgnosticScore = next.RegionAgnosticScore
+	case next.RegionAgnosticScore < 0:
+		out.RegionAgnosticScore = prev.RegionAgnosticScore
+	default:
+		out.RegionAgnosticScore = blend(prev.RegionAgnosticScore, next.RegionAgnosticScore, w)
+	}
+	keys := make(map[core.Pattern]bool)
+	for k := range prev.PatternShares {
+		keys[k] = true
+	}
+	for k := range next.PatternShares {
+		keys[k] = true
+	}
+	best := core.PatternUnknown
+	for k := range keys {
+		out.PatternShares[k] = blend(prev.PatternShares[k], next.PatternShares[k], w)
+		if best == core.PatternUnknown || out.PatternShares[k] > out.PatternShares[best] {
+			best = k
+		}
+	}
+	out.DominantPattern = best
+	return out
+}
+
+func blend(prev, next, w float64) float64 {
+	if prev == 0 {
+		return next
+	}
+	if next == 0 {
+		return prev
+	}
+	return (1-w)*prev + w*next
+}
+
+func unionSorted(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	return sortedKeys(set)
+}

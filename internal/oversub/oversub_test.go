@@ -1,0 +1,151 @@
+package oversub
+
+import (
+	"sync"
+	"testing"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/workload"
+)
+
+var (
+	trOnce sync.Once
+	tr     *trace.Trace
+	trErr  error
+)
+
+func sharedTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	trOnce.Do(func() {
+		cfg := workload.DefaultConfig(31)
+		cfg.Scale = 0.5
+		tr, trErr = workload.Generate(cfg)
+	})
+	if trErr != nil {
+		t.Fatalf("generate: %v", trErr)
+	}
+	return tr
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no nodes analyzed")
+	}
+	if res.Cloud != core.Private {
+		t.Fatalf("default cloud = %v", res.Cloud)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(res.Points))
+	}
+	if res.MeanUsedCores <= 0 || res.MeanUsedCores >= res.BaselineCores {
+		t.Fatalf("mean usage %v vs baseline %v implausible", res.MeanUsedCores, res.BaselineCores)
+	}
+}
+
+func TestGainsMonotoneInEpsilon(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Epsilon <= res.Points[i-1].Epsilon {
+			t.Fatal("points not sorted by epsilon")
+		}
+		if res.Points[i].UtilizationGain < res.Points[i-1].UtilizationGain {
+			t.Fatalf("gain not monotone: %v then %v",
+				res.Points[i-1].UtilizationGain, res.Points[i].UtilizationGain)
+		}
+		if res.Points[i].ReservedCores > res.Points[i-1].ReservedCores {
+			t.Fatal("looser safety must not reserve more cores")
+		}
+	}
+}
+
+func TestViolationRatesTrackEpsilon(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		// The empirical quantile guarantees the realized violation rate
+		// stays near (and essentially below) the target.
+		if p.ViolationRate > 1.5*p.Epsilon+0.001 {
+			t.Fatalf("epsilon %v: violation rate %v too high", p.Epsilon, p.ViolationRate)
+		}
+	}
+}
+
+func TestGainBandMatchesPaperShape(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.GainRange()
+	// Paper: 20% to 86% depending on the safety constraint. Accept a
+	// band that overlaps it from both sides.
+	if lo < 0.05 || lo > 0.5 {
+		t.Fatalf("strictest gain %v outside plausible band", lo)
+	}
+	if hi < 0.5 {
+		t.Fatalf("loosest gain %v too small", hi)
+	}
+	if hi <= lo {
+		t.Fatal("gain band empty")
+	}
+}
+
+func TestReservationNeverExceedsRequested(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.ReservedCores > res.BaselineCores {
+			t.Fatalf("epsilon %v reserves %v > requested %v",
+				p.Epsilon, p.ReservedCores, res.BaselineCores)
+		}
+		if p.GainVsRequested < p.UtilizationGain {
+			t.Fatal("gain vs requested must exceed gain vs static baseline")
+		}
+	}
+}
+
+func TestPublicCloudAlsoRuns(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{Cloud: core.Public})
+	if err != nil {
+		t.Fatalf("Run(public): %v", err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no public nodes analyzed")
+	}
+}
+
+func TestCustomEpsilons(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{Epsilons: []float64{0.5, 0.001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Epsilon != 0.001 || res.Points[1].Epsilon != 0.5 {
+		t.Fatalf("epsilons not sorted: %+v", res.Points)
+	}
+}
+
+func TestEmptyCloudFails(t *testing.T) {
+	empty := &trace.Trace{Grid: sharedTrace(t).Grid, Topology: sharedTrace(t).Topology}
+	if _, err := Run(empty, Options{}); err == nil {
+		t.Fatal("expected error on empty trace")
+	}
+}
+
+func TestGainRangeEmptyResult(t *testing.T) {
+	var r Result
+	lo, hi := r.GainRange()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty GainRange = %v, %v", lo, hi)
+	}
+}

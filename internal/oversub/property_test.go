@@ -1,0 +1,31 @@
+package oversub
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestReservationBoundedProperty: for any epsilon in (0, 1), the chance-
+// constrained reservation never exceeds the requested baseline and never
+// drops below the fleet's mean usage... the latter only holds for epsilon
+// below 0.5, since the reservation is the (1-eps) quantile.
+func TestReservationBoundedProperty(t *testing.T) {
+	tr := sharedTrace(t)
+	check := func(rawEps uint16) bool {
+		eps := 0.0001 + 0.4*float64(rawEps)/65535
+		res, err := Run(tr, Options{Epsilons: []float64{eps}})
+		if err != nil {
+			return false
+		}
+		p := res.Points[0]
+		if p.ReservedCores > res.BaselineCores {
+			return false
+		}
+		// The (1-eps) quantile of usage is at least the median for
+		// eps <= 0.5, and the median cannot be below zero.
+		return p.ReservedCores >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudlens/internal/core"
+)
+
+// ErrNoCapacity is returned when no node in the requested region can host
+// the VM. The paper notes that large private deployments are "more prone to
+// allocation failures, especially when clusters are reaching capacity
+// limits"; the allocator surfaces exactly that condition.
+var ErrNoCapacity = errors.New("platform: no node with sufficient capacity")
+
+// Request describes a VM placement request.
+type Request struct {
+	Region       string
+	Cloud        core.Cloud
+	Subscription core.SubscriptionID
+	// Service groups VMs that must be spread across fault domains.
+	Service string
+	Size    core.VMSize
+}
+
+// Placement is a successful allocation.
+type Placement struct {
+	Node core.NodeRef
+	Rack int
+}
+
+// AllocatorOptions disable individual placement-policy ingredients, for the
+// ablation experiments: DisableAffinity drops the keep-the-deployment-
+// together preference (every VM goes to the emptiest cluster), and
+// DisableRackSpread drops fault-domain spreading (best fit across the whole
+// cluster). The zero value is the full policy.
+type AllocatorOptions struct {
+	DisableAffinity   bool `json:"disableAffinity,omitempty"`
+	DisableRackSpread bool `json:"disableRackSpread,omitempty"`
+}
+
+// Allocator places VM requests onto nodes. Its policy is a simplified
+// Protean: prefer a cluster already hosting the subscription (placement
+// affinity keeps a deployment together), otherwise the cluster with the
+// most free cores; within the cluster, pick the fault domain (rack) with the
+// fewest VMs of the same service, then best-fit by free cores within that
+// rack. Allocator is not safe for concurrent use.
+type Allocator struct {
+	topo     *Topology
+	opts     AllocatorOptions
+	clusters map[core.ClusterID]*clusterState
+	failures int
+}
+
+type clusterState struct {
+	cluster Cluster
+	nodes   []nodeState
+	// subRefs counts live VMs per subscription, for affinity and the
+	// subscriptions-per-cluster analysis.
+	subRefs map[core.SubscriptionID]int
+	// serviceRack[service][rack] counts live VMs of a service per rack.
+	serviceRack map[string][]int
+	freeCores   int
+}
+
+type nodeState struct {
+	freeCores int
+	freeMemGB int
+	vms       int
+}
+
+// NewAllocator returns an empty allocator over the topology with the full
+// placement policy.
+func NewAllocator(topo *Topology) *Allocator {
+	return NewAllocatorWithOptions(topo, AllocatorOptions{})
+}
+
+// NewAllocatorWithOptions returns an allocator with selected policy
+// ingredients disabled (see AllocatorOptions).
+func NewAllocatorWithOptions(topo *Topology, opts AllocatorOptions) *Allocator {
+	a := &Allocator{
+		topo:     topo,
+		opts:     opts,
+		clusters: make(map[core.ClusterID]*clusterState, len(topo.Clusters)),
+	}
+	for _, c := range topo.Clusters {
+		cs := &clusterState{
+			cluster:     c,
+			nodes:       make([]nodeState, c.Nodes),
+			subRefs:     make(map[core.SubscriptionID]int),
+			serviceRack: make(map[string][]int),
+			freeCores:   c.TotalCores(),
+		}
+		for i := range cs.nodes {
+			cs.nodes[i] = nodeState{freeCores: c.SKU.Cores, freeMemGB: c.SKU.MemoryGB}
+		}
+		a.clusters[c.ID] = cs
+	}
+	return a
+}
+
+// Failures returns the number of allocation requests rejected so far.
+func (a *Allocator) Failures() int { return a.failures }
+
+// Allocate places the request, or returns ErrNoCapacity (wrapped with the
+// request context) when the region's clusters cannot host it.
+func (a *Allocator) Allocate(req Request) (Placement, error) {
+	candidates := a.topo.ClustersIn(req.Region, req.Cloud)
+	if len(candidates) == 0 {
+		a.failures++
+		return Placement{}, fmt.Errorf("allocate %s in %s/%s: %w",
+			req.Size, req.Region, req.Cloud, ErrNoCapacity)
+	}
+
+	// Cluster choice: affinity first, then most free cores.
+	var best *clusterState
+	bestScore := -1 << 62
+	for _, c := range candidates {
+		cs := a.clusters[c.ID]
+		if cs.freeCores < req.Size.Cores {
+			continue
+		}
+		score := cs.freeCores
+		if !a.opts.DisableAffinity && cs.subRefs[req.Subscription] > 0 {
+			// A strong affinity bonus keeps a subscription's
+			// deployment within few clusters, as observed for
+			// real deployments.
+			score += 1 << 40
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cs
+		}
+	}
+	if best == nil {
+		a.failures++
+		return Placement{}, fmt.Errorf("allocate %s in %s/%s: %w",
+			req.Size, req.Region, req.Cloud, ErrNoCapacity)
+	}
+	if p, ok := best.place(req, a.opts); ok {
+		return p, nil
+	}
+	// The preferred cluster was fragmented; fall back to any cluster in
+	// the region that can take the VM.
+	for _, c := range candidates {
+		cs := a.clusters[c.ID]
+		if cs == best {
+			continue
+		}
+		if p, ok := cs.place(req, a.opts); ok {
+			return p, nil
+		}
+	}
+	a.failures++
+	return Placement{}, fmt.Errorf("allocate %s in %s/%s: %w",
+		req.Size, req.Region, req.Cloud, ErrNoCapacity)
+}
+
+// Free releases a placement made earlier with the same request.
+func (a *Allocator) Free(p Placement, req Request) {
+	cs, ok := a.clusters[p.Node.Cluster]
+	if !ok {
+		return
+	}
+	n := &cs.nodes[p.Node.Index]
+	n.freeCores += req.Size.Cores
+	n.freeMemGB += req.Size.MemoryGB
+	n.vms--
+	cs.freeCores += req.Size.Cores
+	if cs.subRefs[req.Subscription] > 1 {
+		cs.subRefs[req.Subscription]--
+	} else {
+		delete(cs.subRefs, req.Subscription)
+	}
+	if racks := cs.serviceRack[req.Service]; p.Rack < len(racks) && racks[p.Rack] > 0 {
+		racks[p.Rack]--
+	}
+}
+
+// FreeCores returns the remaining free cores of a cluster, or 0 for an
+// unknown cluster.
+func (a *Allocator) FreeCores(id core.ClusterID) int {
+	cs, ok := a.clusters[id]
+	if !ok {
+		return 0
+	}
+	return cs.freeCores
+}
+
+// SubscriptionsIn returns the number of distinct subscriptions with at
+// least one live VM in the cluster.
+func (a *Allocator) SubscriptionsIn(id core.ClusterID) int {
+	cs, ok := a.clusters[id]
+	if !ok {
+		return 0
+	}
+	return len(cs.subRefs)
+}
+
+// place attempts placement within one cluster following the fault-domain
+// spread policy (unless disabled by opts).
+func (cs *clusterState) place(req Request, opts AllocatorOptions) (Placement, bool) {
+	c := cs.cluster
+	racks := cs.serviceRack[req.Service]
+	if racks == nil {
+		racks = make([]int, c.Racks())
+		cs.serviceRack[req.Service] = racks
+	}
+
+	// Order racks by ascending same-service population (fault-domain
+	// spreading), breaking ties by rack index for determinism. With the
+	// spread ablated, racks are scanned in index order, which collapses
+	// to plain cluster-wide best fit.
+	type rackChoice struct{ rack, population int }
+	order := make([]rackChoice, len(racks))
+	for i, pop := range racks {
+		order[i] = rackChoice{rack: i, population: pop}
+	}
+	if opts.DisableRackSpread {
+		for i := range order {
+			order[i].population = 0
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	for _, rc := range order {
+		lo := rc.rack * c.NodesPerRack
+		hi := lo + c.NodesPerRack
+		if hi > c.Nodes {
+			hi = c.Nodes
+		}
+		// Best fit within the rack: tightest node that still fits.
+		bestIdx := -1
+		for i := lo; i < hi; i++ {
+			n := &cs.nodes[i]
+			if n.freeCores < req.Size.Cores || n.freeMemGB < req.Size.MemoryGB {
+				continue
+			}
+			if bestIdx == -1 || n.freeCores < cs.nodes[bestIdx].freeCores {
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			continue
+		}
+		n := &cs.nodes[bestIdx]
+		n.freeCores -= req.Size.Cores
+		n.freeMemGB -= req.Size.MemoryGB
+		n.vms++
+		cs.freeCores -= req.Size.Cores
+		cs.subRefs[req.Subscription]++
+		racks[rc.rack]++
+		return Placement{
+			Node: core.NodeRef{Cluster: c.ID, Index: bestIdx},
+			Rack: rc.rack,
+		}, true
+	}
+	return Placement{}, false
+}
+
+func less(a, b struct{ rack, population int }) bool {
+	if a.population != b.population {
+		return a.population < b.population
+	}
+	return a.rack < b.rack
+}

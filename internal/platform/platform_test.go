@@ -1,0 +1,337 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+)
+
+// testTopology builds a small two-region fleet.
+func testTopology() *Topology {
+	sku := SKU{Name: "test-16c", Cores: 16, MemoryGB: 64}
+	return &Topology{
+		Regions: []Region{
+			{Name: "east", TZOffsetMin: -300, US: true},
+			{Name: "west", TZOffsetMin: -480, US: true},
+		},
+		Clusters: []Cluster{
+			{ID: "prv-east-1", Region: "east", Cloud: core.Private, Nodes: 8, NodesPerRack: 2, SKU: sku},
+			{ID: "prv-east-2", Region: "east", Cloud: core.Private, Nodes: 8, NodesPerRack: 2, SKU: sku},
+			{ID: "pub-east-1", Region: "east", Cloud: core.Public, Nodes: 8, NodesPerRack: 2, SKU: sku},
+			{ID: "prv-west-1", Region: "west", Cloud: core.Private, Nodes: 4, NodesPerRack: 2, SKU: sku},
+		},
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := testTopology().Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	sku := SKU{Name: "s", Cores: 4, MemoryGB: 8}
+	tests := []struct {
+		name   string
+		mutate func(*Topology)
+	}{
+		{name: "duplicate region", mutate: func(tp *Topology) {
+			tp.Regions = append(tp.Regions, Region{Name: "east"})
+		}},
+		{name: "empty region name", mutate: func(tp *Topology) {
+			tp.Regions = append(tp.Regions, Region{})
+		}},
+		{name: "duplicate cluster", mutate: func(tp *Topology) {
+			tp.Clusters = append(tp.Clusters, tp.Clusters[0])
+		}},
+		{name: "unknown region", mutate: func(tp *Topology) {
+			tp.Clusters = append(tp.Clusters, Cluster{ID: "x", Region: "mars", Cloud: core.Private, Nodes: 1, NodesPerRack: 1, SKU: sku})
+		}},
+		{name: "invalid cloud", mutate: func(tp *Topology) {
+			tp.Clusters = append(tp.Clusters, Cluster{ID: "x", Region: "east", Nodes: 1, NodesPerRack: 1, SKU: sku})
+		}},
+		{name: "zero nodes", mutate: func(tp *Topology) {
+			tp.Clusters = append(tp.Clusters, Cluster{ID: "x", Region: "east", Cloud: core.Private, NodesPerRack: 1, SKU: sku})
+		}},
+		{name: "zero rack size", mutate: func(tp *Topology) {
+			tp.Clusters = append(tp.Clusters, Cluster{ID: "x", Region: "east", Cloud: core.Private, Nodes: 1, SKU: sku})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tp := testTopology()
+			tt.mutate(tp)
+			if err := tp.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTopologyQueries(t *testing.T) {
+	tp := testTopology()
+	if got := len(tp.ClustersIn("east", core.Private)); got != 2 {
+		t.Fatalf("ClustersIn(east, private) = %d, want 2", got)
+	}
+	if got := len(tp.ClustersIn("west", core.Public)); got != 0 {
+		t.Fatalf("ClustersIn(west, public) = %d, want 0", got)
+	}
+	if got := tp.RegionsOf(core.Private); len(got) != 2 || got[0] != "east" || got[1] != "west" {
+		t.Fatalf("RegionsOf(private) = %v", got)
+	}
+	if got := tp.PhysicalCores("east", core.Private); got != 2*8*16 {
+		t.Fatalf("PhysicalCores = %d", got)
+	}
+	if got := tp.TZOffsetMin("west"); got != -480 {
+		t.Fatalf("TZOffsetMin = %d", got)
+	}
+	if got := tp.TZOffsetMin("nowhere"); got != 0 {
+		t.Fatalf("TZOffsetMin of unknown region = %d", got)
+	}
+	if _, ok := tp.ClusterByID("prv-east-1"); !ok {
+		t.Fatal("ClusterByID failed")
+	}
+	if _, ok := tp.ClusterByID("nope"); ok {
+		t.Fatal("ClusterByID found a ghost")
+	}
+}
+
+func TestClusterGeometry(t *testing.T) {
+	c := Cluster{Nodes: 7, NodesPerRack: 2, SKU: SKU{Cores: 16, MemoryGB: 64}}
+	if got := c.Racks(); got != 4 {
+		t.Fatalf("Racks = %d, want 4", got)
+	}
+	if got := c.RackOf(0); got != 0 {
+		t.Fatalf("RackOf(0) = %d", got)
+	}
+	if got := c.RackOf(6); got != 3 {
+		t.Fatalf("RackOf(6) = %d", got)
+	}
+	if got := c.TotalCores(); got != 112 {
+		t.Fatalf("TotalCores = %d", got)
+	}
+}
+
+func req(sub, service string, cores int) Request {
+	return Request{
+		Region:       "east",
+		Cloud:        core.Private,
+		Subscription: core.SubscriptionID(sub),
+		Service:      service,
+		Size:         core.VMSize{Cores: cores, MemoryGB: cores * 4},
+	}
+}
+
+func TestAllocateBasic(t *testing.T) {
+	a := NewAllocator(testTopology())
+	p, err := a.Allocate(req("s1", "svc", 4))
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if p.Node.Cluster == "" || p.Node.Index < 0 {
+		t.Fatalf("bad placement: %+v", p)
+	}
+	if got := a.SubscriptionsIn(p.Node.Cluster); got != 1 {
+		t.Fatalf("SubscriptionsIn = %d, want 1", got)
+	}
+}
+
+func TestAllocateFaultDomainSpread(t *testing.T) {
+	a := NewAllocator(testTopology())
+	rackSeen := make(map[core.ClusterID]map[int]int)
+	// Place 8 small VMs of one service; they must spread across racks.
+	for i := 0; i < 8; i++ {
+		p, err := a.Allocate(req("s1", "svc", 2))
+		if err != nil {
+			t.Fatalf("Allocate #%d: %v", i, err)
+		}
+		m := rackSeen[p.Node.Cluster]
+		if m == nil {
+			m = make(map[int]int)
+			rackSeen[p.Node.Cluster] = m
+		}
+		m[p.Rack]++
+	}
+	for cl, racks := range rackSeen {
+		maxPop, minPop := 0, 1<<30
+		for _, n := range racks {
+			if n > maxPop {
+				maxPop = n
+			}
+			if n < minPop {
+				minPop = n
+			}
+		}
+		// 8 VMs over 4 racks in one cluster must balance within 1.
+		if len(racks) > 1 && maxPop-minPop > 1 {
+			t.Fatalf("cluster %s rack populations unbalanced: %v", cl, racks)
+		}
+	}
+}
+
+func TestAllocateSubscriptionAffinity(t *testing.T) {
+	a := NewAllocator(testTopology())
+	first, err := a.Allocate(req("s1", "svc", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := a.Allocate(req("s1", "svc", 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Node.Cluster != first.Node.Cluster {
+			t.Fatalf("affinity broken: VM landed on %s, deployment started on %s",
+				p.Node.Cluster, first.Node.Cluster)
+		}
+	}
+}
+
+func TestAllocateCapacityExhaustion(t *testing.T) {
+	a := NewAllocator(testTopology())
+	// east private capacity = 2 clusters * 8 nodes * 16 cores = 256 cores.
+	placed := 0
+	for {
+		_, err := a.Allocate(req("s1", "svc", 16))
+		if err != nil {
+			if !errors.Is(err, ErrNoCapacity) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			break
+		}
+		placed++
+	}
+	if placed != 16 {
+		t.Fatalf("placed %d full-node VMs, want 16", placed)
+	}
+	if a.Failures() != 1 {
+		t.Fatalf("Failures = %d, want 1", a.Failures())
+	}
+}
+
+func TestAllocateUnknownRegion(t *testing.T) {
+	a := NewAllocator(testTopology())
+	r := req("s1", "svc", 2)
+	r.Region = "mars"
+	if _, err := a.Allocate(r); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+}
+
+func TestFreeRestoresCapacity(t *testing.T) {
+	a := NewAllocator(testTopology())
+	r := req("s1", "svc", 16)
+	var placements []Placement
+	for i := 0; i < 16; i++ {
+		p, err := a.Allocate(r)
+		if err != nil {
+			t.Fatalf("fill allocate: %v", err)
+		}
+		placements = append(placements, p)
+	}
+	if _, err := a.Allocate(r); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	a.Free(placements[0], r)
+	if _, err := a.Allocate(r); err != nil {
+		t.Fatalf("allocate after free: %v", err)
+	}
+	// Subscription refcounting: free everything, the cluster empties.
+	for _, p := range placements[1:] {
+		a.Free(p, r)
+	}
+}
+
+func TestMemoryConstraint(t *testing.T) {
+	a := NewAllocator(testTopology())
+	// 2 cores but all 64 GB: only one per node.
+	r := Request{
+		Region: "east", Cloud: core.Private,
+		Subscription: "s1", Service: "svc",
+		Size: core.VMSize{Cores: 2, MemoryGB: 64},
+	}
+	nodes := make(map[core.NodeRef]int)
+	for i := 0; i < 16; i++ { // 16 nodes in east private
+		p, err := a.Allocate(r)
+		if err != nil {
+			t.Fatalf("allocate %d: %v", i, err)
+		}
+		nodes[p.Node]++
+	}
+	for n, c := range nodes {
+		if c > 1 {
+			t.Fatalf("node %v hosts %d memory-bound VMs", n, c)
+		}
+	}
+	if _, err := a.Allocate(r); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("memory exhaustion not detected: %v", err)
+	}
+}
+
+// TestAllocatorNeverOvercommits is the core safety property: under random
+// allocate/free sequences, per-node usage never exceeds the SKU.
+func TestAllocatorNeverOvercommits(t *testing.T) {
+	check := func(seed uint64) bool {
+		topo := testTopology()
+		a := NewAllocator(topo)
+		rng := sim.NewRNG(seed)
+		type live struct {
+			p Placement
+			r Request
+		}
+		var vms []live
+		usedCores := make(map[core.NodeRef]int)
+		usedMem := make(map[core.NodeRef]int)
+		for op := 0; op < 300; op++ {
+			if len(vms) > 0 && rng.Bool(0.35) {
+				i := rng.Intn(len(vms))
+				v := vms[i]
+				a.Free(v.p, v.r)
+				usedCores[v.p.Node] -= v.r.Size.Cores
+				usedMem[v.p.Node] -= v.r.Size.MemoryGB
+				vms = append(vms[:i], vms[i+1:]...)
+				continue
+			}
+			r := Request{
+				Region:       []string{"east", "west"}[rng.Intn(2)],
+				Cloud:        core.Private,
+				Subscription: core.SubscriptionID(fmt.Sprintf("s%d", rng.Intn(5))),
+				Service:      fmt.Sprintf("svc%d", rng.Intn(3)),
+				Size:         core.VMSize{Cores: 1 + rng.Intn(8), MemoryGB: 4 * (1 + rng.Intn(8))},
+			}
+			p, err := a.Allocate(r)
+			if err != nil {
+				continue
+			}
+			usedCores[p.Node] += r.Size.Cores
+			usedMem[p.Node] += r.Size.MemoryGB
+			vms = append(vms, live{p: p, r: r})
+			cl, ok := topo.ClusterByID(p.Node.Cluster)
+			if !ok {
+				return false
+			}
+			if usedCores[p.Node] > cl.SKU.Cores || usedMem[p.Node] > cl.SKU.MemoryGB {
+				return false
+			}
+			if p.Rack != cl.RackOf(p.Node.Index) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeCores(t *testing.T) {
+	a := NewAllocator(testTopology())
+	before := a.FreeCores("prv-east-1")
+	if before != 8*16 {
+		t.Fatalf("initial FreeCores = %d", before)
+	}
+	if got := a.FreeCores("ghost"); got != 0 {
+		t.Fatalf("FreeCores of unknown cluster = %d", got)
+	}
+}

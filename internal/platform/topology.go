@@ -1,0 +1,175 @@
+// Package platform models the physical substrate of the two clouds: regions
+// (geo-locations with time zones), clusters of identically configured nodes
+// (SKUs) dedicated to either the private or the public platform, racks as
+// fault domains, and an allocation service that places VM requests onto
+// nodes — a deliberately simplified stand-in for Azure's Protean allocator
+// that preserves the placement structure the paper's node-level analyses
+// depend on.
+package platform
+
+import (
+	"fmt"
+
+	"cloudlens/internal/core"
+)
+
+// Region is a geo-location hosting datacenters.
+type Region struct {
+	// Name identifies the region (e.g. "us-east").
+	Name string `json:"name"`
+	// TZOffsetMin is the region's offset from UTC in minutes. Workloads
+	// anchored to local time phase their daily cycles by this offset.
+	TZOffsetMin int `json:"tzOffsetMin"`
+	// US marks United States regions; the paper restricts its
+	// cross-region correlation study (Figure 7b) to US regions.
+	US bool `json:"us"`
+}
+
+// SKU is a node hardware configuration. Clusters contain nodes with
+// identical SKUs.
+type SKU struct {
+	Name     string `json:"name"`
+	Cores    int    `json:"cores"`
+	MemoryGB int    `json:"memoryGB"`
+}
+
+// Cluster is a set of identically configured nodes in one region, dedicated
+// to one platform. Nodes are stacked into racks, which act as fault
+// domains: the allocator spreads a service's VMs across racks.
+type Cluster struct {
+	ID           core.ClusterID `json:"id"`
+	Region       string         `json:"region"`
+	Cloud        core.Cloud     `json:"cloud"`
+	Nodes        int            `json:"nodes"`
+	NodesPerRack int            `json:"nodesPerRack"`
+	SKU          SKU            `json:"sku"`
+}
+
+// Racks returns the number of fault domains in the cluster.
+func (c Cluster) Racks() int {
+	if c.NodesPerRack <= 0 {
+		return 1
+	}
+	r := c.Nodes / c.NodesPerRack
+	if c.Nodes%c.NodesPerRack != 0 {
+		r++
+	}
+	return r
+}
+
+// RackOf returns the rack (fault domain) of node index i.
+func (c Cluster) RackOf(i int) int {
+	if c.NodesPerRack <= 0 {
+		return 0
+	}
+	return i / c.NodesPerRack
+}
+
+// TotalCores returns the cluster's physical core count.
+func (c Cluster) TotalCores() int { return c.Nodes * c.SKU.Cores }
+
+// Topology is the static physical layout of both platforms.
+type Topology struct {
+	Regions  []Region  `json:"regions"`
+	Clusters []Cluster `json:"clusters"`
+}
+
+// RegionByName returns the named region.
+func (t *Topology) RegionByName(name string) (Region, bool) {
+	for _, r := range t.Regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// TZOffsetMin returns the time-zone offset of the named region, or 0 if the
+// region is unknown.
+func (t *Topology) TZOffsetMin(name string) int {
+	r, ok := t.RegionByName(name)
+	if !ok {
+		return 0
+	}
+	return r.TZOffsetMin
+}
+
+// ClustersIn returns the clusters of the given platform in the given region.
+func (t *Topology) ClustersIn(region string, cloud core.Cloud) []Cluster {
+	var out []Cluster
+	for _, c := range t.Clusters {
+		if c.Region == region && c.Cloud == cloud {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClusterByID returns the identified cluster.
+func (t *Topology) ClusterByID(id core.ClusterID) (Cluster, bool) {
+	for _, c := range t.Clusters {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Cluster{}, false
+}
+
+// RegionsOf returns the region names where the given platform has capacity,
+// in topology order.
+func (t *Topology) RegionsOf(cloud core.Cloud) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range t.Clusters {
+		if c.Cloud != cloud || seen[c.Region] {
+			continue
+		}
+		seen[c.Region] = true
+		out = append(out, c.Region)
+	}
+	return out
+}
+
+// PhysicalCores returns the platform's total core count in a region.
+func (t *Topology) PhysicalCores(region string, cloud core.Cloud) int {
+	total := 0
+	for _, c := range t.ClustersIn(region, cloud) {
+		total += c.TotalCores()
+	}
+	return total
+}
+
+// Validate checks internal consistency: unique IDs, known regions, and
+// positive capacities.
+func (t *Topology) Validate() error {
+	regions := make(map[string]bool, len(t.Regions))
+	for _, r := range t.Regions {
+		if r.Name == "" {
+			return fmt.Errorf("platform: region with empty name")
+		}
+		if regions[r.Name] {
+			return fmt.Errorf("platform: duplicate region %q", r.Name)
+		}
+		regions[r.Name] = true
+	}
+	ids := make(map[core.ClusterID]bool, len(t.Clusters))
+	for _, c := range t.Clusters {
+		if ids[c.ID] {
+			return fmt.Errorf("platform: duplicate cluster %q", c.ID)
+		}
+		ids[c.ID] = true
+		if !regions[c.Region] {
+			return fmt.Errorf("platform: cluster %q in unknown region %q", c.ID, c.Region)
+		}
+		if !c.Cloud.Valid() {
+			return fmt.Errorf("platform: cluster %q has invalid cloud", c.ID)
+		}
+		if c.Nodes <= 0 || c.SKU.Cores <= 0 || c.SKU.MemoryGB <= 0 {
+			return fmt.Errorf("platform: cluster %q has non-positive capacity", c.ID)
+		}
+		if c.NodesPerRack <= 0 {
+			return fmt.Errorf("platform: cluster %q has non-positive rack size", c.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Package report renders analysis results as plain text: aligned tables,
+// tabulated CDF curves, ASCII sparklines for time series, and shaded
+// heatmap grids. cmd/cloudreport composes these primitives into the
+// figure-by-figure reproduction report.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cloudlens/internal/stats"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which gets three decimals.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, width := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width+2, c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkLevels are the eighth-block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as a unicode sparkline, scaled to the
+// series' own min..max. An empty series renders as "".
+func Sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	lo, hi := stats.Min(series), stats.Max(series)
+	var b strings.Builder
+	for _, v := range series {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces a series to at most n points by block averaging,
+// keeping sparklines terminal-width friendly.
+func Downsample(series []float64, n int) []float64 {
+	if n <= 0 || len(series) <= n {
+		return series
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(series) / n
+		hi := (i + 1) * len(series) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// CDFRows tabulates an ECDF at the given probability levels as
+// "p -> value" rows.
+func CDFRows(e *stats.ECDF, ps ...float64) []string {
+	rows := make([]string, 0, len(ps))
+	for _, p := range ps {
+		rows = append(rows, fmt.Sprintf("p%02.0f=%.2f", p*100, e.InvAt(p)))
+	}
+	return rows
+}
+
+// heatShades maps density to characters for Heatmap.
+var heatShades = []rune(" .:-=+*#%@")
+
+// Heatmap renders a normalized 2-D histogram (values in [0,1]) as a
+// character grid, one row per y bin from high to low.
+func Heatmap(normalized [][]float64) string {
+	if len(normalized) == 0 {
+		return ""
+	}
+	ny := len(normalized[0])
+	var b strings.Builder
+	for y := ny - 1; y >= 0; y-- {
+		for x := 0; x < len(normalized); x++ {
+			v := normalized[x][y]
+			idx := int(math.Round(v * float64(len(heatShades)-1)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatShades) {
+				idx = len(heatShades) - 1
+			}
+			b.WriteRune(heatShades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Section writes an underlined section heading.
+func Section(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title))); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudlens/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	tab.AddRow("gamma", "3", "overflow-dropped")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Fatal("float formatting missing")
+	}
+	if strings.Contains(out, "overflow-dropped") {
+		t.Fatal("overflow cell not dropped")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if runes := []rune(s); len(runes) != 4 {
+		t.Fatalf("sparkline length %d", len(runes))
+	}
+	// Monotone input yields a monotone sparkline.
+	runes := []rune(s)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("sparkline not monotone: %q", s)
+		}
+	}
+	// A constant series renders without panic.
+	if got := Sparkline([]float64{5, 5, 5}); len([]rune(got)) != 3 {
+		t.Fatalf("constant sparkline = %q", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	got := Downsample(series, 10)
+	if len(got) != 10 {
+		t.Fatalf("downsampled length %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("block means not increasing for a ramp")
+		}
+	}
+	// No-ops.
+	if out := Downsample(series, 200); len(out) != 100 {
+		t.Fatal("upsampling should be a no-op")
+	}
+	if out := Downsample(series, 0); len(out) != 100 {
+		t.Fatal("n=0 should be a no-op")
+	}
+}
+
+func TestCDFRows(t *testing.T) {
+	e := stats.NewECDF([]float64{1, 2, 3, 4})
+	rows := CDFRows(e, 0.5, 0.9)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !strings.HasPrefix(rows[0], "p50=") {
+		t.Fatalf("row format: %q", rows[0])
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	if got := Heatmap(nil); got != "" {
+		t.Fatalf("empty heatmap = %q", got)
+	}
+	grid := [][]float64{{0, 1}, {0.5, 0}}
+	out := Heatmap(grid)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heatmap rows = %d", len(lines))
+	}
+	// Top row is the high-y bin: cells (x=0,y=1)='@', (x=1,y=1)=' '.
+	if []rune(lines[0])[0] != '@' {
+		t.Fatalf("densest cell not darkest: %q", lines[0])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.4567); got != "45.7%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Section(&buf, "Title"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Title\n=====") {
+		t.Fatalf("section format:\n%s", buf.String())
+	}
+}
+
+// failWriter errors after n writes, exercising Render's error paths.
+type failWriter struct{ remaining int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errWriteFailed
+	}
+	w.remaining--
+	return len(p), nil
+}
+
+var errWriteFailed = errSentinel("write failed")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+func TestTableRenderPropagatesWriteErrors(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+	for n := 0; n < 4; n++ {
+		if err := tab.Render(&failWriter{remaining: n}); err == nil {
+			t.Fatalf("Render with %d allowed writes did not fail", n)
+		}
+	}
+	if err := tab.Render(&failWriter{remaining: 100}); err != nil {
+		t.Fatalf("Render with ample writes failed: %v", err)
+	}
+}
+
+func TestSectionPropagatesWriteErrors(t *testing.T) {
+	if err := Section(&failWriter{}, "x"); err == nil {
+		t.Fatal("Section did not propagate the write error")
+	}
+}

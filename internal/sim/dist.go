@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// LogNormal returns a variate whose logarithm is normal with the given mean
+// and standard deviation. The workload models use log-normal distributions
+// for deployment sizes and VM lifetimes, the canonical heavy-tailed choices
+// in cluster-trace studies.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Poisson returns a Poisson variate with the given mean. It uses Knuth's
+// multiplication method for small means and a normal approximation with
+// continuity correction for large ones; the crossover keeps generation O(1)
+// for the high-rate arrival processes.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		k := math.Round(mean + math.Sqrt(mean)*r.NormFloat64())
+		if k < 0 {
+			return 0
+		}
+		return int(k)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf returns a variate in [1, n] following a Zipf distribution with
+// exponent s (s > 0). It is used for multi-region deployment counts, where
+// one region dominates but a heavy tail of wide deployments exists.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 1
+	}
+	// Inverse-CDF over the normalized generalized harmonic weights. n is
+	// small (a handful of regions) in all call sites, so the linear scan
+	// is the simplest correct approach.
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for k := 1; k <= n; k++ {
+		acc += 1 / math.Pow(float64(k), s)
+		if u < acc {
+			return k
+		}
+	}
+	return n
+}
+
+// Categorical samples an index according to the given non-negative weights.
+// It panics if weights is empty or sums to zero.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative categorical weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("sim: categorical with no mass")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// PiecewiseRate describes a non-homogeneous Poisson process by a step
+// function: Rates[i] is the expected number of events in bucket i.
+type PiecewiseRate struct {
+	Rates []float64
+}
+
+// Total returns the expected total number of events.
+func (p PiecewiseRate) Total() float64 {
+	t := 0.0
+	for _, v := range p.Rates {
+		t += v
+	}
+	return t
+}
+
+// SampleEvents draws event bucket indices from the process: each bucket i
+// receives Poisson(Rates[i]) events. The returned indices are sorted.
+func (p PiecewiseRate) SampleEvents(r *RNG) []int {
+	var events []int
+	for i, rate := range p.Rates {
+		n := r.Poisson(rate)
+		for j := 0; j < n; j++ {
+			events = append(events, i)
+		}
+	}
+	sort.Ints(events)
+	return events
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "time"
+
+// Grid is the uniform sampling grid of a trace. The paper's dataset covers
+// one ordinary week (no holidays) with average VM resource utilization
+// reported every five minutes; WeekGrid reproduces exactly that.
+type Grid struct {
+	// Start is the first sample instant. WeekGrid starts on a Monday at
+	// 00:00 UTC so that day-of-week arithmetic is trivial.
+	Start time.Time `json:"start"`
+	// Step is the sampling interval.
+	Step time.Duration `json:"step"`
+	// N is the number of samples.
+	N int `json:"n"`
+}
+
+// Default grid constants: one week at five-minute resolution.
+const (
+	// StepsPerHour is the number of five-minute samples per hour.
+	StepsPerHour = 12
+	// StepsPerDay is the number of five-minute samples per day.
+	StepsPerDay = 24 * StepsPerHour
+	// StepsPerWeek is the number of five-minute samples per week.
+	StepsPerWeek = 7 * StepsPerDay
+	// HoursPerWeek is the number of hourly buckets per week.
+	HoursPerWeek = 7 * 24
+)
+
+// WeekGrid returns the canonical analysis grid: one week starting Monday
+// 2023-03-06 00:00 UTC (an ordinary week without major holidays, mirroring
+// the paper's dataset selection) sampled every five minutes.
+func WeekGrid() Grid {
+	return Grid{
+		Start: time.Date(2023, time.March, 6, 0, 0, 0, 0, time.UTC),
+		Step:  5 * time.Minute,
+		N:     StepsPerWeek,
+	}
+}
+
+// TimeAt returns the instant of sample i.
+func (g Grid) TimeAt(i int) time.Time {
+	return g.Start.Add(time.Duration(i) * g.Step)
+}
+
+// StepMinutes returns the sampling interval in minutes.
+func (g Grid) StepMinutes() int {
+	return int(g.Step / time.Minute)
+}
+
+// Hours returns the number of whole hours the grid spans.
+func (g Grid) Hours() int {
+	return g.N * g.StepMinutes() / 60
+}
+
+// HourOf returns the hourly bucket index of sample i (0-based from Start).
+func (g Grid) HourOf(i int) int {
+	return i * g.StepMinutes() / 60
+}
+
+// MinuteOfDay returns the local minute-of-day [0, 1440) of sample i under
+// the given time-zone offset in minutes relative to UTC.
+func (g Grid) MinuteOfDay(i, tzOffsetMin int) int {
+	m := i*g.StepMinutes() + tzOffsetMin
+	m %= 24 * 60
+	if m < 0 {
+		m += 24 * 60
+	}
+	return m
+}
+
+// DayOfWeek returns the local day index of sample i, with 0 = Monday
+// (the grid starts on a Monday), under the given time-zone offset.
+func (g Grid) DayOfWeek(i, tzOffsetMin int) int {
+	m := i*g.StepMinutes() + tzOffsetMin
+	d := m / (24 * 60)
+	d %= 7
+	if m < 0 && m%(24*60) != 0 {
+		d--
+	}
+	if d < 0 {
+		d += 7
+	}
+	return d
+}
+
+// IsWeekend reports whether sample i falls on a Saturday or Sunday in the
+// given time zone.
+func (g Grid) IsWeekend(i, tzOffsetMin int) bool {
+	d := g.DayOfWeek(i, tzOffsetMin)
+	return d == 5 || d == 6
+}

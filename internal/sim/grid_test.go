@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWeekGridShape(t *testing.T) {
+	g := WeekGrid()
+	if g.N != StepsPerWeek {
+		t.Fatalf("N = %d, want %d", g.N, StepsPerWeek)
+	}
+	if g.StepMinutes() != 5 {
+		t.Fatalf("StepMinutes = %d, want 5", g.StepMinutes())
+	}
+	if g.Hours() != HoursPerWeek {
+		t.Fatalf("Hours = %d, want %d", g.Hours(), HoursPerWeek)
+	}
+	if g.Start.Weekday() != time.Monday {
+		t.Fatalf("grid starts on %v, want Monday", g.Start.Weekday())
+	}
+}
+
+func TestTimeAt(t *testing.T) {
+	g := WeekGrid()
+	if got := g.TimeAt(0); !got.Equal(g.Start) {
+		t.Fatalf("TimeAt(0) = %v", got)
+	}
+	if got := g.TimeAt(12); got.Sub(g.Start) != time.Hour {
+		t.Fatalf("TimeAt(12) offset = %v, want 1h", got.Sub(g.Start))
+	}
+	if got := g.TimeAt(g.N); got.Sub(g.Start) != 7*24*time.Hour {
+		t.Fatalf("TimeAt(N) offset = %v, want 168h", got.Sub(g.Start))
+	}
+}
+
+func TestHourOf(t *testing.T) {
+	g := WeekGrid()
+	tests := []struct{ step, want int }{
+		{0, 0}, {11, 0}, {12, 1}, {287, 23}, {288, 24}, {2015, 167},
+	}
+	for _, tt := range tests {
+		if got := g.HourOf(tt.step); got != tt.want {
+			t.Errorf("HourOf(%d) = %d, want %d", tt.step, got, tt.want)
+		}
+	}
+}
+
+func TestMinuteOfDay(t *testing.T) {
+	g := WeekGrid()
+	tests := []struct {
+		step, tz, want int
+	}{
+		{0, 0, 0},
+		{12, 0, 60},
+		{0, -300, 1140},          // UTC midnight is 19:00 the previous day at UTC-5
+		{0, 60, 60},              // UTC+1
+		{StepsPerDay, 0, 0},      // next midnight
+		{StepsPerDay + 6, 0, 30}, // 00:30
+	}
+	for _, tt := range tests {
+		if got := g.MinuteOfDay(tt.step, tt.tz); got != tt.want {
+			t.Errorf("MinuteOfDay(%d, %d) = %d, want %d", tt.step, tt.tz, got, tt.want)
+		}
+	}
+}
+
+func TestDayOfWeekAndWeekend(t *testing.T) {
+	g := WeekGrid()
+	// The grid starts Monday 00:00 UTC. Day indices: 0=Mon .. 6=Sun.
+	tests := []struct {
+		step, tz    int
+		wantDay     int
+		wantWeekend bool
+	}{
+		{0, 0, 0, false},
+		{4*StepsPerDay + 1, 0, 4, false},  // Friday
+		{5 * StepsPerDay, 0, 5, true},     // Saturday
+		{6*StepsPerDay + 10, 0, 6, true},  // Sunday
+		{5 * StepsPerDay, -300, 4, false}, // still Friday evening in UTC-5
+		{5*StepsPerDay + 60, -300, 5, true},
+	}
+	for _, tt := range tests {
+		if got := g.DayOfWeek(tt.step, tt.tz); got != tt.wantDay {
+			t.Errorf("DayOfWeek(%d, %d) = %d, want %d", tt.step, tt.tz, got, tt.wantDay)
+		}
+		if got := g.IsWeekend(tt.step, tt.tz); got != tt.wantWeekend {
+			t.Errorf("IsWeekend(%d, %d) = %v, want %v", tt.step, tt.tz, got, tt.wantWeekend)
+		}
+	}
+}
+
+func TestNoiseDeterminismAndRange(t *testing.T) {
+	for step := 0; step < 1000; step++ {
+		a := Noise01(42, step)
+		b := Noise01(42, step)
+		if a != b {
+			t.Fatal("Noise01 not deterministic")
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("Noise01 out of range: %v", a)
+		}
+		s := NoiseSigned(42, step)
+		if s < -1 || s >= 1 {
+			t.Fatalf("NoiseSigned out of range: %v", s)
+		}
+	}
+}
+
+func TestNoiseVariesWithSeedAndStep(t *testing.T) {
+	same := 0
+	for step := 0; step < 1000; step++ {
+		if Noise01(1, step) == Noise01(2, step) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across seeds", same)
+	}
+}
+
+func TestNoiseNormMoments(t *testing.T) {
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := NoiseNorm(99, i)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean > 0.03 || mean < -0.03 {
+		t.Fatalf("NoiseNorm mean %v", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("NoiseNorm variance %v", variance)
+	}
+}

@@ -1,0 +1,28 @@
+package sim
+
+// Noise01 is a stateless pseudo-random function mapping a (seed, step) pair
+// to a uniform value in [0, 1). Utilization models use it so a VM's CPU
+// series is a pure function of its parameters: the trace stores only model
+// parameters and materializes samples on demand, keeping memory O(#VMs)
+// instead of O(#VMs x #samples).
+func Noise01(seed uint64, step int) float64 {
+	state := seed ^ (uint64(step)+1)*0xd1342543de82ef95
+	return float64(splitmix64(&state)>>11) / (1 << 53)
+}
+
+// NoiseSigned maps a (seed, step) pair to a uniform value in [-1, 1).
+func NoiseSigned(seed uint64, step int) float64 {
+	return 2*Noise01(seed, step) - 1
+}
+
+// NoiseNorm maps a (seed, step) pair to an approximately standard normal
+// value, computed from twelve stacked uniforms (Irwin-Hall). The
+// approximation is more than adequate for utilization jitter.
+func NoiseNorm(seed uint64, step int) float64 {
+	state := seed ^ (uint64(step)+1)*0x2545f4914f6cdd1d
+	sum := 0.0
+	for k := 0; k < 12; k++ {
+		sum += float64(splitmix64(&state)>>11) / (1 << 53)
+	}
+	return sum - 6
+}

@@ -1,0 +1,126 @@
+// Package sim provides the deterministic substrate for the cloudlens
+// simulator: a seedable random number generator with forkable substreams,
+// the probability distributions used by the workload models, a stateless
+// noise function for lazily evaluated utilization series, and the one-week
+// five-minute time grid that matches the paper's dataset.
+//
+// Everything in this package is pure with respect to the seed: the same seed
+// produces the same trace on every run and platform. The simulator never
+// reads the wall clock.
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator based on
+// SplitMix64 (Steele et al., "Fast Splittable Pseudorandom Number
+// Generators"). It is not safe for concurrent use; fork substreams with
+// Fork for concurrent or structurally independent consumers.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds yield
+// independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	return splitmix64(&r.state)
+}
+
+// Fork derives an independent substream keyed by label. Forking the same
+// parent state with the same label always yields the same substream, which
+// keeps hierarchical generation (cloud -> subscription -> VM) reproducible
+// even when sibling subtrees change size.
+func (r *RNG) Fork(label string) *RNG {
+	h := r.state ^ 0x51afd7ed558ccd6d
+	for _, b := range []byte(label) {
+		h = (h ^ uint64(b)) * 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	// Scramble once so that short labels do not produce nearby states.
+	return NewRNG(splitmix64(&h))
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 random bits scaled into [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap,
+// mirroring the contract of math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(123)
+	b := NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	root := NewRNG(42)
+	a := root.Fork("alpha")
+	b := root.Fork("beta")
+	a2 := NewRNG(42).Fork("alpha")
+	for i := 0; i < 100; i++ {
+		av := a.Uint64()
+		if av != a2.Uint64() {
+			t.Fatal("fork is not deterministic in (state, label)")
+		}
+		if av == b.Uint64() {
+			t.Fatal("forks with different labels coincide")
+		}
+	}
+}
+
+func TestForkUnaffectedBySiblingConsumption(t *testing.T) {
+	r1 := NewRNG(9)
+	f1 := r1.Fork("x")
+	want := f1.Uint64()
+
+	r2 := NewRNG(9)
+	// Forking other labels first must not change the "x" stream.
+	_ = r2.Fork("a")
+	_ = r2.Fork("b")
+	f2 := r2.Fork("x")
+	if got := f2.Uint64(); got != want {
+		t.Fatalf("fork stream changed by sibling forks: got %d want %d", got, want)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exponential mean %v too far from 1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		size := int(n%32) + 1
+		p := r.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	tests := []struct{ mean float64 }{{0.5}, {2}, {10}, {80}, {200}}
+	for _, tt := range tests {
+		r := NewRNG(uint64(tt.mean * 100))
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(tt.mean))
+		}
+		got := sum / n
+		if math.Abs(got-tt.mean) > 0.05*tt.mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean %v", tt.mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(23)
+	const n = 100001
+	draws := make([]float64, n)
+	for i := range draws {
+		draws[i] = r.LogNormal(math.Log(40), 1.0)
+	}
+	// Median of samples should be close to exp(mu) = 40.
+	count := 0
+	for _, v := range draws {
+		if v < 40 {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("P(X < median) = %v, want ~0.5", frac)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := NewRNG(29)
+	counts := make([]int, 9)
+	for i := 0; i < 20000; i++ {
+		v := r.Zipf(8, 1.2)
+		if v < 1 || v > 8 {
+			t.Fatalf("Zipf out of [1,8]: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[4] {
+		t.Fatalf("Zipf counts not decreasing: %v", counts[1:])
+	}
+	if got := r.Zipf(1, 1.2); got != 1 {
+		t.Fatalf("Zipf(1) = %d, want 1", got)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := NewRNG(31)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Categorical([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("categorical counts out of order: %v", counts)
+	}
+	// Weight-zero entries are never selected.
+	for i := 0; i < 1000; i++ {
+		if r.Categorical([]float64{0, 1, 0}) != 1 {
+			t.Fatal("zero-weight category selected")
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{name: "empty", weights: nil},
+		{name: "zero mass", weights: []float64{0, 0}},
+		{name: "negative", weights: []float64{1, -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewRNG(1).Categorical(tt.weights)
+		})
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(37)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 21 {
+		t.Fatalf("shuffle changed elements: %v", xs)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(41)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+func TestPiecewiseRate(t *testing.T) {
+	p := PiecewiseRate{Rates: []float64{0, 5, 0, 2}}
+	if got := p.Total(); got != 7 {
+		t.Fatalf("Total = %v, want 7", got)
+	}
+	r := NewRNG(43)
+	events := p.SampleEvents(r)
+	for _, e := range events {
+		if e != 1 && e != 3 {
+			t.Fatalf("event in zero-rate bucket %d", e)
+		}
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i] < events[i-1] {
+			t.Fatal("events not sorted")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package spot
+
+import (
+	"fmt"
+	"math"
+
+	"cloudlens/internal/trace"
+)
+
+// This file implements the "dynamic mixture of spot and on-demand VMs" the
+// paper points to as enabling technology for spot adoption (its reference
+// [16], Snape): a batch workload with a deadline runs on cheap-but-evictable
+// spot capacity while it can, and falls back to on-demand capacity as the
+// deadline approaches. The simulation derives spot availability from the
+// same public-cloud trace the harvesting experiment uses, so eviction
+// pressure follows the paper's diurnal demand pattern.
+
+// MixtureOptions describes the batch job and the price model.
+type MixtureOptions struct {
+	// Region hosts the job ("" = the whole public platform).
+	Region string
+	// WorkVMHours is the total work to finish (one VM runs one VM-hour
+	// per hour).
+	WorkVMHours float64
+	// DeadlineHours is the time budget from the start of the week.
+	DeadlineHours int
+	// MaxVMs bounds the parallelism.
+	MaxVMs int
+	// SpotPrice is the spot price relative to on-demand (default 0.3,
+	// a typical discount).
+	SpotPrice float64
+	// EvictionLossHours is the work lost per eviction (progress since
+	// the last checkpoint; default 0.25h).
+	EvictionLossHours float64
+	// StartStep offsets the job start within the week.
+	StartStep int
+	// PoolFraction scales the spot capacity visible to this job
+	// (default 1.0 = the platform's whole headroom). Real spot markets
+	// partition capacity across many tenants; small fractions make the
+	// job feel the diurnal capacity squeeze and its evictions.
+	PoolFraction float64
+}
+
+func (o MixtureOptions) withDefaults() MixtureOptions {
+	if o.WorkVMHours == 0 {
+		o.WorkVMHours = 400
+	}
+	if o.DeadlineHours == 0 {
+		o.DeadlineHours = 48
+	}
+	if o.MaxVMs == 0 {
+		o.MaxVMs = 20
+	}
+	if o.SpotPrice == 0 {
+		o.SpotPrice = 0.3
+	}
+	if o.EvictionLossHours == 0 {
+		o.EvictionLossHours = 0.25
+	}
+	if o.PoolFraction == 0 {
+		o.PoolFraction = 1.0
+	}
+	return o
+}
+
+// MixturePolicy selects how the job acquires capacity.
+type MixturePolicy int
+
+const (
+	// PolicyOnDemand runs everything on on-demand VMs: reliable,
+	// expensive.
+	PolicyOnDemand MixturePolicy = iota + 1
+	// PolicySpotOnly runs everything on spot VMs: cheap, may miss the
+	// deadline when capacity is tight.
+	PolicySpotOnly
+	// PolicyDynamicMixture starts spot-heavy and adds on-demand VMs
+	// when the remaining work per remaining hour approaches the
+	// parallelism bound (the Snape idea).
+	PolicyDynamicMixture
+)
+
+// String implements fmt.Stringer.
+func (p MixturePolicy) String() string {
+	switch p {
+	case PolicyOnDemand:
+		return "on-demand"
+	case PolicySpotOnly:
+		return "spot-only"
+	case PolicyDynamicMixture:
+		return "dynamic-mixture"
+	default:
+		return fmt.Sprintf("MixturePolicy(%d)", int(p))
+	}
+}
+
+// MixtureResult reports one policy's outcome.
+type MixtureResult struct {
+	Policy MixturePolicy `json:"policy"`
+	// Completed reports whether the job finished by the deadline.
+	Completed bool `json:"completed"`
+	// FinishHour is the hour the work completed (deadline+ if not).
+	FinishHour float64 `json:"finishHour"`
+	// Cost is in on-demand VM-hour units.
+	Cost float64 `json:"cost"`
+	// SpotVMHours and OnDemandVMHours split the consumed capacity.
+	SpotVMHours     float64 `json:"spotVMHours"`
+	OnDemandVMHours float64 `json:"onDemandVMHours"`
+	// Evictions counts spot interruptions experienced by the job.
+	Evictions int `json:"evictions"`
+}
+
+// RunMixture simulates the batch job under all three policies on the same
+// spot-availability series and returns the results in policy order.
+func RunMixture(t *trace.Trace, opts MixtureOptions) ([]MixtureResult, error) {
+	opts = opts.withDefaults()
+	avail, err := spotAvailability(t, opts.Region)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PoolFraction != 1.0 {
+		for i := range avail {
+			avail[i] = math.Floor(avail[i] * opts.PoolFraction)
+		}
+	}
+	policies := []MixturePolicy{PolicyOnDemand, PolicySpotOnly, PolicyDynamicMixture}
+	out := make([]MixtureResult, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, simulateJob(t, avail, p, opts))
+	}
+	return out, nil
+}
+
+// spotAvailability returns, per step, how many spot VMs of 4 cores the
+// platform could host (the same headroom rule as the harvesting
+// simulation).
+func spotAvailability(t *trace.Trace, region string) ([]float64, error) {
+	res, err := Run(t, Options{Region: region})
+	if err != nil {
+		return nil, err
+	}
+	physical := float64(res.PhysicalCores)
+	// Rebuild the allocated series (Run does not retain it).
+	allocated := make([]float64, t.Grid.N)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud != res.Cloud {
+			continue
+		}
+		if region != "" && v.Region != region {
+			continue
+		}
+		from, to, ok := v.AliveRange(t.Grid.N)
+		if !ok {
+			continue
+		}
+		for s := from; s < to; s++ {
+			allocated[s] += float64(v.Size.Cores)
+		}
+	}
+	avail := make([]float64, t.Grid.N)
+	for s := range avail {
+		headroom := physical - allocated[s]
+		if headroom < 0 {
+			headroom = 0
+		}
+		avail[s] = math.Floor(headroom * 0.6 / 4)
+	}
+	return avail, nil
+}
+
+// simulateJob advances the job step by step under one policy.
+func simulateJob(t *trace.Trace, avail []float64, policy MixturePolicy, opts MixtureOptions) MixtureResult {
+	res := MixtureResult{Policy: policy}
+	stepHours := float64(t.Grid.StepMinutes()) / 60
+	deadlineStep := opts.StartStep + opts.DeadlineHours*60/t.Grid.StepMinutes()
+	if deadlineStep > t.Grid.N {
+		deadlineStep = t.Grid.N
+	}
+	remaining := opts.WorkVMHours
+	spotRunning := 0.0
+
+	for s := opts.StartStep; s < deadlineStep && remaining > 0; s++ {
+		hoursLeft := float64(deadlineStep-s) * stepHours
+		needRate := remaining / hoursLeft // VMs needed if run flat out
+
+		var wantSpot, wantOnDemand float64
+		switch policy {
+		case PolicyOnDemand:
+			wantOnDemand = math.Ceil(needRate)
+		case PolicySpotOnly:
+			wantSpot = float64(opts.MaxVMs)
+		case PolicyDynamicMixture:
+			// Prefer spot; buy on-demand only for the shortfall
+			// between the required rate and what spot provides,
+			// with a 25% urgency margin.
+			wantSpot = float64(opts.MaxVMs)
+			urgency := 1.25 * needRate
+			if urgency > float64(opts.MaxVMs) {
+				urgency = float64(opts.MaxVMs)
+			}
+			spotPossible := math.Min(wantSpot, avail[s])
+			if spotPossible < urgency {
+				wantOnDemand = math.Ceil(urgency - spotPossible)
+			}
+		}
+		if wantOnDemand > float64(opts.MaxVMs) {
+			wantOnDemand = float64(opts.MaxVMs)
+		}
+		grantedSpot := math.Min(wantSpot, avail[s])
+		if grantedSpot+wantOnDemand > float64(opts.MaxVMs) {
+			grantedSpot = float64(opts.MaxVMs) - wantOnDemand
+			if grantedSpot < 0 {
+				grantedSpot = 0
+			}
+		}
+
+		// Evictions: spot capacity that disappeared since last step.
+		if grantedSpot < spotRunning {
+			evicted := spotRunning - grantedSpot
+			res.Evictions += int(math.Round(evicted))
+			loss := evicted * opts.EvictionLossHours
+			remaining += loss
+			if remaining > opts.WorkVMHours {
+				remaining = opts.WorkVMHours
+			}
+		}
+		spotRunning = grantedSpot
+
+		progress := (grantedSpot + wantOnDemand) * stepHours
+		if progress > remaining {
+			// Don't bill capacity beyond completion.
+			frac := remaining / progress
+			grantedSpot *= frac
+			wantOnDemand *= frac
+			progress = remaining
+		}
+		remaining -= progress
+		res.SpotVMHours += grantedSpot * stepHours
+		res.OnDemandVMHours += wantOnDemand * stepHours
+		if remaining <= 1e-9 {
+			remaining = 0
+			res.FinishHour = float64(s-opts.StartStep+1) * stepHours
+		}
+	}
+	res.Completed = remaining == 0
+	if !res.Completed {
+		res.FinishHour = float64(opts.DeadlineHours)
+	}
+	res.Cost = res.OnDemandVMHours + opts.SpotPrice*res.SpotVMHours
+	return res
+}
+
+// CheapestReliable returns the lowest-cost policy among those that
+// completed, preferring completion over cost.
+func CheapestReliable(results []MixtureResult) (MixtureResult, bool) {
+	best := MixtureResult{Cost: math.Inf(1)}
+	found := false
+	for _, r := range results {
+		if !r.Completed {
+			continue
+		}
+		if r.Cost < best.Cost {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,182 @@
+package spot
+
+import (
+	"testing"
+
+	"cloudlens/internal/sim"
+	"cloudlens/internal/trace"
+)
+
+func runMixture(t *testing.T, opts MixtureOptions) []MixtureResult {
+	t.Helper()
+	results, err := RunMixture(sharedTrace(t), opts)
+	if err != nil {
+		t.Fatalf("RunMixture: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	return results
+}
+
+func byPolicy(results []MixtureResult, p MixturePolicy) MixtureResult {
+	for _, r := range results {
+		if r.Policy == p {
+			return r
+		}
+	}
+	return MixtureResult{}
+}
+
+func TestMixturePoliciesComplete(t *testing.T) {
+	results := runMixture(t, MixtureOptions{})
+	onDemand := byPolicy(results, PolicyOnDemand)
+	mixture := byPolicy(results, PolicyDynamicMixture)
+	if !onDemand.Completed {
+		t.Fatal("on-demand policy must always complete within a feasible deadline")
+	}
+	if !mixture.Completed {
+		t.Fatal("dynamic mixture must complete: it buys on-demand capacity when behind")
+	}
+}
+
+func TestMixtureCostOrdering(t *testing.T) {
+	results := runMixture(t, MixtureOptions{})
+	onDemand := byPolicy(results, PolicyOnDemand)
+	spotOnly := byPolicy(results, PolicySpotOnly)
+	mixture := byPolicy(results, PolicyDynamicMixture)
+
+	// On-demand pays full price for all work; the mixture must be
+	// cheaper (the whole point of the Snape design).
+	if mixture.Cost >= onDemand.Cost {
+		t.Fatalf("mixture cost %.1f not below on-demand %.1f", mixture.Cost, onDemand.Cost)
+	}
+	// Spot-only, when it completes, is the cheapest per VM-hour.
+	if spotOnly.Completed && spotOnly.SpotVMHours > 0 {
+		perHourSpot := spotOnly.Cost / (spotOnly.SpotVMHours + spotOnly.OnDemandVMHours)
+		perHourOD := onDemand.Cost / (onDemand.SpotVMHours + onDemand.OnDemandVMHours)
+		if perHourSpot >= perHourOD {
+			t.Fatal("spot-only not cheaper per VM-hour")
+		}
+	}
+	// The mixture buys most capacity from the spot pool.
+	if mixture.SpotVMHours <= mixture.OnDemandVMHours {
+		t.Fatalf("mixture bought more on-demand (%.1f) than spot (%.1f)",
+			mixture.OnDemandVMHours, mixture.SpotVMHours)
+	}
+}
+
+func TestMixtureAccountsWork(t *testing.T) {
+	opts := MixtureOptions{WorkVMHours: 300, DeadlineHours: 48, MaxVMs: 20}
+	results := runMixture(t, opts)
+	for _, r := range results {
+		if !r.Completed {
+			continue
+		}
+		delivered := r.SpotVMHours + r.OnDemandVMHours
+		// Completed jobs consumed at least the work volume; spot
+		// evictions may add recomputation on top.
+		if delivered < opts.WorkVMHours-1e-6 {
+			t.Fatalf("%v delivered %.1f VM-hours < work %.1f", r.Policy, delivered, opts.WorkVMHours)
+		}
+		if r.FinishHour <= 0 || r.FinishHour > float64(opts.DeadlineHours) {
+			t.Fatalf("%v finish hour %.1f out of range", r.Policy, r.FinishHour)
+		}
+	}
+}
+
+func TestMixtureInfeasibleDeadline(t *testing.T) {
+	// 10 VMs for 2 hours cannot deliver 400 VM-hours.
+	results := runMixture(t, MixtureOptions{WorkVMHours: 400, DeadlineHours: 2, MaxVMs: 10})
+	for _, r := range results {
+		if r.Completed {
+			t.Fatalf("%v completed an infeasible job", r.Policy)
+		}
+	}
+	if _, ok := CheapestReliable(results); ok {
+		t.Fatal("CheapestReliable found a completed policy for an infeasible job")
+	}
+}
+
+func TestCheapestReliablePrefersMixture(t *testing.T) {
+	results := runMixture(t, MixtureOptions{})
+	best, ok := CheapestReliable(results)
+	if !ok {
+		t.Fatal("no policy completed")
+	}
+	if best.Policy == PolicyOnDemand {
+		t.Fatal("pure on-demand should never be the cheapest reliable policy here")
+	}
+}
+
+func TestMixtureUnknownRegion(t *testing.T) {
+	if _, err := RunMixture(sharedTrace(t), MixtureOptions{Region: "atlantis"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMixtureConstrainedPoolShowsTradeoff(t *testing.T) {
+	// Drive the job simulator with a synthetic availability series that
+	// has a hard diurnal squeeze: plenty of spot capacity off-hours,
+	// almost none during the business day (when on-demand demand takes
+	// the headroom). Spot-only suffers evictions and cannot finish; the
+	// dynamic mixture buys on-demand capacity and meets the deadline at
+	// a fraction of the all-on-demand cost.
+	tr := &trace.Trace{Grid: sim.WeekGrid()}
+	avail := make([]float64, tr.Grid.N)
+	for s := range avail {
+		hod := tr.Grid.HourOf(s) % 24
+		if hod >= 8 && hod < 20 {
+			avail[s] = 1 // daytime squeeze
+		} else {
+			avail[s] = 18
+		}
+	}
+	opts := MixtureOptions{
+		WorkVMHours:   400,
+		DeadlineHours: 30,
+		MaxVMs:        20,
+		SpotPrice:     0.3,
+	}.withDefaults()
+
+	onDemand := simulateJob(tr, avail, PolicyOnDemand, opts)
+	spotOnly := simulateJob(tr, avail, PolicySpotOnly, opts)
+	mixture := simulateJob(tr, avail, PolicyDynamicMixture, opts)
+
+	if spotOnly.Evictions == 0 {
+		t.Fatal("daytime squeeze produced no spot evictions")
+	}
+	if spotOnly.Completed {
+		t.Fatal("spot-only completed despite the squeeze; scenario miscalibrated")
+	}
+	if !mixture.Completed {
+		t.Fatal("dynamic mixture failed to meet the deadline")
+	}
+	if mixture.OnDemandVMHours == 0 {
+		t.Fatal("mixture never bought on-demand capacity despite the squeeze")
+	}
+	if !onDemand.Completed {
+		t.Fatal("on-demand policy must complete")
+	}
+	if mixture.Cost >= onDemand.Cost {
+		t.Fatalf("mixture cost %.1f not below on-demand %.1f under pressure",
+			mixture.Cost, onDemand.Cost)
+	}
+}
+
+func TestPoolFractionScalesAvailability(t *testing.T) {
+	full, err := RunMixture(sharedTrace(t), MixtureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := RunMixture(sharedTrace(t), MixtureOptions{PoolFraction: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSpot := byPolicy(full, PolicySpotOnly)
+	tinySpot := byPolicy(tiny, PolicySpotOnly)
+	if tinySpot.SpotVMHours >= fullSpot.SpotVMHours {
+		t.Fatalf("tiny pool delivered %.1f spot VM-hours >= full pool %.1f",
+			tinySpot.SpotVMHours, fullSpot.SpotVMHours)
+	}
+}

@@ -1,0 +1,141 @@
+package spot
+
+import (
+	"sync"
+	"testing"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/workload"
+)
+
+var (
+	trOnce sync.Once
+	tr     *trace.Trace
+	trErr  error
+)
+
+func sharedTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	trOnce.Do(func() {
+		cfg := workload.DefaultConfig(33)
+		cfg.Scale = 0.5
+		tr, trErr = workload.Generate(cfg)
+	})
+	if trErr != nil {
+		t.Fatalf("generate: %v", trErr)
+	}
+	return tr
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cloud != core.Public {
+		t.Fatalf("default cloud = %v", res.Cloud)
+	}
+	if res.PhysicalCores == 0 {
+		t.Fatal("no physical pool")
+	}
+	if res.SpotCoreHours <= 0 {
+		t.Fatal("nothing harvested")
+	}
+	if res.SpotVMsServed == 0 {
+		t.Fatal("no spot VMs served")
+	}
+}
+
+func TestUtilizationImprovesButStaysBounded(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithSpotUtilization <= res.OnDemandUtilization {
+		t.Fatalf("spot harvesting did not raise utilization: %v -> %v",
+			res.OnDemandUtilization, res.WithSpotUtilization)
+	}
+	if res.WithSpotUtilization > 1.0 {
+		t.Fatalf("utilization with spot %v exceeds physical capacity", res.WithSpotUtilization)
+	}
+	// The headroom fraction keeps a buffer: combined utilization stays
+	// below on-demand + headroomFraction * (1 - on-demand).
+	bound := res.OnDemandUtilization + 0.6*(1-res.OnDemandUtilization) + 0.01
+	if res.WithSpotUtilization > bound {
+		t.Fatalf("utilization %v above headroom bound %v", res.WithSpotUtilization, bound)
+	}
+}
+
+func TestEvictionsFollowDemand(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("no evictions in a diurnal week; demand returns every morning")
+	}
+	if len(res.EvictionsPerHourOfDay) != 24 {
+		t.Fatal("per-hour eviction histogram malformed")
+	}
+	total := 0.0
+	for _, v := range res.EvictionsPerHourOfDay {
+		total += v
+	}
+	if int(total) != res.Evictions {
+		t.Fatalf("per-hour evictions sum %v != total %d", total, res.Evictions)
+	}
+}
+
+func TestPredictorQuality(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diurnal eviction structure is learnable: the paper's premise
+	// for spot eviction prediction.
+	if res.Predictor.Correlation < 0.3 {
+		t.Fatalf("predictor correlation %.2f too low", res.Predictor.Correlation)
+	}
+	if len(res.Predictor.PredictedRate) != 24 || len(res.Predictor.ActualRate) != 24 {
+		t.Fatal("predictor rate vectors malformed")
+	}
+	if res.Predictor.MAE < 0 {
+		t.Fatal("negative MAE")
+	}
+}
+
+func TestSingleRegionRun(t *testing.T) {
+	res, err := Run(sharedTrace(t), Options{Region: "us-east"})
+	if err != nil {
+		t.Fatalf("Run(us-east): %v", err)
+	}
+	full, err := Run(sharedTrace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhysicalCores >= full.PhysicalCores {
+		t.Fatal("regional pool not smaller than the fleet")
+	}
+}
+
+func TestUnknownRegionFails(t *testing.T) {
+	if _, err := Run(sharedTrace(t), Options{Region: "atlantis"}); err == nil {
+		t.Fatal("expected error for unknown region")
+	}
+}
+
+func TestSpotVMSizeAffectsCounts(t *testing.T) {
+	small, err := Run(sharedTrace(t), Options{SpotCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(sharedTrace(t), Options{SpotCores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SpotVMsServed <= big.SpotVMsServed {
+		t.Fatalf("smaller spot VMs must be more numerous: %d vs %d",
+			small.SpotVMsServed, big.SpotVMsServed)
+	}
+}

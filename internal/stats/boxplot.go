@@ -1,0 +1,59 @@
+package stats
+
+import "sort"
+
+// BoxPlot holds the five-number summary used by the paper's box-plot
+// figures (1b and 3d). The whisker boundaries follow the 1.5-interquartile-
+// range rule stated in the Figure 1 caption: the whiskers extend to the most
+// extreme sample within Q1 - 1.5*IQR and Q3 + 1.5*IQR, and samples beyond
+// them are outliers.
+type BoxPlot struct {
+	Low      float64   `json:"low"`      // lower whisker
+	Q1       float64   `json:"q1"`       // first quartile
+	Median   float64   `json:"median"`   // second quartile
+	Q3       float64   `json:"q3"`       // third quartile
+	High     float64   `json:"high"`     // upper whisker
+	Mean     float64   `json:"mean"`     // arithmetic mean
+	N        int       `json:"n"`        // sample size
+	Outliers []float64 `json:"outliers"` // samples beyond the whiskers
+}
+
+// NewBoxPlot computes the box-plot summary of xs. An empty sample yields the
+// zero BoxPlot.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	b := BoxPlot{
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Mean:   Mean(sorted),
+		N:      len(sorted),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	// Start the whiskers inverted so the min/max scan below tightens them.
+	b.Low, b.High = sorted[len(sorted)-1], sorted[0]
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.Low {
+			b.Low = x
+		}
+		if x > b.High {
+			b.High = x
+		}
+	}
+	// All points were outliers (possible only with degenerate input);
+	// collapse the whiskers onto the quartiles.
+	if b.Low > b.High {
+		b.Low, b.High = b.Q1, b.Q3
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestBoxPlotBasics(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if b.Median != 5 {
+		t.Fatalf("Median = %v, want 5", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Fatalf("Q1/Q3 = %v/%v, want 3/7", b.Q1, b.Q3)
+	}
+	if b.Low != 1 || b.High != 9 {
+		t.Fatalf("whiskers = %v/%v, want 1/9", b.Low, b.High)
+	}
+	if b.N != 9 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if len(b.Outliers) != 0 {
+		t.Fatalf("unexpected outliers: %v", b.Outliers)
+	}
+}
+
+func TestBoxPlotOutliers(t *testing.T) {
+	// 100 is far beyond Q3 + 1.5*IQR.
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 100})
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.High == 100 {
+		t.Fatal("outlier must not extend the whisker")
+	}
+	if b.High != 8 {
+		t.Fatalf("High = %v, want 8", b.High)
+	}
+}
+
+func TestBoxPlotLowOutlier(t *testing.T) {
+	b := NewBoxPlot([]float64{-100, 2, 3, 4, 5, 6, 7, 8, 9})
+	if len(b.Outliers) != 1 || b.Outliers[0] != -100 {
+		t.Fatalf("outliers = %v, want [-100]", b.Outliers)
+	}
+	if b.Low != 2 {
+		t.Fatalf("Low = %v, want 2", b.Low)
+	}
+}
+
+func TestBoxPlotEmptyAndSingle(t *testing.T) {
+	var zero BoxPlot
+	if got := NewBoxPlot(nil); got.N != 0 || got.Median != zero.Median {
+		t.Fatalf("empty box plot = %+v", got)
+	}
+	b := NewBoxPlot([]float64{7})
+	if b.Median != 7 || b.Low != 7 || b.High != 7 || b.Q1 != 7 || b.Q3 != 7 {
+		t.Fatalf("single-sample box = %+v", b)
+	}
+}
+
+func TestBoxPlotConstantSample(t *testing.T) {
+	b := NewBoxPlot([]float64{3, 3, 3, 3})
+	if b.Low != 3 || b.High != 3 || len(b.Outliers) != 0 {
+		t.Fatalf("constant box = %+v", b)
+	}
+}
+
+func TestBoxPlotDoesNotMutate(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	NewBoxPlot(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function over a sample,
+// optionally weighted. Every "CDF of ..." figure in the paper (1a, 3a, 4a,
+// 4b, 7a, 7b) is an ECDF; Figure 4(b) is the weighted variant, where each
+// subscription is weighted by its allocated core count.
+type ECDF struct {
+	// xs holds the sorted sample values.
+	xs []float64
+	// cum[i] is the cumulative weight of xs[0..i].
+	cum []float64
+	// total is the sum of all weights.
+	total float64
+}
+
+// NewECDF builds an ECDF from an unweighted sample. An empty sample yields
+// an ECDF that evaluates to 0 everywhere.
+func NewECDF(sample []float64) *ECDF {
+	w := make([]float64, len(sample))
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWeightedECDF(sample, w)
+}
+
+// NewWeightedECDF builds an ECDF where sample[i] carries weights[i] mass.
+// It panics if the lengths differ or any weight is negative.
+func NewWeightedECDF(sample, weights []float64) *ECDF {
+	if len(sample) != len(weights) {
+		panic("stats: ECDF sample/weights length mismatch")
+	}
+	type pair struct{ x, w float64 }
+	pairs := make([]pair, len(sample))
+	for i := range sample {
+		if weights[i] < 0 {
+			panic("stats: negative ECDF weight")
+		}
+		pairs[i] = pair{sample[i], weights[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+	e := &ECDF{
+		xs:  make([]float64, len(pairs)),
+		cum: make([]float64, len(pairs)),
+	}
+	acc := 0.0
+	for i, p := range pairs {
+		acc += p.w
+		e.xs[i] = p.x
+		e.cum[i] = acc
+	}
+	e.total = acc
+	return e
+}
+
+// Len returns the number of sample points.
+func (e *ECDF) Len() int { return len(e.xs) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if e.total == 0 {
+		return 0
+	}
+	// Index of the first sample strictly greater than x.
+	i := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return e.cum[i-1] / e.total
+}
+
+// InvAt returns the smallest sample value x with P(X <= x) >= p, i.e. the
+// p-quantile of the empirical distribution. It returns 0 for an empty ECDF.
+func (e *ECDF) InvAt(p float64) float64 {
+	if e.total == 0 {
+		return 0
+	}
+	target := p * e.total
+	i := sort.Search(len(e.cum), func(i int) bool { return e.cum[i] >= target })
+	if i >= len(e.xs) {
+		i = len(e.xs) - 1
+	}
+	return e.xs[i]
+}
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spaced over the sample
+// range, suitable for plotting or tabulating the curve. The last point is
+// always (max, 1).
+func (e *ECDF) Points(n int) []Point {
+	if e.Len() == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := e.xs[0], e.xs[len(e.xs)-1]
+	if n == 1 || lo == hi {
+		return []Point{{X: hi, Y: 1}}
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = Point{X: x, Y: e.At(x)}
+	}
+	return pts
+}
+
+// Point is an (x, y) pair of a tabulated curve.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}

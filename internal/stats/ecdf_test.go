@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.9, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(3) != 0 {
+		t.Fatal("empty ECDF must be 0 everywhere")
+	}
+	if e.InvAt(0.5) != 0 {
+		t.Fatal("empty ECDF InvAt must be 0")
+	}
+	if pts := e.Points(5); pts != nil {
+		t.Fatalf("empty ECDF Points = %v", pts)
+	}
+}
+
+func TestECDFInvAt(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	tests := []struct{ p, want float64 }{
+		{0.1, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, tt := range tests {
+		if got := e.InvAt(tt.p); got != tt.want {
+			t.Errorf("InvAt(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestWeightedECDF(t *testing.T) {
+	// Value 1 carries 90% of the mass.
+	e := NewWeightedECDF([]float64{1, 100}, []float64{9, 1})
+	if got := e.At(1); !almostEqual(got, 0.9, 1e-12) {
+		t.Fatalf("At(1) = %v, want 0.9", got)
+	}
+	if got := e.At(100); got != 1 {
+		t.Fatalf("At(100) = %v, want 1", got)
+	}
+}
+
+func TestWeightedECDFPanics(t *testing.T) {
+	t.Run("length mismatch", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewWeightedECDF([]float64{1}, []float64{1, 2})
+	})
+	t.Run("negative weight", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewWeightedECDF([]float64{1}, []float64{-1})
+	})
+}
+
+// TestECDFMonotoneProperty checks the defining property: At is
+// non-decreasing and bounded by [0, 1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	check := func(raw []float64, probes []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		e := NewECDF(xs)
+		prevX := math.Inf(-1)
+		_ = prevX
+		// Check bounds at arbitrary probes and monotonicity on a sorted copy.
+		for _, p := range probes {
+			if math.IsNaN(p) {
+				continue
+			}
+			v := e.At(p)
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		for i := 0; i+1 < len(xs); i++ {
+			lo, hi := xs[i], xs[i+1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if e.At(lo) > e.At(hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestECDFInverseConsistency checks At(InvAt(p)) >= p for achievable p.
+func TestECDFInverseConsistency(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		x := e.InvAt(p)
+		if got := e.At(x); got < p-1e-12 {
+			t.Errorf("At(InvAt(%v)) = %v < p", p, got)
+		}
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{0, 10})
+	pts := e.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("Points returned %d entries", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Fatalf("point range wrong: %v .. %v", pts[0], pts[10])
+	}
+	if pts[10].Y != 1 {
+		t.Fatalf("last point Y = %v, want 1", pts[10].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("points not monotone")
+		}
+	}
+}

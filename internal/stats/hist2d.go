@@ -1,0 +1,97 @@
+package stats
+
+// Hist2D is a two-dimensional histogram over fixed bin edges. Figure 2's
+// core-by-memory VM-size heatmaps are Hist2D instances with logarithmic
+// edges.
+type Hist2D struct {
+	// XEdges and YEdges are the strictly increasing bin boundaries; bin
+	// (i, j) covers [XEdges[i], XEdges[i+1]) x [YEdges[j], YEdges[j+1]).
+	XEdges []float64 `json:"xEdges"`
+	YEdges []float64 `json:"yEdges"`
+	// Counts is indexed [x bin][y bin].
+	Counts [][]float64 `json:"counts"`
+	// Total is the mass added so far, including out-of-range samples.
+	Total float64 `json:"total"`
+	// Dropped is the mass that fell outside the edges.
+	Dropped float64 `json:"dropped"`
+}
+
+// NewHist2D creates an empty histogram with the given edges. It panics if
+// either axis has fewer than two edges or the edges are not strictly
+// increasing.
+func NewHist2D(xEdges, yEdges []float64) *Hist2D {
+	validateEdges(xEdges)
+	validateEdges(yEdges)
+	counts := make([][]float64, len(xEdges)-1)
+	for i := range counts {
+		counts[i] = make([]float64, len(yEdges)-1)
+	}
+	return &Hist2D{
+		XEdges: append([]float64(nil), xEdges...),
+		YEdges: append([]float64(nil), yEdges...),
+		Counts: counts,
+	}
+}
+
+func validateEdges(edges []float64) {
+	if len(edges) < 2 {
+		panic("stats: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly increasing")
+		}
+	}
+}
+
+// Add records weight w at (x, y). Samples outside the edges are counted in
+// Dropped.
+func (h *Hist2D) Add(x, y, w float64) {
+	h.Total += w
+	xi := binIndex(h.XEdges, x)
+	yi := binIndex(h.YEdges, y)
+	if xi < 0 || yi < 0 {
+		h.Dropped += w
+		return
+	}
+	h.Counts[xi][yi] += w
+}
+
+// binIndex returns the bin of v, or -1 if v is out of range. The final edge
+// is inclusive so the maximum sample lands in the last bin.
+func binIndex(edges []float64, v float64) int {
+	if v < edges[0] || v > edges[len(edges)-1] {
+		return -1
+	}
+	for i := 1; i < len(edges); i++ {
+		if v < edges[i] {
+			return i - 1
+		}
+	}
+	return len(edges) - 2
+}
+
+// Normalized returns the counts matrix scaled so the densest cell is 1.
+// Heatmap figures in the paper are normalized this way (absolute counts are
+// confidential).
+func (h *Hist2D) Normalized() [][]float64 {
+	maxC := 0.0
+	for _, row := range h.Counts {
+		for _, c := range row {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	out := make([][]float64, len(h.Counts))
+	for i, row := range h.Counts {
+		out[i] = make([]float64, len(row))
+		if maxC == 0 {
+			continue
+		}
+		for j, c := range row {
+			out[i][j] = c / maxC
+		}
+	}
+	return out
+}

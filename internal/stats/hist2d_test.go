@@ -1,0 +1,80 @@
+package stats
+
+import "testing"
+
+func newTestHist() *Hist2D {
+	return NewHist2D([]float64{0, 1, 2, 3}, []float64{0, 10, 20})
+}
+
+func TestHist2DBinning(t *testing.T) {
+	h := newTestHist()
+	h.Add(0.5, 5, 1)   // bin (0,0)
+	h.Add(1.5, 15, 2)  // bin (1,1)
+	h.Add(2.999, 0, 1) // bin (2,0)
+	h.Add(3, 20, 1)    // top edges inclusive -> bin (2,1)
+	if h.Counts[0][0] != 1 || h.Counts[1][1] != 2 || h.Counts[2][0] != 1 || h.Counts[2][1] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total != 5 || h.Dropped != 0 {
+		t.Fatalf("total/dropped = %v/%v", h.Total, h.Dropped)
+	}
+}
+
+func TestHist2DOutOfRange(t *testing.T) {
+	h := newTestHist()
+	h.Add(-1, 5, 1)
+	h.Add(1, 25, 1)
+	h.Add(4, 5, 1)
+	if h.Dropped != 3 {
+		t.Fatalf("Dropped = %v, want 3", h.Dropped)
+	}
+	if h.Total != 3 {
+		t.Fatalf("Total = %v, want 3", h.Total)
+	}
+}
+
+func TestHist2DNormalized(t *testing.T) {
+	h := newTestHist()
+	h.Add(0.5, 5, 2)
+	h.Add(1.5, 5, 4)
+	n := h.Normalized()
+	if n[1][0] != 1 {
+		t.Fatalf("densest cell = %v, want 1", n[1][0])
+	}
+	if n[0][0] != 0.5 {
+		t.Fatalf("half-density cell = %v, want 0.5", n[0][0])
+	}
+}
+
+func TestHist2DNormalizedEmpty(t *testing.T) {
+	h := newTestHist()
+	n := h.Normalized()
+	for _, row := range n {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatal("empty histogram must normalize to zeros")
+			}
+		}
+	}
+}
+
+func TestHist2DPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []float64
+	}{
+		{name: "too few x edges", x: []float64{1}, y: []float64{0, 1}},
+		{name: "non-increasing", x: []float64{0, 0}, y: []float64{0, 1}},
+		{name: "decreasing y", x: []float64{0, 1}, y: []float64{1, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewHist2D(tt.x, tt.y)
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// cleanSample folds arbitrary generated floats into a finite, bounded
+// sample suitable for statistical properties.
+func cleanSample(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(v, 1e9))
+	}
+	return out
+}
+
+// TestBoxPlotOrderingProperty: the quartiles are ordered, the whiskers are
+// ordered and sit inside the 1.5-IQR fences, and outliers lie strictly
+// outside them. (Note: Q3 <= High is NOT an invariant — for tiny samples
+// with an upper outlier, the interpolated Q3 can exceed the largest
+// non-outlier sample; standard plotting libraries share this behaviour.)
+func TestBoxPlotOrderingProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := cleanSample(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBoxPlot(xs)
+		if !(b.Q1 <= b.Median && b.Median <= b.Q3) {
+			return false
+		}
+		if b.Low > b.High {
+			return false
+		}
+		iqr := b.Q3 - b.Q1
+		for _, o := range b.Outliers {
+			if o >= b.Q1-1.5*iqr && o <= b.Q3+1.5*iqr {
+				return false
+			}
+		}
+		// Whisker + outlier count equals the sample size.
+		inside := 0
+		for _, x := range xs {
+			if x >= b.Low && x <= b.High {
+				inside++
+			}
+		}
+		return inside+len(b.Outliers) == len(xs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileMonotoneProperty: Quantile is non-decreasing in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	check := func(raw []float64, qa, qb float64) bool {
+		xs := cleanSample(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeanWithinBoundsProperty: the mean lies within [min, max].
+func TestMeanWithinBoundsProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := cleanSample(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestECDFMatchesSortedRankProperty: for unweighted samples, At(x) equals
+// the fraction of samples <= x.
+func TestECDFMatchesSortedRankProperty(t *testing.T) {
+	check := func(raw []float64, probe float64) bool {
+		xs := cleanSample(raw)
+		if len(xs) == 0 || math.IsNaN(probe) {
+			return true
+		}
+		probe = math.Mod(probe, 1e9)
+		e := NewECDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		count := 0
+		for _, v := range sorted {
+			if v <= probe {
+				count++
+			}
+		}
+		want := float64(count) / float64(len(xs))
+		return math.Abs(e.At(probe)-want) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPearsonSymmetryProperty: Pearson(x, y) == Pearson(y, x), and
+// correlation with itself is 1 for non-constant series.
+func TestPearsonSymmetryProperty(t *testing.T) {
+	check := func(pairs [][2]float64) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(p[0], 1e6))
+			ys = append(ys, math.Mod(p[1], 1e6))
+		}
+		if math.Abs(Pearson(xs, ys)-Pearson(ys, xs)) > 1e-12 {
+			return false
+		}
+		if len(xs) >= 2 && StdDev(xs) > 0 {
+			if math.Abs(Pearson(xs, xs)-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHist2DMassConservationProperty: binned mass + dropped mass == total.
+func TestHist2DMassConservationProperty(t *testing.T) {
+	check := func(points [][2]float64) bool {
+		h := NewHist2D([]float64{0, 1, 2, 4}, []float64{0, 3, 9})
+		for _, p := range points {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			h.Add(math.Mod(p[0], 8), math.Mod(p[1], 16), 1)
+		}
+		binned := 0.0
+		for _, row := range h.Counts {
+			for _, c := range row {
+				binned += c
+			}
+		}
+		return math.Abs(binned+h.Dropped-h.Total) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{name: "empty", xs: nil, mean: 0, variance: 0},
+		{name: "single", xs: []float64{5}, mean: 5, variance: 0},
+		{name: "pair", xs: []float64{1, 3}, mean: 2, variance: 1},
+		{name: "constant", xs: []float64{4, 4, 4, 4}, mean: 4, variance: 0},
+		{name: "mixed", xs: []float64{2, 4, 4, 4, 5, 5, 7, 9}, mean: 5, variance: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.mean, 1e-12) {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.xs); !almostEqual(got, tt.variance, 1e-12) {
+				t.Errorf("Variance = %v, want %v", got, tt.variance)
+			}
+			if got := StdDev(tt.xs); !almostEqual(got, math.Sqrt(tt.variance), 1e-12) {
+				t.Errorf("StdDev = %v", got)
+			}
+		})
+	}
+}
+
+func TestCV(t *testing.T) {
+	if got := CV([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("CV of constant = %v, want 0", got)
+	}
+	if got := CV(nil); got != 0 {
+		t.Fatalf("CV of empty = %v, want 0", got)
+	}
+	if got := CV([]float64{-1, 1}); got != 0 {
+		t.Fatalf("CV with zero mean = %v, want 0", got)
+	}
+	got := CV([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 2.0 / 5.0
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("CV = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Fatalf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("Min/Max of empty must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{-0.5, 1}, {1.5, 5}, // clamped
+		{0.1, 1.4}, // interpolated
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile of empty = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantilesOfMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 6, 3, 7, 7, 2}
+	qs := []float64{0, 0.2, 0.5, 0.9, 1}
+	got := QuantilesOf(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); !almostEqual(got[i], want, 1e-12) {
+			t.Errorf("QuantilesOf[%v] = %v, want %v", q, got[i], want)
+		}
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	check := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Normalize q into [0,1] and drop NaN/Inf inputs.
+		q = math.Abs(math.Mod(q, 1))
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		got := Quantile(xs, q)
+		return got >= Min(xs) && got <= Max(xs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		name string
+		ys   []float64
+		want float64
+	}{
+		{name: "identity", ys: []float64{1, 2, 3, 4, 5}, want: 1},
+		{name: "negated", ys: []float64{5, 4, 3, 2, 1}, want: -1},
+		{name: "scaled+shifted", ys: []float64{12, 14, 16, 18, 20}, want: 1},
+		{name: "constant", ys: []float64{7, 7, 7, 7, 7}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Pearson(xs, tt.ys); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Pearson = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPearsonShortInput(t *testing.T) {
+	if got := Pearson([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("Pearson of single pair = %v, want 0", got)
+	}
+	if got := Pearson(nil, nil); got != 0 {
+		t.Fatalf("Pearson of empty = %v, want 0", got)
+	}
+}
+
+func TestPearsonPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pearson([]float64{1, 2}, []float64{1})
+}
+
+// TestPearsonBoundedProperty checks |r| <= 1 over arbitrary paired samples.
+// Inputs are folded into a physically meaningful magnitude range (the
+// package operates on utilization fractions and core counts); IEEE-754
+// range-limit pathologies are out of scope.
+func TestPearsonBoundedProperty(t *testing.T) {
+	check := func(pairs [][2]float64) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(p[0], 1e9))
+			ys = append(ys, math.Mod(p[1], 1e9))
+		}
+		r := Pearson(xs, ys)
+		return r >= -1 && r <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPearsonLargeMagnitudes pins the regression found by the property
+// test: deviation sums must not overflow for values spanning much of the
+// float64 range when the mean itself is representable.
+func TestPearsonLargeMagnitudes(t *testing.T) {
+	xs := []float64{1e300, -1e300, 5e299, -5e299}
+	ys := []float64{1e300, -1e300, 5e299, -5e299}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package trace defines the dataset model of the reproduction: the
+// one-week, five-minute-resolution record of VM inventory and utilization
+// that the paper's analyses consume. A trace holds the platform topology,
+// the sampling grid, and one record per VM; utilization series are
+// materialized lazily from each VM's usage model, so a trace's memory
+// footprint is proportional to the number of VMs, not samples.
+package trace
+
+import (
+	"fmt"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/platform"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/usage"
+)
+
+// VM is a single virtual machine's trace record.
+type VM struct {
+	ID           core.VMID           `json:"id"`
+	Subscription core.SubscriptionID `json:"subscription"`
+	// Service names the deployment group the VM belongs to. Private
+	// cloud VMs carry their first-party service name; public cloud VMs
+	// carry a per-subscription deployment label.
+	Service string       `json:"service"`
+	Cloud   core.Cloud   `json:"cloud"`
+	Region  string       `json:"region"`
+	Node    core.NodeRef `json:"node"`
+	Rack    int          `json:"rack"`
+	Size    core.VMSize  `json:"size"`
+	// CreatedStep is the grid step at which the VM started. Negative
+	// values mean the VM existed before the observation window.
+	CreatedStep int `json:"createdStep"`
+	// DeletedStep is the exclusive end step. Values >= Grid.N mean the
+	// VM outlived the window.
+	DeletedStep int `json:"deletedStep"`
+	// Usage parameterizes the VM's CPU-utilization model.
+	Usage usage.Params `json:"usage"`
+}
+
+// AliveAt reports whether the VM exists at the given step.
+func (v *VM) AliveAt(step int) bool {
+	return v.CreatedStep <= step && step < v.DeletedStep
+}
+
+// LifetimeSteps returns the VM's lifetime in grid steps.
+func (v *VM) LifetimeSteps() int {
+	return v.DeletedStep - v.CreatedStep
+}
+
+// WithinWindow reports whether both the creation and the termination fall
+// inside a window of n steps. Figure 3(a) includes only such VMs, "to be
+// consistent with the time span of the dataset".
+func (v *VM) WithinWindow(n int) bool {
+	return v.CreatedStep >= 0 && v.DeletedStep <= n
+}
+
+// CPUAt returns the VM's CPU-utilization fraction at a step, or 0 when the
+// VM is not alive.
+func (v *VM) CPUAt(g sim.Grid, step int) float64 {
+	if !v.AliveAt(step) {
+		return 0
+	}
+	return v.Usage.At(g, step)
+}
+
+// AliveRange clips the VM's lifetime to the window [0, n) and returns the
+// half-open overlap; ok is false when the VM never lives inside the window.
+func (v *VM) AliveRange(n int) (from, to int, ok bool) {
+	from, to = v.CreatedStep, v.DeletedStep
+	if from < 0 {
+		from = 0
+	}
+	if to > n {
+		to = n
+	}
+	return from, to, from < to
+}
+
+// Trace is the complete dataset of one simulated week across both clouds.
+type Trace struct {
+	Grid     sim.Grid          `json:"grid"`
+	Topology platform.Topology `json:"topology"`
+	VMs      []VM              `json:"vms"`
+	// Meta records generation provenance.
+	Meta Meta `json:"meta"`
+}
+
+// Meta records how a trace was produced.
+type Meta struct {
+	Seed               uint64  `json:"seed"`
+	Scale              float64 `json:"scale"`
+	AllocationFailures int     `json:"allocationFailures"`
+	Generator          string  `json:"generator"`
+}
+
+// Validate performs consistency checks over the whole trace.
+func (t *Trace) Validate() error {
+	if t.Grid.N <= 0 || t.Grid.Step <= 0 {
+		return fmt.Errorf("trace: invalid grid %+v", t.Grid)
+	}
+	if err := t.Topology.Validate(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	seen := make(map[core.VMID]bool, len(t.VMs))
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if seen[v.ID] {
+			return fmt.Errorf("trace: duplicate VM id %d", v.ID)
+		}
+		seen[v.ID] = true
+		if v.CreatedStep >= v.DeletedStep {
+			return fmt.Errorf("trace: VM %d has empty lifetime [%d,%d)", v.ID, v.CreatedStep, v.DeletedStep)
+		}
+		if !v.Cloud.Valid() {
+			return fmt.Errorf("trace: VM %d has invalid cloud", v.ID)
+		}
+		if v.Size.Cores <= 0 || v.Size.MemoryGB <= 0 {
+			return fmt.Errorf("trace: VM %d has invalid size %v", v.ID, v.Size)
+		}
+		if _, ok := t.Topology.RegionByName(v.Region); !ok {
+			return fmt.Errorf("trace: VM %d in unknown region %q", v.ID, v.Region)
+		}
+		if err := v.Usage.Validate(); err != nil {
+			return fmt.Errorf("trace: VM %d: %w", v.ID, err)
+		}
+	}
+	return nil
+}
+
+// CloudVMs returns the records of one platform.
+func (t *Trace) CloudVMs(cloud core.Cloud) []*VM {
+	var out []*VM
+	for i := range t.VMs {
+		if t.VMs[i].Cloud == cloud {
+			out = append(out, &t.VMs[i])
+		}
+	}
+	return out
+}
+
+// AliveAt returns the records of one platform alive at the given step.
+func (t *Trace) AliveAt(cloud core.Cloud, step int) []*VM {
+	var out []*VM
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud == cloud && v.AliveAt(step) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SnapshotStep returns the canonical "one time point on a weekday" used by
+// the snapshot analyses (Figures 1 and 5d): Wednesday 12:00 UTC.
+func (t *Trace) SnapshotStep() int {
+	stepsPerDay := 24 * 60 / t.Grid.StepMinutes()
+	return 2*stepsPerDay + stepsPerDay/2
+}
+
+// BySubscription groups one platform's VMs by subscription.
+func (t *Trace) BySubscription(cloud core.Cloud) map[core.SubscriptionID][]*VM {
+	out := make(map[core.SubscriptionID][]*VM)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud == cloud {
+			out[v.Subscription] = append(out[v.Subscription], v)
+		}
+	}
+	return out
+}
+
+// ByNode groups one platform's VMs by hosting node.
+func (t *Trace) ByNode(cloud core.Cloud) map[core.NodeRef][]*VM {
+	out := make(map[core.NodeRef][]*VM)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud == cloud {
+			out[v.Node] = append(out[v.Node], v)
+		}
+	}
+	return out
+}
+
+// ByService groups one platform's VMs by service name.
+func (t *Trace) ByService(cloud core.Cloud) map[string][]*VM {
+	out := make(map[string][]*VM)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud == cloud {
+			out[v.Service] = append(out[v.Service], v)
+		}
+	}
+	return out
+}
+
+// NodeSeries returns a node's utilization fraction over steps [from, to):
+// the core-weighted sum of hosted VM utilizations divided by the node's
+// physical cores. This matches the paper's premise that "node CPU
+// utilization mostly originates from the usage of VMs".
+func (t *Trace) NodeSeries(vmsOnNode []*VM, from, to int) []float64 {
+	if to > t.Grid.N {
+		to = t.Grid.N
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return nil
+	}
+	series := make([]float64, to-from)
+	var nodeCores int
+	if len(vmsOnNode) > 0 {
+		if c, ok := t.Topology.ClusterByID(vmsOnNode[0].Node.Cluster); ok {
+			nodeCores = c.SKU.Cores
+		}
+	}
+	for _, v := range vmsOnNode {
+		for s := from; s < to; s++ {
+			if v.AliveAt(s) {
+				series[s-from] += v.Usage.At(t.Grid, s) * float64(v.Size.Cores)
+			}
+		}
+	}
+	if nodeCores > 0 {
+		for i := range series {
+			series[i] /= float64(nodeCores)
+		}
+	}
+	return series
+}
+
+// HourlyAliveCounts returns, for one platform and region, the number of VMs
+// alive at the start of each hour of the window (Figure 3b).
+func (t *Trace) HourlyAliveCounts(cloud core.Cloud, region string) []float64 {
+	hours := t.Grid.Hours()
+	stepsPerHour := 60 / t.Grid.StepMinutes()
+	counts := make([]float64, hours)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud != cloud || v.Region != region {
+			continue
+		}
+		from, to, ok := v.AliveRange(t.Grid.N)
+		if !ok {
+			continue
+		}
+		hFrom := (from + stepsPerHour - 1) / stepsPerHour
+		hTo := (to + stepsPerHour - 1) / stepsPerHour
+		for h := hFrom; h < hTo && h < hours; h++ {
+			counts[h]++
+		}
+	}
+	return counts
+}
+
+// HourlyCreations returns, for one platform and region, the number of VMs
+// created in each hour of the window (Figure 3c).
+func (t *Trace) HourlyCreations(cloud core.Cloud, region string) []float64 {
+	hours := t.Grid.Hours()
+	stepsPerHour := 60 / t.Grid.StepMinutes()
+	counts := make([]float64, hours)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud != cloud || v.Region != region || v.CreatedStep < 0 {
+			continue
+		}
+		h := v.CreatedStep / stepsPerHour
+		if h < hours {
+			counts[h]++
+		}
+	}
+	return counts
+}
+
+// HourlyDeletions returns, for one platform and region, the number of VMs
+// removed in each hour of the window. The paper notes removal behaviour
+// mirrors creation.
+func (t *Trace) HourlyDeletions(cloud core.Cloud, region string) []float64 {
+	hours := t.Grid.Hours()
+	stepsPerHour := 60 / t.Grid.StepMinutes()
+	counts := make([]float64, hours)
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		if v.Cloud != cloud || v.Region != region || v.DeletedStep > t.Grid.N {
+			continue
+		}
+		h := v.DeletedStep / stepsPerHour
+		if h < hours {
+			counts[h]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/platform"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/usage"
+)
+
+// smallTrace builds a hand-crafted two-cloud trace for unit tests.
+func smallTrace() *Trace {
+	sku := platform.SKU{Name: "t8", Cores: 8, MemoryGB: 32}
+	topo := platform.Topology{
+		Regions: []platform.Region{
+			{Name: "east", TZOffsetMin: -300, US: true},
+			{Name: "west", TZOffsetMin: -480, US: true},
+		},
+		Clusters: []platform.Cluster{
+			{ID: "prv-1", Region: "east", Cloud: core.Private, Nodes: 4, NodesPerRack: 2, SKU: sku},
+			{ID: "pub-1", Region: "west", Cloud: core.Public, Nodes: 4, NodesPerRack: 2, SKU: sku},
+		},
+	}
+	g := sim.WeekGrid()
+	mk := func(id int, cloud core.Cloud, cl core.ClusterID, node int, region string, created, deleted int, p usage.Params) VM {
+		return VM{
+			ID:           core.VMID(id),
+			Subscription: core.SubscriptionID("sub-" + region),
+			Service:      "svc-" + region,
+			Cloud:        cloud,
+			Region:       region,
+			Node:         core.NodeRef{Cluster: cl, Index: node},
+			Rack:         node / 2,
+			Size:         core.VMSize{Cores: 2, MemoryGB: 8},
+			CreatedStep:  created,
+			DeletedStep:  deleted,
+			Usage:        p,
+		}
+	}
+	return &Trace{
+		Grid:     g,
+		Topology: topo,
+		VMs: []VM{
+			mk(1, core.Private, "prv-1", 0, "east", -100, g.N+50, usage.Stable(0.3, 1)),
+			mk(2, core.Private, "prv-1", 0, "east", 100, 400, usage.Stable(0.5, 2)),
+			mk(3, core.Private, "prv-1", 1, "east", 288, g.N+1, usage.Diurnal(0.1, 0.3, 13*60, 3)),
+			mk(4, core.Public, "pub-1", 0, "west", 0, 6, usage.Stable(0.2, 4)),
+			mk(5, core.Public, "pub-1", 1, "west", 500, 520, usage.Stable(0.4, 5)),
+		},
+		Meta: Meta{Seed: 1, Scale: 1, Generator: "test"},
+	}
+}
+
+func TestVMLifecycle(t *testing.T) {
+	tr := smallTrace()
+	v := &tr.VMs[1] // [100, 400)
+	if !v.AliveAt(100) || !v.AliveAt(399) {
+		t.Fatal("VM not alive inside its lifetime")
+	}
+	if v.AliveAt(99) || v.AliveAt(400) {
+		t.Fatal("VM alive outside its lifetime")
+	}
+	if got := v.LifetimeSteps(); got != 300 {
+		t.Fatalf("LifetimeSteps = %d", got)
+	}
+	if !v.WithinWindow(tr.Grid.N) {
+		t.Fatal("VM [100,400) must be within the window")
+	}
+	if tr.VMs[0].WithinWindow(tr.Grid.N) {
+		t.Fatal("VM predating the window counted as within")
+	}
+	from, to, ok := tr.VMs[0].AliveRange(tr.Grid.N)
+	if !ok || from != 0 || to != tr.Grid.N {
+		t.Fatalf("AliveRange of base VM = (%d,%d,%v)", from, to, ok)
+	}
+}
+
+func TestCPUAt(t *testing.T) {
+	tr := smallTrace()
+	v := &tr.VMs[1]
+	if got := v.CPUAt(tr.Grid, 50); got != 0 {
+		t.Fatalf("CPUAt before creation = %v, want 0", got)
+	}
+	if got := v.CPUAt(tr.Grid, 200); got <= 0 {
+		t.Fatalf("CPUAt during lifetime = %v, want > 0", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{name: "duplicate id", mutate: func(tr *Trace) { tr.VMs[1].ID = tr.VMs[0].ID }},
+		{name: "empty lifetime", mutate: func(tr *Trace) { tr.VMs[0].DeletedStep = tr.VMs[0].CreatedStep }},
+		{name: "bad cloud", mutate: func(tr *Trace) { tr.VMs[0].Cloud = 0 }},
+		{name: "bad size", mutate: func(tr *Trace) { tr.VMs[0].Size.Cores = 0 }},
+		{name: "ghost region", mutate: func(tr *Trace) { tr.VMs[0].Region = "mars" }},
+		{name: "bad usage", mutate: func(tr *Trace) { tr.VMs[0].Usage.Base = 5 }},
+		{name: "bad grid", mutate: func(tr *Trace) { tr.Grid.N = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := smallTrace()
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("baseline trace invalid: %v", err)
+			}
+			tt.mutate(tr)
+			if err := tr.Validate(); err == nil {
+				t.Fatal("corruption not detected")
+			}
+		})
+	}
+}
+
+func TestGroupings(t *testing.T) {
+	tr := smallTrace()
+	if got := len(tr.CloudVMs(core.Private)); got != 3 {
+		t.Fatalf("CloudVMs(private) = %d", got)
+	}
+	if got := len(tr.AliveAt(core.Private, 300)); got != 3 {
+		t.Fatalf("AliveAt(private, 300) = %d", got)
+	}
+	bySub := tr.BySubscription(core.Private)
+	if got := len(bySub["sub-east"]); got != 3 {
+		t.Fatalf("BySubscription = %d VMs", got)
+	}
+	byNode := tr.ByNode(core.Private)
+	if got := len(byNode[core.NodeRef{Cluster: "prv-1", Index: 0}]); got != 2 {
+		t.Fatalf("ByNode = %d VMs on node 0", got)
+	}
+	bySvc := tr.ByService(core.Public)
+	if got := len(bySvc["svc-west"]); got != 2 {
+		t.Fatalf("ByService = %d VMs", got)
+	}
+}
+
+func TestSnapshotStepIsWeekdayNoon(t *testing.T) {
+	tr := smallTrace()
+	step := tr.SnapshotStep()
+	when := tr.Grid.TimeAt(step)
+	if when.Weekday().String() != "Wednesday" || when.Hour() != 12 {
+		t.Fatalf("snapshot at %v, want Wednesday 12:00", when)
+	}
+}
+
+func TestNodeSeries(t *testing.T) {
+	tr := smallTrace()
+	node := core.NodeRef{Cluster: "prv-1", Index: 0}
+	vms := tr.ByNode(core.Private)[node]
+	series := tr.NodeSeries(vms, 0, tr.Grid.N)
+	if len(series) != tr.Grid.N {
+		t.Fatalf("series length %d", len(series))
+	}
+	// At step 200 both VM 1 (0.3) and VM 2 (0.5) are alive, 2 cores each
+	// on an 8-core node: utilization ≈ (0.3*2 + 0.5*2)/8 = 0.2.
+	if got := series[200]; got < 0.15 || got > 0.25 {
+		t.Fatalf("node utilization at 200 = %v, want ~0.2", got)
+	}
+	// At step 500 only VM 1 remains: ≈ 0.3*2/8 = 0.075.
+	if got := series[500]; got < 0.05 || got > 0.1 {
+		t.Fatalf("node utilization at 500 = %v, want ~0.075", got)
+	}
+}
+
+func TestHourlyCountsCreationsDeletions(t *testing.T) {
+	tr := smallTrace()
+	counts := tr.HourlyAliveCounts(core.Public, "west")
+	if len(counts) != 168 {
+		t.Fatalf("counts length %d", len(counts))
+	}
+	// VM 4 alive [0,6): hour 0 only (alive at hour start 0).
+	if counts[0] != 1 {
+		t.Fatalf("hour 0 count = %v, want 1", counts[0])
+	}
+	// VM 5 alive [500,520): hour 42 starts at step 504.
+	if counts[42] != 1 {
+		t.Fatalf("hour 42 count = %v, want 1", counts[42])
+	}
+	creations := tr.HourlyCreations(core.Public, "west")
+	if creations[0] != 1 {
+		t.Fatalf("hour 0 creations = %v", creations[0])
+	}
+	if creations[500/12] != 1 {
+		t.Fatalf("creation hour of VM 5 missing")
+	}
+	deletions := tr.HourlyDeletions(core.Public, "west")
+	if deletions[0] != 1 { // VM 4 deleted at step 6
+		t.Fatalf("hour 0 deletions = %v", deletions[0])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := smallTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(tr.VMs, got.VMs) {
+		t.Fatal("VMs differ after round trip")
+	}
+	if !reflect.DeepEqual(tr.Topology, got.Topology) {
+		t.Fatal("topology differs after round trip")
+	}
+	if tr.Meta != got.Meta {
+		t.Fatal("meta differs after round trip")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"grid":{"n":0}}`)); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tr := smallTrace()
+	dir := t.TempDir()
+	for _, name := range []string{"t.json", "t.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := tr.SaveFile(path); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if len(got.VMs) != len(tr.VMs) {
+			t.Fatalf("%s: VM count %d != %d", name, len(got.VMs), len(tr.VMs))
+		}
+	}
+}
+
+func TestInventoryCSV(t *testing.T) {
+	tr := smallTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteInventoryCSV(&buf); err != nil {
+		t.Fatalf("WriteInventoryCSV: %v", err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse csv: %v", err)
+	}
+	if len(records) != len(tr.VMs)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(records), len(tr.VMs)+1)
+	}
+	if records[0][0] != "vm_id" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][3] != "private" || records[4][3] != "public" {
+		t.Fatalf("cloud column wrong: %v / %v", records[1][3], records[4][3])
+	}
+}
+
+func TestUtilizationCSV(t *testing.T) {
+	tr := smallTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteUtilizationCSV(&buf, 2); err != nil {
+		t.Fatalf("WriteUtilizationCSV: %v", err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse csv: %v", err)
+	}
+	if len(records) != 3 { // header + 2 VMs
+		t.Fatalf("rows = %d, want 3", len(records))
+	}
+	if len(records[0]) != tr.Grid.N+1 {
+		t.Fatalf("columns = %d, want %d", len(records[0]), tr.Grid.N+1)
+	}
+	// VM 2 ([100,400)) has empty cells outside its lifetime.
+	if records[2][1] != "" {
+		t.Fatalf("dead step cell = %q, want empty", records[2][1])
+	}
+	if records[2][101+100] == "" {
+		t.Fatal("live step cell empty")
+	}
+}
+
+func TestExportDir(t *testing.T) {
+	tr := smallTrace()
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := tr.ExportDir(dir); err != nil {
+		t.Fatalf("ExportDir: %v", err)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "trace.json.gz")); err != nil {
+		t.Fatalf("reload exported trace: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package usage
+
+import "cloudlens/internal/core"
+
+// The preset constructors build representative, valid parameter sets for
+// each pattern kind. The workload generator perturbs these per service/VM;
+// tests and examples use them directly.
+
+// Diurnal returns a user-facing daily pattern peaking at peakMinute local
+// minutes with the given base and amplitude. The weekend factor of 1/3
+// mirrors Figure 5(a), where weekday peaks reach ~60% but weekend peaks only
+// ~20%.
+func Diurnal(base, amp float64, peakMinute int, seed uint64) Params {
+	return Params{
+		Pattern:       core.PatternDiurnal,
+		Base:          base,
+		Amp:           amp,
+		PeakMinute:    peakMinute,
+		WeekendFactor: 1.0 / 3.0,
+		Sharpness:     3,
+		NoiseAmp:      0.02,
+		Seed:          seed,
+	}
+}
+
+// Stable returns a flat pattern at the given level with small jitter.
+func Stable(level float64, seed uint64) Params {
+	return Params{
+		Pattern:  core.PatternStable,
+		Base:     level,
+		NoiseAmp: 0.012,
+		Seed:     seed,
+	}
+}
+
+// Irregular returns a mostly idle pattern with unpredictable half-hour
+// spikes above 60%, per Figure 5(b) bottom.
+func Irregular(base float64, seed uint64) Params {
+	return Params{
+		Pattern:         core.PatternIrregular,
+		Base:            base,
+		NoiseAmp:        0.015,
+		SpikeProb:       0.05,
+		SpikeLevel:      0.65,
+		SpikeBlockSteps: 6, // 30 minutes at the 5-minute grid
+		Seed:            seed,
+	}
+}
+
+// HourlyPeak returns a meeting-join pattern: a working-hours envelope with
+// ten-minute peaks at the hour and half-hour marks, per Figure 5(c).
+func HourlyPeak(base, amp float64, peakMinute int, seed uint64) Params {
+	return Params{
+		Pattern:       core.PatternHourlyPeak,
+		Base:          base,
+		Amp:           amp,
+		PeakMinute:    peakMinute,
+		WeekendFactor: 0.4,
+		Sharpness:     2,
+		NoiseAmp:      0.02,
+		PeakAmp:       0.35,
+		PeakWidthMin:  10,
+		HalfHourPeaks: true,
+		Seed:          seed,
+	}
+}

@@ -1,0 +1,228 @@
+// Package usage models per-VM CPU utilization as lazily evaluated,
+// deterministic functions of time. The four model kinds mirror the paper's
+// Section IV-A taxonomy:
+//
+//   - diurnal: a daily bell peaking during working hours, damped on
+//     weekends (Figure 5a shows ~60% weekday peaks vs ~20% weekend peaks);
+//   - stable: a flat level with small jitter, the over-subscription
+//     candidate of Figure 5b (top);
+//   - irregular: mostly idle (<10%) with abrupt spikes above 60% and no
+//     periodic structure, Figure 5b (bottom);
+//   - hourly-peak: sharp peaks at the hour/half-hour marks riding on a
+//     daytime envelope (scheduled-meeting joins), Figure 5c.
+//
+// A model's value at a step is a pure function of its Params (including a
+// noise seed), so traces store parameters instead of 2016-sample arrays and
+// materialize series on demand.
+package usage
+
+import (
+	"fmt"
+	"math"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+)
+
+// Params fully describes a utilization model. The zero value is not valid;
+// construct instances via the workload generator or the helper constructors
+// in this package.
+type Params struct {
+	// Pattern selects the model kind.
+	Pattern core.Pattern `json:"pattern"`
+	// Base is the idle/baseline utilization fraction in [0, 1].
+	Base float64 `json:"base"`
+	// Amp is the diurnal amplitude above Base (diurnal and hourly-peak
+	// envelopes).
+	Amp float64 `json:"amp,omitempty"`
+	// PeakMinute is the minute-of-day of the diurnal peak in the model's
+	// anchor time zone.
+	PeakMinute int `json:"peakMinute,omitempty"`
+	// TZOffsetMin is the deployment region's offset from UTC in minutes;
+	// it anchors the daily cycle unless UTCAnchored is set.
+	TZOffsetMin int `json:"tzOffsetMin,omitempty"`
+	// UTCAnchored pins the daily cycle to UTC regardless of region. This
+	// is the geo-load-balancer effect behind the paper's region-agnostic
+	// workloads (Figure 7c): utilization peaks align across time zones.
+	UTCAnchored bool `json:"utcAnchored,omitempty"`
+	// WeekendFactor scales the amplitude on Saturdays and Sundays;
+	// 1 means no weekend effect.
+	WeekendFactor float64 `json:"weekendFactor,omitempty"`
+	// Sharpness shapes the diurnal bell; higher values concentrate the
+	// peak into fewer hours. Values around 2-4 resemble the paper's
+	// working-hours curves.
+	Sharpness float64 `json:"sharpness,omitempty"`
+	// NoiseAmp is the half-width of the uniform per-sample jitter.
+	NoiseAmp float64 `json:"noiseAmp,omitempty"`
+	// Seed makes the jitter (and irregular spikes) reproducible.
+	Seed uint64 `json:"seed"`
+	// SpikeProb is the per-block probability of an irregular spike.
+	SpikeProb float64 `json:"spikeProb,omitempty"`
+	// SpikeLevel is the utilization an irregular spike reaches.
+	SpikeLevel float64 `json:"spikeLevel,omitempty"`
+	// SpikeBlockSteps is the spike duration in samples.
+	SpikeBlockSteps int `json:"spikeBlockSteps,omitempty"`
+	// PeakAmp is the height of hourly peaks above the envelope.
+	PeakAmp float64 `json:"peakAmp,omitempty"`
+	// PeakWidthMin is the hourly peak duration in minutes.
+	PeakWidthMin int `json:"peakWidthMin,omitempty"`
+	// HalfHourPeaks adds peaks at the half-hour marks as well.
+	HalfHourPeaks bool `json:"halfHourPeaks,omitempty"`
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	if p.Pattern != core.PatternDiurnal && p.Pattern != core.PatternStable &&
+		p.Pattern != core.PatternIrregular && p.Pattern != core.PatternHourlyPeak {
+		return fmt.Errorf("usage: invalid pattern %v", p.Pattern)
+	}
+	if p.Base < 0 || p.Base > 1 {
+		return fmt.Errorf("usage: base %v out of [0,1]", p.Base)
+	}
+	if p.Amp < 0 || p.Base+p.Amp > 1.5 {
+		return fmt.Errorf("usage: amplitude %v out of range", p.Amp)
+	}
+	if p.Pattern == core.PatternIrregular && p.SpikeBlockSteps <= 0 {
+		return fmt.Errorf("usage: irregular model needs SpikeBlockSteps > 0")
+	}
+	if p.Pattern == core.PatternHourlyPeak && p.PeakWidthMin <= 0 {
+		return fmt.Errorf("usage: hourly-peak model needs PeakWidthMin > 0")
+	}
+	return nil
+}
+
+// anchorOffset returns the minutes offset that anchors the daily cycle.
+func (p Params) anchorOffset() int {
+	if p.UTCAnchored {
+		return 0
+	}
+	return p.TZOffsetMin
+}
+
+// At returns the CPU utilization fraction in [0, 1] at sample step of grid g.
+func (p Params) At(g sim.Grid, step int) float64 {
+	var v float64
+	switch p.Pattern {
+	case core.PatternDiurnal:
+		v = p.Base + p.diurnalComponent(g, step)
+	case core.PatternStable:
+		v = p.Base
+	case core.PatternIrregular:
+		v = p.Base + p.spikeComponent(step)
+	case core.PatternHourlyPeak:
+		v = p.Base + p.hourlyPeakComponent(g, step)
+	default:
+		v = p.Base
+	}
+	v += p.NoiseAmp * sim.NoiseSigned(p.Seed, step)
+	return clamp01(v)
+}
+
+// diurnalComponent is the daily bell including the weekend damping.
+func (p Params) diurnalComponent(g sim.Grid, step int) float64 {
+	off := p.anchorOffset()
+	m := g.MinuteOfDay(step, off)
+	phase := 2 * math.Pi * float64(m-p.PeakMinute) / (24 * 60)
+	bell := 0.5 * (1 + math.Cos(phase))
+	sharp := p.Sharpness
+	if sharp <= 0 {
+		sharp = 1
+	}
+	bell = math.Pow(bell, sharp)
+	amp := p.Amp
+	if g.IsWeekend(step, off) {
+		wf := p.WeekendFactor
+		if wf == 0 {
+			wf = 1
+		}
+		amp *= wf
+	}
+	return amp * bell
+}
+
+// spikeComponent produces block-aligned irregular spikes: the decision to
+// spike is drawn once per block so spikes persist for SpikeBlockSteps
+// samples, matching the "raises above 60% for a short time with no apparent
+// sign" description.
+func (p Params) spikeComponent(step int) float64 {
+	if p.SpikeBlockSteps <= 0 || p.SpikeProb <= 0 {
+		return 0
+	}
+	block := step / p.SpikeBlockSteps
+	draw := sim.Noise01(p.Seed^0xa5a5a5a5a5a5a5a5, block)
+	if draw >= p.SpikeProb {
+		return 0
+	}
+	// Spike height varies per block so repeated spikes differ.
+	height := 0.7 + 0.3*sim.Noise01(p.Seed^0x5a5a5a5a5a5a5a5a, block)
+	return p.SpikeLevel * height
+}
+
+// hourlyPeakComponent produces the meeting-join peaks: a daytime diurnal
+// envelope plus tall spikes in the first PeakWidthMin minutes of each hour
+// (and optionally half-hour).
+func (p Params) hourlyPeakComponent(g sim.Grid, step int) float64 {
+	env := p.diurnalComponent(g, step)
+	m := g.MinuteOfDay(step, p.anchorOffset())
+	minuteOfHour := m % 60
+	inPeak := minuteOfHour < p.PeakWidthMin
+	if p.HalfHourPeaks && minuteOfHour >= 30 && minuteOfHour < 30+p.PeakWidthMin {
+		inPeak = true
+	}
+	if !inPeak {
+		return env
+	}
+	// The peak height follows the envelope so hourly peaks are tall
+	// during working hours and muted at night, as in Figure 5(c)/7(c).
+	scale := 0.2
+	if p.Amp > 0 {
+		scale = env / p.Amp
+	}
+	return env + p.PeakAmp*scale
+}
+
+// Series materializes the utilization fractions for steps [from, to).
+func (p Params) Series(g sim.Grid, from, to int) []float64 {
+	if to > g.N {
+		to = g.N
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([]float64, to-from)
+	for i := range out {
+		out[i] = p.At(g, from+i)
+	}
+	return out
+}
+
+// MeanOver returns the average utilization fraction over steps [from, to).
+func (p Params) MeanOver(g sim.Grid, from, to int) float64 {
+	if to > g.N {
+		to = g.N
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return 0
+	}
+	sum := 0.0
+	for i := from; i < to; i++ {
+		sum += p.At(g, i)
+	}
+	return sum / float64(to-from)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,251 @@
+// Package workload generates the synthetic week of private- and public-
+// cloud activity that substitutes for the paper's proprietary Azure
+// dataset. Every generative mechanism corresponds to a cause the paper
+// names:
+//
+//   - private subscriptions deploy large, homogeneous, multi-region
+//     services whose VMs share a utilization model (first-party services
+//     behind geo load balancers);
+//   - public subscriptions are numerous, small, mostly single-region, with
+//     per-VM independent utilization and a wide VM-size range;
+//   - public churn follows a clean diurnal auto-scaling arrival process;
+//     private churn is a low-amplitude baseline plus occasional large
+//     service-rollout bursts;
+//   - lifetime mixtures are calibrated so the shortest lifetime bin holds
+//     ~49% of private and ~81% of public within-week VMs (Figure 3a).
+//
+// The generator is fully deterministic given Config.Seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cloudlens/internal/platform"
+	"cloudlens/internal/sim"
+)
+
+// Config controls trace generation. Use DefaultConfig as the base and
+// override selectively; the zero value is not valid.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale multiplies subscription counts and churn rates. 1.0 yields a
+	// laptop-sized universe (roughly 25-30k VMs); analyses are
+	// shape-invariant in Scale.
+	Scale float64
+	// Grid is the observation window; DefaultConfig uses sim.WeekGrid.
+	Grid sim.Grid
+	// Topology is the physical substrate; nil selects DefaultTopology.
+	Topology *platform.Topology
+
+	Private PrivateConfig
+	Public  PublicConfig
+	Special SpecialConfig
+
+	// Placement ablates allocator-policy ingredients (affinity, rack
+	// spread) for the design-choice experiments; the zero value is the
+	// full policy.
+	Placement platform.AllocatorOptions
+}
+
+// PrivateConfig parameterizes the first-party workload model.
+type PrivateConfig struct {
+	// Subscriptions is the subscription count at Scale 1.
+	Subscriptions int
+	// SingleRegionProb is the chance a subscription deploys into exactly
+	// one region (Figure 4a: slightly above half).
+	SingleRegionProb float64
+	// MaxExtraRegions bounds the Zipf-distributed extra region count of
+	// multi-region subscriptions.
+	MaxExtraRegions int
+	// RegionZipfS is the Zipf exponent for extra regions.
+	RegionZipfS float64
+	// SizeMu/SizeSigma parameterize the log-normal per-region deployment
+	// size.
+	SizeMu, SizeSigma float64
+	// RegionSizeExp couples deployment size to region count: total size
+	// scales as regions^RegionSizeExp, making multi-region subscriptions
+	// the heavy core users (Figure 4b: only ~40% of private cores belong
+	// to single-region subscriptions).
+	RegionSizeExp float64
+	// PatternWeights orders diurnal, stable, irregular, hourly-peak
+	// (Figure 5d: private is diurnal-heavy with a visible hourly-peak
+	// share).
+	PatternWeights [4]float64
+	// RegionAgnosticProb is the chance a multi-region service is behind
+	// a geo load balancer and therefore UTC-anchored (Figure 7c).
+	RegionAgnosticProb float64
+	// ShortLifetimeFrac is the churn mixture weight of the short-lived
+	// exponential component.
+	ShortLifetimeFrac float64
+	// ShortLifetimeMeanMin is the mean of the short component in
+	// minutes.
+	ShortLifetimeMeanMin float64
+	// LongLifetimeMedianMin / LongLifetimeSigma parameterize the
+	// log-normal long component.
+	LongLifetimeMedianMin float64
+	LongLifetimeSigma     float64
+	// ChurnPerRegionHour is the mean baseline VM creations per region
+	// per hour at Scale 1.
+	ChurnPerRegionHour float64
+	// ChurnDiurnalAmp is the relative diurnal amplitude of the baseline
+	// churn (private churn is only mildly diurnal).
+	ChurnDiurnalAmp float64
+	// ChurnWeekendFactor scales churn on weekends.
+	ChurnWeekendFactor float64
+	// Bursts is the number of service-rollout bursts in the week at
+	// Scale 1 (the spikes of Figures 3b/3c).
+	Bursts int
+	// BurstSizeMin/Max bound the VMs created per burst.
+	BurstSizeMin, BurstSizeMax int
+	// BaseVMFraction is the share of a deployment present since before
+	// the window (long-running VMs).
+	BaseVMFraction float64
+	// IndependentVMPatterns ablates the service-shared utilization
+	// templates: when set, every private VM draws an independent model,
+	// as public VMs do. This removes the node-level homogeneity that
+	// drives Figure 7(a) — the ablation demonstrating that shared
+	// first-party service behaviour, not placement, causes the high
+	// VM-to-node correlation.
+	IndependentVMPatterns bool
+}
+
+// PublicConfig parameterizes the third-party workload model.
+type PublicConfig struct {
+	Subscriptions    int
+	SingleRegionProb float64
+	MaxExtraRegions  int
+	RegionZipfS      float64
+	SizeMu           float64
+	SizeSigma        float64
+	RegionSizeExp    float64
+	// PatternWeights orders diurnal, stable, irregular, hourly-peak
+	// (Figure 5d: public is stable-heavy, hourly-peak is rare).
+	PatternWeights        [4]float64
+	ShortLifetimeFrac     float64
+	ShortLifetimeMeanMin  float64
+	LongLifetimeMedianMin float64
+	LongLifetimeSigma     float64
+	// ChurnPerRegionHour is the peak auto-scaling creation rate per
+	// region per hour at Scale 1; the realized rate follows a clean
+	// diurnal curve (Figure 3c).
+	ChurnPerRegionHour float64
+	// ChurnDiurnalAmp is the relative diurnal amplitude (public churn is
+	// strongly diurnal).
+	ChurnDiurnalAmp    float64
+	ChurnWeekendFactor float64
+	// DailyScalerFraction is the share of a public deployment handled by
+	// auto-scaling: these slots spawn a VM each weekday morning and
+	// retire it in the evening, producing the weekday diurnal swing and
+	// weekend decrease of total VM counts (Figure 3b).
+	DailyScalerFraction float64
+	BaseVMFraction      float64
+}
+
+// SpecialConfig pins down the named case studies.
+type SpecialConfig struct {
+	// ServiceXRegions are the deployment regions of ServiceX, the
+	// region-agnostic, geo-load-balanced service of Figure 7(c) and the
+	// Canada pilot. The first entry must be the Canada source region.
+	ServiceXRegions []string
+	// ServiceXVMsPerRegion is the ServiceX deployment size per region.
+	ServiceXVMsPerRegion int
+	// CanadaSource / CanadaDest name the pilot regions.
+	CanadaSource, CanadaDest string
+	// CanadaFillerVMs is the number of additional private filler VMs
+	// pinned to the source region to make it "hot".
+	CanadaFillerVMs int
+	// CanadaDestVMs is the light private load of the destination.
+	CanadaDestVMs int
+}
+
+// DefaultConfig returns the calibrated configuration used throughout the
+// reproduction. See DESIGN.md for the calibration targets.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:  seed,
+		Scale: 1,
+		Grid:  sim.WeekGrid(),
+		Private: PrivateConfig{
+			Subscriptions:         60,
+			SingleRegionProb:      0.55,
+			MaxExtraRegions:       7,
+			RegionZipfS:           1.2,
+			SizeMu:                math.Log(25),
+			SizeSigma:             0.9,
+			RegionSizeExp:         0.9,
+			PatternWeights:        [4]float64{0.55, 0.15, 0.10, 0.20},
+			RegionAgnosticProb:    0.75,
+			ShortLifetimeFrac:     0.88,
+			ShortLifetimeMeanMin:  12,
+			LongLifetimeMedianMin: 240,
+			LongLifetimeSigma:     1.2,
+			ChurnPerRegionHour:    2.0,
+			ChurnDiurnalAmp:       0.35,
+			ChurnWeekendFactor:    0.7,
+			Bursts:                28,
+			BurstSizeMin:          40,
+			BurstSizeMax:          160,
+			BaseVMFraction:        0.85,
+		},
+		Public: PublicConfig{
+			Subscriptions:         2200,
+			SingleRegionProb:      0.78,
+			MaxExtraRegions:       2,
+			RegionZipfS:           1.5,
+			SizeMu:                math.Log(1.8),
+			SizeSigma:             1.0,
+			RegionSizeExp:         0.5,
+			PatternWeights:        [4]float64{0.30, 0.47, 0.18, 0.05},
+			ShortLifetimeFrac:     0.94,
+			ShortLifetimeMeanMin:  12,
+			LongLifetimeMedianMin: 180,
+			LongLifetimeSigma:     1.3,
+			ChurnPerRegionHour:    12.0,
+			ChurnDiurnalAmp:       0.60,
+			ChurnWeekendFactor:    0.75,
+			DailyScalerFraction:   0.10,
+			BaseVMFraction:        0.9,
+		},
+		Special: SpecialConfig{
+			ServiceXRegions: []string{
+				"canada-a", "us-east", "us-central", "us-west", "us-alaska", "us-hawaii",
+			},
+			ServiceXVMsPerRegion: 28,
+			CanadaSource:         "canada-a",
+			CanadaDest:           "canada-b",
+			CanadaFillerVMs:      340,
+			CanadaDestVMs:        130,
+		},
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("workload: scale must be positive, got %v", c.Scale)
+	}
+	if c.Grid.N <= 0 || c.Grid.Step <= 0 {
+		return fmt.Errorf("workload: invalid grid")
+	}
+	if c.Private.Subscriptions <= 0 || c.Public.Subscriptions <= 0 {
+		return fmt.Errorf("workload: subscription counts must be positive")
+	}
+	for _, w := range c.Private.PatternWeights {
+		if w < 0 {
+			return fmt.Errorf("workload: negative private pattern weight")
+		}
+	}
+	for _, w := range c.Public.PatternWeights {
+		if w < 0 {
+			return fmt.Errorf("workload: negative public pattern weight")
+		}
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package workload
+
+// Distribution-level tests: the generated population must match the
+// configured generative model, independent of any later analysis.
+
+import (
+	"math"
+	"testing"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+)
+
+func TestPrivatePatternMixMatchesWeights(t *testing.T) {
+	cfg := DefaultConfig(16)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[core.Pattern]float64)
+	services := make(map[string]core.Pattern)
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Cloud != core.Private {
+			continue
+		}
+		services[v.Service] = v.Usage.Pattern
+	}
+	// Count at the service level (that is where the weights apply),
+	// excluding the special-cased services.
+	n := 0.0
+	for svc, p := range services {
+		if svc == ServiceXName || len(svc) > 4 && svc[:4] != "svc-" {
+			continue
+		}
+		counts[p]++
+		n++
+	}
+	if n < 30 {
+		t.Fatalf("only %v regular private services", n)
+	}
+	wants := map[core.Pattern]float64{
+		core.PatternDiurnal:    cfg.Private.PatternWeights[0],
+		core.PatternStable:     cfg.Private.PatternWeights[1],
+		core.PatternIrregular:  cfg.Private.PatternWeights[2],
+		core.PatternHourlyPeak: cfg.Private.PatternWeights[3],
+	}
+	for p, want := range wants {
+		got := counts[p] / n
+		// Binomial noise over ~60 services is large; allow wide slack.
+		if math.Abs(got-want) > 0.2 {
+			t.Errorf("pattern %v share %.2f, configured %.2f", p, got, want)
+		}
+	}
+}
+
+func TestPublicVMSizeDistribution(t *testing.T) {
+	rng := sim.NewRNG(3)
+	counts := make(map[int]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := samplePublicSize(rng)
+		counts[s.Cores]++
+		if s.MemoryGB < s.Cores || s.MemoryGB > 256 {
+			t.Fatalf("implausible memory %d for %d cores", s.MemoryGB, s.Cores)
+		}
+	}
+	// Monotonically decreasing popularity with core count, tiny but
+	// non-zero tail of 64-core VMs — the Figure 2 corners.
+	if counts[1] < counts[4] || counts[2] < counts[8] {
+		t.Fatalf("core histogram not small-heavy: %v", counts)
+	}
+	if counts[64] == 0 {
+		t.Fatal("no 64-core VMs sampled")
+	}
+	if frac := float64(counts[64]) / n; frac > 0.02 {
+		t.Fatalf("64-core share %.4f too common", frac)
+	}
+}
+
+func TestPrivateVMSizeDistribution(t *testing.T) {
+	rng := sim.NewRNG(4)
+	counts := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		s := samplePrivateSize(rng)
+		counts[s.Cores]++
+		switch s.Cores {
+		case 2, 4, 8, 16:
+		default:
+			t.Fatalf("private core count %d outside the SKU menu", s.Cores)
+		}
+	}
+	if counts[4] < counts[2] || counts[4] < counts[16] {
+		t.Fatalf("4-core SKU not dominant: %v", counts)
+	}
+}
+
+func TestCanadaRegionsHostOnlyDedicatedLoad(t *testing.T) {
+	tr, err := Generate(DefaultConfig(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Cloud != core.Private {
+			continue
+		}
+		if v.Region != "canada-a" && v.Region != "canada-b" {
+			continue
+		}
+		sub := string(v.Subscription)
+		switch {
+		case sub == "prv-sub-servicex":
+		case len(sub) >= 11 && sub[:11] == "prv-canfill":
+		case len(sub) >= 11 && sub[:11] == "prv-candest":
+		default:
+			t.Fatalf("regular private subscription %s deployed in %s; the pilot regions must stay controlled",
+				sub, v.Region)
+		}
+	}
+}
+
+func TestChurnRateDiurnalShape(t *testing.T) {
+	cfg := DefaultConfig(19)
+	topo := DefaultTopology(cfg.Scale)
+	g := &generator{cfg: cfg, topo: topo}
+	// Public churn rate peaks mid-afternoon local time and dips at night.
+	peak := g.churnRate(14*12+2*12, 0, 12, 0.6, 0.75)        // Tuesday 14:00 UTC region
+	night := g.churnRate(14*12+2*12+12*12, 0, 12, 0.6, 0.75) // Wednesday 02:00
+	if peak <= night {
+		t.Fatalf("churn rate not diurnal: peak %v vs night %v", peak, night)
+	}
+	// Weekend damping applies.
+	saturday := g.churnRate(5*288+14*12, 0, 12, 0.6, 0.75)
+	tuesday := g.churnRate(1*288+14*12, 0, 12, 0.6, 0.75)
+	if saturday >= tuesday {
+		t.Fatalf("weekend churn %v not below weekday %v", saturday, tuesday)
+	}
+}
+
+func TestBaseLifetimeSpansWindow(t *testing.T) {
+	rng := sim.NewRNG(20)
+	for i := 0; i < 1000; i++ {
+		created, deleted := baseLifetime(rng, 2016)
+		if created >= 0 {
+			t.Fatalf("base VM created inside the window: %d", created)
+		}
+		if deleted <= 2016 {
+			t.Fatalf("base VM deleted inside the window: %d", deleted)
+		}
+	}
+}

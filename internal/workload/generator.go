@@ -1,0 +1,498 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/platform"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/usage"
+)
+
+// vmSpec is a VM the workload models want to exist; placement through the
+// allocator turns surviving specs into trace records.
+type vmSpec struct {
+	sub     core.SubscriptionID
+	service string
+	cloud   core.Cloud
+	region  string
+	size    core.VMSize
+	created int
+	deleted int
+	usage   usage.Params
+}
+
+// serviceDeployment is a deployment group: a private first-party service
+// with a shared utilization template, or a public subscription's VM pool.
+type serviceDeployment struct {
+	sub       core.SubscriptionID
+	name      string
+	cloud     core.Cloud
+	regions   []string
+	perRegion []int
+	// template is the shared utilization model (private services); public
+	// deployments draw per-VM models instead.
+	template usage.Params
+	// size is the per-VM size of a private service (one SKU per service).
+	size core.VMSize
+}
+
+// generator accumulates specs across the model stages.
+type generator struct {
+	cfg   Config
+	topo  *platform.Topology
+	specs []vmSpec
+
+	privateServices []serviceDeployment
+	publicSubs      []serviceDeployment
+
+	allocationFailures int
+}
+
+// Generate produces a complete validated trace from the configuration.
+func Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = DefaultTopology(cfg.Scale)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	g := &generator{cfg: cfg, topo: topo}
+
+	root := sim.NewRNG(cfg.Seed)
+	g.genPrivate(root.Fork("private"))
+	g.genPublic(root.Fork("public"))
+	g.genSpecial(root.Fork("special"))
+	g.genChurn(root.Fork("churn"))
+	g.genBursts(root.Fork("bursts"))
+
+	t := g.place()
+	t.Meta = trace.Meta{
+		Seed:      cfg.Seed,
+		Scale:     cfg.Scale,
+		Generator: "cloudlens default generator",
+	}
+	t.Meta.AllocationFailures = g.allocationFailures
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// scaleCount multiplies a count by the configured scale, keeping at least 1.
+func (g *generator) scaleCount(n int) int {
+	s := int(math.Round(float64(n) * g.cfg.Scale))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// pickRegions samples k distinct deployment regions, weighted by the
+// platform's cluster presence so capacity-rich regions attract more
+// deployments. Regions named in exclude are skipped (the Canada pilot
+// regions carry dedicated load only, keeping the Section IV-B experiment
+// controlled).
+func (g *generator) pickRegions(rng *sim.RNG, cloud core.Cloud, k int, exclude []string) []string {
+	available := g.topo.RegionsOf(cloud)
+	if len(exclude) > 0 {
+		filtered := available[:0:0]
+		for _, r := range available {
+			skip := false
+			for _, e := range exclude {
+				if r == e {
+					skip = true
+					break
+				}
+			}
+			if !skip {
+				filtered = append(filtered, r)
+			}
+		}
+		available = filtered
+	}
+	if k > len(available) {
+		k = len(available)
+	}
+	weights := make([]float64, len(available))
+	for i, r := range available {
+		weights[i] = float64(len(g.topo.ClustersIn(r, cloud)))
+	}
+	picked := make([]string, 0, k)
+	for len(picked) < k {
+		i := rng.Categorical(weights)
+		weights[i] = 0
+		picked = append(picked, available[i])
+	}
+	return picked
+}
+
+// regionCount draws a subscription's number of deployment regions.
+func regionCount(rng *sim.RNG, singleProb float64, maxExtra int, zipfS float64) int {
+	if rng.Bool(singleProb) || maxExtra <= 0 {
+		return 1
+	}
+	return 1 + rng.Zipf(maxExtra, zipfS)
+}
+
+// baseLifetime returns the created/deleted steps of a long-running VM that
+// predates and outlives the observation window.
+func baseLifetime(rng *sim.RNG, n int) (created, deleted int) {
+	return -(1 + rng.Intn(n)), n + 1 + rng.Intn(n)
+}
+
+// genPrivate builds the regular first-party subscriptions: few, large,
+// multi-region, homogeneous service deployments.
+func (g *generator) genPrivate(rng *sim.RNG) {
+	cfg := g.cfg.Private
+	n := g.scaleCount(cfg.Subscriptions)
+	for i := 0; i < n; i++ {
+		sub := core.SubscriptionID(fmt.Sprintf("prv-sub-%04d", i+1))
+		k := regionCount(rng, cfg.SingleRegionProb, cfg.MaxExtraRegions, cfg.RegionZipfS)
+		exclude := []string{g.cfg.Special.CanadaSource, g.cfg.Special.CanadaDest}
+		regions := g.pickRegions(rng, core.Private, k, exclude)
+		total := deploymentSize(rng, cfg.SizeMu, cfg.SizeSigma, cfg.RegionSizeExp, len(regions), g.scaleCount(500))
+		// Large first-party deployments are the user-facing web and
+		// communication services the paper says dominate the private
+		// cloud, so they skew diurnal; the configured weights apply to
+		// the ordinary services. Without this, one huge service that
+		// happened to draw hourly-peak would dominate the VM-level
+		// pattern mix of Figure 5(d).
+		weights := cfg.PatternWeights
+		if total >= g.scaleCount(120) {
+			weights = [4]float64{0.72, 0.08, 0.04, 0.16}
+		}
+		kind := samplePattern(rng, weights)
+		utc := len(regions) > 1 && rng.Bool(cfg.RegionAgnosticProb)
+		perRegion := splitAcrossRegions(rng, total, len(regions))
+		// Clip per-region shares so one deployment cannot monopolize a
+		// small region's scaled-down capacity.
+		maxPerRegion := g.scaleCount(170)
+		for ri := range perRegion {
+			if perRegion[ri] > maxPerRegion {
+				perRegion[ri] = maxPerRegion
+			}
+		}
+		svc := serviceDeployment{
+			sub:       sub,
+			name:      fmt.Sprintf("svc-%04d", i+1),
+			cloud:     core.Private,
+			regions:   regions,
+			perRegion: perRegion,
+			template:  privateTemplate(rng, kind, utc),
+			size:      samplePrivateSize(rng),
+		}
+		g.privateServices = append(g.privateServices, svc)
+		g.emitBaseVMs(rng, svc, cfg.BaseVMFraction)
+	}
+}
+
+// genPublic builds the third-party subscriptions: many, small, mostly
+// single-region, with independent per-VM utilization and diverse sizes.
+func (g *generator) genPublic(rng *sim.RNG) {
+	cfg := g.cfg.Public
+	n := g.scaleCount(cfg.Subscriptions)
+	for i := 0; i < n; i++ {
+		sub := core.SubscriptionID(fmt.Sprintf("pub-sub-%05d", i+1))
+		k := regionCount(rng, cfg.SingleRegionProb, cfg.MaxExtraRegions, cfg.RegionZipfS)
+		regions := g.pickRegions(rng, core.Public, k, nil)
+		total := deploymentSize(rng, cfg.SizeMu, cfg.SizeSigma, cfg.RegionSizeExp, len(regions), g.scaleCount(120))
+		dep := serviceDeployment{
+			sub:       sub,
+			name:      fmt.Sprintf("dep-%05d", i+1),
+			cloud:     core.Public,
+			regions:   regions,
+			perRegion: splitAcrossRegions(rng, total, len(regions)),
+		}
+		g.publicSubs = append(g.publicSubs, dep)
+		g.emitBaseVMs(rng, dep, cfg.BaseVMFraction)
+		g.emitDailyScalers(rng, dep, cfg.DailyScalerFraction)
+	}
+}
+
+// emitDailyScalers creates the auto-scaled portion of a public deployment:
+// each scaler slot spawns a VM every weekday around local business-hours
+// start and retires it around the evening. The aggregate effect is the
+// weekday diurnal swing and weekend decrease of public VM counts the paper
+// shows in Figure 3(b).
+func (g *generator) emitDailyScalers(rng *sim.RNG, dep serviceDeployment, fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	stepMin := g.cfg.Grid.StepMinutes()
+	stepsPerDay := 24 * 60 / stepMin
+	days := g.cfg.Grid.N / stepsPerDay
+	for ri, region := range dep.regions {
+		slots := int(math.Round(float64(dep.perRegion[ri]) * fraction))
+		tz := g.topo.TZOffsetMin(region)
+		for s := 0; s < slots; s++ {
+			for day := 0; day < days; day++ {
+				dayStart := day * stepsPerDay
+				if g.cfg.Grid.IsWeekend(dayStart+stepsPerDay/2, tz) {
+					continue
+				}
+				// ~08:00 local start, ~11 +/- 2.5 hour run.
+				startLocalMin := 8*60 + rng.Intn(180)
+				created := dayStart + (startLocalMin-tz)/stepMin
+				lifeSteps := (9*60 + rng.Intn(5*60)) / stepMin
+				if created < 0 {
+					created = 0
+				}
+				if created >= g.cfg.Grid.N {
+					continue
+				}
+				g.specs = append(g.specs,
+					g.newSpec(rng, dep, region, created, created+lifeSteps))
+			}
+		}
+	}
+}
+
+// emitBaseVMs creates the long-running portion of a deployment.
+func (g *generator) emitBaseVMs(rng *sim.RNG, dep serviceDeployment, baseFraction float64) {
+	for ri, region := range dep.regions {
+		count := int(math.Round(float64(dep.perRegion[ri]) * baseFraction))
+		if dep.perRegion[ri] > 0 && count == 0 {
+			count = 1
+		}
+		for j := 0; j < count; j++ {
+			created, deleted := baseLifetime(rng, g.cfg.Grid.N)
+			g.specs = append(g.specs, g.newSpec(rng, dep, region, created, deleted))
+		}
+	}
+}
+
+// newSpec instantiates one VM of a deployment in a region.
+func (g *generator) newSpec(rng *sim.RNG, dep serviceDeployment, region string, created, deleted int) vmSpec {
+	var params usage.Params
+	var size core.VMSize
+	if dep.cloud == core.Private {
+		if g.cfg.Private.IndependentVMPatterns {
+			// Ablation: private VMs behave like independent tenants.
+			kind := samplePattern(rng, g.cfg.Private.PatternWeights)
+			params = privateTemplate(rng, kind, dep.template.UTCAnchored)
+		} else {
+			params = reseed(dep.template, rng)
+		}
+		size = dep.size
+	} else {
+		kind := samplePattern(rng, g.cfg.Public.PatternWeights)
+		params = publicTemplate(rng, kind)
+		size = samplePublicSize(rng)
+	}
+	params.TZOffsetMin = g.topo.TZOffsetMin(region)
+	return vmSpec{
+		sub:     dep.sub,
+		service: dep.name,
+		cloud:   dep.cloud,
+		region:  region,
+		size:    size,
+		created: created,
+		deleted: deleted,
+		usage:   params,
+	}
+}
+
+// churnIndex lists, for one region, the deployments present there with
+// sampling weights proportional to their deployment sizes: bigger services
+// auto-scale and redeploy more.
+type churnIndex struct {
+	deps    []int // indices into the deployment slice
+	weights []float64
+}
+
+func buildChurnIndex(deps []serviceDeployment) map[string]*churnIndex {
+	idx := make(map[string]*churnIndex)
+	for di, dep := range deps {
+		for ri, region := range dep.regions {
+			ci := idx[region]
+			if ci == nil {
+				ci = &churnIndex{}
+				idx[region] = ci
+			}
+			ci.deps = append(ci.deps, di)
+			ci.weights = append(ci.weights, float64(dep.perRegion[ri])+1)
+		}
+	}
+	return idx
+}
+
+// churnBell is the normalized diurnal shape of creation rates: a squared
+// raised cosine peaking at 14:00 with mean 1.
+func churnBell(minuteOfDay int) float64 {
+	phase := 2 * math.Pi * float64(minuteOfDay-14*60) / (24 * 60)
+	bell := 0.5 * (1 + math.Cos(phase))
+	return bell * bell / 0.375
+}
+
+// churnRate returns the expected creations in one grid step.
+func (g *generator) churnRate(step int, tzOffsetMin int, perHour, amp, weekendFactor float64) float64 {
+	stepsPerHour := 60 / g.cfg.Grid.StepMinutes()
+	base := perHour * g.cfg.Scale / float64(stepsPerHour)
+	m := g.cfg.Grid.MinuteOfDay(step, tzOffsetMin)
+	factor := (1 - amp) + amp*churnBell(m)
+	if g.cfg.Grid.IsWeekend(step, tzOffsetMin) {
+		factor *= weekendFactor
+	}
+	return base * factor
+}
+
+// genChurn runs both clouds' arrival processes: a clean diurnal
+// auto-scaling process for public workloads and a low-amplitude baseline
+// for private ones (bursts come separately).
+func (g *generator) genChurn(rng *sim.RNG) {
+	g.runChurn(rng.Fork("private"), core.Private, g.privateServices,
+		g.cfg.Private.ChurnPerRegionHour, g.cfg.Private.ChurnDiurnalAmp, g.cfg.Private.ChurnWeekendFactor,
+		newLifetimeMixture(g.cfg.Private.ShortLifetimeFrac, g.cfg.Private.ShortLifetimeMeanMin,
+			g.cfg.Private.LongLifetimeMedianMin, g.cfg.Private.LongLifetimeSigma))
+	g.runChurn(rng.Fork("public"), core.Public, g.publicSubs,
+		g.cfg.Public.ChurnPerRegionHour, g.cfg.Public.ChurnDiurnalAmp, g.cfg.Public.ChurnWeekendFactor,
+		newLifetimeMixture(g.cfg.Public.ShortLifetimeFrac, g.cfg.Public.ShortLifetimeMeanMin,
+			g.cfg.Public.LongLifetimeMedianMin, g.cfg.Public.LongLifetimeSigma))
+}
+
+func (g *generator) runChurn(rng *sim.RNG, cloud core.Cloud, deps []serviceDeployment,
+	perHour, amp, weekendFactor float64, lifetimes lifetimeMixture) {
+
+	idx := buildChurnIndex(deps)
+	regions := g.topo.RegionsOf(cloud)
+	stepMin := g.cfg.Grid.StepMinutes()
+	for _, region := range regions {
+		ci := idx[region]
+		if ci == nil {
+			continue
+		}
+		regionRNG := rng.Fork(region)
+		tz := g.topo.TZOffsetMin(region)
+		for step := 0; step < g.cfg.Grid.N; step++ {
+			rate := g.churnRate(step, tz, perHour, amp, weekendFactor)
+			for e := regionRNG.Poisson(rate); e > 0; e-- {
+				dep := deps[ci.deps[regionRNG.Categorical(ci.weights)]]
+				life := lifetimes.sampleSteps(regionRNG, stepMin)
+				g.specs = append(g.specs,
+					g.newSpec(regionRNG, dep, region, step, step+life))
+			}
+		}
+	}
+}
+
+// genBursts injects the private cloud's service-rollout bursts: a large
+// service creates tens to hundreds of VMs within minutes, producing the
+// spikes of Figures 3(b) and 3(c).
+func (g *generator) genBursts(rng *sim.RNG) {
+	cfg := g.cfg.Private
+	if len(g.privateServices) == 0 {
+		return
+	}
+	bursts := g.scaleCount(cfg.Bursts)
+	for b := 0; b < bursts; b++ {
+		svc := g.privateServices[rng.Intn(len(g.privateServices))]
+		region := svc.regions[rng.Intn(len(svc.regions))]
+		// Rollouts happen mostly on weekdays.
+		step := rng.Intn(g.cfg.Grid.N)
+		if g.cfg.Grid.IsWeekend(step, 0) && rng.Bool(0.8) {
+			step = rng.Intn(5 * g.cfg.Grid.N / 7) // first five days
+		}
+		size := cfg.BurstSizeMin + rng.Intn(cfg.BurstSizeMax-cfg.BurstSizeMin+1)
+		size = g.scaleCount(size)
+		for j := 0; j < size; j++ {
+			created := step + rng.Intn(3)
+			if created >= g.cfg.Grid.N {
+				created = g.cfg.Grid.N - 1
+			}
+			// Rollout VMs persist for hours to days.
+			lifeMin := rng.LogNormal(math.Log(36*60), 0.8)
+			life := int(math.Ceil(lifeMin / float64(g.cfg.Grid.StepMinutes())))
+			if life < 1 {
+				life = 1
+			}
+			g.specs = append(g.specs, g.newSpec(rng, svc, region, created, created+life))
+		}
+	}
+}
+
+// deletion is a pending Free event during placement replay.
+type deletion struct {
+	step      int
+	placement platform.Placement
+	request   platform.Request
+}
+
+// deletionHeap is a min-heap on step.
+type deletionHeap []deletion
+
+func (h deletionHeap) Len() int            { return len(h) }
+func (h deletionHeap) Less(i, j int) bool  { return h[i].step < h[j].step }
+func (h deletionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deletionHeap) Push(x interface{}) { *h = append(*h, x.(deletion)) }
+func (h *deletionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// place replays all specs through the allocator in creation order, freeing
+// capacity as VMs terminate, and materializes the trace.
+func (g *generator) place() *trace.Trace {
+	sort.SliceStable(g.specs, func(i, j int) bool {
+		return g.specs[i].created < g.specs[j].created
+	})
+	alloc := platform.NewAllocatorWithOptions(g.topo, g.cfg.Placement)
+	var pending deletionHeap
+	heap.Init(&pending)
+
+	t := &trace.Trace{
+		Grid:     g.cfg.Grid,
+		Topology: *g.topo,
+	}
+	var nextID core.VMID = 1
+	for i := range g.specs {
+		s := &g.specs[i]
+		for pending.Len() > 0 && pending[0].step <= s.created {
+			d := heap.Pop(&pending).(deletion)
+			alloc.Free(d.placement, d.request)
+		}
+		req := platform.Request{
+			Region:       s.region,
+			Cloud:        s.cloud,
+			Subscription: s.sub,
+			Service:      s.service,
+			Size:         s.size,
+		}
+		p, err := alloc.Allocate(req)
+		if err != nil {
+			// Allocation failure: the VM request is rejected, as in
+			// the real platform; the count lands in Meta.
+			continue
+		}
+		t.VMs = append(t.VMs, trace.VM{
+			ID:           nextID,
+			Subscription: s.sub,
+			Service:      s.service,
+			Cloud:        s.cloud,
+			Region:       s.region,
+			Node:         p.Node,
+			Rack:         p.Rack,
+			Size:         s.size,
+			CreatedStep:  s.created,
+			DeletedStep:  s.deleted,
+			Usage:        s.usage,
+		})
+		nextID++
+		if s.deleted <= g.cfg.Grid.N {
+			heap.Push(&pending, deletion{step: s.deleted, placement: p, request: req})
+		}
+	}
+	g.allocationFailures = alloc.Failures()
+	return t
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/usage"
+)
+
+// patternIndex maps the PatternWeights array positions to pattern kinds.
+var patternOrder = [4]core.Pattern{
+	core.PatternDiurnal,
+	core.PatternStable,
+	core.PatternIrregular,
+	core.PatternHourlyPeak,
+}
+
+// samplePattern draws a pattern kind according to the configured weights.
+func samplePattern(rng *sim.RNG, weights [4]float64) core.Pattern {
+	return patternOrder[rng.Categorical(weights[:])]
+}
+
+// uniformIn returns a uniform draw in [lo, hi).
+func uniformIn(rng *sim.RNG, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+// privateTemplate builds the shared utilization template of a first-party
+// service. All VMs of the service inherit it (with fresh noise seeds),
+// which is what makes private nodes homogeneous (Figure 7a). utcAnchored
+// services are behind geo load balancers (region-agnostic, Figure 7c).
+func privateTemplate(rng *sim.RNG, kind core.Pattern, utcAnchored bool) usage.Params {
+	var p usage.Params
+	switch kind {
+	case core.PatternDiurnal:
+		p = usage.Diurnal(
+			uniformIn(rng, 0.04, 0.12),
+			uniformIn(rng, 0.10, 0.36),
+			0, rng.Uint64())
+		p.WeekendFactor = uniformIn(rng, 0.25, 0.45)
+		p.Sharpness = uniformIn(rng, 2, 4)
+	case core.PatternStable:
+		p = usage.Stable(uniformIn(rng, 0.08, 0.35), rng.Uint64())
+	case core.PatternIrregular:
+		p = usage.Irregular(uniformIn(rng, 0.03, 0.08), rng.Uint64())
+		p.SpikeProb = uniformIn(rng, 0.03, 0.08)
+	case core.PatternHourlyPeak:
+		p = usage.HourlyPeak(
+			uniformIn(rng, 0.04, 0.10),
+			uniformIn(rng, 0.15, 0.35),
+			0, rng.Uint64())
+		p.PeakAmp = uniformIn(rng, 0.25, 0.45)
+		p.HalfHourPeaks = rng.Bool(0.7)
+	}
+	p.UTCAnchored = utcAnchored
+	setPeakMinute(rng, &p, utcAnchored)
+	return p
+}
+
+// publicTemplate builds an independent per-VM utilization model for a
+// third-party VM. Public VMs phase by local region time and have milder
+// weekend effects, which flattens the aggregate daily curve (Figure 6d).
+func publicTemplate(rng *sim.RNG, kind core.Pattern) usage.Params {
+	var p usage.Params
+	switch kind {
+	case core.PatternDiurnal:
+		p = usage.Diurnal(
+			uniformIn(rng, 0.03, 0.12),
+			uniformIn(rng, 0.10, 0.40),
+			0, rng.Uint64())
+		p.WeekendFactor = uniformIn(rng, 0.5, 0.9)
+		p.Sharpness = uniformIn(rng, 1.5, 3)
+	case core.PatternStable:
+		p = usage.Stable(uniformIn(rng, 0.02, 0.30), rng.Uint64())
+	case core.PatternIrregular:
+		p = usage.Irregular(uniformIn(rng, 0.02, 0.08), rng.Uint64())
+		p.SpikeProb = uniformIn(rng, 0.02, 0.08)
+	case core.PatternHourlyPeak:
+		p = usage.HourlyPeak(
+			uniformIn(rng, 0.03, 0.08),
+			uniformIn(rng, 0.12, 0.30),
+			0, rng.Uint64())
+		p.HalfHourPeaks = rng.Bool(0.5)
+	}
+	setPeakMinute(rng, &p, false)
+	return p
+}
+
+// setPeakMinute picks the daily peak: early-afternoon local time for
+// local-anchored workloads, or the equivalent UTC slot (US business hours)
+// for geo-balanced ones.
+func setPeakMinute(rng *sim.RNG, p *usage.Params, utcAnchored bool) {
+	if p.Pattern == core.PatternStable || p.Pattern == core.PatternIrregular {
+		return
+	}
+	if utcAnchored {
+		// ~16:00-20:00 UTC covers US business hours.
+		p.PeakMinute = int(uniformIn(rng, 16*60, 20*60))
+		return
+	}
+	// ~11:30-15:30 local.
+	p.PeakMinute = int(uniformIn(rng, 11*60+30, 15*60+30))
+}
+
+// reseed clones a service template for one VM: a fresh noise seed plus
+// small per-VM perturbations of level, amplitude, and phase. Sibling VMs of
+// a service remain strongly correlated (the load balancer splits the same
+// demand), but not identical — real replicas serve slightly different
+// shards, which is why the paper's Figure 7(a) median is 0.55 rather
+// than ~1.
+func reseed(template usage.Params, rng *sim.RNG) usage.Params {
+	template.Seed = rng.Uint64()
+	template.Base = clampFrac(template.Base + uniformIn(rng, -0.02, 0.02))
+	template.Amp *= uniformIn(rng, 0.65, 1.35)
+	if template.Pattern == core.PatternDiurnal || template.Pattern == core.PatternHourlyPeak {
+		// Periodic replicas get extra jitter and a phase wobble; stable
+		// VMs keep their small noise so they remain classifiably flat.
+		template.NoiseAmp = uniformIn(rng, 0.02, 0.04)
+		template.PeakMinute += rng.Intn(51) - 25
+	}
+	return template
+}
+
+func clampFrac(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

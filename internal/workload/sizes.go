@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+)
+
+// Private first-party services use a narrow SKU menu: mid-sized VMs with a
+// standard memory-per-core ratio. Figure 2 (left) shows the private size
+// distribution concentrated in the bulk.
+var (
+	privateCores       = []int{2, 4, 8, 16}
+	privateCoreWeights = []float64{0.25, 0.40, 0.25, 0.10}
+	privateMemRatios   = []int{2, 4, 8}
+	privateMemWeights  = []float64{0.15, 0.70, 0.15}
+)
+
+// Public customers request everything from single-core scratch VMs to
+// 64-core memory monsters; Figure 2 (right) extends to both the bottom-left
+// and top-right corners.
+var (
+	publicCores       = []int{1, 2, 4, 8, 16, 32, 64}
+	publicCoreWeights = []float64{0.25, 0.32, 0.23, 0.11, 0.06, 0.025, 0.005}
+	publicMemRatios   = []int{1, 2, 4, 8, 16}
+	publicMemWeights  = []float64{0.08, 0.22, 0.45, 0.19, 0.06}
+)
+
+// samplePrivateSize draws a first-party service VM size.
+func samplePrivateSize(rng *sim.RNG) core.VMSize {
+	cores := privateCores[rng.Categorical(privateCoreWeights)]
+	ratio := privateMemRatios[rng.Categorical(privateMemWeights)]
+	return core.VMSize{Cores: cores, MemoryGB: cores * ratio}
+}
+
+// samplePublicSize draws a third-party VM size. Memory is capped at the
+// node SKU so the largest requested VM still fits one node.
+func samplePublicSize(rng *sim.RNG) core.VMSize {
+	cores := publicCores[rng.Categorical(publicCoreWeights)]
+	ratio := publicMemRatios[rng.Categorical(publicMemWeights)]
+	mem := cores * ratio
+	if mem > 256 {
+		mem = 256
+	}
+	return core.VMSize{Cores: cores, MemoryGB: mem}
+}
+
+// deploymentSize draws a subscription's total VM count given its region
+// count, coupling size to spread via the configured exponent. The draw is
+// capped at maxTotal to keep the log-normal tail from overwhelming a single
+// region's capacity (the real fleet is thousands of times larger than the
+// simulated one, so extreme deployments must be truncated proportionally).
+func deploymentSize(rng *sim.RNG, mu, sigma, regionExp float64, regions, maxTotal int) int {
+	base := rng.LogNormal(mu, sigma)
+	n := int(math.Round(base * math.Pow(float64(regions), regionExp)))
+	if n < 1 {
+		n = 1
+	}
+	if maxTotal > 0 && n > maxTotal {
+		n = maxTotal
+	}
+	return n
+}
+
+// splitAcrossRegions partitions total VMs across k regions with uneven
+// random weights (deployments are rarely perfectly balanced). Every region
+// receives at least one VM when total >= k.
+func splitAcrossRegions(rng *sim.RNG, total, k int) []int {
+	if k <= 1 {
+		return []int{total}
+	}
+	weights := make([]float64, k)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 0.4 + rng.Float64()
+		sum += weights[i]
+	}
+	out := make([]int, k)
+	assigned := 0
+	for i := range out {
+		out[i] = int(math.Round(float64(total) * weights[i] / sum))
+		assigned += out[i]
+	}
+	// Fix rounding drift on the first region.
+	out[0] += total - assigned
+	if out[0] < 0 {
+		out[0] = 0
+	}
+	// Guarantee presence in every region when possible.
+	for i := range out {
+		if out[i] == 0 && total >= k {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"testing"
+
+	"cloudlens/internal/core"
+)
+
+// TestGenerateSmoke is a coarse end-to-end sanity check of the default
+// generator; detailed calibration assertions live in the analyze package
+// tests.
+func TestGenerateSmoke(t *testing.T) {
+	tr, err := Generate(DefaultConfig(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	priv, pub := 0, 0
+	for i := range tr.VMs {
+		switch tr.VMs[i].Cloud {
+		case core.Private:
+			priv++
+		case core.Public:
+			pub++
+		}
+	}
+	t.Logf("total VMs=%d private=%d public=%d failures=%d",
+		len(tr.VMs), priv, pub, tr.Meta.AllocationFailures)
+	if priv < 1000 || pub < 1000 {
+		t.Fatalf("suspiciously small universe: private=%d public=%d", priv, pub)
+	}
+	snap := tr.SnapshotStep()
+	alivePriv := len(tr.AliveAt(core.Private, snap))
+	alivePub := len(tr.AliveAt(core.Public, snap))
+	t.Logf("alive at snapshot: private=%d public=%d", alivePriv, alivePub)
+	if alivePriv == 0 || alivePub == 0 {
+		t.Fatal("no VMs alive at snapshot")
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/usage"
+)
+
+// ServiceXName is the geo-load-balanced, region-agnostic first-party
+// service of Figure 7(c) and the Canada pilot of Section IV-B. The workload
+// owner confirmed a geo-level load balancer routes users' requests across
+// regions, so its utilization peaks align in UTC across time zones.
+const ServiceXName = "servicex"
+
+// genSpecial instantiates the named case studies: ServiceX across US and
+// Canadian regions, the "hot" filler load in the Canada source region, and
+// the light load of the Canada destination region.
+func (g *generator) genSpecial(rng *sim.RNG) {
+	sp := g.cfg.Special
+	if len(sp.ServiceXRegions) > 0 {
+		g.genServiceX(rng.Fork("servicex"))
+	}
+	if sp.CanadaSource != "" {
+		g.genCanadaFiller(rng.Fork("canada-fill"), sp.CanadaSource, g.scaleCount(sp.CanadaFillerVMs), "prv-canfill")
+	}
+	if sp.CanadaDest != "" {
+		g.genCanadaFiller(rng.Fork("canada-dest"), sp.CanadaDest, g.scaleCount(sp.CanadaDestVMs), "prv-candest")
+	}
+}
+
+// genServiceX deploys ServiceX: an hourly-peak + diurnal, UTC-anchored
+// service. The Canada source region (first entry) hosts a double share,
+// making it the natural shift candidate of the pilot.
+func (g *generator) genServiceX(rng *sim.RNG) {
+	sp := g.cfg.Special
+	template := usage.Params{
+		Pattern:       core.PatternHourlyPeak,
+		Base:          0.05,
+		Amp:           0.22,
+		PeakMinute:    18 * 60, // ~US business-hours peak in UTC
+		UTCAnchored:   true,
+		WeekendFactor: 0.35,
+		Sharpness:     2.5,
+		NoiseAmp:      0.02,
+		PeakAmp:       0.38,
+		PeakWidthMin:  10,
+		HalfHourPeaks: true,
+		Seed:          rng.Uint64(),
+	}
+	regions := make([]string, 0, len(sp.ServiceXRegions))
+	perRegion := make([]int, 0, len(sp.ServiceXRegions))
+	for i, region := range sp.ServiceXRegions {
+		if _, ok := g.topo.RegionByName(region); !ok {
+			continue
+		}
+		n := g.scaleCount(sp.ServiceXVMsPerRegion)
+		if i == 0 {
+			// The pilot's source region hosts a double share.
+			n *= 2
+		}
+		regions = append(regions, region)
+		perRegion = append(perRegion, n)
+	}
+	svc := serviceDeployment{
+		sub:       core.SubscriptionID("prv-sub-servicex"),
+		name:      ServiceXName,
+		cloud:     core.Private,
+		regions:   regions,
+		perRegion: perRegion,
+		template:  template,
+		size:      core.VMSize{Cores: 4, MemoryGB: 16},
+	}
+	g.privateServices = append(g.privateServices, svc)
+	g.emitBaseVMs(rng, svc, 1.0)
+}
+
+// genCanadaFiller pins first-party load to one region: a mix of busy
+// services and underutilized ones. In the source region the mix makes the
+// region "hot" in allocated capacity while roughly a quarter of the
+// allocated cores sit on underutilized VMs — the condition that motivated
+// the pilot (Canada-A: 42% core utilization, 23% underutilized cores).
+func (g *generator) genCanadaFiller(rng *sim.RNG, region string, totalVMs int, subPrefix string) {
+	if _, ok := g.topo.RegionByName(region); !ok || totalVMs <= 0 {
+		return
+	}
+	const subs = 8
+	per := totalVMs / subs
+	if per == 0 {
+		per = 1
+	}
+	emitted := 0
+	for i := 0; i < subs && emitted < totalVMs; i++ {
+		count := per
+		if i == subs-1 {
+			count = totalVMs - emitted
+		}
+		var template usage.Params
+		switch {
+		case rng.Bool(0.78):
+			// Busy services: clearly above the underutilization
+			// threshold.
+			if rng.Bool(0.5) {
+				template = usage.Stable(uniformIn(rng, 0.28, 0.48), rng.Uint64())
+			} else {
+				template = usage.Diurnal(uniformIn(rng, 0.20, 0.28), uniformIn(rng, 0.20, 0.35), 0, rng.Uint64())
+				setPeakMinute(rng, &template, false)
+			}
+		case rng.Bool(0.6):
+			// Underutilized stable services.
+			template = usage.Stable(uniformIn(rng, 0.04, 0.14), rng.Uint64())
+		default:
+			template = usage.Diurnal(uniformIn(rng, 0.04, 0.08), uniformIn(rng, 0.08, 0.18), 0, rng.Uint64())
+			setPeakMinute(rng, &template, false)
+		}
+		svc := serviceDeployment{
+			sub:       core.SubscriptionID(fmt.Sprintf("%s-%02d", subPrefix, i+1)),
+			name:      fmt.Sprintf("%s-svc-%02d", subPrefix, i+1),
+			cloud:     core.Private,
+			regions:   []string{region},
+			perRegion: []int{count},
+			template:  template,
+			size:      samplePrivateSize(rng),
+		}
+		g.privateServices = append(g.privateServices, svc)
+		g.emitBaseVMs(rng, svc, 1.0)
+		emitted += count
+	}
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/platform"
+)
+
+// defaultSKU is the node hardware used by every default cluster; the paper
+// notes clusters contain "thousands of nodes with identical SKU
+// configurations" (we scale node counts down, keeping shapes intact).
+var defaultSKU = platform.SKU{Name: "Gen7-64c", Cores: 64, MemoryGB: 256}
+
+// regionSpec describes one default region and how many clusters each
+// platform operates there.
+type regionSpec struct {
+	name            string
+	tzOffsetMin     int
+	us              bool
+	private, public int
+}
+
+// defaultRegions lists the synthetic fleet: ten US regions spanning six
+// time zones (the paper's cross-region study uses about ten US regions),
+// the two Canadian regions of the Section IV-B pilot, and two non-US
+// regions for geographic spread.
+var defaultRegions = []regionSpec{
+	{name: "us-east", tzOffsetMin: -300, us: true, private: 2, public: 2},
+	{name: "us-east-2", tzOffsetMin: -300, us: true, private: 1, public: 1},
+	{name: "us-south", tzOffsetMin: -360, us: true, private: 1, public: 1},
+	{name: "us-central", tzOffsetMin: -360, us: true, private: 2, public: 2},
+	{name: "us-mountain", tzOffsetMin: -420, us: true, private: 1, public: 1},
+	{name: "us-southwest", tzOffsetMin: -420, us: true, private: 1, public: 1},
+	{name: "us-west", tzOffsetMin: -480, us: true, private: 2, public: 2},
+	{name: "us-west-2", tzOffsetMin: -480, us: true, private: 1, public: 1},
+	{name: "us-alaska", tzOffsetMin: -540, us: true, private: 1, public: 1},
+	{name: "us-hawaii", tzOffsetMin: -600, us: true, private: 1, public: 1},
+	{name: "canada-a", tzOffsetMin: -300, us: false, private: 2, public: 1},
+	{name: "canada-b", tzOffsetMin: -480, us: false, private: 2, public: 1},
+	{name: "eu-north", tzOffsetMin: 60, us: false, private: 1, public: 2},
+	{name: "asia-east", tzOffsetMin: 480, us: false, private: 2, public: 3},
+}
+
+// DefaultTopology builds the synthetic fleet at the given scale. Scale
+// multiplies nodes per cluster (min 8), so capacity grows with the workload.
+// Private and public platforms get a similar number of clusters, matching
+// the paper's sampling methodology.
+func DefaultTopology(scale float64) *platform.Topology {
+	nodes := int(math.Round(48 * scale))
+	if nodes < 8 {
+		nodes = 8
+	}
+	topo := &platform.Topology{}
+	for _, rs := range defaultRegions {
+		topo.Regions = append(topo.Regions, platform.Region{
+			Name:        rs.name,
+			TZOffsetMin: rs.tzOffsetMin,
+			US:          rs.us,
+		})
+		for i := 0; i < rs.private; i++ {
+			topo.Clusters = append(topo.Clusters, platform.Cluster{
+				ID:           core.ClusterID(fmt.Sprintf("prv-%s-%02d", rs.name, i+1)),
+				Region:       rs.name,
+				Cloud:        core.Private,
+				Nodes:        nodes,
+				NodesPerRack: 8,
+				SKU:          defaultSKU,
+			})
+		}
+		for i := 0; i < rs.public; i++ {
+			topo.Clusters = append(topo.Clusters, platform.Cluster{
+				ID:           core.ClusterID(fmt.Sprintf("pub-%s-%02d", rs.name, i+1)),
+				Region:       rs.name,
+				Cloud:        core.Public,
+				Nodes:        nodes,
+				NodesPerRack: 8,
+				SKU:          defaultSKU,
+			})
+		}
+	}
+	return topo
+}
