@@ -1,0 +1,25 @@
+# Development targets for the cloudlens reproduction.
+#
+#   make test    — tier-1: build + unit tests (what CI gates on)
+#   make verify  — vet + full test suite under the race detector; required
+#                  before merging changes to the parallel pipeline
+#   make bench   — headline performance benchmarks (time + allocations)
+
+GO ?= go
+
+.PHONY: all build test verify bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace' -benchmem .

@@ -321,6 +321,38 @@ func BenchmarkCharacterizeAll(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterizeEndToEnd is the performance-tracking benchmark for
+// the parallel pipeline: trace in, all sixteen figures out, with time and
+// allocation counts reported. Unlike BenchmarkCharacterizeAll (which feeds
+// the evaluation tables), this one always reports allocations so
+// regressions in the shared series cache or the worker fan-out are caught
+// by plain `go test -bench=CharacterizeEndToEnd`.
+func BenchmarkCharacterizeEndToEnd(b *testing.B) {
+	tr := benchTraceOrSkip(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := Characterize(tr)
+		if ch.Fig1a.Subscriptions.Private == 0 {
+			b.Fatal("empty characterization")
+		}
+	}
+}
+
+// BenchmarkKBExtract tracks knowledge-base extraction time and allocations
+// (the parallel per-subscription profiler with per-worker scratch buffers).
+func BenchmarkKBExtract(b *testing.B) {
+	tr := benchTraceOrSkip(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := kb.Extract(tr, kb.ExtractOptions{})
+		if store.Len() == 0 {
+			b.Fatal("empty knowledge base")
+		}
+	}
+}
+
 // BenchmarkSpotMixture regenerates the dynamic spot/on-demand mixture
 // comparison (the paper's cited Snape-style scheduling).
 func BenchmarkSpotMixture(b *testing.B) {

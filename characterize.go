@@ -6,7 +6,9 @@ import (
 
 	"cloudlens/internal/analyze"
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/report"
+	"cloudlens/internal/trace"
 )
 
 // Figure result types, aliased for users of the public API.
@@ -32,6 +34,10 @@ type (
 	// Removals is the VM-removal companion analysis to Figure 3(c).
 	Removals = analyze.Removals
 )
+
+// sparkWidth is the report's sparkline width in characters; long series are
+// block-averaged down to it.
+const sparkWidth = 84
 
 // ComputeRemovals runs the removal-behaviour companion analysis for one
 // region ("" = the default sampled region).
@@ -70,25 +76,40 @@ type Characterization struct {
 }
 
 // Characterize runs the complete per-figure analysis pipeline over a trace.
+//
+// The sixteen figure computations are independent of each other, so they
+// run concurrently on the worker pool, every heavy analysis additionally
+// fanning its inner loops out over the same pool. All of them read VM
+// utilization through one shared trace.SeriesCache, so each VM's series is
+// materialized at most once per Characterize call instead of once per
+// consuming figure. Results are bit-identical to running the analyses
+// sequentially without a cache: each figure writes only its own struct
+// field, and cached series evaluate the same pure usage models.
 func Characterize(t *Trace) *Characterization {
-	return &Characterization{
-		Fig1a:       analyze.ComputeFig1a(t),
-		Fig1b:       analyze.ComputeFig1b(t),
-		Fig2:        analyze.ComputeFig2(t),
-		Fig3a:       analyze.ComputeFig3a(t),
-		Fig3b:       analyze.ComputeFig3b(t, ""),
-		Fig3c:       analyze.ComputeFig3c(t, ""),
-		Fig3d:       analyze.ComputeFig3d(t),
-		Fig4a:       analyze.ComputeFig4a(t),
-		Fig4b:       analyze.ComputeFig4b(t),
-		Fig5Samples: analyze.ComputeFig5Samples(t),
-		Fig5d:       analyze.ComputeFig5d(t),
-		Fig6Weekly:  analyze.ComputeFig6Weekly(t),
-		Fig6Daily:   analyze.ComputeFig6Daily(t),
-		Fig7a:       analyze.ComputeFig7a(t),
-		Fig7b:       analyze.ComputeFig7b(t),
-		Fig7c:       analyze.ComputeFig7c(t, ""),
-	}
+	cache := trace.NewSeriesCache(t)
+	// Figures 3(b) and 3(c) both default to the paper's sampled region;
+	// resolve it once instead of twice.
+	region := analyze.SampleRegion(t)
+	var c Characterization
+	parallel.Do(
+		func() { c.Fig1a = analyze.ComputeFig1a(t) },
+		func() { c.Fig1b = analyze.ComputeFig1b(t) },
+		func() { c.Fig2 = analyze.ComputeFig2(t) },
+		func() { c.Fig3a = analyze.ComputeFig3a(t) },
+		func() { c.Fig3b = analyze.ComputeFig3b(t, region) },
+		func() { c.Fig3c = analyze.ComputeFig3c(t, region) },
+		func() { c.Fig3d = analyze.ComputeFig3d(t) },
+		func() { c.Fig4a = analyze.ComputeFig4a(t) },
+		func() { c.Fig4b = analyze.ComputeFig4b(t) },
+		func() { c.Fig5Samples = analyze.ComputeFig5SamplesWith(t, cache) },
+		func() { c.Fig5d = analyze.ComputeFig5dWith(t, cache) },
+		func() { c.Fig6Weekly = analyze.ComputeFig6WeeklyWith(t, cache) },
+		func() { c.Fig6Daily = analyze.ComputeFig6DailyWith(t, cache) },
+		func() { c.Fig7a = analyze.ComputeFig7aWith(t, cache) },
+		func() { c.Fig7b = analyze.ComputeFig7bWith(t, cache) },
+		func() { c.Fig7c = analyze.ComputeFig7cWith(t, cache, "") },
+	)
+	return &c
 }
 
 // WriteReport renders the full figure-by-figure reproduction report as
@@ -169,14 +190,15 @@ func (c *Characterization) writeDeployment(w io.Writer) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
+	buf := make([]float64, sparkWidth)
 	fmt.Fprintf(w, "\nhourly VM counts, %s (private): %s\n", c.Fig3b.Region,
-		report.Sparkline(report.Downsample(c.Fig3b.Counts.Private, 84)))
+		report.Sparkline(report.DownsampleInto(buf, c.Fig3b.Counts.Private, sparkWidth)))
 	fmt.Fprintf(w, "hourly VM counts, %s (public):  %s\n", c.Fig3b.Region,
-		report.Sparkline(report.Downsample(c.Fig3b.Counts.Public, 84)))
+		report.Sparkline(report.DownsampleInto(buf, c.Fig3b.Counts.Public, sparkWidth)))
 	fmt.Fprintf(w, "hourly creations, %s (private): %s\n", c.Fig3c.Region,
-		report.Sparkline(report.Downsample(c.Fig3c.Creations.Private, 84)))
+		report.Sparkline(report.DownsampleInto(buf, c.Fig3c.Creations.Private, sparkWidth)))
 	fmt.Fprintf(w, "hourly creations, %s (public):  %s\n", c.Fig3c.Region,
-		report.Sparkline(report.Downsample(c.Fig3c.Creations.Public, 84)))
+		report.Sparkline(report.DownsampleInto(buf, c.Fig3c.Creations.Public, sparkWidth)))
 
 	if err := report.Section(w, "Figure 4 — spatial deployment"); err != nil {
 		return err
@@ -209,10 +231,11 @@ func (c *Characterization) writeUtilization(w io.Writer) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
+	buf := make([]float64, sparkWidth)
 	fmt.Fprintln(w, "\npattern exemplars (Figures 5a-5c):")
 	for _, s := range c.Fig5Samples.Samples {
 		fmt.Fprintf(w, "  %-12s vm=%-6d %s\n", s.Pattern, s.VM,
-			report.Sparkline(report.Downsample(s.Series, 84)))
+			report.Sparkline(report.DownsampleInto(buf, s.Series, sparkWidth)))
 	}
 
 	if err := report.Section(w, "Figure 6 — utilization distribution over time"); err != nil {
@@ -229,9 +252,9 @@ func (c *Characterization) writeUtilization(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "\nweekly p50 (private): %s\n",
-		report.Sparkline(report.Downsample(c.Fig6Weekly.Bands.Private.P50, 84)))
+		report.Sparkline(report.DownsampleInto(buf, c.Fig6Weekly.Bands.Private.P50, sparkWidth)))
 	fmt.Fprintf(w, "weekly p50 (public):  %s\n",
-		report.Sparkline(report.Downsample(c.Fig6Weekly.Bands.Public.P50, 84)))
+		report.Sparkline(report.DownsampleInto(buf, c.Fig6Weekly.Bands.Public.P50, sparkWidth)))
 	fmt.Fprintf(w, "daily p50 (private):  %s\n",
 		report.Sparkline(c.Fig6Daily.Bands.Private.P50))
 	fmt.Fprintf(w, "daily p50 (public):   %s\n",
@@ -253,9 +276,10 @@ func (c *Characterization) writeSimilarity(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nServiceX daily utilization by region (Figure 7c), peak spread %d min:\n",
 		c.Fig7c.PeakStepSpreadMin)
+	buf := make([]float64, sparkWidth)
 	for _, region := range c.Fig7c.Regions {
 		fmt.Fprintf(w, "  %-12s %s\n", region,
-			report.Sparkline(report.Downsample(c.Fig7c.Series[region], 84)))
+			report.Sparkline(report.DownsampleInto(buf, c.Fig7c.Series[region], sparkWidth)))
 	}
 	return nil
 }

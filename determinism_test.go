@@ -1,0 +1,123 @@
+package cloudlens
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"cloudlens/internal/analyze"
+)
+
+// The parallel pipeline promises results bit-identical to a sequential run:
+// no analysis accumulates floats across workers, cached series evaluate the
+// same pure usage models, and generator stages concatenate their specs in
+// the sequential append order. These tests pin that contract by comparing
+// marshaled JSON — any reordered float addition, racy map fill, or
+// worker-count-dependent code path shows up as a byte difference.
+
+// determinismConfig is a scaled-down universe so the tests stay fast while
+// still exercising every stage and figure.
+func determinismConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Scale = 0.25
+	return cfg
+}
+
+func marshalCharacterization(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	j, err := json.Marshal(Characterize(tr))
+	if err != nil {
+		t.Fatalf("marshal characterization: %v", err)
+	}
+	return j
+}
+
+// withGOMAXPROCS runs f under a pinned worker count.
+func withGOMAXPROCS(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	f()
+}
+
+func TestGenerateIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	marshalTrace := func() []byte {
+		tr, err := Generate(determinismConfig(7))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		j, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("marshal trace: %v", err)
+		}
+		return j
+	}
+	var serial, parallel4, again []byte
+	withGOMAXPROCS(t, 1, func() { serial = marshalTrace() })
+	withGOMAXPROCS(t, 4, func() { parallel4 = marshalTrace(); again = marshalTrace() })
+	if !bytes.Equal(serial, parallel4) {
+		t.Fatal("generated trace differs between GOMAXPROCS=1 and GOMAXPROCS=4")
+	}
+	if !bytes.Equal(parallel4, again) {
+		t.Fatal("generated trace differs between two identical parallel runs")
+	}
+}
+
+func TestCharacterizeIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	tr, err := Generate(determinismConfig(7))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	var serial, parallel4, again []byte
+	withGOMAXPROCS(t, 1, func() { serial = marshalCharacterization(t, tr) })
+	withGOMAXPROCS(t, 4, func() { parallel4 = marshalCharacterization(t, tr) })
+	withGOMAXPROCS(t, 4, func() { again = marshalCharacterization(t, tr) })
+	if !bytes.Equal(serial, parallel4) {
+		t.Fatal("characterization differs between GOMAXPROCS=1 and GOMAXPROCS=4")
+	}
+	if !bytes.Equal(parallel4, again) {
+		t.Fatal("characterization differs between two identical parallel runs")
+	}
+}
+
+// TestCharacterizeCachedMatchesUncached pins the series-cache contract
+// directly: the cached pipeline inside Characterize must agree with the
+// uncached standalone figure functions.
+func TestCharacterizeCachedMatchesUncached(t *testing.T) {
+	tr, err := Generate(determinismConfig(7))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	ch := Characterize(tr)
+	uncached := &Characterization{
+		Fig5d:      analyze.ComputeFig5d(tr),
+		Fig6Weekly: analyze.ComputeFig6Weekly(tr),
+		Fig6Daily:  analyze.ComputeFig6Daily(tr),
+		Fig7a:      analyze.ComputeFig7a(tr),
+		Fig7b:      analyze.ComputeFig7b(tr),
+	}
+	pairs := []struct {
+		name               string
+		cached, standalone interface{}
+	}{
+		{"fig5d", ch.Fig5d, uncached.Fig5d},
+		{"fig6Weekly", ch.Fig6Weekly, uncached.Fig6Weekly},
+		{"fig6Daily", ch.Fig6Daily, uncached.Fig6Daily},
+		{"fig7a", ch.Fig7a, uncached.Fig7a},
+		{"fig7b", ch.Fig7b, uncached.Fig7b},
+	}
+	for _, p := range pairs {
+		cj, err := json.Marshal(p.cached)
+		if err != nil {
+			t.Fatalf("%s: marshal cached: %v", p.name, err)
+		}
+		uj, err := json.Marshal(p.standalone)
+		if err != nil {
+			t.Fatalf("%s: marshal uncached: %v", p.name, err)
+		}
+		if !bytes.Equal(cj, uj) {
+			t.Errorf("%s: cached pipeline result differs from uncached standalone result", p.name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/stats"
 	"cloudlens/internal/trace"
 )
@@ -61,10 +62,12 @@ type Fig3b struct {
 // SampleRegion picks the paper's "one sampled region": the region with the
 // most VM creations on both platforms (maximizing the smaller of the two),
 // so both curves have activity. Regions occasionally run at capacity and
-// reject all churn — realistic, but useless to plot.
+// reject all churn — realistic, but useless to plot. Per-region scores are
+// independent, so they fan out over the worker pool; the argmax stays
+// sequential in topology order (first maximum wins, as before).
 func SampleRegion(t *trace.Trace) string {
-	best, bestScore := "", -1.0
-	for _, r := range t.Topology.Regions {
+	scores := parallel.Map(len(t.Topology.Regions), func(i int) float64 {
+		r := t.Topology.Regions[i]
 		var priv, pub float64
 		for _, c := range t.HourlyCreations(core.Private, r.Name) {
 			priv += c
@@ -72,12 +75,15 @@ func SampleRegion(t *trace.Trace) string {
 		for _, c := range t.HourlyCreations(core.Public, r.Name) {
 			pub += c
 		}
-		score := priv
-		if pub < score {
-			score = pub
+		if pub < priv {
+			return pub
 		}
-		if score > bestScore {
-			best, bestScore = r.Name, score
+		return priv
+	})
+	best, bestScore := "", -1.0
+	for i, r := range t.Topology.Regions {
+		if scores[i] > bestScore {
+			best, bestScore = r.Name, scores[i]
 		}
 	}
 	return best
@@ -167,16 +173,18 @@ type Fig3d struct {
 }
 
 // ComputeFig3d runs the Figure 3(d) analysis over all regions where the
-// platform operates.
+// platform operates. Each region's CV is independent, so the regions fan
+// out over the worker pool and the sample assembles in region order.
 func ComputeFig3d(t *trace.Trace) Fig3d {
 	var out Fig3d
 	for _, cloud := range core.Clouds() {
-		perRegion := make(map[string]float64)
-		var sample []float64
-		for _, region := range t.Topology.RegionsOf(cloud) {
-			cv := stats.CV(t.HourlyCreations(cloud, region))
-			perRegion[region] = cv
-			sample = append(sample, cv)
+		regions := t.Topology.RegionsOf(cloud)
+		sample := parallel.Map(len(regions), func(i int) float64 {
+			return stats.CV(t.HourlyCreations(cloud, regions[i]))
+		})
+		perRegion := make(map[string]float64, len(regions))
+		for i, region := range regions {
+			perRegion[region] = sample[i]
 		}
 		out.PerRegionCV.Set(cloud, perRegion)
 		out.Box.Set(cloud, stats.NewBoxPlot(sample))

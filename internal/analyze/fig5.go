@@ -3,6 +3,7 @@ package analyze
 import (
 	"cloudlens/internal/classify"
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/trace"
 )
 
@@ -28,26 +29,50 @@ const minClassifySteps = 288
 // ComputeFig5d classifies every VM alive at the snapshot with at least one
 // day of in-window history and tallies the pattern shares.
 func ComputeFig5d(t *trace.Trace) Fig5d {
+	return ComputeFig5dWith(t, nil)
+}
+
+// ComputeFig5dWith is ComputeFig5d reading series through the shared cache
+// when c is non-nil. Classification of each VM is independent, so the
+// eligible set fans out over the worker pool; the per-VM pattern verdicts
+// come back index-addressed and are tallied sequentially, giving counts
+// identical to the sequential sweep. Uncached runs hand each worker one
+// scratch buffer reused across its whole chunk.
+func ComputeFig5dWith(t *trace.Trace, c *trace.SeriesCache) Fig5d {
 	out := Fig5d{SnapshotStep: t.SnapshotStep()}
 	opts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
 	for _, cloud := range core.Clouds() {
-		share := map[core.Pattern]float64{}
-		n := 0
-		for _, v := range t.AliveAt(cloud, out.SnapshotStep) {
-			from, to, ok := v.AliveRange(t.Grid.N)
-			if !ok || to-from < minClassifySteps {
-				continue
+		// Drop VMs below the classification floor before materializing
+		// anything, so the cache holds only series an analysis consumes.
+		alive := t.AliveAt(cloud, out.SnapshotStep)
+		vms := alive[:0]
+		for _, v := range alive {
+			if from, to, ok := v.AliveRange(t.Grid.N); ok && to-from >= minClassifySteps {
+				vms = append(vms, v)
 			}
-			series := v.Usage.Series(t.Grid, from, to)
-			res := classify.Classify(series, opts)
-			share[res.Pattern]++
-			n++
+		}
+		kept := spansOf(t, c, vms)
+		patterns := parallel.MapChunk(len(kept), func(lo, hi int, dst []core.Pattern) {
+			var buf []float64
+			for i := lo; i < hi; i++ {
+				s := &kept[i]
+				series := s.series
+				if series == nil {
+					buf = s.vm.Usage.SeriesInto(buf, t.Grid, s.from, s.to)
+					series = buf
+				}
+				dst[i-lo] = classify.Classify(series, opts).Pattern
+			}
+		})
+		share := map[core.Pattern]float64{}
+		for _, p := range patterns {
+			share[p]++
 		}
 		for k := range share {
-			share[k] /= float64(n)
+			share[k] /= float64(len(patterns))
 		}
 		out.Share.Set(cloud, share)
-		out.Classified.Set(cloud, n)
+		out.Classified.Set(cloud, len(patterns))
 	}
 	return out
 }
@@ -72,6 +97,14 @@ type Fig5Samples struct {
 // ComputeFig5Samples picks, for each pattern, the first VM of the
 // generating platform whose classified pattern matches its generated one.
 func ComputeFig5Samples(t *trace.Trace) Fig5Samples {
+	return ComputeFig5SamplesWith(t, nil)
+}
+
+// ComputeFig5SamplesWith is ComputeFig5Samples over the shared series
+// cache. The scan stays sequential — it early-exits after a handful of VMs
+// — but each candidate's series comes from the cache when available, so the
+// full-week exemplars cost nothing extra inside Characterize.
+func ComputeFig5SamplesWith(t *trace.Trace, c *trace.SeriesCache) Fig5Samples {
 	var out Fig5Samples
 	opts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
 	want := core.Patterns()
@@ -88,7 +121,12 @@ func ComputeFig5Samples(t *trace.Trace) Fig5Samples {
 		if !ok || to-from < t.Grid.N {
 			continue // want full-window exemplars
 		}
-		series := v.Usage.Series(t.Grid, from, to)
+		var series []float64
+		if c != nil {
+			series, _ = c.Series(v)
+		} else {
+			series = v.Usage.Series(t.Grid, from, to)
+		}
 		if classify.Classify(series, opts).Pattern != v.Usage.Pattern {
 			continue
 		}
@@ -96,7 +134,11 @@ func ComputeFig5Samples(t *trace.Trace) Fig5Samples {
 		if v.Usage.Pattern == core.PatternHourlyPeak {
 			// One day, as in Figure 5(c): Tuesday.
 			day := 24 * 60 / t.Grid.StepMinutes()
-			series = v.Usage.Series(t.Grid, day, 2*day)
+			if c != nil {
+				series = series[day : 2*day] // from == 0 for full-window VMs
+			} else {
+				series = v.Usage.Series(t.Grid, day, 2*day)
+			}
 		}
 		out.Samples = append(out.Samples, PatternSample{
 			Pattern: v.Usage.Pattern,

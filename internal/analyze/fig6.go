@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/stats"
 	"cloudlens/internal/trace"
 )
@@ -12,6 +13,16 @@ type Band struct {
 	P50 []float64 `json:"p50"`
 	P75 []float64 `json:"p75"`
 	P95 []float64 `json:"p95"`
+}
+
+// newBand allocates a band with n buckets per percentile curve.
+func newBand(n int) Band {
+	return Band{
+		P25: make([]float64, n),
+		P50: make([]float64, n),
+		P75: make([]float64, n),
+		P95: make([]float64, n),
+	}
 }
 
 // Fig6Weekly reproduces Figures 6(a)/(b): the distribution of CPU
@@ -41,35 +52,44 @@ func hourSampleOffsets(stepsPerHour int) [2]int {
 // ComputeFig6Weekly evaluates every alive VM's mid-hour utilization for
 // each hour of the week and aggregates percentiles across VMs.
 func ComputeFig6Weekly(t *trace.Trace) Fig6Weekly {
+	return ComputeFig6WeeklyWith(t, nil)
+}
+
+// ComputeFig6WeeklyWith is ComputeFig6Weekly reading utilization through
+// the shared series cache when c is non-nil. Hourly buckets are independent
+// of each other, so the hours fan out over the worker pool; each worker
+// reuses one sample buffer across its contiguous chunk of hours.
+func ComputeFig6WeeklyWith(t *trace.Trace, c *trace.SeriesCache) Fig6Weekly {
 	hours := t.Grid.Hours()
 	out := Fig6Weekly{Hours: hours}
 	stepsPerHour := 60 / t.Grid.StepMinutes()
 	offsets := hourSampleOffsets(stepsPerHour)
 	for _, cloud := range core.Clouds() {
-		spans := spansOf(t, t.CloudVMs(cloud))
-		band := Band{
-			P25: make([]float64, hours),
-			P50: make([]float64, hours),
-			P75: make([]float64, hours),
-			P95: make([]float64, hours),
-		}
+		spans := spansOf(t, c, t.CloudVMs(cloud))
+		band := newBand(hours)
+		parallel.ForEachChunk(hours, func(lo, hi int) {
+			sample := make([]float64, 0, len(spans))
+			for h := lo; h < hi; h++ {
+				step := h * stepsPerHour
+				sample = sample[:0]
+				for i := range spans {
+					s := &spans[i]
+					if s.from <= step && step < s.to {
+						u := (s.at(t.Grid, step+offsets[0]) +
+							s.at(t.Grid, step+offsets[1])) / 2
+						sample = append(sample, u)
+					}
+				}
+				qs := stats.QuantilesOf(sample, 0.25, 0.5, 0.75, 0.95)
+				band.P25[h], band.P50[h], band.P75[h], band.P95[h] = qs[0], qs[1], qs[2], qs[3]
+			}
+		})
 		var weekdayP50, weekendP50 []float64
 		for h := 0; h < hours; h++ {
-			step := h * stepsPerHour
-			var sample []float64
-			for _, s := range spans {
-				if s.from <= step && step < s.to {
-					u := (s.vm.Usage.At(t.Grid, step+offsets[0]) +
-						s.vm.Usage.At(t.Grid, step+offsets[1])) / 2
-					sample = append(sample, u)
-				}
-			}
-			qs := stats.QuantilesOf(sample, 0.25, 0.5, 0.75, 0.95)
-			band.P25[h], band.P50[h], band.P75[h], band.P95[h] = qs[0], qs[1], qs[2], qs[3]
-			if t.Grid.IsWeekend(step, 0) {
-				weekendP50 = append(weekendP50, qs[1])
+			if t.Grid.IsWeekend(h*stepsPerHour, 0) {
+				weekendP50 = append(weekendP50, band.P50[h])
 			} else {
-				weekdayP50 = append(weekdayP50, qs[1])
+				weekdayP50 = append(weekdayP50, band.P50[h])
 			}
 		}
 		out.Bands.Set(cloud, band)
@@ -97,37 +117,40 @@ type Fig6Daily struct {
 // ComputeFig6Daily aggregates, for each hour of day (UTC), every alive VM's
 // utilization over all weekdays.
 func ComputeFig6Daily(t *trace.Trace) Fig6Daily {
+	return ComputeFig6DailyWith(t, nil)
+}
+
+// ComputeFig6DailyWith is ComputeFig6Daily over the shared series cache.
+// The 24 hour-of-day buckets are computed in parallel: each bucket gathers
+// its own weekday samples (ascending hour order, matching the sequential
+// sweep) and reduces them independently.
+func ComputeFig6DailyWith(t *trace.Trace, c *trace.SeriesCache) Fig6Daily {
 	var out Fig6Daily
 	stepsPerHour := 60 / t.Grid.StepMinutes()
 	hours := t.Grid.Hours()
 	offsets := hourSampleOffsets(stepsPerHour)
 	for _, cloud := range core.Clouds() {
-		spans := spansOf(t, t.CloudVMs(cloud))
-		samplesByHour := make([][]float64, 24)
-		for h := 0; h < hours; h++ {
-			step := h * stepsPerHour
-			if t.Grid.IsWeekend(step, 0) {
-				continue
-			}
-			hod := h % 24
-			for _, s := range spans {
-				if s.from <= step && step < s.to {
-					u := (s.vm.Usage.At(t.Grid, step+offsets[0]) +
-						s.vm.Usage.At(t.Grid, step+offsets[1])) / 2
-					samplesByHour[hod] = append(samplesByHour[hod], u)
+		spans := spansOf(t, c, t.CloudVMs(cloud))
+		band := newBand(24)
+		parallel.ForEach(24, func(hod int) {
+			var sample []float64
+			for h := hod; h < hours; h += 24 {
+				step := h * stepsPerHour
+				if t.Grid.IsWeekend(step, 0) {
+					continue
+				}
+				for i := range spans {
+					s := &spans[i]
+					if s.from <= step && step < s.to {
+						u := (s.at(t.Grid, step+offsets[0]) +
+							s.at(t.Grid, step+offsets[1])) / 2
+						sample = append(sample, u)
+					}
 				}
 			}
-		}
-		band := Band{
-			P25: make([]float64, 24),
-			P50: make([]float64, 24),
-			P75: make([]float64, 24),
-			P95: make([]float64, 24),
-		}
-		for hod := 0; hod < 24; hod++ {
-			qs := stats.QuantilesOf(samplesByHour[hod], 0.25, 0.5, 0.75, 0.95)
+			qs := stats.QuantilesOf(sample, 0.25, 0.5, 0.75, 0.95)
 			band.P25[hod], band.P50[hod], band.P75[hod], band.P95[hod] = qs[0], qs[1], qs[2], qs[3]
-		}
+		})
 		out.Bands.Set(cloud, band)
 		maxP50, minP50 := stats.Max(band.P50), stats.Min(band.P50)
 		if maxP50 > 0 {

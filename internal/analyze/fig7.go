@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/stats"
 	"cloudlens/internal/trace"
 	"cloudlens/internal/workload"
@@ -26,23 +27,64 @@ type Fig7a struct {
 // two VMs it materializes the node's core-weighted utilization series and
 // correlates each hosted VM (with at least a day of overlap) against it.
 func ComputeFig7a(t *trace.Trace) Fig7a {
+	return ComputeFig7aWith(t, nil)
+}
+
+// ComputeFig7aWith is ComputeFig7a reading series through the shared cache
+// when c is non-nil. Nodes are independent correlation units, so they fan
+// out over the worker pool in a deterministic (cluster, index) order; each
+// worker reuses one node-series buffer (and, uncached, one VM-series
+// buffer) across its whole chunk of nodes, collapsing the seed path's
+// two-allocations-per-node into two per worker. The aggregated sample is
+// the concatenation of per-node results in node order; the downstream ECDF
+// and quantiles sort, so they see the same multiset either way.
+func ComputeFig7aWith(t *trace.Trace, c *trace.SeriesCache) Fig7a {
 	var out Fig7a
 	for _, cloud := range core.Clouds() {
 		byNode := t.ByNode(cloud)
-		var sample []float64
-		for _, vms := range byNode {
+		nodes := make([]core.NodeRef, 0, len(byNode))
+		for n, vms := range byNode {
 			if len(vms) < 2 {
 				continue // trivial single-VM nodes, filtered as in the paper
 			}
-			nodeSeries := t.NodeSeries(vms, 0, t.Grid.N)
-			for _, v := range vms {
-				from, to, ok := v.AliveRange(t.Grid.N)
-				if !ok || to-from < minCorrOverlapSteps {
-					continue
-				}
-				vmSeries := v.Usage.Series(t.Grid, from, to)
-				sample = append(sample, stats.Pearson(vmSeries, nodeSeries[from:to]))
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].Cluster != nodes[j].Cluster {
+				return nodes[i].Cluster < nodes[j].Cluster
 			}
+			return nodes[i].Index < nodes[j].Index
+		})
+		perNode := parallel.MapChunk(len(nodes), func(lo, hi int, dst [][]float64) {
+			var nodeBuf, vmBuf []float64
+			for i := lo; i < hi; i++ {
+				vms := byNode[nodes[i]]
+				if c != nil {
+					nodeBuf = c.NodeSeriesInto(nodeBuf, vms, 0, t.Grid.N)
+				} else {
+					nodeBuf = t.NodeSeriesInto(nodeBuf, vms, 0, t.Grid.N)
+				}
+				var corrs []float64
+				for _, v := range vms {
+					from, to, ok := v.AliveRange(t.Grid.N)
+					if !ok || to-from < minCorrOverlapSteps {
+						continue
+					}
+					var vmSeries []float64
+					if c != nil {
+						vmSeries, _ = c.Series(v) // spans exactly [from, to)
+					} else {
+						vmBuf = v.Usage.SeriesInto(vmBuf, t.Grid, from, to)
+						vmSeries = vmBuf
+					}
+					corrs = append(corrs, stats.Pearson(vmSeries, nodeBuf[from:to]))
+				}
+				dst[i-lo] = corrs
+			}
+		})
+		var sample []float64
+		for _, corrs := range perNode {
+			sample = append(sample, corrs...)
 		}
 		out.CDF.Set(cloud, stats.NewECDF(sample))
 		out.MedianCorrelation.Set(cloud, stats.Quantile(sample, 0.5))
@@ -66,6 +108,14 @@ type Fig7b struct {
 
 // ComputeFig7b runs the Figure 7(b) analysis at hourly resolution.
 func ComputeFig7b(t *trace.Trace) Fig7b {
+	return ComputeFig7bWith(t, nil)
+}
+
+// ComputeFig7bWith is ComputeFig7b over the shared series cache.
+// Subscriptions are independent, so they fan out over the worker pool in
+// sorted-ID order; each yields its own slice of region-pair correlations,
+// concatenated in subscription order.
+func ComputeFig7bWith(t *trace.Trace, c *trace.SeriesCache) Fig7b {
 	var out Fig7b
 	usRegion := make(map[string]bool)
 	for _, r := range t.Topology.Regions {
@@ -76,18 +126,27 @@ func ComputeFig7b(t *trace.Trace) Fig7b {
 	stepsPerHour := 60 / t.Grid.StepMinutes()
 	hours := t.Grid.Hours()
 	for _, cloud := range core.Clouds() {
-		var sample []float64
-		for _, vms := range t.BySubscription(cloud) {
+		bySub := t.BySubscription(cloud)
+		subs := make([]core.SubscriptionID, 0, len(bySub))
+		for s := range bySub {
+			subs = append(subs, s)
+		}
+		sort.Slice(subs, func(i, j int) bool { return subs[i] < subs[j] })
+		perSub := parallel.Map(len(subs), func(si int) []float64 {
 			// Region-averaged hourly utilization, US regions only.
 			perRegion := make(map[string][]float64)
 			perRegionCores := make(map[string][]float64)
-			for _, v := range vms {
+			for _, v := range bySub[subs[si]] {
 				if !usRegion[v.Region] {
 					continue
 				}
 				from, to, ok := v.AliveRange(t.Grid.N)
 				if !ok || to-from < minCorrOverlapSteps {
 					continue
+				}
+				var vmSeries []float64
+				if c != nil {
+					vmSeries, _ = c.Series(v) // spans exactly [from, to)
 				}
 				series := perRegion[v.Region]
 				coresAt := perRegionCores[v.Region]
@@ -101,13 +160,19 @@ func ComputeFig7b(t *trace.Trace) Fig7b {
 				for h := 0; h < hours; h++ {
 					step := h * stepsPerHour
 					if from <= step && step < to {
-						series[h] += v.Usage.At(t.Grid, step) * w
+						u := 0.0
+						if vmSeries != nil {
+							u = vmSeries[step-from]
+						} else {
+							u = v.Usage.At(t.Grid, step)
+						}
+						series[h] += u * w
 						coresAt[h] += w
 					}
 				}
 			}
 			if len(perRegion) < 2 {
-				continue
+				return nil
 			}
 			regions := make([]string, 0, len(perRegion))
 			for r := range perRegion {
@@ -121,12 +186,18 @@ func ComputeFig7b(t *trace.Trace) Fig7b {
 				regions = append(regions, r)
 			}
 			sort.Strings(regions)
+			var corrs []float64
 			for i := 0; i < len(regions); i++ {
 				for j := i + 1; j < len(regions); j++ {
-					sample = append(sample,
+					corrs = append(corrs,
 						stats.Pearson(perRegion[regions[i]], perRegion[regions[j]]))
 				}
 			}
+			return corrs
+		})
+		var sample []float64
+		for _, corrs := range perSub {
+			sample = append(sample, corrs...)
 		}
 		out.CDF.Set(cloud, stats.NewECDF(sample))
 		out.MedianCorrelation.Set(cloud, stats.Quantile(sample, 0.5))
@@ -156,6 +227,14 @@ type Fig7c struct {
 // ComputeFig7c runs the Figure 7(c) analysis for the given service name
 // ("" selects the built-in ServiceX) on Tuesday.
 func ComputeFig7c(t *trace.Trace, service string) Fig7c {
+	return ComputeFig7cWith(t, nil, service)
+}
+
+// ComputeFig7cWith is ComputeFig7c over the shared series cache, computing
+// each region's day-long average curve on its own worker. Regions are
+// summed in VM slice order and steps ascending, exactly as the sequential
+// sweep, so each curve is bit-identical.
+func ComputeFig7cWith(t *trace.Trace, c *trace.SeriesCache, service string) Fig7c {
 	if service == "" {
 		service = workload.ServiceXName
 	}
@@ -171,21 +250,25 @@ func ComputeFig7c(t *trace.Trace, service string) Fig7c {
 			byRegion[v.Region] = append(byRegion[v.Region], v)
 		}
 	}
-	var peakSteps []int
 	regions := make([]string, 0, len(byRegion))
 	for r := range byRegion {
 		regions = append(regions, r)
 	}
 	sort.Strings(regions)
-	for _, region := range regions {
-		vms := byRegion[region]
+	type regionCurve struct {
+		series []float64
+		peak   int
+	}
+	curves := parallel.Map(len(regions), func(ri int) regionCurve {
+		spans := spansOf(t, c, byRegion[regions[ri]])
 		series := make([]float64, to-from)
 		for s := from; s < to; s++ {
 			var sum float64
 			var n int
-			for _, v := range vms {
-				if v.AliveAt(s) {
-					sum += v.Usage.At(t.Grid, s)
+			for i := range spans {
+				sp := &spans[i]
+				if sp.from <= s && s < sp.to {
+					sum += sp.at(t.Grid, s)
 					n++
 				}
 			}
@@ -193,14 +276,18 @@ func ComputeFig7c(t *trace.Trace, service string) Fig7c {
 				series[s-from] = sum / float64(n)
 			}
 		}
-		out.Series[region] = series
 		peak := 0
 		for s, v := range series {
 			if v > series[peak] {
 				peak = s
 			}
 		}
-		peakSteps = append(peakSteps, peak)
+		return regionCurve{series: series, peak: peak}
+	})
+	var peakSteps []int
+	for ri, region := range regions {
+		out.Series[region] = curves[ri].series
+		peakSteps = append(peakSteps, curves[ri].peak)
 	}
 	out.Regions = regions
 	if len(peakSteps) > 1 {

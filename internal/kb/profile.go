@@ -13,6 +13,7 @@ import (
 
 	"cloudlens/internal/classify"
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/stats"
 	"cloudlens/internal/trace"
 )
@@ -60,6 +61,12 @@ type ExtractOptions struct {
 	MaxClassifyPerSub int
 	// ShortBinMinutes is the shortest-lifetime-bin width (default 30).
 	ShortBinMinutes int
+	// Cache, when non-nil, supplies memoized per-VM utilization series
+	// shared with other consumers of the same trace (e.g. Characterize);
+	// extraction then skips re-materializing series the analyses already
+	// paid for. Leave nil for standalone extraction — each worker keeps
+	// its series in one reused scratch buffer instead.
+	Cache *trace.SeriesCache
 }
 
 func (o ExtractOptions) withDefaults() ExtractOptions {
@@ -76,100 +83,141 @@ func (o ExtractOptions) withDefaults() ExtractOptions {
 // pattern and utilization knowledge.
 const minProfileSteps = 288
 
-// Extract builds a knowledge base from a trace.
+// Extract builds a knowledge base from a trace. Subscriptions are profiled
+// independently, so they fan out over the worker pool in sorted (cloud,
+// subscription) order; each worker reuses one series scratch buffer across
+// its whole chunk of subscriptions, and the finished profiles land in the
+// store sequentially. Profiles are identical to a sequential extraction:
+// all per-subscription state is worker-local.
 func Extract(t *trace.Trace, opts ExtractOptions) *Store {
 	opts = opts.withDefaults()
 	store := NewStore()
 	clOpts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
-	snap := t.SnapshotStep()
-	stepMin := t.Grid.StepMinutes()
 
+	type job struct {
+		sub core.SubscriptionID
+		vms []*trace.VM
+	}
+	var jobs []job
 	for _, cloud := range core.Clouds() {
-		for sub, vms := range t.BySubscription(cloud) {
-			p := &Profile{
-				Subscription:        sub,
-				Cloud:               cloud,
-				VMsObserved:         len(vms),
-				PatternShares:       make(map[core.Pattern]float64),
-				RegionAgnosticScore: -1,
-				PeakHourUTC:         -1,
-			}
-			regionSet := make(map[string]bool)
-			serviceSet := make(map[string]bool)
-			var lifetimes []float64
-			shortLived := 0
-			classified := 0
-			var utilSum float64
-			var utilN int
-			hourly := make([]float64, 24)
-			hourlyN := make([]float64, 24)
-
-			for _, v := range vms {
-				regionSet[v.Region] = true
-				serviceSet[v.Service] = true
-				if v.AliveAt(snap) {
-					p.SnapshotVMs++
-					p.SnapshotCores += v.Size.Cores
-				}
-				if v.WithinWindow(t.Grid.N) {
-					lifeMin := float64(v.LifetimeSteps() * stepMin)
-					lifetimes = append(lifetimes, lifeMin)
-					if lifeMin < float64(opts.ShortBinMinutes) {
-						shortLived++
-					}
-				}
-				from, to, ok := v.AliveRange(t.Grid.N)
-				if !ok || to-from < minProfileSteps {
-					continue
-				}
-				if classified < opts.MaxClassifyPerSub {
-					series := v.Usage.Series(t.Grid, from, to)
-					res := classify.Classify(series, clOpts)
-					p.PatternShares[res.Pattern]++
-					classified++
-					for i, u := range series {
-						utilSum += u
-						utilN++
-						h := t.Grid.HourOf(from+i) % 24
-						hourly[h] += u
-						hourlyN[h]++
-					}
-				}
-			}
-
-			p.Regions = sortedKeys(regionSet)
-			p.Services = sortedKeys(serviceSet)
-			if len(lifetimes) > 0 {
-				p.MedianLifetimeMin = stats.Quantile(lifetimes, 0.5)
-				p.ShortLivedShare = float64(shortLived) / float64(len(lifetimes))
-			}
-			if classified > 0 {
-				best := core.PatternUnknown
-				for k := range p.PatternShares {
-					p.PatternShares[k] /= float64(classified)
-					if best == core.PatternUnknown || p.PatternShares[k] > p.PatternShares[best] {
-						best = k
-					}
-				}
-				p.DominantPattern = best
-			}
-			if utilN > 0 {
-				p.MeanUtilization = utilSum / float64(utilN)
-				peak := 0
-				for h := 1; h < 24; h++ {
-					if mean(hourly[h], hourlyN[h]) > mean(hourly[peak], hourlyN[peak]) {
-						peak = h
-					}
-				}
-				p.PeakHourUTC = peak
-			}
-			if len(p.Regions) > 1 {
-				p.RegionAgnosticScore = regionAgnosticScore(t, vms)
-			}
-			store.Put(p)
+		bySub := t.BySubscription(cloud)
+		subs := make([]core.SubscriptionID, 0, len(bySub))
+		for sub := range bySub {
+			subs = append(subs, sub)
+		}
+		sort.Slice(subs, func(i, j int) bool { return subs[i] < subs[j] })
+		for _, sub := range subs {
+			jobs = append(jobs, job{sub: sub, vms: bySub[sub]})
 		}
 	}
+	profiles := parallel.MapChunk(len(jobs), func(lo, hi int, dst []*Profile) {
+		var buf []float64
+		for i := lo; i < hi; i++ {
+			var p *Profile
+			p, buf = extractProfile(t, opts, clOpts, jobs[i].sub, jobs[i].vms, buf)
+			dst[i-lo] = p
+		}
+	})
+	for _, p := range profiles {
+		store.Put(p)
+	}
 	return store
+}
+
+// extractProfile profiles one subscription. buf is a scratch series buffer
+// threaded through consecutive calls on the same worker; the (possibly
+// grown) buffer is returned for reuse.
+func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options,
+	sub core.SubscriptionID, vms []*trace.VM, buf []float64) (*Profile, []float64) {
+	snap := t.SnapshotStep()
+	stepMin := t.Grid.StepMinutes()
+	p := &Profile{
+		Subscription:        sub,
+		Cloud:               vms[0].Cloud,
+		VMsObserved:         len(vms),
+		PatternShares:       make(map[core.Pattern]float64),
+		RegionAgnosticScore: -1,
+		PeakHourUTC:         -1,
+	}
+	regionSet := make(map[string]bool)
+	serviceSet := make(map[string]bool)
+	var lifetimes []float64
+	shortLived := 0
+	classified := 0
+	var utilSum float64
+	var utilN int
+	hourly := make([]float64, 24)
+	hourlyN := make([]float64, 24)
+
+	for _, v := range vms {
+		regionSet[v.Region] = true
+		serviceSet[v.Service] = true
+		if v.AliveAt(snap) {
+			p.SnapshotVMs++
+			p.SnapshotCores += v.Size.Cores
+		}
+		if v.WithinWindow(t.Grid.N) {
+			lifeMin := float64(v.LifetimeSteps() * stepMin)
+			lifetimes = append(lifetimes, lifeMin)
+			if lifeMin < float64(opts.ShortBinMinutes) {
+				shortLived++
+			}
+		}
+		from, to, ok := v.AliveRange(t.Grid.N)
+		if !ok || to-from < minProfileSteps {
+			continue
+		}
+		if classified < opts.MaxClassifyPerSub {
+			var series []float64
+			if opts.Cache != nil {
+				series, _ = opts.Cache.Series(v) // spans exactly [from, to)
+			} else {
+				buf = v.Usage.SeriesInto(buf, t.Grid, from, to)
+				series = buf
+			}
+			res := classify.Classify(series, clOpts)
+			p.PatternShares[res.Pattern]++
+			classified++
+			for i, u := range series {
+				utilSum += u
+				utilN++
+				h := t.Grid.HourOf(from+i) % 24
+				hourly[h] += u
+				hourlyN[h]++
+			}
+		}
+	}
+
+	p.Regions = sortedKeys(regionSet)
+	p.Services = sortedKeys(serviceSet)
+	if len(lifetimes) > 0 {
+		p.MedianLifetimeMin = stats.Quantile(lifetimes, 0.5)
+		p.ShortLivedShare = float64(shortLived) / float64(len(lifetimes))
+	}
+	if classified > 0 {
+		best := core.PatternUnknown
+		for k := range p.PatternShares {
+			p.PatternShares[k] /= float64(classified)
+			if best == core.PatternUnknown || p.PatternShares[k] > p.PatternShares[best] {
+				best = k
+			}
+		}
+		p.DominantPattern = best
+	}
+	if utilN > 0 {
+		p.MeanUtilization = utilSum / float64(utilN)
+		peak := 0
+		for h := 1; h < 24; h++ {
+			if mean(hourly[h], hourlyN[h]) > mean(hourly[peak], hourlyN[peak]) {
+				peak = h
+			}
+		}
+		p.PeakHourUTC = peak
+	}
+	if len(p.Regions) > 1 {
+		p.RegionAgnosticScore = regionAgnosticScore(t, opts.Cache, vms)
+	}
+	return p, buf
 }
 
 func mean(sum, n float64) float64 {
@@ -191,7 +239,7 @@ func sortedKeys(set map[string]bool) []string {
 // regionAgnosticScore computes the mean pairwise Pearson correlation of the
 // subscription's region-averaged hourly utilization, across all its
 // deployment regions.
-func regionAgnosticScore(t *trace.Trace, vms []*trace.VM) float64 {
+func regionAgnosticScore(t *trace.Trace, c *trace.SeriesCache, vms []*trace.VM) float64 {
 	stepsPerHour := 60 / t.Grid.StepMinutes()
 	hours := t.Grid.Hours()
 	perRegion := make(map[string][]float64)
@@ -200,6 +248,10 @@ func regionAgnosticScore(t *trace.Trace, vms []*trace.VM) float64 {
 		from, to, ok := v.AliveRange(t.Grid.N)
 		if !ok || to-from < minProfileSteps {
 			continue
+		}
+		var vmSeries []float64
+		if c != nil {
+			vmSeries, _ = c.Series(v) // spans exactly [from, to)
 		}
 		series := perRegion[v.Region]
 		counts := perRegionN[v.Region]
@@ -212,7 +264,11 @@ func regionAgnosticScore(t *trace.Trace, vms []*trace.VM) float64 {
 		for h := 0; h < hours; h++ {
 			step := h * stepsPerHour
 			if from <= step && step < to {
-				series[h] += v.Usage.At(t.Grid, step)
+				if vmSeries != nil {
+					series[h] += vmSeries[step-from]
+				} else {
+					series[h] += v.Usage.At(t.Grid, step)
+				}
 				counts[h]++
 			}
 		}

@@ -1,0 +1,119 @@
+// Package parallel provides the bounded worker pool the characterization
+// pipeline fans out on. Every helper preserves result order — workers write
+// into index-addressed slots, never into shared accumulators — so a
+// computation produces bit-identical results whether it runs on one core or
+// many. Helpers run inline when only one worker is available, keeping the
+// sequential path free of goroutine and channel overhead.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the pool size used by the helpers: GOMAXPROCS, floored
+// at 1. Sizing to GOMAXPROCS keeps the pipeline CPU-bound stages saturated
+// without oversubscribing the scheduler; the analyses never block on I/O.
+func Workers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// ForEach invokes fn(i) for every i in [0, n), spread over at most
+// Workers() goroutines, and returns once all invocations have finished.
+// fn must be safe for concurrent use and must not depend on invocation
+// order. A panic in any invocation is re-raised on the caller's goroutine.
+func ForEach(n int, fn func(i int)) {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}
+
+// ForEachChunk splits [0, n) into at most Workers() contiguous chunks and
+// invokes fn(lo, hi) once per chunk, concurrently. Use it when a worker
+// benefits from per-chunk state (a reusable scratch buffer, one allocation
+// amortized over many items). Chunk boundaries are deterministic in n and
+// Workers(), but fn must not care which goroutine runs which chunk.
+func ForEachChunk(n int, fn func(lo, hi int)) {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunks := make([][2]int, 0, workers)
+	size := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, [2]int{lo, hi})
+	}
+	ForEach(len(chunks), func(i int) { fn(chunks[i][0], chunks[i][1]) })
+}
+
+// Map invokes fn(i) for every i in [0, n) on the pool and returns the
+// results in index order, regardless of execution order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapChunk is ForEachChunk with an order-preserving result slice: fn fills
+// out[lo:hi] for its chunk, reusing whatever scratch state it likes.
+func MapChunk[T any](n int, fn func(lo, hi int, out []T)) []T {
+	out := make([]T, n)
+	ForEachChunk(n, func(lo, hi int) { fn(lo, hi, out[lo:hi]) })
+	return out
+}
+
+// Do runs the given tasks concurrently on the pool and waits for all of
+// them. Tasks must be independent; each typically fills its own result
+// variable.
+func Do(tasks ...func()) {
+	ForEach(len(tasks), func(i int) { tasks[i]() })
+}

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// forceWorkers runs f with GOMAXPROCS pinned to n so the concurrent paths
+// are exercised even on single-core machines (and under -race).
+func forceWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	f()
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		forceWorkers(t, workers, func() {
+			hits := make([]int32, 1000)
+			ForEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, func(int) { called = true })
+	ForEach(-3, func(int) { called = true })
+	if called {
+		t.Fatal("ForEach invoked fn for empty range")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		forceWorkers(t, workers, func() {
+			out := Map(500, func(i int) int { return i * i })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachChunkCoversRangeWithoutOverlap(t *testing.T) {
+	for _, workers := range []int{1, 3, 7} {
+		forceWorkers(t, workers, func() {
+			hits := make([]int32, 101)
+			ForEachChunk(len(hits), func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d: index %d covered %d times", workers, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestMapChunkMatchesMap(t *testing.T) {
+	forceWorkers(t, 4, func() {
+		a := Map(257, func(i int) int { return 3 * i })
+		b := MapChunk(257, func(lo, hi int, out []int) {
+			for i := lo; i < hi; i++ {
+				out[i-lo] = 3 * i
+			}
+		})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("MapChunk[%d] = %d, Map = %d", i, b[i], a[i])
+			}
+		}
+	})
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	forceWorkers(t, 4, func() {
+		var a, b, c int32
+		Do(
+			func() { atomic.AddInt32(&a, 1) },
+			func() { atomic.AddInt32(&b, 1) },
+			func() { atomic.AddInt32(&c, 1) },
+		)
+		if a != 1 || b != 1 || c != 1 {
+			t.Fatalf("tasks ran (%d,%d,%d) times", a, b, c)
+		}
+	})
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	forceWorkers(t, 4, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic in worker was swallowed")
+			}
+		}()
+		ForEach(64, func(i int) {
+			if i == 13 {
+				panic("boom")
+			}
+		})
+	})
+}
+
+func TestWorkersAtLeastOne(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -119,10 +119,24 @@ func Sparkline(series []float64) string {
 // Downsample reduces a series to at most n points by block averaging,
 // keeping sparklines terminal-width friendly.
 func Downsample(series []float64, n int) []float64 {
+	return DownsampleInto(nil, series, n)
+}
+
+// DownsampleInto is Downsample writing into buf, reallocating only when buf
+// is too small. Report writers that render many sparklines pass one scratch
+// buffer so downsampling allocates once per report, not once per curve.
+// When the series is already short enough it is returned as-is and buf is
+// untouched.
+func DownsampleInto(buf []float64, series []float64, n int) []float64 {
 	if n <= 0 || len(series) <= n {
 		return series
 	}
-	out := make([]float64, n)
+	var out []float64
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]float64, n)
+	}
 	for i := 0; i < n; i++ {
 		lo := i * len(series) / n
 		hi := (i + 1) * len(series) / n

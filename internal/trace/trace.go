@@ -199,21 +199,17 @@ func (t *Trace) ByService(cloud core.Cloud) map[string][]*VM {
 // physical cores. This matches the paper's premise that "node CPU
 // utilization mostly originates from the usage of VMs".
 func (t *Trace) NodeSeries(vmsOnNode []*VM, from, to int) []float64 {
-	if to > t.Grid.N {
-		to = t.Grid.N
-	}
-	if from < 0 {
-		from = 0
-	}
-	if from >= to {
+	return t.NodeSeriesInto(nil, vmsOnNode, from, to)
+}
+
+// NodeSeriesInto is NodeSeries writing into dst, reallocating only when dst
+// is too small. Correlation sweeps that walk many nodes pass a per-worker
+// scratch buffer so the hot path allocates once per worker, not per node.
+func (t *Trace) NodeSeriesInto(dst []float64, vmsOnNode []*VM, from, to int) []float64 {
+	from, to = t.clipWindow(from, to)
+	series, nodeCores := t.prepNodeSeries(dst, vmsOnNode, from, to)
+	if series == nil {
 		return nil
-	}
-	series := make([]float64, to-from)
-	var nodeCores int
-	if len(vmsOnNode) > 0 {
-		if c, ok := t.Topology.ClusterByID(vmsOnNode[0].Node.Cluster); ok {
-			nodeCores = c.SKU.Cores
-		}
 	}
 	for _, v := range vmsOnNode {
 		for s := from; s < to; s++ {
@@ -228,6 +224,41 @@ func (t *Trace) NodeSeries(vmsOnNode []*VM, from, to int) []float64 {
 		}
 	}
 	return series
+}
+
+// clipWindow clamps [from, to) to the observation window [0, Grid.N).
+func (t *Trace) clipWindow(from, to int) (int, int) {
+	if to > t.Grid.N {
+		to = t.Grid.N
+	}
+	if from < 0 {
+		from = 0
+	}
+	return from, to
+}
+
+// prepNodeSeries sizes (and zeroes) the destination buffer for an
+// already-clipped window and resolves the node's physical core count.
+func (t *Trace) prepNodeSeries(dst []float64, vmsOnNode []*VM, from, to int) ([]float64, int) {
+	if from >= to {
+		return nil, 0
+	}
+	n := to - from
+	if cap(dst) >= n {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		dst = make([]float64, n)
+	}
+	var nodeCores int
+	if len(vmsOnNode) > 0 {
+		if c, ok := t.Topology.ClusterByID(vmsOnNode[0].Node.Cluster); ok {
+			nodeCores = c.SKU.Cores
+		}
+	}
+	return dst, nodeCores
 }
 
 // HourlyAliveCounts returns, for one platform and region, the number of VMs

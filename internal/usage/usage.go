@@ -183,6 +183,14 @@ func (p Params) hourlyPeakComponent(g sim.Grid, step int) float64 {
 
 // Series materializes the utilization fractions for steps [from, to).
 func (p Params) Series(g sim.Grid, from, to int) []float64 {
+	return p.SeriesInto(nil, g, from, to)
+}
+
+// SeriesInto materializes the utilization fractions for steps [from, to)
+// into buf, reallocating only when buf is too small. Hot paths that
+// materialize many series transiently (classification sweeps, correlation
+// studies) pass a per-worker scratch buffer to keep allocations flat.
+func (p Params) SeriesInto(buf []float64, g sim.Grid, from, to int) []float64 {
 	if to > g.N {
 		to = g.N
 	}
@@ -192,7 +200,13 @@ func (p Params) Series(g sim.Grid, from, to int) []float64 {
 	if from >= to {
 		return nil
 	}
-	out := make([]float64, to-from)
+	n := to - from
+	var out []float64
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]float64, n)
+	}
 	for i := range out {
 		out[i] = p.At(g, from+i)
 	}

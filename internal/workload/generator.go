@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"cloudlens/internal/core"
+	"cloudlens/internal/parallel"
 	"cloudlens/internal/platform"
 	"cloudlens/internal/sim"
 	"cloudlens/internal/trace"
@@ -54,6 +55,15 @@ type generator struct {
 }
 
 // Generate produces a complete validated trace from the configuration.
+//
+// The model stages run concurrently where their data dependencies allow:
+// sim.RNG.Fork derives a child stream without mutating the parent, so every
+// stage's randomness is fixed up front regardless of execution order, and
+// each stage appends to its own spec slice. The slices concatenate in the
+// seed pipeline's append order before placement, so the generated trace is
+// byte-identical to a sequential run. Stage graph: private ∥ public first
+// (they build the deployment lists), then special (appends to the private
+// service list), then churn ∥ bursts (both read the finished lists).
 func Generate(cfg Config) (*trace.Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -68,11 +78,21 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	g := &generator{cfg: cfg, topo: topo}
 
 	root := sim.NewRNG(cfg.Seed)
-	g.genPrivate(root.Fork("private"))
-	g.genPublic(root.Fork("public"))
-	g.genSpecial(root.Fork("special"))
-	g.genChurn(root.Fork("churn"))
-	g.genBursts(root.Fork("bursts"))
+	var privSpecs, pubSpecs, specialSpecs, churnSpecs, burstSpecs []vmSpec
+	parallel.Do(
+		func() { privSpecs = g.genPrivate(root.Fork("private")) },
+		func() { pubSpecs = g.genPublic(root.Fork("public")) },
+	)
+	specialSpecs = g.genSpecial(root.Fork("special"))
+	parallel.Do(
+		func() { churnSpecs = g.genChurn(root.Fork("churn")) },
+		func() { burstSpecs = g.genBursts(root.Fork("bursts")) },
+	)
+	g.specs = make([]vmSpec, 0,
+		len(privSpecs)+len(pubSpecs)+len(specialSpecs)+len(churnSpecs)+len(burstSpecs))
+	for _, stage := range [][]vmSpec{privSpecs, pubSpecs, specialSpecs, churnSpecs, burstSpecs} {
+		g.specs = append(g.specs, stage...)
+	}
 
 	t := g.place()
 	t.Meta = trace.Meta{
@@ -151,7 +171,8 @@ func baseLifetime(rng *sim.RNG, n int) (created, deleted int) {
 
 // genPrivate builds the regular first-party subscriptions: few, large,
 // multi-region, homogeneous service deployments.
-func (g *generator) genPrivate(rng *sim.RNG) {
+func (g *generator) genPrivate(rng *sim.RNG) []vmSpec {
+	var specs []vmSpec
 	cfg := g.cfg.Private
 	n := g.scaleCount(cfg.Subscriptions)
 	for i := 0; i < n; i++ {
@@ -191,13 +212,15 @@ func (g *generator) genPrivate(rng *sim.RNG) {
 			size:      samplePrivateSize(rng),
 		}
 		g.privateServices = append(g.privateServices, svc)
-		g.emitBaseVMs(rng, svc, cfg.BaseVMFraction)
+		g.emitBaseVMs(rng, &specs, svc, cfg.BaseVMFraction)
 	}
+	return specs
 }
 
 // genPublic builds the third-party subscriptions: many, small, mostly
 // single-region, with independent per-VM utilization and diverse sizes.
-func (g *generator) genPublic(rng *sim.RNG) {
+func (g *generator) genPublic(rng *sim.RNG) []vmSpec {
+	var specs []vmSpec
 	cfg := g.cfg.Public
 	n := g.scaleCount(cfg.Subscriptions)
 	for i := 0; i < n; i++ {
@@ -213,9 +236,10 @@ func (g *generator) genPublic(rng *sim.RNG) {
 			perRegion: splitAcrossRegions(rng, total, len(regions)),
 		}
 		g.publicSubs = append(g.publicSubs, dep)
-		g.emitBaseVMs(rng, dep, cfg.BaseVMFraction)
-		g.emitDailyScalers(rng, dep, cfg.DailyScalerFraction)
+		g.emitBaseVMs(rng, &specs, dep, cfg.BaseVMFraction)
+		g.emitDailyScalers(rng, &specs, dep, cfg.DailyScalerFraction)
 	}
+	return specs
 }
 
 // emitDailyScalers creates the auto-scaled portion of a public deployment:
@@ -223,7 +247,7 @@ func (g *generator) genPublic(rng *sim.RNG) {
 // start and retires it around the evening. The aggregate effect is the
 // weekday diurnal swing and weekend decrease of public VM counts the paper
 // shows in Figure 3(b).
-func (g *generator) emitDailyScalers(rng *sim.RNG, dep serviceDeployment, fraction float64) {
+func (g *generator) emitDailyScalers(rng *sim.RNG, sink *[]vmSpec, dep serviceDeployment, fraction float64) {
 	if fraction <= 0 {
 		return
 	}
@@ -249,7 +273,7 @@ func (g *generator) emitDailyScalers(rng *sim.RNG, dep serviceDeployment, fracti
 				if created >= g.cfg.Grid.N {
 					continue
 				}
-				g.specs = append(g.specs,
+				*sink = append(*sink,
 					g.newSpec(rng, dep, region, created, created+lifeSteps))
 			}
 		}
@@ -257,7 +281,7 @@ func (g *generator) emitDailyScalers(rng *sim.RNG, dep serviceDeployment, fracti
 }
 
 // emitBaseVMs creates the long-running portion of a deployment.
-func (g *generator) emitBaseVMs(rng *sim.RNG, dep serviceDeployment, baseFraction float64) {
+func (g *generator) emitBaseVMs(rng *sim.RNG, sink *[]vmSpec, dep serviceDeployment, baseFraction float64) {
 	for ri, region := range dep.regions {
 		count := int(math.Round(float64(dep.perRegion[ri]) * baseFraction))
 		if dep.perRegion[ri] > 0 && count == 0 {
@@ -265,7 +289,7 @@ func (g *generator) emitBaseVMs(rng *sim.RNG, dep serviceDeployment, baseFractio
 		}
 		for j := 0; j < count; j++ {
 			created, deleted := baseLifetime(rng, g.cfg.Grid.N)
-			g.specs = append(g.specs, g.newSpec(rng, dep, region, created, deleted))
+			*sink = append(*sink, g.newSpec(rng, dep, region, created, deleted))
 		}
 	}
 }
@@ -347,50 +371,65 @@ func (g *generator) churnRate(step int, tzOffsetMin int, perHour, amp, weekendFa
 
 // genChurn runs both clouds' arrival processes: a clean diurnal
 // auto-scaling process for public workloads and a low-amplitude baseline
-// for private ones (bursts come separately).
-func (g *generator) genChurn(rng *sim.RNG) {
-	g.runChurn(rng.Fork("private"), core.Private, g.privateServices,
+// for private ones (bursts come separately). Private specs precede public
+// ones, as in the sequential pipeline.
+func (g *generator) genChurn(rng *sim.RNG) []vmSpec {
+	priv := g.runChurn(rng.Fork("private"), core.Private, g.privateServices,
 		g.cfg.Private.ChurnPerRegionHour, g.cfg.Private.ChurnDiurnalAmp, g.cfg.Private.ChurnWeekendFactor,
 		newLifetimeMixture(g.cfg.Private.ShortLifetimeFrac, g.cfg.Private.ShortLifetimeMeanMin,
 			g.cfg.Private.LongLifetimeMedianMin, g.cfg.Private.LongLifetimeSigma))
-	g.runChurn(rng.Fork("public"), core.Public, g.publicSubs,
+	pub := g.runChurn(rng.Fork("public"), core.Public, g.publicSubs,
 		g.cfg.Public.ChurnPerRegionHour, g.cfg.Public.ChurnDiurnalAmp, g.cfg.Public.ChurnWeekendFactor,
 		newLifetimeMixture(g.cfg.Public.ShortLifetimeFrac, g.cfg.Public.ShortLifetimeMeanMin,
 			g.cfg.Public.LongLifetimeMedianMin, g.cfg.Public.LongLifetimeSigma))
+	return append(priv, pub...)
 }
 
+// runChurn simulates one cloud's arrival process. Every region draws from
+// its own forked RNG stream, so the regions fan out over the worker pool
+// and their spec slices concatenate in region order — the exact sequence
+// the sequential sweep produced.
 func (g *generator) runChurn(rng *sim.RNG, cloud core.Cloud, deps []serviceDeployment,
-	perHour, amp, weekendFactor float64, lifetimes lifetimeMixture) {
+	perHour, amp, weekendFactor float64, lifetimes lifetimeMixture) []vmSpec {
 
 	idx := buildChurnIndex(deps)
 	regions := g.topo.RegionsOf(cloud)
 	stepMin := g.cfg.Grid.StepMinutes()
-	for _, region := range regions {
+	perRegion := parallel.Map(len(regions), func(i int) []vmSpec {
+		region := regions[i]
 		ci := idx[region]
 		if ci == nil {
-			continue
+			return nil
 		}
 		regionRNG := rng.Fork(region)
 		tz := g.topo.TZOffsetMin(region)
+		var specs []vmSpec
 		for step := 0; step < g.cfg.Grid.N; step++ {
 			rate := g.churnRate(step, tz, perHour, amp, weekendFactor)
 			for e := regionRNG.Poisson(rate); e > 0; e-- {
 				dep := deps[ci.deps[regionRNG.Categorical(ci.weights)]]
 				life := lifetimes.sampleSteps(regionRNG, stepMin)
-				g.specs = append(g.specs,
+				specs = append(specs,
 					g.newSpec(regionRNG, dep, region, step, step+life))
 			}
 		}
+		return specs
+	})
+	var out []vmSpec
+	for _, specs := range perRegion {
+		out = append(out, specs...)
 	}
+	return out
 }
 
 // genBursts injects the private cloud's service-rollout bursts: a large
 // service creates tens to hundreds of VMs within minutes, producing the
 // spikes of Figures 3(b) and 3(c).
-func (g *generator) genBursts(rng *sim.RNG) {
+func (g *generator) genBursts(rng *sim.RNG) []vmSpec {
+	var specs []vmSpec
 	cfg := g.cfg.Private
 	if len(g.privateServices) == 0 {
-		return
+		return nil
 	}
 	bursts := g.scaleCount(cfg.Bursts)
 	for b := 0; b < bursts; b++ {
@@ -414,9 +453,10 @@ func (g *generator) genBursts(rng *sim.RNG) {
 			if life < 1 {
 				life = 1
 			}
-			g.specs = append(g.specs, g.newSpec(rng, svc, region, created, created+life))
+			specs = append(specs, g.newSpec(rng, svc, region, created, created+life))
 		}
 	}
+	return specs
 }
 
 // deletion is a pending Free event during placement replay.

@@ -235,12 +235,13 @@ func TestDailyScalersAreWeekdayDiurnal(t *testing.T) {
 		regions:   []string{"us-east"},
 		perRegion: []int{100},
 	}
-	g.emitDailyScalers(sim.NewRNG(1), dep, 0.2)
-	if len(g.specs) == 0 {
+	var specs []vmSpec
+	g.emitDailyScalers(sim.NewRNG(1), &specs, dep, 0.2)
+	if len(specs) == 0 {
 		t.Fatal("no scaler VMs emitted")
 	}
 	tz := topo.TZOffsetMin("us-east")
-	for _, s := range g.specs {
+	for _, s := range specs {
 		mid := (s.created + s.deleted) / 2
 		if mid >= cfg.Grid.N {
 			mid = cfg.Grid.N - 1
@@ -261,9 +262,7 @@ func TestBurstsCreateSpikes(t *testing.T) {
 	g := &generator{cfg: cfg, topo: topo}
 	root := sim.NewRNG(cfg.Seed)
 	g.genPrivate(root.Fork("private"))
-	before := len(g.specs)
-	g.genBursts(root.Fork("bursts"))
-	burstVMs := len(g.specs) - before
+	burstVMs := len(g.genBursts(root.Fork("bursts")))
 	minExpected := cfg.Private.Bursts * cfg.Private.BurstSizeMin
 	if burstVMs < minExpected {
 		t.Fatalf("bursts produced %d VMs, want >= %d", burstVMs, minExpected)

@@ -17,23 +17,25 @@ const ServiceXName = "servicex"
 // genSpecial instantiates the named case studies: ServiceX across US and
 // Canadian regions, the "hot" filler load in the Canada source region, and
 // the light load of the Canada destination region.
-func (g *generator) genSpecial(rng *sim.RNG) {
+func (g *generator) genSpecial(rng *sim.RNG) []vmSpec {
+	var specs []vmSpec
 	sp := g.cfg.Special
 	if len(sp.ServiceXRegions) > 0 {
-		g.genServiceX(rng.Fork("servicex"))
+		g.genServiceX(rng.Fork("servicex"), &specs)
 	}
 	if sp.CanadaSource != "" {
-		g.genCanadaFiller(rng.Fork("canada-fill"), sp.CanadaSource, g.scaleCount(sp.CanadaFillerVMs), "prv-canfill")
+		g.genCanadaFiller(rng.Fork("canada-fill"), &specs, sp.CanadaSource, g.scaleCount(sp.CanadaFillerVMs), "prv-canfill")
 	}
 	if sp.CanadaDest != "" {
-		g.genCanadaFiller(rng.Fork("canada-dest"), sp.CanadaDest, g.scaleCount(sp.CanadaDestVMs), "prv-candest")
+		g.genCanadaFiller(rng.Fork("canada-dest"), &specs, sp.CanadaDest, g.scaleCount(sp.CanadaDestVMs), "prv-candest")
 	}
+	return specs
 }
 
 // genServiceX deploys ServiceX: an hourly-peak + diurnal, UTC-anchored
 // service. The Canada source region (first entry) hosts a double share,
 // making it the natural shift candidate of the pilot.
-func (g *generator) genServiceX(rng *sim.RNG) {
+func (g *generator) genServiceX(rng *sim.RNG, sink *[]vmSpec) {
 	sp := g.cfg.Special
 	template := usage.Params{
 		Pattern:       core.PatternHourlyPeak,
@@ -73,7 +75,7 @@ func (g *generator) genServiceX(rng *sim.RNG) {
 		size:      core.VMSize{Cores: 4, MemoryGB: 16},
 	}
 	g.privateServices = append(g.privateServices, svc)
-	g.emitBaseVMs(rng, svc, 1.0)
+	g.emitBaseVMs(rng, sink, svc, 1.0)
 }
 
 // genCanadaFiller pins first-party load to one region: a mix of busy
@@ -81,7 +83,7 @@ func (g *generator) genServiceX(rng *sim.RNG) {
 // region "hot" in allocated capacity while roughly a quarter of the
 // allocated cores sit on underutilized VMs — the condition that motivated
 // the pilot (Canada-A: 42% core utilization, 23% underutilized cores).
-func (g *generator) genCanadaFiller(rng *sim.RNG, region string, totalVMs int, subPrefix string) {
+func (g *generator) genCanadaFiller(rng *sim.RNG, sink *[]vmSpec, region string, totalVMs int, subPrefix string) {
 	if _, ok := g.topo.RegionByName(region); !ok || totalVMs <= 0 {
 		return
 	}
@@ -124,7 +126,7 @@ func (g *generator) genCanadaFiller(rng *sim.RNG, region string, totalVMs int, s
 			size:      samplePrivateSize(rng),
 		}
 		g.privateServices = append(g.privateServices, svc)
-		g.emitBaseVMs(rng, svc, 1.0)
+		g.emitBaseVMs(rng, sink, svc, 1.0)
 		emitted += count
 	}
 }
