@@ -22,4 +22,4 @@ verify:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace' -benchmem .
+	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace|StreamIngest' -benchmem .

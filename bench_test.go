@@ -11,6 +11,8 @@ package cloudlens
 // paper-vs-measured comparison for each benchmark.
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -350,6 +352,40 @@ func BenchmarkKBExtract(b *testing.B) {
 		if store.Len() == 0 {
 			b.Fatal("empty knowledge base")
 		}
+	}
+}
+
+// BenchmarkStreamIngest tracks streaming-ingestion throughput: the full
+// default week replayed (unpaced) through the live pipeline, folding every
+// hour. Reports end-to-end samples/s and the per-sample allocation rate of
+// the hot path alongside the standard per-op counters.
+func BenchmarkStreamIngest(b *testing.B) {
+	tr := benchTraceOrSkip(b)
+	b.ReportAllocs()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	var samples int64
+	for i := 0; i < b.N; i++ {
+		p := NewStreamPipeline(tr, StreamOptions{})
+		p.Start(context.Background())
+		if err := p.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		st := p.Status()
+		if !st.Done || st.SamplesIngested == 0 {
+			b.Fatalf("replay did not finish: %+v", st)
+		}
+		samples += st.SamplesIngested
+	}
+	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(samples)/sec, "samples/s")
+	}
+	if samples > 0 {
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(samples), "allocs/sample")
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"cloudlens/internal/oversub"
 	"cloudlens/internal/provision"
 	"cloudlens/internal/spot"
+	"cloudlens/internal/stream"
 	"cloudlens/internal/trace"
 	"cloudlens/internal/workload"
 )
@@ -57,6 +58,25 @@ type (
 	KnowledgeBase = kb.Store
 	// Profile is one subscription's extracted workload knowledge.
 	Profile = kb.Profile
+)
+
+// Streaming ingestion types: the incremental counterpart of the batch
+// pipeline, continuously folding replayed telemetry into knowledge-base
+// state (see DESIGN.md, "Streaming ingestion").
+type (
+	// StreamOptions tunes the replay/ingestion pipeline (speedup, channel
+	// depth, fold cadence).
+	StreamOptions = stream.Options
+	// StreamPipeline replays a trace in simulated time and keeps a live
+	// knowledge base current while samples arrive.
+	StreamPipeline = stream.Pipeline
+	// StreamStatus is a point-in-time view of replay progress.
+	StreamStatus = stream.Status
+	// LiveSummary is the incremental per-cloud characterization snapshot.
+	LiveSummary = stream.Summary
+	// LiveProfile is a knowledge-base profile augmented with streaming
+	// sketch estimates (utilization quantiles, sample counters).
+	LiveProfile = stream.LiveProfile
 )
 
 // Policy experiment types.
@@ -126,6 +146,13 @@ func ExtractKnowledgeBase(t *Trace) *KnowledgeBase {
 // package kb for the route table.
 func KnowledgeBaseHandler(store *KnowledgeBase) http.Handler {
 	return kb.NewHandler(store)
+}
+
+// NewStreamPipeline builds a stopped streaming pipeline over the trace.
+// Start it with a context, then read Status/Summary/Profiles while it runs;
+// its KB() converges to ExtractKnowledgeBase's output once the replay ends.
+func NewStreamPipeline(t *Trace, opts StreamOptions) *StreamPipeline {
+	return stream.NewPipeline(t, opts)
 }
 
 // RunOversubscription executes the chance-constrained over-subscription

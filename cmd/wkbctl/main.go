@@ -7,6 +7,11 @@
 //	wkbctl -server http://localhost:8080 summary
 //	wkbctl -server http://localhost:8080 profiles -cloud private -min-agnostic 0.8 [-pattern diurnal] [-min-short-lived 0.5]
 //	wkbctl -server http://localhost:8080 profile <subscription-id>
+//	wkbctl -server http://localhost:8080 watch [-interval 2s] [-count 0]
+//
+// watch follows a live replay (wkbserver -replay), printing one progress
+// line per poll until the replay finishes; -count bounds the number of
+// polls (0 means until done).
 //
 // Global flags come before the subcommand; filter flags after it.
 package main
@@ -59,8 +64,18 @@ func run() error {
 			return fmt.Errorf("profile requires a subscription id")
 		}
 		return showProfile(client, *server, flag.Arg(1))
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+		var (
+			interval = fs.Duration("interval", 2*time.Second, "poll interval")
+			count    = fs.Int("count", 0, "stop after this many polls (0 = until the replay finishes)")
+		)
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		return watch(client, *server, *interval, *count, os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want summary | profiles | profile)", flag.Arg(0))
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch)", flag.Arg(0))
 	}
 }
 

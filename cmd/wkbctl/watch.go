@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cloudlens"
+	"cloudlens/internal/report"
+)
+
+// watch polls a live replay's status and summary endpoints, printing one
+// progress line per poll. It returns once the replay reports done, after
+// count polls (when count > 0), or on the first transport error.
+func watch(client *http.Client, server string, interval time.Duration, count int, w io.Writer) error {
+	for polls := 0; ; {
+		var st cloudlens.StreamStatus
+		if err := getJSON(client, server+"/api/v1/live/status", &st); err != nil {
+			return err
+		}
+		var sum cloudlens.LiveSummary
+		if err := getJSON(client, server+"/api/v1/live/summary", &sum); err != nil {
+			return err
+		}
+
+		line := fmt.Sprintf("step %d/%d", st.Step, st.Steps)
+		if st.Steps > 0 {
+			line += fmt.Sprintf(" (%.1f%%)", 100*float64(st.Step)/float64(st.Steps))
+		}
+		line += fmt.Sprintf("  %d samples  %.0f/s  %d folds", st.SamplesIngested, st.SamplesPerSec, st.Folds)
+		for _, cloud := range []string{"private", "public"} {
+			if cl, ok := sum.Clouds[cloud]; ok {
+				line += fmt.Sprintf("  %s: %d subs p50 %s p95 %s", cloud,
+					cl.Subscriptions, report.Pct(cl.UtilP50), report.Pct(cl.UtilP95))
+			}
+		}
+		fmt.Fprintln(w, line)
+
+		if st.Done {
+			fmt.Fprintln(w, "replay finished")
+			return nil
+		}
+		polls++
+		if count > 0 && polls >= count {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}

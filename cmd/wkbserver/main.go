@@ -8,21 +8,44 @@
 //	GET /api/v1/summary
 //	GET /api/v1/profiles?cloud=private&minAgnostic=0.8&pattern=diurnal
 //	GET /api/v1/profiles/{subscription-id}
+//	GET /api/v1/live/status              (with -replay)
+//	GET /api/v1/live/summary             (with -replay)
+//	GET /api/v1/live/profiles[?filters]  (with -replay)
+//	GET /api/v1/live/profiles/{id}       (with -replay)
+//
+// By default the knowledge base is extracted once, up front, from the full
+// trace. With -replay the server instead streams the trace through the
+// incremental ingestion pipeline in simulated time (-speedup compresses
+// the clock; 0 replays as fast as ingestion keeps up) and the knowledge
+// base fills in continuously while the server runs.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, an active replay is stopped, and -save (if given)
+// persists the knowledge base — in replay mode, the state reached so far.
 //
 // Usage:
 //
-//	wkbserver [-addr :8080] [-seed 42] [-trace bundle/trace.json.gz] [-save kb.json]
+//	wkbserver [-addr :8080] [-seed 42] [-trace bundle/trace.json.gz]
+//	          [-replay] [-speedup 2016] [-save kb.json]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cloudlens"
 )
+
+// shutdownTimeout is the drain window for in-flight requests after a
+// termination signal.
+const shutdownTimeout = 5 * time.Second
 
 func main() {
 	if err := run(); err != nil {
@@ -37,7 +60,9 @@ func run() error {
 		seed      = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
 		scale     = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
 		tracePath = flag.String("trace", "", "load a saved trace instead of generating")
-		save      = flag.String("save", "", "also persist the knowledge base JSON to this path")
+		replay    = flag.Bool("replay", false, "stream the trace through the live ingestion pipeline instead of extracting up front")
+		speedup   = flag.Float64("speedup", 0, "simulated-to-wall-clock ratio for -replay (0 = as fast as possible)")
+		save      = flag.String("save", "", "persist the knowledge base JSON to this path on exit (batch mode: after extraction)")
 	)
 	flag.Parse()
 
@@ -56,21 +81,65 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("extracting workload knowledge from %d VMs...\n", len(tr.VMs))
-	store := cloudlens.ExtractKnowledgeBase(tr)
-	fmt.Printf("knowledge base ready: %d profiles\n", store.Len())
-	if *save != "" {
-		if err := store.SaveFile(*save); err != nil {
-			return err
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		store *cloudlens.KnowledgeBase
+		pipe  *cloudlens.StreamPipeline
+	)
+	if *replay {
+		pipe = cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: *speedup})
+		pipe.Start(ctx)
+		store = pipe.KB()
+		fmt.Printf("replaying %d VMs over %d steps (speedup %g)...\n", len(tr.VMs), tr.Grid.N, *speedup)
+	} else {
+		fmt.Printf("extracting workload knowledge from %d VMs...\n", len(tr.VMs))
+		store = cloudlens.ExtractKnowledgeBase(tr)
+		fmt.Printf("knowledge base ready: %d profiles\n", store.Len())
+		if *save != "" {
+			if err := store.SaveFile(*save); err != nil {
+				return err
+			}
+			fmt.Printf("saved %s\n", *save)
 		}
-		fmt.Printf("saved %s\n", *save)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           cloudlens.KnowledgeBaseHandler(store),
+		Handler:           buildHandler(store, pipe),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
 	fmt.Printf("serving on %s\n", *addr)
-	return srv.ListenAndServe()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down...")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(sctx)
+	if pipe != nil {
+		pipe.Stop()
+		if *save != "" {
+			if err := store.SaveFile(*save); err != nil {
+				return err
+			}
+			fmt.Printf("saved %s\n", *save)
+		}
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	return shutdownErr
 }

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cloudlens"
+	"cloudlens/internal/core"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/usage"
+)
+
+// testTrace is a compact hand-built week exercising both clouds and every
+// route's data dependencies (multi-region spread, qualified and short
+// lived VMs).
+func testTrace() *cloudlens.Trace {
+	g := sim.WeekGrid()
+	mk := func(id int, sub string, cloud core.Cloud, region string,
+		created, deleted int, u usage.Params) cloudlens.VM {
+		return cloudlens.VM{
+			ID:           core.VMID(id),
+			Subscription: core.SubscriptionID(sub),
+			Service:      "svc",
+			Cloud:        cloud,
+			Region:       region,
+			Size:         core.VMSize{Cores: 4, MemoryGB: 16},
+			CreatedStep:  created,
+			DeletedStep:  deleted,
+			Usage:        u,
+		}
+	}
+	n := g.N
+	return &cloudlens.Trace{
+		Grid: g,
+		VMs: []cloudlens.VM{
+			mk(0, "sub-a", core.Private, "r1", -10, n+1, usage.Diurnal(0.3, 0.25, 14*60, 1)),
+			mk(1, "sub-a", core.Private, "r2", 0, n, usage.Diurnal(0.3, 0.25, 14*60, 2)),
+			mk(2, "sub-a", core.Private, "r1", 100, 120, usage.Stable(0.5, 3)),
+			mk(3, "sub-b", core.Public, "r1", 0, n+5, usage.Stable(0.2, 4)),
+			mk(4, "sub-b", core.Public, "r1", 500, 900, usage.Irregular(0.4, 5)),
+		},
+	}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp, body
+}
+
+func wantStatus(t *testing.T, srv *httptest.Server, path string, status int) []byte {
+	t.Helper()
+	resp, body := get(t, srv, path)
+	if resp.StatusCode != status {
+		t.Errorf("GET %s = %d, want %d (%s)", path, resp.StatusCode, status, body)
+	}
+	return body
+}
+
+func TestBatchHandlerRoutes(t *testing.T) {
+	tr := testTrace()
+	store := cloudlens.ExtractKnowledgeBase(tr)
+	srv := httptest.NewServer(buildHandler(store, nil))
+	defer srv.Close()
+
+	body := wantStatus(t, srv, "/healthz", http.StatusOK)
+	var health map[string]string
+	if err := json.Unmarshal(body, &health); err != nil || health["status"] != "ok" {
+		t.Errorf("healthz body = %s (err %v)", body, err)
+	}
+
+	body = wantStatus(t, srv, "/api/v1/summary", http.StatusOK)
+	var sum map[string]json.RawMessage
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatalf("summary decode: %v", err)
+	}
+	for _, cloud := range []string{"private", "public"} {
+		if _, ok := sum[cloud]; !ok {
+			t.Errorf("summary missing %q", cloud)
+		}
+	}
+
+	body = wantStatus(t, srv, "/api/v1/profiles?cloud=private", http.StatusOK)
+	var profiles []cloudlens.Profile
+	if err := json.Unmarshal(body, &profiles); err != nil {
+		t.Fatalf("profiles decode: %v", err)
+	}
+	if len(profiles) != 1 || profiles[0].Subscription != "sub-a" {
+		t.Errorf("private profiles = %+v, want just sub-a", profiles)
+	}
+
+	wantStatus(t, srv, "/api/v1/profiles/sub-b", http.StatusOK)
+	wantStatus(t, srv, "/api/v1/profiles/nope", http.StatusNotFound)
+
+	// Bad query parameters answer 400, each with the offending name.
+	for _, path := range []string{
+		"/api/v1/profiles?cloud=martian",
+		"/api/v1/profiles?minAgnostic=abc",
+		"/api/v1/profiles?minShortLived=x",
+		"/api/v1/profiles?pattern=sawtooth",
+	} {
+		wantStatus(t, srv, path, http.StatusBadRequest)
+	}
+
+	// Without -replay every live route reports not found.
+	wantStatus(t, srv, "/api/v1/live/status", http.StatusNotFound)
+	wantStatus(t, srv, "/api/v1/live/summary", http.StatusNotFound)
+}
+
+func TestLiveHandlerRoutes(t *testing.T) {
+	tr := testTrace()
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{})
+	pipe.Start(context.Background())
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe))
+	defer srv.Close()
+
+	body := wantStatus(t, srv, "/api/v1/live/status", http.StatusOK)
+	var st cloudlens.StreamStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	if !st.Done || st.Step != tr.Grid.N || st.SamplesIngested == 0 {
+		t.Errorf("status = %+v, want finished replay", st)
+	}
+
+	body = wantStatus(t, srv, "/api/v1/live/summary", http.StatusOK)
+	var sum cloudlens.LiveSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatalf("summary decode: %v", err)
+	}
+	if cl, ok := sum.Clouds["private"]; !ok || cl.Subscriptions != 1 || cl.UtilP50 <= 0 {
+		t.Errorf("live summary private = %+v", sum.Clouds["private"])
+	}
+
+	body = wantStatus(t, srv, "/api/v1/live/profiles?cloud=public", http.StatusOK)
+	var lps []cloudlens.LiveProfile
+	if err := json.Unmarshal(body, &lps); err != nil {
+		t.Fatalf("live profiles decode: %v", err)
+	}
+	if len(lps) != 1 || lps[0].Subscription != "sub-b" || lps[0].Samples == 0 {
+		t.Errorf("live public profiles = %+v, want sub-b with samples", lps)
+	}
+
+	wantStatus(t, srv, "/api/v1/live/profiles?pattern=sawtooth", http.StatusBadRequest)
+	wantStatus(t, srv, "/api/v1/live/profiles/sub-a", http.StatusOK)
+	wantStatus(t, srv, "/api/v1/live/profiles/nope", http.StatusNotFound)
+	wantStatus(t, srv, "/api/v1/live/bogus", http.StatusNotFound)
+
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/live/summary", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST live summary = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestLiveEndpointsDuringIngestion hammers the live API while the replay is
+// still running; under -race (make verify) this demonstrates the snapshot
+// paths are free of data races with ingestion.
+func TestLiveEndpointsDuringIngestion(t *testing.T) {
+	tr := testTrace()
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe))
+	defer srv.Close()
+	pipe.Start(context.Background())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			paths := []string{
+				"/api/v1/live/status",
+				"/api/v1/live/summary",
+				"/api/v1/live/profiles",
+				"/api/v1/live/profiles/sub-a",
+				"/api/v1/summary",
+			}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + paths[n%len(paths)])
+				if err != nil {
+					t.Errorf("GET during ingestion: %v", err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"cloudlens"
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+)
+
+// buildHandler assembles the server's route table: the knowledge-base API
+// over the store, plus — when a streaming replay is attached — the live
+// ingestion endpoints:
+//
+//	GET /api/v1/live/status          replay progress counters
+//	GET /api/v1/live/summary         incremental per-cloud characterization
+//	GET /api/v1/live/profiles        live profiles; same filters as /api/v1/profiles
+//	GET /api/v1/live/profiles/{id}   one live profile
+//
+// Without a replay the live routes answer 404 so clients can distinguish
+// "server runs in batch mode" from transport errors.
+func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", kb.NewHandler(store))
+	mux.HandleFunc("/api/v1/live/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if pipe == nil {
+			http.Error(w, "no live replay (start wkbserver with -replay)", http.StatusNotFound)
+			return
+		}
+		switch path := strings.TrimPrefix(r.URL.Path, "/api/v1/live/"); {
+		case path == "status":
+			serveJSON(w, pipe.Status())
+		case path == "summary":
+			serveJSON(w, pipe.Summary())
+		case path == "profiles":
+			q, err := kb.ParseQuery(r)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			serveJSON(w, pipe.Profiles(q))
+		case strings.HasPrefix(path, "profiles/"):
+			id := strings.TrimPrefix(path, "profiles/")
+			if id == "" {
+				http.Error(w, "missing subscription id", http.StatusBadRequest)
+				return
+			}
+			p, ok := pipe.Profile(core.SubscriptionID(id))
+			if !ok {
+				http.Error(w, "profile not found", http.StatusNotFound)
+				return
+			}
+			serveJSON(w, p)
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	})
+	return mux
+}
+
+func serveJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -101,16 +101,29 @@ func Classify(series []float64, opts Options) Result {
 		}
 	}
 	res.HourAligned = hourAligned(series, opts.StepsPerHour)
-
-	switch {
-	case res.HourlyACF > 0 && res.HourAligned:
-		res.Pattern = core.PatternHourlyPeak
-	case res.DailyACF > 0:
-		res.Pattern = core.PatternDiurnal
-	default:
-		res.Pattern = core.PatternIrregular
-	}
+	res.Pattern = res.Decide(opts)
 	return res
+}
+
+// Decide maps the evidence fields to a pattern, applying the paper's
+// decision order: the standard-deviation ceiling selects stable first, a
+// validated hourly period with hour-aligned peaks selects hourly-peak, a
+// validated daily period selects diurnal, and irregular is the remainder.
+// It exists separately from Classify so the streaming pipeline, which
+// accumulates the same evidence incrementally instead of from a
+// materialized series, shares one set of thresholds with the batch path.
+func (r Result) Decide(opts Options) core.Pattern {
+	opts = opts.withDefaults()
+	switch {
+	case r.StdDev < opts.StableStdDev:
+		return core.PatternStable
+	case r.HourlyACF > 0 && r.HourAligned:
+		return core.PatternHourlyPeak
+	case r.DailyACF > 0:
+		return core.PatternDiurnal
+	default:
+		return core.PatternIrregular
+	}
 }
 
 // within reports whether lag is within tol (relative) of target.
@@ -122,24 +135,37 @@ func within(lag, target int, tol float64) bool {
 	return d <= tol*float64(target)
 }
 
-// hourAligned checks the hourly-peak signature: the average utilization in
-// the first fifth of each hour (and the slot right after the half-hour)
-// exceeds the average elsewhere by a clear margin. Meetings start at the
-// hour and half-hour marks, so join spikes concentrate there.
-func hourAligned(series []float64, stepsPerHour int) bool {
-	if stepsPerHour < 4 {
-		return false
-	}
+// AlignedMargin is how far the mean utilization of the hour-aligned peak
+// slots must exceed the mean of the remaining slots for the hour-alignment
+// test to pass.
+const AlignedMargin = 0.02
+
+// AlignedSlot reports whether a within-hour slot index (sample index modulo
+// stepsPerHour) falls in the hour-aligned peak window: the first fifth of
+// the hour and the corresponding window right after the half-hour mark.
+// Meetings start at the hour and half-hour marks, so join spikes concentrate
+// there. The streaming classifier uses this to bucket samples as they
+// arrive instead of scanning a materialized series.
+func AlignedSlot(slot, stepsPerHour int) bool {
 	peakSlots := stepsPerHour / 5
 	if peakSlots < 1 {
 		peakSlots = 1
 	}
 	half := stepsPerHour / 2
+	return slot < peakSlots || (slot >= half && slot < half+peakSlots)
+}
+
+// hourAligned checks the hourly-peak signature: the average utilization in
+// the hour-aligned peak slots exceeds the average elsewhere by a clear
+// margin.
+func hourAligned(series []float64, stepsPerHour int) bool {
+	if stepsPerHour < 4 {
+		return false
+	}
 	var peakSum, restSum float64
 	var peakN, restN int
 	for i, v := range series {
-		slot := i % stepsPerHour
-		if slot < peakSlots || (slot >= half && slot < half+peakSlots) {
+		if AlignedSlot(i%stepsPerHour, stepsPerHour) {
 			peakSum += v
 			peakN++
 		} else {
@@ -152,5 +178,5 @@ func hourAligned(series []float64, stepsPerHour int) bool {
 	}
 	peakMean := peakSum / float64(peakN)
 	restMean := restSum / float64(restN)
-	return peakMean > restMean+0.02
+	return peakMean > restMean+AlignedMargin
 }

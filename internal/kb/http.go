@@ -41,7 +41,7 @@ func NewHandler(store *Store) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		q, err := parseQuery(r)
+		q, err := ParseQuery(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -68,8 +68,11 @@ func NewHandler(store *Store) http.Handler {
 	return mux
 }
 
-// parseQuery translates URL parameters into a store query.
-func parseQuery(r *http.Request) (Query, error) {
+// ParseQuery translates URL parameters (cloud, minAgnostic, pattern,
+// minShortLived) into a store query. Exported so other handlers exposing
+// profile listings — the live endpoints of cmd/wkbserver — accept the same
+// filter grammar as /api/v1/profiles.
+func ParseQuery(r *http.Request) (Query, error) {
 	q := Query{MinRegionAgnosticScore: disabledScore}
 	vals := r.URL.Query()
 	switch vals.Get("cloud") {

@@ -79,9 +79,11 @@ func (o ExtractOptions) withDefaults() ExtractOptions {
 	return o
 }
 
-// minProfileSteps is the history (one day) a VM needs to contribute
-// pattern and utilization knowledge.
-const minProfileSteps = 288
+// MinProfileSteps is the history (one day) a VM needs to contribute
+// pattern and utilization knowledge. Exported so the streaming pipeline
+// applies the same qualification threshold when it folds live samples into
+// knowledge-base state.
+const MinProfileSteps = 288
 
 // Extract builds a knowledge base from a trace. Subscriptions are profiled
 // independently, so they fan out over the worker pool in sorted (cloud,
@@ -164,7 +166,7 @@ func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options
 			}
 		}
 		from, to, ok := v.AliveRange(t.Grid.N)
-		if !ok || to-from < minProfileSteps {
+		if !ok || to-from < MinProfileSteps {
 			continue
 		}
 		if classified < opts.MaxClassifyPerSub {
@@ -195,11 +197,18 @@ func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options
 		p.ShortLivedShare = float64(shortLived) / float64(len(lifetimes))
 	}
 	if classified > 0 {
-		best := core.PatternUnknown
 		for k := range p.PatternShares {
 			p.PatternShares[k] /= float64(classified)
-			if best == core.PatternUnknown || p.PatternShares[k] > p.PatternShares[best] {
-				best = k
+		}
+		// Ties resolve in the fixed core.Patterns() order so extraction is
+		// deterministic (map iteration order is not) and the streaming
+		// pipeline's fold converges to the same dominant pattern.
+		best := core.PatternUnknown
+		for _, k := range core.Patterns() {
+			if share, ok := p.PatternShares[k]; ok {
+				if best == core.PatternUnknown || share > p.PatternShares[best] {
+					best = k
+				}
 			}
 		}
 		p.DominantPattern = best
@@ -246,7 +255,7 @@ func regionAgnosticScore(t *trace.Trace, c *trace.SeriesCache, vms []*trace.VM) 
 	perRegionN := make(map[string][]float64)
 	for _, v := range vms {
 		from, to, ok := v.AliveRange(t.Grid.N)
-		if !ok || to-from < minProfileSteps {
+		if !ok || to-from < MinProfileSteps {
 			continue
 		}
 		var vmSeries []float64

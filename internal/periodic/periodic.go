@@ -55,12 +55,18 @@ type Options struct {
 	SkipACFValidation bool
 }
 
+// DefaultMinACF is the default autocorrelation height a validated hill must
+// reach. Exported so the streaming classifier, which evaluates the ACF at
+// fixed target lags instead of hill-climbing a full ACF, validates against
+// the same threshold.
+const DefaultMinACF = 0.3
+
 func (o Options) withDefaults() Options {
 	if o.MaxCandidates == 0 {
 		o.MaxCandidates = 8
 	}
 	if o.MinACF == 0 {
-		o.MinACF = 0.3
+		o.MinACF = DefaultMinACF
 	}
 	if o.MinPower == 0 {
 		o.MinPower = 0.1

@@ -1,0 +1,338 @@
+// Package sketch provides the bounded-memory online statistics the
+// streaming ingestion pipeline folds five-minute telemetry samples into:
+// running mean and variance (Welford's algorithm), fixed-range histogram
+// quantile sketches, paired-sample Pearson correlation via co-moments, and
+// autocorrelation at a fixed set of lags over a bounded ring of recent
+// samples.
+//
+// Welford, Histogram, and Corr are mergeable: combining the states of two
+// disjoint sub-streams yields exactly the state of the concatenated stream
+// (up to floating-point association), so per-worker or per-window sketches
+// can be folded into a global one. AutoCorr is order-sensitive by nature
+// (it correlates a series with a shifted copy of itself) and therefore
+// consumes one ordered series; it has no merge operation.
+package sketch
+
+import "math"
+
+// Welford tracks count, mean, and variance of a stream in O(1) space using
+// Welford's online algorithm. The zero value is an empty accumulator.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into w (Chan et al.'s parallel update),
+// as if w had also observed every sample o observed.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Count returns the number of samples observed.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean, or 0 when empty.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Sum returns the running total.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// Variance returns the population variance (matching stats.Variance), or 0
+// for fewer than two samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// SumSqDev returns the sum of squared deviations from the mean (the ACF
+// normalizer).
+func (w *Welford) SumSqDev() float64 { return w.m2 }
+
+// Histogram is a fixed-range, fixed-resolution quantile sketch: samples are
+// counted into uniform bins over [Lo, Hi] and quantiles are read back with
+// linear interpolation inside the selected bin, so the estimate error is
+// bounded by one bin width. Samples outside the range clamp to the edge
+// bins. Two histograms with identical geometry merge by adding counts.
+type Histogram struct {
+	Lo, Hi float64
+	counts []float64
+	n      int64
+}
+
+// NewHistogram returns an empty sketch over [lo, hi] with the given number
+// of bins. It panics when the range is empty or bins is not positive, since
+// both indicate a caller bug.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(hi > lo) || bins <= 0 {
+		panic("sketch: invalid histogram geometry")
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]float64, bins)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.n++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Merge adds another histogram's counts into h. Both histograms must share
+// the same geometry; Merge panics otherwise, since mismatched sketches
+// indicate a caller bug.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.counts) != len(h.counts) {
+		panic("sketch: merging histograms with different geometry")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed samples,
+// interpolating linearly within the selected bin. It returns 0 when the
+// sketch is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	cum := 0.0
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		if cum+c >= target {
+			frac := 0.5
+			if c > 0 {
+				frac = (target - cum) / c
+			}
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum += c
+	}
+	return h.Hi
+}
+
+// Corr accumulates a paired-sample Pearson correlation from co-moments in
+// O(1) space. The zero value is an empty accumulator.
+type Corr struct {
+	n        int64
+	mx, my   float64
+	cxy      float64
+	sxx, syy float64
+}
+
+// Add folds one (x, y) pair into the accumulator.
+func (c *Corr) Add(x, y float64) {
+	c.n++
+	n := float64(c.n)
+	dx := x - c.mx
+	dy := y - c.my
+	c.mx += dx / n
+	c.my += dy / n
+	c.cxy += dx * (y - c.my)
+	c.sxx += dx * (x - c.mx)
+	c.syy += dy * (y - c.my)
+}
+
+// Merge folds another accumulator into c.
+func (c *Corr) Merge(o Corr) {
+	if o.n == 0 {
+		return
+	}
+	if c.n == 0 {
+		*c = o
+		return
+	}
+	n := c.n + o.n
+	dx := o.mx - c.mx
+	dy := o.my - c.my
+	f := float64(c.n) * float64(o.n) / float64(n)
+	c.cxy += o.cxy + dx*dy*f
+	c.sxx += o.sxx + dx*dx*f
+	c.syy += o.syy + dy*dy*f
+	c.mx += dx * float64(o.n) / float64(n)
+	c.my += dy * float64(o.n) / float64(n)
+	c.n = n
+}
+
+// Count returns the number of pairs observed.
+func (c *Corr) Count() int64 { return c.n }
+
+// R returns the Pearson correlation of the pairs observed so far, or 0 when
+// either marginal is constant or fewer than two pairs arrived.
+func (c *Corr) R() float64 {
+	if c.n < 2 || c.sxx == 0 || c.syy == 0 {
+		return 0
+	}
+	r := c.cxy / math.Sqrt(c.sxx*c.syy)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// AutoCorr estimates the autocorrelation of one ordered series at a fixed
+// set of lags. It keeps a ring of the most recent maxLag samples (float32,
+// utilization fractions do not need more) plus O(lags) running sums, so
+// memory is bounded by the largest lag regardless of stream length.
+//
+// The estimate matches the batch definition used by package periodic:
+//
+//	acf(L) = sum_{i=L..n-1} (x[i]-mean)(x[i-L]-mean) / sum_i (x[i]-mean)^2
+//
+// with the mean and the normalizer taken over the full series observed so
+// far. Expanding the numerator gives sum x[i]x[i-L] minus mean-weighted head
+// and tail sums, all of which update in O(1) per lag per sample.
+type AutoCorr struct {
+	lags    []int
+	maxLag  int
+	ring    []float32
+	w       Welford
+	sum     float64
+	sumProd []float64 // per lag: sum of x[i]*x[i-L]
+	headSum []float64 // per lag: sum of x[0..L-1], frozen once n reaches L
+	tailSum []float64 // per lag: sum of the most recent min(n, L) samples
+}
+
+// NewAutoCorr returns an accumulator for the given positive lags.
+func NewAutoCorr(lags ...int) *AutoCorr {
+	a := &AutoCorr{
+		lags:    append([]int(nil), lags...),
+		sumProd: make([]float64, len(lags)),
+		headSum: make([]float64, len(lags)),
+		tailSum: make([]float64, len(lags)),
+	}
+	for _, l := range lags {
+		if l <= 0 {
+			panic("sketch: autocorrelation lag must be positive")
+		}
+		if l > a.maxLag {
+			a.maxLag = l
+		}
+	}
+	return a
+}
+
+// Add appends the next sample of the series.
+func (a *AutoCorr) Add(x float64) {
+	n := int(a.w.Count())
+	for j, l := range a.lags {
+		if n >= l {
+			prev := float64(a.ring[(n-l)%a.maxLag])
+			a.sumProd[j] += x * prev
+			a.tailSum[j] += x - prev
+		} else {
+			// Still filling the first window: x is in both the head
+			// and the running tail.
+			a.headSum[j] += x
+			a.tailSum[j] += x
+		}
+	}
+	if len(a.ring) < a.maxLag {
+		a.ring = append(a.ring, float32(x))
+	} else {
+		a.ring[n%a.maxLag] = float32(x)
+	}
+	a.sum += x
+	a.w.Add(x)
+}
+
+// N returns the number of samples observed.
+func (a *AutoCorr) N() int { return int(a.w.Count()) }
+
+// Mean returns the running mean of the series.
+func (a *AutoCorr) Mean() float64 { return a.w.Mean() }
+
+// StdDev returns the running population standard deviation of the series.
+func (a *AutoCorr) StdDev() float64 { return a.w.StdDev() }
+
+// Retained returns the most recent min(N, maxLag) samples, oldest first,
+// appended to buf. While N is at most the largest configured lag this is
+// the entire series observed so far, which lets a consumer that defers
+// per-sample aggregation until a qualification threshold (below maxLag)
+// recover every earlier sample without separate storage.
+func (a *AutoCorr) Retained(buf []float64) []float64 {
+	n := int(a.w.Count())
+	if n <= len(a.ring) {
+		for i := 0; i < n; i++ {
+			buf = append(buf, float64(a.ring[i]))
+		}
+		return buf
+	}
+	for i := n - a.maxLag; i < n; i++ {
+		buf = append(buf, float64(a.ring[i%a.maxLag]))
+	}
+	return buf
+}
+
+// At returns the autocorrelation estimate at one of the configured lags. It
+// returns 0 when the lag was not configured, fewer than lag+2 samples have
+// arrived, or the series is constant.
+func (a *AutoCorr) At(lag int) float64 {
+	j := -1
+	for i, l := range a.lags {
+		if l == lag {
+			j = i
+			break
+		}
+	}
+	n := int(a.w.Count())
+	if j < 0 || n < lag+2 {
+		return 0
+	}
+	denom := a.w.SumSqDev()
+	if denom == 0 {
+		return 0
+	}
+	mean := a.w.Mean()
+	// sum over i in [lag, n) of x[i]          = sum - headSum
+	// sum over i in [0, n-lag) of x[i]        = sum - tailSum
+	num := a.sumProd[j] -
+		mean*(a.sum-a.headSum[j]) -
+		mean*(a.sum-a.tailSum[j]) +
+		float64(n-lag)*mean*mean
+	return num / denom
+}

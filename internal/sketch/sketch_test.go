@@ -1,0 +1,217 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"cloudlens/internal/stats"
+)
+
+// rng is a tiny deterministic generator (splitmix64) so the tests do not
+// depend on math/rand ordering.
+type rng uint64
+
+func (r *rng) next() float64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func sampleSeries(n int, seed uint64) []float64 {
+	r := rng(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.next()
+	}
+	return out
+}
+
+func TestWelfordMatchesBatchStats(t *testing.T) {
+	xs := sampleSeries(5000, 1)
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if got, want := w.Mean(), stats.Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if got, want := w.Variance(), stats.Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, want)
+	}
+	if got, want := w.StdDev(), stats.StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+}
+
+func TestWelfordMergeEqualsConcatenation(t *testing.T) {
+	xs := sampleSeries(3000, 2)
+	for _, split := range []int{0, 1, 1500, 2999, 3000} {
+		var a, b, all Welford
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		for _, x := range xs {
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() {
+			t.Fatalf("split %d: count = %d, want %d", split, a.Count(), all.Count())
+		}
+		if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+			t.Fatalf("split %d: mean = %v, want %v", split, a.Mean(), all.Mean())
+		}
+		if math.Abs(a.Variance()-all.Variance()) > 1e-10 {
+			t.Fatalf("split %d: variance = %v, want %v", split, a.Variance(), all.Variance())
+		}
+	}
+}
+
+func TestHistogramQuantileWithinBinWidth(t *testing.T) {
+	xs := sampleSeries(20000, 3)
+	h := NewHistogram(0, 1, 400)
+	for _, x := range xs {
+		h.Add(x)
+	}
+	binWidth := 1.0 / 400
+	for _, q := range []float64{0, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		want := stats.Quantile(xs, q)
+		if math.Abs(got-want) > binWidth {
+			t.Fatalf("q%.2f = %v, want %v (±%v)", q, got, want, binWidth)
+		}
+	}
+}
+
+func TestHistogramClampsAndMerges(t *testing.T) {
+	a := NewHistogram(0, 1, 10)
+	b := NewHistogram(0, 1, 10)
+	a.Add(-5)
+	a.Add(0.31)
+	b.Add(7)
+	b.Add(0.32)
+	a.Merge(b)
+	if a.Count() != 4 {
+		t.Fatalf("count = %d, want 4", a.Count())
+	}
+	if q := a.Quantile(0.5); q < 0 || q > 1 {
+		t.Fatalf("median %v outside sketch range", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched geometries did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(0, 2, 10))
+}
+
+func TestCorrMatchesPearson(t *testing.T) {
+	xs := sampleSeries(4000, 4)
+	ys := make([]float64, len(xs))
+	r := rng(5)
+	for i := range ys {
+		ys[i] = 0.7*xs[i] + 0.3*r.next()
+	}
+	var c Corr
+	for i := range xs {
+		c.Add(xs[i], ys[i])
+	}
+	if got, want := c.R(), stats.Pearson(xs, ys); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("r = %v, want %v", got, want)
+	}
+	var zero Corr
+	for _, x := range xs {
+		zero.Add(x, 42)
+	}
+	if zero.R() != 0 {
+		t.Fatalf("constant marginal r = %v, want 0", zero.R())
+	}
+}
+
+func TestCorrMergeEqualsConcatenation(t *testing.T) {
+	xs := sampleSeries(2000, 6)
+	ys := sampleSeries(2000, 7)
+	var a, b, all Corr
+	for i := 0; i < 800; i++ {
+		a.Add(xs[i], ys[i])
+	}
+	for i := 800; i < len(xs); i++ {
+		b.Add(xs[i], ys[i])
+	}
+	for i := range xs {
+		all.Add(xs[i], ys[i])
+	}
+	a.Merge(b)
+	if math.Abs(a.R()-all.R()) > 1e-10 {
+		t.Fatalf("merged r = %v, want %v", a.R(), all.R())
+	}
+}
+
+// batchACF is the reference definition the streaming estimate must match:
+// the lag-L autocorrelation normalized by the full sum of squared
+// deviations, exactly as package periodic computes it.
+func batchACF(xs []float64, lag int) float64 {
+	m := stats.Mean(xs)
+	var num, denom float64
+	for i, x := range xs {
+		d := x - m
+		denom += d * d
+		if i >= lag {
+			num += d * (xs[i-lag] - m)
+		}
+	}
+	if denom == 0 {
+		return 0
+	}
+	return num / denom
+}
+
+func TestAutoCorrMatchesBatchACF(t *testing.T) {
+	// A noisy periodic series: period 24 plus jitter.
+	r := rng(8)
+	n := 2016
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 0.4 + 0.3*math.Sin(2*math.Pi*float64(i)/24) + 0.05*r.next()
+	}
+	lags := []int{3, 6, 12, 24, 288}
+	a := NewAutoCorr(lags...)
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != n {
+		t.Fatalf("n = %d, want %d", a.N(), n)
+	}
+	for _, lag := range lags {
+		got := a.At(lag)
+		want := batchACF(xs, lag)
+		if math.Abs(got-want) > 1e-4 { // float32 ring
+			t.Fatalf("acf(%d) = %v, want %v", lag, got, want)
+		}
+	}
+	if a.At(17) != 0 {
+		t.Fatalf("unconfigured lag returned %v, want 0", a.At(17))
+	}
+}
+
+func TestAutoCorrShortSeries(t *testing.T) {
+	a := NewAutoCorr(12)
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i))
+	}
+	if got := a.At(12); got != 0 {
+		t.Fatalf("acf on series shorter than lag = %v, want 0", got)
+	}
+	c := NewAutoCorr(4)
+	for i := 0; i < 100; i++ {
+		c.Add(0.5)
+	}
+	if got := c.At(4); got != 0 {
+		t.Fatalf("acf of constant series = %v, want 0", got)
+	}
+}

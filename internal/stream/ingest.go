@@ -1,0 +1,626 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cloudlens/internal/classify"
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+	"cloudlens/internal/periodic"
+	"cloudlens/internal/sketch"
+	"cloudlens/internal/stats"
+	"cloudlens/internal/trace"
+)
+
+// Quantile-sketch resolutions. Per-subscription sketches use 400 bins over
+// [0, 1] (0.25 percentage points per bin), per-cloud sketches 2000 bins
+// (0.05 pp) — both far inside the one-percentage-point batch-equivalence
+// tolerance documented in DESIGN.md.
+const (
+	subBins   = 400
+	cloudBins = 2000
+)
+
+// lagSet holds the streaming classifier's target lags and the hill-test
+// lags around them, for one grid resolution.
+type lagSet struct {
+	hour, halfHour, day int
+	all                 []int
+}
+
+func newLagSet(stepsPerHour int) lagSet {
+	ls := lagSet{
+		hour:     stepsPerHour,
+		halfHour: stepsPerHour / 2,
+		day:      24 * stepsPerHour,
+	}
+	seen := make(map[int]bool)
+	add := func(lag int) {
+		if lag >= 1 && !seen[lag] {
+			seen[lag] = true
+			ls.all = append(ls.all, lag)
+		}
+	}
+	for _, target := range []int{ls.hour, ls.halfHour, ls.day} {
+		if target < 2 {
+			continue
+		}
+		add(target)
+		add(target - target/2)
+		add(target + target/2)
+	}
+	return ls
+}
+
+// vmAcc is the per-VM streaming state: an autocorrelation sketch over the
+// classifier's target lags (which doubles as mean/variance tracking and a
+// ring of the most recent day-and-a-half of samples), the hour-alignment
+// accumulators, and — once the VM has a day of history and qualifies for
+// profiling — per-UTC-hour utilization sums.
+type vmAcc struct {
+	idx  int32
+	v    *trace.VM
+	sub  *subState
+	from int
+	ac   *sketch.AutoCorr
+
+	peakSum, restSum float64
+	peakN, restN     int
+
+	qualified bool
+	hourly    [24]float64
+	hourlyN   [24]int
+}
+
+// classifiedVM is the compact record a qualified VM leaves behind when it
+// retires, carrying exactly what profile folding needs.
+type classifiedVM struct {
+	idx     int32
+	pattern core.Pattern
+	utilSum float64
+	n       int
+	hourly  [24]float64
+	hourlyN [24]int
+}
+
+// regionHour accumulates a subscription's per-region top-of-hour
+// utilization sums (the Figure 7b signal) incrementally.
+type regionHour struct {
+	sum []float64
+	n   []float64
+}
+
+// subState is the per-subscription streaming state.
+type subState struct {
+	id       core.SubscriptionID
+	cloud    core.Cloud
+	regions  map[string]bool
+	services map[string]bool
+
+	vmsObserved   int
+	snapshotVMs   int
+	snapshotCores int
+
+	lifetimes  []float64
+	shortLived int
+
+	util        *sketch.Histogram
+	live        map[int32]*vmAcc
+	retired     []classifiedVM
+	regionHours map[string]*regionHour
+}
+
+func (ss *subState) addRegionHour(region string, hour int, x float64, hours int) {
+	rh := ss.regionHours[region]
+	if rh == nil {
+		rh = &regionHour{sum: make([]float64, hours), n: make([]float64, hours)}
+		ss.regionHours[region] = rh
+	}
+	rh.sum[hour] += x
+	rh.n[hour]++
+}
+
+// cloudState aggregates one platform's stream.
+type cloudState struct {
+	util    *sketch.Histogram
+	samples int64
+	vmsSeen int64
+}
+
+// Ingestor consumes StepBatch events and maintains a continuously refreshed
+// knowledge base. All exported read methods return consistent snapshots
+// while ingestion runs; ingestion and profile folding serialize on one
+// writer lock.
+type Ingestor struct {
+	tr           *trace.Trace
+	opts         Options
+	lags         lagSet
+	clOpts       classify.Options
+	minACF       float64
+	snapStep     int
+	stepsPerHour int
+	stepMin      int
+
+	mu       sync.RWMutex
+	store    *kb.Store
+	subs     map[core.SubscriptionID]*subState
+	accs     []*vmAcc
+	clouds   map[core.Cloud]*cloudState
+	flushBuf []float64
+
+	lastStep        atomic.Int64
+	samplesIngested atomic.Int64
+	stepsIngested   atomic.Int64
+	foldCount       atomic.Int64
+	done            atomic.Bool
+}
+
+// NewIngestor returns an empty ingestor for the trace's universe.
+func NewIngestor(tr *trace.Trace, opts Options) *Ingestor {
+	stepsPerHour := 60 / tr.Grid.StepMinutes()
+	opts = opts.withDefaults(stepsPerHour)
+	ing := &Ingestor{
+		tr:           tr,
+		opts:         opts,
+		lags:         newLagSet(stepsPerHour),
+		clOpts:       classify.Options{StepsPerHour: stepsPerHour},
+		minACF:       periodic.DefaultMinACF,
+		snapStep:     tr.SnapshotStep(),
+		stepsPerHour: stepsPerHour,
+		stepMin:      tr.Grid.StepMinutes(),
+		store:        kb.NewStore(),
+		subs:         make(map[core.SubscriptionID]*subState),
+		accs:         make([]*vmAcc, len(tr.VMs)),
+		clouds:       make(map[core.Cloud]*cloudState),
+	}
+	ing.lastStep.Store(-1)
+	for _, c := range core.Clouds() {
+		ing.clouds[c] = &cloudState{util: sketch.NewHistogram(0, 1, cloudBins)}
+	}
+	return ing
+}
+
+// KB returns the live knowledge base. The store is itself thread-safe; its
+// profiles are refreshed in place at every fold.
+func (ing *Ingestor) KB() *kb.Store { return ing.store }
+
+// ObserveBatch folds one step's telemetry and lifecycle events into the
+// live state. Batches must arrive in step order.
+func (ing *Ingestor) ObserveBatch(b StepBatch) {
+	ing.mu.Lock()
+	snapshot := b.Step == ing.snapStep
+	for _, s := range b.Samples {
+		acc := ing.accs[s.VM]
+		if acc == nil {
+			acc = ing.track(s.VM)
+		}
+		ing.observe(acc, b.Step, s.CPU)
+		if snapshot {
+			acc.sub.snapshotVMs++
+			acc.sub.snapshotCores += acc.v.Size.Cores
+		}
+	}
+	for _, idx := range b.Deleted {
+		ing.retire(idx)
+	}
+	fold := ing.opts.FoldEverySteps > 0 && b.Step > 0 && b.Step%ing.opts.FoldEverySteps == 0
+	if fold {
+		ing.foldLocked()
+	}
+	ing.mu.Unlock()
+
+	ing.lastStep.Store(int64(b.Step))
+	if b.Step < ing.tr.Grid.N {
+		ing.stepsIngested.Add(1)
+		ing.samplesIngested.Add(int64(len(b.Samples)))
+	}
+}
+
+// Finish folds the remaining state once the stream ends.
+func (ing *Ingestor) Finish() {
+	ing.mu.Lock()
+	ing.foldLocked()
+	ing.mu.Unlock()
+	ing.done.Store(true)
+}
+
+// track starts accumulating a newly seen VM.
+func (ing *Ingestor) track(idx int32) *vmAcc {
+	v := &ing.tr.VMs[idx]
+	ss := ing.subs[v.Subscription]
+	if ss == nil {
+		ss = &subState{
+			id:          v.Subscription,
+			cloud:       v.Cloud,
+			regions:     make(map[string]bool),
+			services:    make(map[string]bool),
+			util:        sketch.NewHistogram(0, 1, subBins),
+			live:        make(map[int32]*vmAcc),
+			regionHours: make(map[string]*regionHour),
+		}
+		ing.subs[v.Subscription] = ss
+	}
+	ss.vmsObserved++
+	ss.regions[v.Region] = true
+	ss.services[v.Service] = true
+	ing.clouds[v.Cloud].vmsSeen++
+	from := v.CreatedStep
+	if from < 0 {
+		from = 0
+	}
+	acc := &vmAcc{
+		idx:  idx,
+		v:    v,
+		sub:  ss,
+		from: from,
+		ac:   sketch.NewAutoCorr(ing.lags.all...),
+	}
+	ss.live[idx] = acc
+	ing.accs[idx] = acc
+	return acc
+}
+
+// observe folds one sample into a VM's accumulators.
+func (ing *Ingestor) observe(acc *vmAcc, step int, cpu float64) {
+	i := acc.ac.N() // sample index within the VM's series
+	acc.ac.Add(cpu)
+	if classify.AlignedSlot(i%ing.stepsPerHour, ing.stepsPerHour) {
+		acc.peakSum += cpu
+		acc.peakN++
+	} else {
+		acc.restSum += cpu
+		acc.restN++
+	}
+	ing.clouds[acc.v.Cloud].samples++
+	if !acc.qualified {
+		if acc.ac.N() >= kb.MinProfileSteps {
+			ing.qualify(acc)
+		}
+		return
+	}
+	h := ing.tr.Grid.HourOf(step) % 24
+	acc.hourly[h] += cpu
+	acc.hourlyN[h]++
+	acc.sub.util.Add(cpu)
+	ing.clouds[acc.v.Cloud].util.Add(cpu)
+	if step%ing.stepsPerHour == 0 {
+		acc.sub.addRegionHour(acc.v.Region, ing.tr.Grid.HourOf(step), cpu, ing.tr.Grid.Hours())
+	}
+}
+
+// qualify promotes a VM that has reached a day of history: every retained
+// sample (the autocorrelation ring still holds the complete series at this
+// point, since the qualification threshold is below its largest lag) is
+// flushed into the per-hour, per-subscription, and per-cloud aggregates
+// that only profiled VMs contribute to.
+func (ing *Ingestor) qualify(acc *vmAcc) {
+	acc.qualified = true
+	vals := acc.ac.Retained(ing.flushBuf[:0])
+	g := ing.tr.Grid
+	cs := ing.clouds[acc.v.Cloud]
+	for i, x := range vals {
+		step := acc.from + i
+		h := g.HourOf(step) % 24
+		acc.hourly[h] += x
+		acc.hourlyN[h]++
+		acc.sub.util.Add(x)
+		cs.util.Add(x)
+		if step%ing.stepsPerHour == 0 {
+			acc.sub.addRegionHour(acc.v.Region, g.HourOf(step), x, g.Hours())
+		}
+	}
+	ing.flushBuf = vals[:0]
+}
+
+// retire finalizes a VM whose deletion event arrived.
+func (ing *Ingestor) retire(idx int32) {
+	acc := ing.accs[idx]
+	if acc == nil {
+		return
+	}
+	ing.accs[idx] = nil
+	ss := acc.sub
+	delete(ss.live, idx)
+	v := acc.v
+	if v.CreatedStep >= 0 && v.DeletedStep <= ing.tr.Grid.N {
+		lifeMin := float64(v.LifetimeSteps() * ing.stepMin)
+		ss.lifetimes = append(ss.lifetimes, lifeMin)
+		if lifeMin < float64(ing.opts.ShortBinMinutes) {
+			ss.shortLived++
+		}
+	}
+	if acc.qualified {
+		ss.retired = append(ss.retired, ing.record(acc))
+	}
+}
+
+// record compacts a qualified VM's accumulators into a fold candidate,
+// classifying its pattern from the streaming evidence.
+func (ing *Ingestor) record(acc *vmAcc) classifiedVM {
+	return classifiedVM{
+		idx:     acc.idx,
+		pattern: ing.classifyAcc(acc),
+		utilSum: acc.ac.Mean() * float64(acc.ac.N()),
+		n:       acc.ac.N(),
+		hourly:  acc.hourly,
+		hourlyN: acc.hourlyN,
+	}
+}
+
+// classifyAcc is the incremental counterpart of classify.Classify: the same
+// evidence — standard deviation, validated daily and hourly
+// autocorrelations, hour alignment — assembled from streaming accumulators
+// instead of a materialized series, then mapped through the shared
+// classify.Result.Decide thresholds.
+func (ing *Ingestor) classifyAcc(acc *vmAcc) core.Pattern {
+	res := classify.Result{StdDev: acc.ac.StdDev()}
+	res.DailyACF = ing.validatedACF(acc.ac, ing.lags.day)
+	res.HourlyACF = ing.validatedACF(acc.ac, ing.lags.hour)
+	if half := ing.lags.halfHour; half >= 2 {
+		if v := ing.validatedACF(acc.ac, half); v > res.HourlyACF {
+			res.HourlyACF = v
+		}
+	}
+	if acc.peakN > 0 && acc.restN > 0 {
+		peakMean := acc.peakSum / float64(acc.peakN)
+		restMean := acc.restSum / float64(acc.restN)
+		res.HourAligned = peakMean > restMean+classify.AlignedMargin
+	}
+	return res.Decide(ing.clOpts)
+}
+
+// validatedACF mirrors the AUTOPERIOD acceptance rules at a fixed target
+// lag: the period must repeat at least twice in the observed span, clear
+// the minimum-ACF bar, and sit on an ACF hill (its value exceeds the ACF
+// half a period away on the sides that lie inside the valid lag range).
+func (ing *Ingestor) validatedACF(ac *sketch.AutoCorr, lag int) float64 {
+	n := ac.N()
+	if lag < 2 || n < 2*lag {
+		return 0
+	}
+	v := ac.At(lag)
+	if v < ing.minACF {
+		return 0
+	}
+	half := lag / 2
+	if half >= 1 {
+		if ac.At(lag-half) >= v {
+			return 0
+		}
+		if right := lag + half; right <= n/2 && ac.At(right) >= v {
+			return 0
+		}
+	}
+	return v
+}
+
+// foldLocked refreshes every subscription's live profile in the knowledge
+// base. Callers hold the write lock.
+func (ing *Ingestor) foldLocked() {
+	for _, ss := range ing.subs {
+		ing.store.Put(ing.buildProfile(ss))
+	}
+	ing.foldCount.Add(1)
+}
+
+// buildProfile assembles a kb.Profile from a subscription's streaming
+// state, mirroring the batch extractor's aggregation rules (including its
+// per-subscription classification cap, applied in VM order so the live
+// profile converges to the batch one at window end).
+func (ing *Ingestor) buildProfile(ss *subState) *kb.Profile {
+	p := &kb.Profile{
+		Subscription:        ss.id,
+		Cloud:               ss.cloud,
+		Regions:             sortedKeys(ss.regions),
+		Services:            sortedKeys(ss.services),
+		VMsObserved:         ss.vmsObserved,
+		SnapshotVMs:         ss.snapshotVMs,
+		SnapshotCores:       ss.snapshotCores,
+		PatternShares:       make(map[core.Pattern]float64),
+		RegionAgnosticScore: -1,
+		PeakHourUTC:         -1,
+	}
+	if len(ss.lifetimes) > 0 {
+		p.MedianLifetimeMin = stats.Quantile(ss.lifetimes, 0.5)
+		p.ShortLivedShare = float64(ss.shortLived) / float64(len(ss.lifetimes))
+	}
+
+	cands := make([]classifiedVM, 0, len(ss.retired)+len(ss.live))
+	cands = append(cands, ss.retired...)
+	for _, acc := range ss.live {
+		if acc.qualified {
+			cands = append(cands, ing.record(acc))
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].idx < cands[j].idx })
+	if len(cands) > ing.opts.MaxClassifyPerSub {
+		cands = cands[:ing.opts.MaxClassifyPerSub]
+	}
+	if len(cands) > 0 {
+		var utilSum float64
+		var utilN int
+		var hourly [24]float64
+		var hourlyN [24]float64
+		for _, c := range cands {
+			p.PatternShares[c.pattern]++
+			utilSum += c.utilSum
+			utilN += c.n
+			for h := 0; h < 24; h++ {
+				hourly[h] += c.hourly[h]
+				hourlyN[h] += float64(c.hourlyN[h])
+			}
+		}
+		best := core.PatternUnknown
+		for _, k := range core.Patterns() {
+			if share, ok := p.PatternShares[k]; ok {
+				p.PatternShares[k] = share / float64(len(cands))
+				if best == core.PatternUnknown || p.PatternShares[k] > p.PatternShares[best] {
+					best = k
+				}
+			}
+		}
+		p.DominantPattern = best
+		if utilN > 0 {
+			p.MeanUtilization = utilSum / float64(utilN)
+			peak := 0
+			for h := 1; h < 24; h++ {
+				if mean(hourly[h], hourlyN[h]) > mean(hourly[peak], hourlyN[peak]) {
+					peak = h
+				}
+			}
+			p.PeakHourUTC = peak
+		}
+	}
+	if len(p.Regions) > 1 {
+		p.RegionAgnosticScore = ing.regionAgnosticScore(ss)
+	}
+	return p
+}
+
+// regionAgnosticScore is the mean pairwise Pearson correlation of the
+// subscription's region-averaged top-of-hour utilization, matching the
+// batch computation over the hours observed so far.
+func (ing *Ingestor) regionAgnosticScore(ss *subState) float64 {
+	if len(ss.regionHours) < 2 {
+		return -1
+	}
+	regions := make([]string, 0, len(ss.regionHours))
+	for r := range ss.regionHours {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	hours := ing.tr.Grid.Hours()
+	avgs := make([][]float64, len(regions))
+	for i, r := range regions {
+		rh := ss.regionHours[r]
+		avg := make([]float64, hours)
+		for h := 0; h < hours; h++ {
+			if rh.n[h] > 0 {
+				avg[h] = rh.sum[h] / rh.n[h]
+			}
+		}
+		avgs[i] = avg
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(avgs); i++ {
+		for j := i + 1; j < len(avgs); j++ {
+			sum += stats.Pearson(avgs[i], avgs[j])
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+func mean(sum, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CloudLive is one platform's live aggregate: the knowledge-base summary of
+// the latest fold plus stream counters and sketch-estimated utilization
+// quantiles over the samples of profiled (day-plus) VMs.
+type CloudLive struct {
+	kb.Summary
+	SamplesIngested int64   `json:"samplesIngested"`
+	VMsSeen         int64   `json:"vmsSeen"`
+	UtilP50         float64 `json:"utilP50"`
+	UtilP95         float64 `json:"utilP95"`
+}
+
+// Summary is the incremental characterization snapshot served by
+// /api/v1/live/summary.
+type Summary struct {
+	Step   int                  `json:"step"`
+	Steps  int                  `json:"steps"`
+	Done   bool                 `json:"done"`
+	Clouds map[string]CloudLive `json:"clouds"`
+}
+
+// Summary returns a consistent snapshot of the live aggregates.
+func (ing *Ingestor) Summary() Summary {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	out := Summary{
+		Step:   int(ing.lastStep.Load()),
+		Steps:  ing.tr.Grid.N,
+		Done:   ing.done.Load(),
+		Clouds: make(map[string]CloudLive, len(ing.clouds)),
+	}
+	for _, c := range core.Clouds() {
+		cs := ing.clouds[c]
+		out.Clouds[c.String()] = CloudLive{
+			Summary:         ing.store.Summarize(c),
+			SamplesIngested: cs.samples,
+			VMsSeen:         cs.vmsSeen,
+			UtilP50:         cs.util.Quantile(0.5),
+			UtilP95:         cs.util.Quantile(0.95),
+		}
+	}
+	return out
+}
+
+// LiveProfile is a knowledge-base profile augmented with streaming-only
+// knowledge: sketch-estimated utilization quantiles and stream counters.
+type LiveProfile struct {
+	kb.Profile
+	UtilP50      float64 `json:"utilP50"`
+	UtilP95      float64 `json:"utilP95"`
+	QualifiedVMs int     `json:"qualifiedVMs"`
+	Samples      int64   `json:"samples"`
+}
+
+// Profiles lists live profiles matching the query, sorted by subscription.
+func (ing *Ingestor) Profiles(q kb.Query) []LiveProfile {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	list := ing.store.List(q)
+	out := make([]LiveProfile, 0, len(list))
+	for _, p := range list {
+		out = append(out, ing.liveProfileLocked(p))
+	}
+	return out
+}
+
+// Profile returns one subscription's live profile.
+func (ing *Ingestor) Profile(id core.SubscriptionID) (LiveProfile, bool) {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	p, ok := ing.store.Get(id)
+	if !ok {
+		return LiveProfile{}, false
+	}
+	return ing.liveProfileLocked(p), true
+}
+
+func (ing *Ingestor) liveProfileLocked(p *kb.Profile) LiveProfile {
+	lp := LiveProfile{Profile: *p}
+	if ss := ing.subs[p.Subscription]; ss != nil {
+		lp.UtilP50 = ss.util.Quantile(0.5)
+		lp.UtilP95 = ss.util.Quantile(0.95)
+		lp.Samples = ss.util.Count()
+		lp.QualifiedVMs = len(ss.retired)
+		for _, acc := range ss.live {
+			if acc.qualified {
+				lp.QualifiedVMs++
+			}
+		}
+	}
+	return lp
+}

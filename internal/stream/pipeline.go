@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+	"cloudlens/internal/trace"
+)
+
+// Pipeline couples a Replayer to an Ingestor: one goroutine replays the
+// trace into the bounded event channel, another folds each batch into live
+// knowledge-base state. All snapshot accessors are safe to call while the
+// pipeline runs.
+type Pipeline struct {
+	tr  *trace.Trace
+	rep *Replayer
+	ing *Ingestor
+
+	mu        sync.Mutex
+	started   bool
+	startedAt time.Time
+	cancel    context.CancelFunc
+	done      chan struct{}
+	err       error
+}
+
+// NewPipeline builds a stopped pipeline over the trace.
+func NewPipeline(tr *trace.Trace, opts Options) *Pipeline {
+	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	return &Pipeline{
+		tr:   tr,
+		rep:  NewReplayer(tr, opts),
+		ing:  NewIngestor(tr, opts),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the replay and ingestion goroutines. It returns
+// immediately; use Wait to block until the replay finishes. Start may be
+// called at most once.
+func (p *Pipeline) Start(ctx context.Context) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	p.startedAt = time.Now()
+	ctx, p.cancel = context.WithCancel(ctx)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.rep.Run(ctx) }()
+	go func() {
+		defer close(p.done)
+		for b := range p.rep.Events() {
+			p.ing.ObserveBatch(b)
+			p.rep.Recycle(b)
+		}
+		err := <-errCh
+		if err == nil {
+			// Only a completed replay yields a finished knowledge base; a
+			// cancelled one leaves the last folded state standing.
+			p.ing.Finish()
+		}
+		p.mu.Lock()
+		p.err = err
+		p.mu.Unlock()
+	}()
+}
+
+// Wait blocks until the replay has been fully ingested (or cancelled) and
+// returns the replay error, if any.
+func (p *Pipeline) Wait() error {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stop cancels an in-flight replay and waits for the ingestion goroutine to
+// drain. Stopping a finished pipeline is a no-op.
+func (p *Pipeline) Stop() {
+	p.mu.Lock()
+	cancel := p.cancel
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	<-p.done
+}
+
+// Status is a point-in-time view of pipeline progress, assembled from
+// atomic counters so it never contends with ingestion.
+type Status struct {
+	Running         bool    `json:"running"`
+	Done            bool    `json:"done"`
+	Step            int     `json:"step"`
+	Steps           int     `json:"steps"`
+	SamplesIngested int64   `json:"samplesIngested"`
+	Folds           int64   `json:"folds"`
+	Speedup         float64 `json:"speedup"`
+	ElapsedSec      float64 `json:"elapsedSec"`
+	SamplesPerSec   float64 `json:"samplesPerSec"`
+}
+
+// Status reports replay progress.
+func (p *Pipeline) Status() Status {
+	p.mu.Lock()
+	started := p.started
+	startedAt := p.startedAt
+	p.mu.Unlock()
+
+	st := Status{
+		Done:            p.ing.done.Load(),
+		Step:            int(p.ing.lastStep.Load()),
+		Steps:           p.tr.Grid.N,
+		SamplesIngested: p.ing.samplesIngested.Load(),
+		Folds:           p.ing.foldCount.Load(),
+		Speedup:         p.ing.opts.Speedup,
+	}
+	if started {
+		select {
+		case <-p.done:
+		default:
+			st.Running = true
+		}
+		st.ElapsedSec = time.Since(startedAt).Seconds()
+		if st.ElapsedSec > 0 {
+			st.SamplesPerSec = float64(st.SamplesIngested) / st.ElapsedSec
+		}
+	}
+	return st
+}
+
+// Summary returns the ingestor's live per-cloud snapshot.
+func (p *Pipeline) Summary() Summary { return p.ing.Summary() }
+
+// Profiles lists live profiles matching the query.
+func (p *Pipeline) Profiles(q kb.Query) []LiveProfile { return p.ing.Profiles(q) }
+
+// Profile returns one subscription's live profile.
+func (p *Pipeline) Profile(id core.SubscriptionID) (LiveProfile, bool) { return p.ing.Profile(id) }
+
+// KB exposes the live knowledge base (e.g. for persisting a snapshot).
+func (p *Pipeline) KB() *kb.Store { return p.ing.KB() }
+
+// Ingestor exposes the underlying ingestor for tests and direct feeding.
+func (p *Pipeline) Ingestor() *Ingestor { return p.ing }

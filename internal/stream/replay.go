@@ -1,0 +1,267 @@
+// Package stream turns the batch reproduction into a live characterization
+// service: a replay driver walks an existing trace in simulated time and
+// emits the same five-minute utilization telemetry the paper's platform
+// collects, and an ingestor folds each sample incrementally into
+// knowledge-base state using bounded-memory sketches (package sketch), so
+// the Section V knowledge base stays current while samples arrive instead
+// of being recomputed from a full week of history.
+//
+// The pipeline is
+//
+//	Replayer ──(bounded channel of StepBatch)──▶ Ingestor ──▶ kb.Store
+//
+// with per-step sample synthesis fanned out over the internal/parallel
+// worker pool. Pipeline wires both ends together and exposes race-free
+// status, summary, and live-profile snapshots while ingestion runs.
+package stream
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"cloudlens/internal/parallel"
+	"cloudlens/internal/trace"
+)
+
+// Sample is one VM's five-minute CPU-utilization report.
+type Sample struct {
+	// VM indexes the trace's VMs slice; the ingestor resolves metadata
+	// (subscription, cloud, region, size) through it.
+	VM int32
+	// CPU is the utilization fraction at the step.
+	CPU float64
+}
+
+// StepBatch carries everything the platform emits for one grid step: a
+// utilization sample for every running VM plus the control-plane lifecycle
+// events (creations and deletions) that fell on the step. The paper's
+// dataset pairs exactly these two feeds — a utilization reading table and a
+// VM event table. After the final sampling step the replayer emits one
+// trailing batch at Step == Grid.N carrying the deletions that close the
+// observation window.
+type StepBatch struct {
+	Step    int
+	Samples []Sample
+	// Created lists VMs whose creation event falls on this step. VMs that
+	// predate the observation window appear in Samples from step 0 without
+	// a creation event, mirroring the paper's unknown-start records.
+	Created []int32
+	// Deleted lists VMs whose exclusive end step is this step.
+	Deleted []int32
+}
+
+// Options tunes the streaming pipeline.
+type Options struct {
+	// Speedup is the simulated-to-wall-clock time ratio of the replay: at
+	// 288, one day of five-minute telemetry replays in five minutes. Zero
+	// or negative means "as fast as the consumer keeps up" (the mode used
+	// by tests, benchmarks, and batch-equivalence validation).
+	Speedup float64
+	// Buffer is the event-channel depth in steps (default 8). The bound
+	// applies backpressure: a slow consumer stalls the replay clock
+	// instead of growing an unbounded queue.
+	Buffer int
+	// FoldEverySteps is how often the ingestor refreshes the live
+	// knowledge base from its accumulators (default one hour of steps).
+	FoldEverySteps int
+	// MaxClassifyPerSub mirrors kb.ExtractOptions.MaxClassifyPerSub so
+	// live profiles converge to the batch knowledge base (default 24).
+	MaxClassifyPerSub int
+	// ShortBinMinutes mirrors kb.ExtractOptions.ShortBinMinutes
+	// (default 30).
+	ShortBinMinutes int
+}
+
+func (o Options) withDefaults(stepsPerHour int) Options {
+	if o.Buffer <= 0 {
+		o.Buffer = 8
+	}
+	if o.FoldEverySteps <= 0 {
+		o.FoldEverySteps = stepsPerHour
+	}
+	if o.MaxClassifyPerSub == 0 {
+		o.MaxClassifyPerSub = 24
+	}
+	if o.ShortBinMinutes == 0 {
+		o.ShortBinMinutes = 30
+	}
+	return o
+}
+
+// Replayer walks a trace in simulated time and emits one StepBatch per grid
+// step through a bounded channel. Sample synthesis for a step fans out over
+// the worker pool; pacing (when Speedup > 0) sleeps between steps so the
+// emission rate matches the configured time compression.
+type Replayer struct {
+	tr   *trace.Trace
+	opts Options
+	ch   chan StepBatch
+	// free recycles delivered sample buffers back to the emitter so the
+	// steady-state hot path allocates nothing per step.
+	free chan []Sample
+
+	stepsEmitted   atomic.Int64
+	samplesEmitted atomic.Int64
+}
+
+// NewReplayer returns a replayer for the trace. Options follow the
+// documented defaults.
+func NewReplayer(tr *trace.Trace, opts Options) *Replayer {
+	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	return &Replayer{
+		tr:   tr,
+		opts: opts,
+		ch:   make(chan StepBatch, opts.Buffer),
+		free: make(chan []Sample, opts.Buffer+2),
+	}
+}
+
+// Events returns the batch channel. It is closed when the replay finishes
+// or the context passed to Run is cancelled.
+func (r *Replayer) Events() <-chan StepBatch { return r.ch }
+
+// Recycle hands a delivered batch's sample buffer back to the replayer.
+// The caller must not retain the slice afterwards.
+func (r *Replayer) Recycle(b StepBatch) {
+	if b.Samples == nil {
+		return
+	}
+	select {
+	case r.free <- b.Samples[:0]:
+	default:
+	}
+}
+
+// StepsEmitted returns the number of sampling steps emitted so far.
+func (r *Replayer) StepsEmitted() int64 { return r.stepsEmitted.Load() }
+
+// SamplesEmitted returns the number of samples emitted so far.
+func (r *Replayer) SamplesEmitted() int64 { return r.samplesEmitted.Load() }
+
+// Run replays the whole observation window, blocking until the final batch
+// has been delivered or the context is cancelled. It closes the event
+// channel on return, so consumers range over Events. Run must be called at
+// most once.
+func (r *Replayer) Run(ctx context.Context) error {
+	defer close(r.ch)
+	g := r.tr.Grid
+	vms := r.tr.VMs
+
+	// Index lifecycle events once: creations in start order, deletions
+	// bucketed by their (window-clipped) step.
+	order := make([]int32, 0, len(vms))
+	createdAt := make(map[int][]int32)
+	deletedAt := make(map[int][]int32)
+	for i := range vms {
+		v := &vms[i]
+		if v.CreatedStep >= g.N || v.DeletedStep <= 0 {
+			continue // never alive inside the window
+		}
+		order = append(order, int32(i))
+		if v.CreatedStep >= 0 {
+			createdAt[v.CreatedStep] = append(createdAt[v.CreatedStep], int32(i))
+		}
+		if v.DeletedStep <= g.N {
+			deletedAt[v.DeletedStep] = append(deletedAt[v.DeletedStep], int32(i))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &vms[order[i]], &vms[order[j]]
+		if a.CreatedStep != b.CreatedStep {
+			return a.CreatedStep < b.CreatedStep
+		}
+		return order[i] < order[j]
+	})
+
+	active := make([]int32, 0, len(order))
+	posOf := make([]int32, len(vms))
+	for i := range posOf {
+		posOf[i] = -1
+	}
+	next := 0
+
+	var interval time.Duration
+	if r.opts.Speedup > 0 {
+		interval = time.Duration(float64(g.Step) / r.opts.Speedup)
+	}
+
+	for s := 0; s < g.N; s++ {
+		for _, idx := range deletedAt[s] {
+			pos := posOf[idx]
+			if pos < 0 {
+				continue
+			}
+			last := int32(len(active) - 1)
+			active[pos] = active[last]
+			posOf[active[pos]] = pos
+			active = active[:last]
+			posOf[idx] = -1
+		}
+		for next < len(order) && vms[order[next]].CreatedStep <= s {
+			idx := order[next]
+			posOf[idx] = int32(len(active))
+			active = append(active, idx)
+			next++
+		}
+
+		samples := r.buffer(len(active))
+		parallel.ForEachChunk(len(active), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				idx := active[i]
+				samples[i] = Sample{VM: idx, CPU: vms[idx].Usage.At(g, s)}
+			}
+		})
+
+		b := StepBatch{Step: s, Samples: samples, Created: createdAt[s], Deleted: deletedAt[s]}
+		select {
+		case r.ch <- b:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		r.stepsEmitted.Add(1)
+		r.samplesEmitted.Add(int64(len(samples)))
+
+		if interval > 0 && s+1 < g.N {
+			if err := sleepCtx(ctx, interval); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Close the window: deletions falling exactly on Grid.N end inside the
+	// observation span (the batch pipeline's WithinWindow includes them).
+	final := StepBatch{Step: g.N, Deleted: deletedAt[g.N]}
+	select {
+	case r.ch <- final:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// buffer returns a sample slice of length n, reusing a recycled buffer when
+// one is available.
+func (r *Replayer) buffer(n int) []Sample {
+	select {
+	case buf := <-r.free:
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	default:
+	}
+	return make([]Sample, n)
+}
+
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
