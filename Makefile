@@ -1,13 +1,15 @@
 # Development targets for the cloudlens reproduction.
 #
-#   make test    — tier-1: build + unit tests (what CI gates on)
-#   make verify  — vet + full test suite under the race detector; required
-#                  before merging changes to the parallel pipeline
-#   make bench   — headline performance benchmarks (time + allocations)
+#   make test        — tier-1: build + unit tests (what CI gates on)
+#   make verify      — vet + full test suite under the race detector; required
+#                      before merging changes to the parallel pipeline
+#   make bench       — headline performance benchmarks (time + allocations)
+#   make bench-smoke — one iteration of each headline benchmark; CI runs this
+#                      so instrumented hot paths stay compile- and run-clean
 
 GO ?= go
 
-.PHONY: all build test verify bench
+.PHONY: all build test verify bench bench-smoke
 
 all: build
 
@@ -23,3 +25,6 @@ verify:
 
 bench:
 	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace|StreamIngest' -benchmem .
+
+bench-smoke:
+	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace|StreamIngest' -benchtime=1x -benchmem .

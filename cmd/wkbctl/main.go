@@ -8,16 +8,23 @@
 //	wkbctl -server http://localhost:8080 profiles -cloud private -min-agnostic 0.8 [-pattern diurnal] [-min-short-lived 0.5]
 //	wkbctl -server http://localhost:8080 profile <subscription-id>
 //	wkbctl -server http://localhost:8080 watch [-interval 2s] [-count 0]
+//	wkbctl -server http://localhost:8080 version
 //
 // watch follows a live replay (wkbserver -replay), printing one progress
 // line per poll until the replay finishes; -count bounds the number of
 // polls (0 means until done).
 //
+// Every HTTP status ≥ 400 exits non-zero; the server's JSON error envelope
+// ({"error":{"code","message"}}) is decoded into a one-line stderr
+// message.
+//
 // Global flags come before the subcommand; filter flags after it.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"cloudlens"
+	"cloudlens/internal/kb"
 	"cloudlens/internal/report"
 )
 
@@ -56,7 +64,7 @@ func run() error {
 			minShortLived = fs.Float64("min-short-lived", 0, "minimum short-lived VM share")
 		)
 		if err := fs.Parse(flag.Args()[1:]); err != nil {
-			return err
+			return helpErr(err)
 		}
 		return showProfiles(client, *server, *cloud, *minAgnostic, *pattern, *minShortLived)
 	case "profile":
@@ -71,25 +79,74 @@ func run() error {
 			count    = fs.Int("count", 0, "stop after this many polls (0 = until the replay finishes)")
 		)
 		if err := fs.Parse(flag.Args()[1:]); err != nil {
-			return err
+			return helpErr(err)
 		}
 		return watch(client, *server, *interval, *count, os.Stdout)
+	case "version":
+		return showVersion(client, *server)
 	default:
-		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch)", flag.Arg(0))
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch | version)", flag.Arg(0))
 	}
 }
 
+// helpErr keeps -h/-help on subcommand flag sets exiting zero (the usage
+// text was already printed); every real parse error still propagates to a
+// non-zero exit.
+func helpErr(err error) error {
+	if errors.Is(err, flag.ErrHelp) {
+		return nil
+	}
+	return err
+}
+
+// getJSON fetches rawURL and decodes the body into out. Any status ≥ 400
+// is an error: the server's JSON envelope becomes a one-line message
+// ("profile not found (not_found, HTTP 404)"); a non-envelope body — an
+// older server, a proxy error page — falls back to quoting the trimmed
+// body so the operator still sees what the wire carried.
 func getJSON(client *http.Client, rawURL string, out interface{}) error {
 	resp, err := client.Get(rawURL)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		var env kb.ErrorBody
+		if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+			return fmt.Errorf("%s (%s, HTTP %d)", env.Error.Message, env.Error.Code, resp.StatusCode)
+		}
+		return fmt.Errorf("GET %s: %s: %s", rawURL, resp.Status, bytes.TrimSpace(body))
+	}
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("GET %s: %s: %s", rawURL, resp.Status, body)
+		return fmt.Errorf("GET %s: unexpected status %s", rawURL, resp.Status)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// showVersion prints the server build info from /api/v1/version.
+func showVersion(client *http.Client, server string) error {
+	var v kb.VersionInfo
+	if err := getJSON(client, server+"/api/v1/version", &v); err != nil {
+		return err
+	}
+	fmt.Printf("%s %s", v.Module, v.Version)
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Printf(" (%s", rev)
+		if v.Modified {
+			fmt.Print("-dirty")
+		}
+		fmt.Print(")")
+	}
+	if v.GoVersion != "" {
+		fmt.Printf(" %s", v.GoVersion)
+	}
+	fmt.Println()
+	return nil
 }
 
 func showSummary(client *http.Client, server string) error {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudlens/internal/kb"
+)
+
+func TestGetJSONDecodesErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		kb.WriteError(w, http.StatusNotFound, "not_found", "profile not found")
+	}))
+	defer srv.Close()
+
+	var out struct{}
+	err := getJSON(srv.Client(), srv.URL+"/api/v1/profiles/ghost", &out)
+	if err == nil {
+		t.Fatal("HTTP 404 did not return an error")
+	}
+	msg := err.Error()
+	if msg != "profile not found (not_found, HTTP 404)" {
+		t.Errorf("envelope not decoded into one-line message: %q", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error message spans lines: %q", msg)
+	}
+}
+
+func TestGetJSONNonEnvelopeBodyFallsBack(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	err := getJSON(srv.Client(), srv.URL+"/x", &struct{}{})
+	if err == nil {
+		t.Fatal("HTTP 502 did not return an error")
+	}
+	if !strings.Contains(err.Error(), "502") || !strings.Contains(err.Error(), "bad gateway") {
+		t.Errorf("fallback message lost status or body: %q", err.Error())
+	}
+}
+
+func TestGetJSONSuccess(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		kb.WriteJSON(w, http.StatusOK, map[string]int{"n": 7})
+	}))
+	defer srv.Close()
+
+	var out map[string]int
+	if err := getJSON(srv.Client(), srv.URL+"/", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["n"] != 7 {
+		t.Errorf("decoded %v", out)
+	}
+}
+
+func TestWatchStopsOnEnvelopeError(t *testing.T) {
+	// A server without -replay answers 404 on the live routes; watch must
+	// surface the decoded envelope instead of looping.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		kb.WriteError(w, http.StatusNotFound, "not_found",
+			"no live replay (start wkbserver with -replay)")
+	}))
+	defer srv.Close()
+
+	var sb strings.Builder
+	err := watch(srv.Client(), srv.URL, time.Millisecond, 3, &sb)
+	if err == nil {
+		t.Fatal("watch against a batch-only server did not error")
+	}
+	if !strings.Contains(err.Error(), "no live replay") {
+		t.Errorf("watch error lost the envelope message: %q", err.Error())
+	}
+}
+
+func TestHelpErr(t *testing.T) {
+	if helpErr(nil) != nil {
+		t.Error("nil error mangled")
+	}
+	if helpErr(flag.ErrHelp) != nil {
+		t.Error("-h must exit zero")
+	}
+	sentinel := errors.New("boom")
+	if !errors.Is(helpErr(sentinel), sentinel) {
+		t.Error("real parse errors must propagate")
+	}
+}

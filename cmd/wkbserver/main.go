@@ -2,9 +2,11 @@
 // in the paper's Section V) as an HTTP service: it extracts per-
 // subscription workload knowledge from a trace and serves it as JSON.
 //
-// Routes:
+// Routes (all GET; errors use the {"error":{"code","message"}} envelope):
 //
-//	GET /healthz
+//	GET /healthz                         readiness: ok | ingesting
+//	GET /metrics                         Prometheus text exposition
+//	GET /api/v1/version                  build info
 //	GET /api/v1/summary
 //	GET /api/v1/profiles?cloud=private&minAgnostic=0.8&pattern=diurnal
 //	GET /api/v1/profiles/{subscription-id}
@@ -17,7 +19,13 @@
 // trace. With -replay the server instead streams the trace through the
 // incremental ingestion pipeline in simulated time (-speedup compresses
 // the clock; 0 replays as fast as ingestion keeps up) and the knowledge
-// base fills in continuously while the server runs.
+// base fills in continuously while the server runs; /healthz reports
+// "ingesting" until the replay completes.
+//
+// Observability: /metrics exposes the process's counter/gauge/histogram
+// series (catalog in DESIGN.md §7); -debug-addr starts a second listener
+// serving net/http/pprof; -log-level sets the slog threshold and
+// -log-requests emits one debug record per request.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, an active replay is stopped, and -save (if given)
@@ -27,6 +35,7 @@
 //
 //	wkbserver [-addr :8080] [-seed 42] [-trace bundle/trace.json.gz]
 //	          [-replay] [-speedup 2016] [-save kb.json]
+//	          [-debug-addr :6060] [-log-level info] [-log-requests]
 package main
 
 import (
@@ -34,13 +43,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"cloudlens"
+	"cloudlens/internal/obs"
 )
 
 // shutdownTimeout is the drain window for in-flight requests after a
@@ -56,20 +68,25 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
-		scale     = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
-		tracePath = flag.String("trace", "", "load a saved trace instead of generating")
-		replay    = flag.Bool("replay", false, "stream the trace through the live ingestion pipeline instead of extracting up front")
-		speedup   = flag.Float64("speedup", 0, "simulated-to-wall-clock ratio for -replay (0 = as fast as possible)")
-		save      = flag.String("save", "", "persist the knowledge base JSON to this path on exit (batch mode: after extraction)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
+		scale       = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
+		tracePath   = flag.String("trace", "", "load a saved trace instead of generating")
+		replay      = flag.Bool("replay", false, "stream the trace through the live ingestion pipeline instead of extracting up front")
+		speedup     = flag.Float64("speedup", 0, "simulated-to-wall-clock ratio for -replay (0 = as fast as possible)")
+		save        = flag.String("save", "", "persist the knowledge base JSON to this path on exit (batch mode: after extraction)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
+		logRequests = flag.Bool("log-requests", false, "log one debug record per HTTP request (needs -log-level debug)")
 	)
 	flag.Parse()
 
-	var (
-		tr  *cloudlens.Trace
-		err error
-	)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		return err
+	}
+
+	var tr *cloudlens.Trace
 	if *tracePath != "" {
 		tr, err = cloudlens.LoadTrace(*tracePath)
 	} else {
@@ -92,24 +109,45 @@ func run() error {
 		pipe = cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: *speedup})
 		pipe.Start(ctx)
 		store = pipe.KB()
-		fmt.Printf("replaying %d VMs over %d steps (speedup %g)...\n", len(tr.VMs), tr.Grid.N, *speedup)
+		logger.Info("replay started",
+			"vms", len(tr.VMs), "steps", tr.Grid.N, "speedup", *speedup)
 	} else {
-		fmt.Printf("extracting workload knowledge from %d VMs...\n", len(tr.VMs))
+		logger.Info("extracting workload knowledge", "vms", len(tr.VMs))
 		store = cloudlens.ExtractKnowledgeBase(tr)
-		fmt.Printf("knowledge base ready: %d profiles\n", store.Len())
+		logger.Info("knowledge base ready", "profiles", store.Len())
 		if *save != "" {
 			if err := store.SaveFile(*save); err != nil {
 				return err
 			}
-			fmt.Printf("saved %s\n", *save)
+			logger.Info("knowledge base saved", "path", *save)
 		}
 	}
 
+	var reqLog *slog.Logger
+	if *logRequests {
+		reqLog = logger
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           buildHandler(store, pipe),
+		Handler:           buildHandler(store, pipe, reqLog),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -118,28 +156,44 @@ func run() error {
 		}
 		errCh <- nil
 	}()
-	fmt.Printf("serving on %s\n", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("shutting down...")
+	logger.Info("shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	shutdownErr := srv.Shutdown(sctx)
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
 	if pipe != nil {
 		pipe.Stop()
 		if *save != "" {
 			if err := store.SaveFile(*save); err != nil {
 				return err
 			}
-			fmt.Printf("saved %s\n", *save)
+			logger.Info("knowledge base saved", "path", *save)
 		}
 	}
 	if err := <-errCh; err != nil {
 		return err
 	}
 	return shutdownErr
+}
+
+// pprofMux serves the standard pprof surface on a dedicated mux so the
+// profiling listener shares nothing with the public API (and never goes
+// through its middleware or envelope).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -6,11 +6,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
 	"cloudlens"
 	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
 	"cloudlens/internal/sim"
 	"cloudlens/internal/usage"
 )
@@ -67,18 +70,43 @@ func wantStatus(t *testing.T, srv *httptest.Server, path string, status int) []b
 	if resp.StatusCode != status {
 		t.Errorf("GET %s = %d, want %d (%s)", path, resp.StatusCode, status, body)
 	}
+	if status >= 400 {
+		assertEnvelope(t, path, body, status)
+	}
 	return body
+}
+
+// assertEnvelope checks the uniform {"error":{"code","message"}} body every
+// v1 error response must carry.
+func assertEnvelope(t *testing.T, path string, body []byte, status int) {
+	t.Helper()
+	var env kb.ErrorBody
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Errorf("%s: %d body is not the JSON envelope: %s", path, status, body)
+		return
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Errorf("%s: envelope incomplete: %s", path, body)
+	}
+	wantCode := map[int]string{
+		http.StatusBadRequest:       "bad_request",
+		http.StatusNotFound:         "not_found",
+		http.StatusMethodNotAllowed: "method_not_allowed",
+	}[status]
+	if wantCode != "" && env.Error.Code != wantCode {
+		t.Errorf("%s: envelope code = %q, want %q", path, env.Error.Code, wantCode)
+	}
 }
 
 func TestBatchHandlerRoutes(t *testing.T) {
 	tr := testTrace()
 	store := cloudlens.ExtractKnowledgeBase(tr)
-	srv := httptest.NewServer(buildHandler(store, nil))
+	srv := httptest.NewServer(buildHandler(store, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/healthz", http.StatusOK)
-	var health map[string]string
-	if err := json.Unmarshal(body, &health); err != nil || health["status"] != "ok" {
+	var health kb.Health
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
 		t.Errorf("healthz body = %s (err %v)", body, err)
 	}
 
@@ -118,6 +146,28 @@ func TestBatchHandlerRoutes(t *testing.T) {
 	// Without -replay every live route reports not found.
 	wantStatus(t, srv, "/api/v1/live/status", http.StatusNotFound)
 	wantStatus(t, srv, "/api/v1/live/summary", http.StatusNotFound)
+
+	// Unknown paths and wrong methods carry the envelope too.
+	wantStatus(t, srv, "/api/v1/nope", http.StatusNotFound)
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/summary", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST summary = %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") == "" {
+		t.Error("405 lost the Allow header")
+	}
+	assertEnvelope(t, "POST /api/v1/summary", body, http.StatusMethodNotAllowed)
+
+	body = wantStatus(t, srv, "/api/v1/version", http.StatusOK)
+	var ver kb.VersionInfo
+	if err := json.Unmarshal(body, &ver); err != nil || ver.Module == "" {
+		t.Errorf("version body = %s (err %v)", body, err)
+	}
 }
 
 func TestLiveHandlerRoutes(t *testing.T) {
@@ -127,7 +177,7 @@ func TestLiveHandlerRoutes(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/live/status", http.StatusOK)
@@ -166,19 +216,120 @@ func TestLiveHandlerRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("POST: %v", err)
 	}
+	postBody, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST live summary = %d, want 405", resp.StatusCode)
 	}
+	assertEnvelope(t, "POST /api/v1/live/summary", postBody, http.StatusMethodNotAllowed)
+
+	// A finished replay reports ready.
+	body = wantStatus(t, srv, "/healthz", http.StatusOK)
+	var health kb.Health
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
+		t.Errorf("healthz after replay = %s (err %v)", body, err)
+	}
+	if health.Step != tr.Grid.N || health.Steps != tr.Grid.N {
+		t.Errorf("healthz steps = %+v, want %d/%d", health, tr.Grid.N, tr.Grid.N)
+	}
 }
 
-// TestLiveEndpointsDuringIngestion hammers the live API while the replay is
-// still running; under -race (make verify) this demonstrates the snapshot
-// paths are free of data races with ingestion.
+// TestMetricsExposition scrapes /metrics after a replay and checks the
+// Prometheus surface: parseable text format covering the HTTP, stream,
+// pool, cache, and knowledge-base subsystems.
+func TestMetricsExposition(t *testing.T) {
+	tr := testTrace()
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{})
+	pipe.Start(context.Background())
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
+	defer srv.Close()
+
+	// One API request first so the middleware series have data.
+	wantStatus(t, srv, "/api/v1/summary", http.StatusOK)
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+
+	families := make(map[string]bool)
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families[strings.Fields(name)[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+
+	want := []string{
+		"cloudlens_http_requests_total",
+		"cloudlens_http_request_duration_seconds",
+		"cloudlens_http_inflight_requests",
+		"cloudlens_stream_samples_total",
+		"cloudlens_stream_steps_total",
+		"cloudlens_stream_backpressure_stalls_total",
+		"cloudlens_stream_channel_occupancy",
+		"cloudlens_stream_fold_duration_seconds",
+		"cloudlens_stream_classified_total",
+		"cloudlens_pool_dispatches_total",
+		"cloudlens_pool_tasks_total",
+		"cloudlens_pool_inflight_dispatches",
+		"cloudlens_seriescache_hits_total",
+		"cloudlens_seriescache_misses_total",
+		"cloudlens_kb_profile_puts_total",
+		"cloudlens_kb_profiles",
+	}
+	for _, f := range want {
+		if !families[f] {
+			t.Errorf("metric family %s missing from /metrics", f)
+		}
+	}
+	if len(families) < 12 {
+		t.Errorf("only %d families exposed, want >= 12", len(families))
+	}
+
+	// Counters that a finished replay must have moved. Values are process-
+	// cumulative, so only lower bounds are meaningful here.
+	if v := samples["cloudlens_stream_samples_total"]; v < float64(pipe.Status().SamplesIngested) {
+		t.Errorf("stream samples counter %v below this replay's %d", v, pipe.Status().SamplesIngested)
+	}
+	if samples["cloudlens_kb_profile_puts_total"] == 0 {
+		t.Error("kb puts counter never moved")
+	}
+	if samples[`cloudlens_http_requests_total{class="2xx",route="/api/v1/summary"}`] < 1 {
+		t.Error("per-route status-class counter never moved")
+	}
+}
+
+// TestLiveEndpointsDuringIngestion hammers the live API — including the
+// /metrics scrape path, which walks every registered series — while the
+// replay is still running; under -race (make verify) this demonstrates the
+// snapshot and exposition paths are free of data races with ingestion.
 func TestLiveEndpointsDuringIngestion(t *testing.T) {
 	tr := testTrace()
 	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
 	defer srv.Close()
 	pipe.Start(context.Background())
 
@@ -194,6 +345,8 @@ func TestLiveEndpointsDuringIngestion(t *testing.T) {
 				"/api/v1/live/profiles",
 				"/api/v1/live/profiles/sub-a",
 				"/api/v1/summary",
+				"/metrics",
+				"/healthz",
 			}
 			for n := 0; ; n++ {
 				select {
@@ -215,4 +368,38 @@ func TestLiveEndpointsDuringIngestion(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+
+	// After the replay completes the readiness contract flips to ok.
+	body := wantStatus(t, srv, "/healthz", http.StatusOK)
+	var health kb.Health
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
+		t.Errorf("healthz after ingestion = %s (err %v)", body, err)
+	}
+}
+
+// TestHealthzReportsIngesting pins the readiness contract: while a replay
+// is filling the knowledge base /healthz says "ingesting", so a load
+// balancer (or wkbctl watch) can hold traffic until the state is complete.
+func TestHealthzReportsIngesting(t *testing.T) {
+	tr := testTrace()
+	// A paced replay (tiny speedup) stays mid-flight long enough to observe.
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: 1})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pipe.Start(ctx)
+	body := wantStatus(t, srv, "/healthz", http.StatusOK)
+	var health kb.Health
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz decode: %v (%s)", err, body)
+	}
+	if health.Status != "ingesting" {
+		t.Errorf("healthz during replay = %q, want ingesting", health.Status)
+	}
+	if health.Steps != tr.Grid.N {
+		t.Errorf("healthz steps = %d, want %d", health.Steps, tr.Grid.N)
+	}
+	cancel()
+	pipe.Stop()
 }

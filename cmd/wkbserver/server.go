@@ -1,71 +1,95 @@
 package main
 
 import (
-	"encoding/json"
+	"log/slog"
 	"net/http"
-	"strings"
 
 	"cloudlens"
 	"cloudlens/internal/core"
 	"cloudlens/internal/kb"
+	"cloudlens/internal/obs"
 )
 
-// buildHandler assembles the server's route table: the knowledge-base API
-// over the store, plus — when a streaming replay is attached — the live
-// ingestion endpoints:
+// buildHandler assembles the server's unified v1 route table: the batch
+// knowledge-base API (kb.Register), the live ingestion endpoints, and the
+// operational surface — all behind one mux with method-qualified patterns,
+// one JSON error envelope (kb.WithJSONErrors), and one metrics middleware:
 //
+//	GET /healthz                     readiness: ok | ingesting
+//	GET /metrics                     Prometheus text exposition
+//	GET /api/v1/version              build info
+//	GET /api/v1/summary              batch per-platform aggregates
+//	GET /api/v1/profiles[?filters]   batch profile list
+//	GET /api/v1/profiles/{id}        one batch profile
 //	GET /api/v1/live/status          replay progress counters
 //	GET /api/v1/live/summary         incremental per-cloud characterization
 //	GET /api/v1/live/profiles        live profiles; same filters as /api/v1/profiles
 //	GET /api/v1/live/profiles/{id}   one live profile
 //
 // Without a replay the live routes answer 404 so clients can distinguish
-// "server runs in batch mode" from transport errors.
-func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline) http.Handler {
+// "server runs in batch mode" from transport errors. reqLog may be nil to
+// disable per-request logging.
+func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, reqLog *slog.Logger) http.Handler {
+	metrics := obs.NewHTTPMetrics(obs.Default, reqLog)
 	mux := http.NewServeMux()
-	mux.Handle("/", kb.NewHandler(store))
-	mux.HandleFunc("/api/v1/live/", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		if pipe == nil {
-			http.Error(w, "no live replay (start wkbserver with -replay)", http.StatusNotFound)
-			return
-		}
-		switch path := strings.TrimPrefix(r.URL.Path, "/api/v1/live/"); {
-		case path == "status":
-			serveJSON(w, pipe.Status())
-		case path == "summary":
-			serveJSON(w, pipe.Summary())
-		case path == "profiles":
-			q, err := kb.ParseQuery(r)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			serveJSON(w, pipe.Profiles(q))
-		case strings.HasPrefix(path, "profiles/"):
-			id := strings.TrimPrefix(path, "profiles/")
-			if id == "" {
-				http.Error(w, "missing subscription id", http.StatusBadRequest)
-				return
-			}
-			p, ok := pipe.Profile(core.SubscriptionID(id))
-			if !ok {
-				http.Error(w, "profile not found", http.StatusNotFound)
-				return
-			}
-			serveJSON(w, p)
-		default:
-			http.Error(w, "not found", http.StatusNotFound)
-		}
+	kb.Register(mux, store, kb.RouteOptions{
+		Health: healthFn(pipe),
+		Wrap:   metrics.Wrap,
 	})
-	return mux
+
+	// live wires one replay-backed route: the handler runs only when a
+	// pipeline is attached, and only for GET (the mux enforces the method).
+	live := func(pattern, route string, h func(w http.ResponseWriter, r *http.Request)) {
+		mux.Handle(pattern, metrics.Wrap(route, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if pipe == nil {
+				kb.WriteError(w, http.StatusNotFound, "not_found",
+					"no live replay (start wkbserver with -replay)")
+				return
+			}
+			h(w, r)
+		})))
+	}
+	live("GET /api/v1/live/status", "/api/v1/live/status", func(w http.ResponseWriter, r *http.Request) {
+		kb.WriteJSON(w, http.StatusOK, pipe.Status())
+	})
+	live("GET /api/v1/live/summary", "/api/v1/live/summary", func(w http.ResponseWriter, r *http.Request) {
+		kb.WriteJSON(w, http.StatusOK, pipe.Summary())
+	})
+	live("GET /api/v1/live/profiles", "/api/v1/live/profiles", func(w http.ResponseWriter, r *http.Request) {
+		q, err := kb.ParseQuery(r)
+		if err != nil {
+			kb.WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		kb.WriteJSON(w, http.StatusOK, pipe.Profiles(q))
+	})
+	live("GET /api/v1/live/profiles/{id}", "/api/v1/live/profiles/{id}", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := pipe.Profile(core.SubscriptionID(r.PathValue("id")))
+		if !ok {
+			kb.WriteError(w, http.StatusNotFound, "not_found", "profile not found")
+			return
+		}
+		kb.WriteJSON(w, http.StatusOK, p)
+	})
+
+	mux.Handle("GET /metrics", metrics.Wrap("/metrics", obs.Default))
+	return kb.WithJSONErrors(mux)
 }
 
-func serveJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_ = json.NewEncoder(w).Encode(v)
+// healthFn derives the /healthz readiness payload from the replay state:
+// "ingesting" while a replay is still filling the knowledge base, "ok"
+// once it finishes (or immediately in batch mode, where extraction
+// completes before the listener opens).
+func healthFn(pipe *cloudlens.StreamPipeline) func() kb.Health {
+	if pipe == nil {
+		return nil
+	}
+	return func() kb.Health {
+		st := pipe.Status()
+		h := kb.Health{Status: "ok", Step: st.Step, Steps: st.Steps}
+		if !st.Done {
+			h.Status = "ingesting"
+		}
+		return h
+	}
 }

@@ -3,69 +3,209 @@ package kb
 import (
 	"encoding/json"
 	"net/http"
+	"runtime/debug"
 	"strconv"
-	"strings"
+	"sync"
 
 	"cloudlens/internal/core"
 )
 
-// NewHandler exposes a knowledge-base store over HTTP:
+// The v1 HTTP surface. Batch routes live here; cmd/wkbserver registers the
+// live-replay routes onto the same mux through Register so both halves of
+// the API share one route table, one error envelope, and one middleware
+// stack:
 //
-//	GET /healthz                     liveness probe
+//	GET /healthz                     readiness (ok | ingesting)
+//	GET /api/v1/version              build info (module, VCS revision, Go)
 //	GET /api/v1/summary              per-platform aggregates
 //	GET /api/v1/profiles             profile list; filters: cloud=private|public,
 //	                                 minAgnostic=<float>, pattern=<name>,
 //	                                 minShortLived=<float>
 //	GET /api/v1/profiles/{id}        one profile
 //
-// All responses are JSON. The handler is read-only; extraction happens
-// offline via Extract.
-func NewHandler(store *Store) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("/api/v1/summary", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
+// All responses are JSON. Errors — including the mux's own 404 and 405
+// verdicts, via WithJSONErrors — use the envelope
+//
+//	{"error":{"code":"<machine code>","message":"<human text>"}}
+//
+// The handler is read-only; extraction happens offline via Extract or
+// incrementally via the streaming ingestor.
+
+// ErrorBody is the uniform JSON error envelope of every /api/v1 route.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable machine-readable code alongside the human
+// message. Codes in use: bad_request, not_found, method_not_allowed.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Health is the /healthz payload. Status is "ok" when the knowledge base
+// is fully built and "ingesting" while a live replay is still filling it —
+// the readiness contract load balancers and wkbctl watch share.
+type Health struct {
+	Status string `json:"status"`
+	Step   int    `json:"step,omitempty"`
+	Steps  int    `json:"steps,omitempty"`
+}
+
+// VersionInfo is the /api/v1/version payload, assembled from the binary's
+// embedded build info.
+type VersionInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var readVersion = sync.OnceValue(func() VersionInfo {
+	v := VersionInfo{Module: "cloudlens", Version: "devel"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.GoVersion = info.GoVersion
+	if info.Main.Path != "" {
+		v.Module = info.Main.Path
+	}
+	if info.Main.Version != "" && info.Main.Version != "(devel)" {
+		v.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
 		}
+	}
+	return v
+})
+
+// RouteOptions customizes Register for the embedding server.
+type RouteOptions struct {
+	// Health supplies the /healthz payload; nil reports a constant "ok"
+	// (batch mode: the knowledge base is complete before serving starts).
+	Health func() Health
+	// Wrap instruments each route handler (obs.HTTPMetrics.Wrap); nil
+	// leaves routes bare. The route argument is the stable metric label —
+	// the pattern with the method stripped — not the raw request path, so
+	// per-route series stay bounded.
+	Wrap func(route string, h http.Handler) http.Handler
+}
+
+// Register installs the batch knowledge-base routes onto mux using
+// method-qualified patterns, so the mux itself enforces GET-only access
+// and WithJSONErrors turns its 404/405 verdicts into the shared envelope.
+func Register(mux *http.ServeMux, store *Store, opts RouteOptions) {
+	wrap := opts.Wrap
+	if wrap == nil {
+		wrap = func(_ string, h http.Handler) http.Handler { return h }
+	}
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, wrap(route, h))
+	}
+
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Status: "ok"}
+		if opts.Health != nil {
+			h = opts.Health()
+		}
+		WriteJSON(w, http.StatusOK, h)
+	})
+	handle("GET /api/v1/version", "/api/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, readVersion())
+	})
+	handle("GET /api/v1/summary", "/api/v1/summary", func(w http.ResponseWriter, r *http.Request) {
 		out := map[string]Summary{
 			core.Private.String(): store.Summarize(core.Private),
 			core.Public.String():  store.Summarize(core.Public),
 		}
-		writeJSON(w, http.StatusOK, out)
+		WriteJSON(w, http.StatusOK, out)
 	})
-	mux.HandleFunc("/api/v1/profiles", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	handle("GET /api/v1/profiles", "/api/v1/profiles", func(w http.ResponseWriter, r *http.Request) {
 		q, err := ParseQuery(r)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, store.List(q))
+		WriteJSON(w, http.StatusOK, store.List(q))
 	})
-	mux.HandleFunc("/api/v1/profiles/", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		id := strings.TrimPrefix(r.URL.Path, "/api/v1/profiles/")
-		if id == "" {
-			http.Error(w, "missing subscription id", http.StatusBadRequest)
-			return
-		}
-		p, ok := store.Get(core.SubscriptionID(id))
+	handle("GET /api/v1/profiles/{id}", "/api/v1/profiles/{id}", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := store.Get(core.SubscriptionID(r.PathValue("id")))
 		if !ok {
-			http.Error(w, "profile not found", http.StatusNotFound)
+			WriteError(w, http.StatusNotFound, "not_found", "profile not found")
 			return
 		}
-		writeJSON(w, http.StatusOK, p)
+		WriteJSON(w, http.StatusOK, p)
 	})
-	return mux
+}
+
+// NewHandler exposes a knowledge-base store over HTTP with the shared
+// error envelope — the standalone (uninstrumented) form of the v1 surface.
+func NewHandler(store *Store) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, store, RouteOptions{})
+	return WithJSONErrors(mux)
+}
+
+// WithJSONErrors wraps a route table so the mux's own fallback responses —
+// 404 for unknown paths, 405 (with the Allow header) for method
+// mismatches — carry the same JSON envelope as handler-written errors,
+// instead of net/http's plaintext bodies.
+func WithJSONErrors(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Handler reports a matched pattern without dispatching (an empty
+		// pattern means the mux would serve its own 404/405). Matched
+		// requests must go through mux.ServeHTTP — not the returned
+		// handler — so the mux populates r.PathValue for {id} wildcards.
+		if _, pattern := mux.Handler(r); pattern != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		// Run the mux's fallback against a body-discarding writer: it
+		// decides 404 vs 405 and sets response headers (notably Allow) on
+		// the real header map; we then write the envelope body.
+		probe := headerOnlyWriter{header: w.Header()}
+		mux.ServeHTTP(&probe, r)
+		switch probe.status {
+		case http.StatusMethodNotAllowed:
+			WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method not allowed")
+		case 0, http.StatusNotFound:
+			WriteError(w, http.StatusNotFound, "not_found", "not found")
+		default:
+			// A redirect (e.g. trailing-slash cleanup) or other verdict:
+			// headers are already on w, so just commit the status.
+			w.WriteHeader(probe.status)
+		}
+	})
+}
+
+// headerOnlyWriter records the status the mux fallback chooses while
+// letting it mutate the real response headers; the plaintext body is
+// discarded.
+type headerOnlyWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *headerOnlyWriter) Header() http.Header { return w.header }
+
+func (w *headerOnlyWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+
+func (w *headerOnlyWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(b), nil
 }
 
 // ParseQuery translates URL parameters (cloud, minAgnostic, pattern,
@@ -120,10 +260,17 @@ func (e badParamError) Error() string { return "invalid query parameter: " + str
 
 func errBadParam(name string) error { return badParamError(name) }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// WriteJSON writes a JSON success body. Shared by every v1 route, batch
+// and live.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	// Encoding errors past the header write can only be logged; for this
 	// read-only API the client sees a truncated body and retries.
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the uniform error envelope.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	WriteJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
 }

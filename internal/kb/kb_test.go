@@ -258,9 +258,12 @@ func TestHTTPProfiles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		env := decodeEnvelope(t, resp)
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+		if env.Error.Code != "not_found" {
+			t.Errorf("envelope code %q, want not_found", env.Error.Code)
 		}
 	})
 
@@ -270,9 +273,12 @@ func TestHTTPProfiles(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			resp.Body.Close()
+			env := decodeEnvelope(t, resp)
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("query %q: status %d, want 400", q, resp.StatusCode)
+			}
+			if env.Error.Code != "bad_request" || env.Error.Message == "" {
+				t.Errorf("query %q: envelope = %+v", q, env)
 			}
 		}
 	})
@@ -282,11 +288,60 @@ func TestHTTPProfiles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		env := decodeEnvelope(t, resp)
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("status %d, want 405", resp.StatusCode)
 		}
+		if env.Error.Code != "method_not_allowed" {
+			t.Errorf("envelope code %q, want method_not_allowed", env.Error.Code)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Error("405 lost the Allow header")
+		}
 	})
+
+	t.Run("unknown path", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/api/v2/profiles")
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := decodeEnvelope(t, resp)
+		if resp.StatusCode != http.StatusNotFound || env.Error.Code != "not_found" {
+			t.Errorf("status %d envelope %+v, want enveloped 404", resp.StatusCode, env)
+		}
+	})
+}
+
+// decodeEnvelope reads an error response body as the uniform JSON envelope.
+func decodeEnvelope(t *testing.T, resp *http.Response) ErrorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	var env ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v", err)
+	}
+	return env
+}
+
+func TestHTTPVersion(t *testing.T) {
+	_, store := sharedKB(t)
+	srv := httptest.NewServer(NewHandler(store))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("version status %d", resp.StatusCode)
+	}
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v.Module == "" || v.GoVersion == "" {
+		t.Errorf("version payload incomplete: %+v", v)
+	}
 }
 
 func TestStoreConcurrentAccess(t *testing.T) {

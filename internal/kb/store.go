@@ -8,6 +8,17 @@ import (
 	"sync"
 
 	"cloudlens/internal/core"
+	"cloudlens/internal/obs"
+)
+
+// Store metrics, pre-resolved at init. Counts are process-cumulative
+// across every store in the binary; the gauge tracks the store written to
+// most recently (a server process holds exactly one).
+var (
+	storePuts = obs.Default.Counter("cloudlens_kb_profile_puts_total",
+		"Knowledge-base profile inserts and replacements.")
+	storeProfiles = obs.Default.Gauge("cloudlens_kb_profiles",
+		"Profiles held by the most recently written knowledge-base store.")
 )
 
 // Store is the thread-safe profile repository. Management policies query it
@@ -26,8 +37,11 @@ func NewStore() *Store {
 // Put inserts or replaces a profile.
 func (s *Store) Put(p *Profile) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.profiles[p.Subscription] = p
+	n := len(s.profiles)
+	s.mu.Unlock()
+	storePuts.Inc()
+	storeProfiles.SetInt(n)
 }
 
 // Get returns the profile of one subscription.

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics instruments an HTTP route table:
+//
+//	cloudlens_http_requests_total{route,class}        status-class counters
+//	cloudlens_http_request_duration_seconds{route}    latency histograms
+//	cloudlens_http_inflight_requests                  in-flight gauge
+//
+// Wrap resolves the per-route instruments once, at route registration, so
+// the per-request path touches only pre-bound atomics. An optional logger
+// emits one debug record per request (route, method, status, duration).
+type HTTPMetrics struct {
+	reg      *Registry
+	inflight *Gauge
+	logger   *slog.Logger
+}
+
+// statusClasses are the exposition values of the class label, indexed by
+// status/100.
+var statusClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// NewHTTPMetrics returns middleware bound to the registry. logger may be
+// nil to disable request logging.
+func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
+	return &HTTPMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("cloudlens_http_inflight_requests", "HTTP requests currently being served."),
+		logger:   logger,
+	}
+}
+
+// Wrap instruments h under the given route label. Call it once per route;
+// the returned handler is what goes into the mux.
+func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	latency := m.reg.Histogram(
+		"cloudlens_http_request_duration_seconds",
+		"HTTP request latency by route.",
+		DefLatencyBuckets, Label{"route", route})
+	var classes [6]*Counter
+	for i := 1; i < len(classes); i++ {
+		classes[i] = m.reg.Counter(
+			"cloudlens_http_requests_total",
+			"HTTP requests by route and status class.",
+			Label{"route", route}, Label{"class", statusClasses[i]})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		start := time.Now()
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(&sw, r)
+		elapsed := time.Since(start)
+		latency.Observe(elapsed.Seconds())
+		if c := sw.status / 100; c >= 1 && c < len(classes) {
+			classes[c].Inc()
+		}
+		m.inflight.Add(-1)
+		if m.logger != nil {
+			m.logger.Debug("http request",
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration", elapsed)
+		}
+	})
+}
+
+// statusWriter captures the response status for class counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareStatusClasses(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, nil)
+	h := m.Wrap("/echo", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		code, _ := strconv.Atoi(req.URL.Query().Get("code"))
+		if code == 0 {
+			// No explicit WriteHeader: an implicit 200 must count as 2xx.
+			_, _ = w.Write([]byte("ok"))
+			return
+		}
+		w.WriteHeader(code)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, code := range []int{0, 0, 204, 404, 404, 404, 500, 302} {
+		q := ""
+		if code != 0 {
+			q = "?code=" + strconv.Itoa(code)
+		}
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	got := exposition(t, r)
+	want := map[string]float64{
+		`cloudlens_http_requests_total{class="2xx",route="/echo"}`: 3,
+		`cloudlens_http_requests_total{class="3xx",route="/echo"}`: 1,
+		`cloudlens_http_requests_total{class="4xx",route="/echo"}`: 3,
+		`cloudlens_http_requests_total{class="5xx",route="/echo"}`: 1,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+	if got[`cloudlens_http_request_duration_seconds_count{route="/echo"}`] != 8 {
+		t.Errorf("latency count = %v, want 8",
+			got[`cloudlens_http_request_duration_seconds_count{route="/echo"}`])
+	}
+	if got[`cloudlens_http_inflight_requests`] != 0 {
+		t.Errorf("inflight after drain = %v, want 0", got[`cloudlens_http_inflight_requests`])
+	}
+}
+
+func TestMiddlewareRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, logger)
+	h := m.Wrap("/logged", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/logged?x=1", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	line := buf.String()
+	for _, want := range []string{"route=/logged", "method=GET", "status=418"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("request log missing %q in %q", want, line)
+		}
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "").Add(7)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 7") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition parses the subset of the Prometheus text format the
+// registry emits: one float sample per non-comment line, keyed by the full
+// series id (name plus rendered labels).
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+func exposition(t *testing.T, r *Registry) map[string]float64 {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("write exposition: %v", err)
+	}
+	return parseExposition(t, b.String())
+}
+
+func TestCounterGaugeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events.", Label{"kind", "a"})
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(3)
+	g.Add(-0.5)
+
+	got := exposition(t, r)
+	if v := got[`test_events_total{kind="a"}`]; v != 42 {
+		t.Errorf("counter round-trip = %v, want 42", v)
+	}
+	if v := got[`test_depth`]; v != 2.5 {
+		t.Errorf("gauge round-trip = %v, want 2.5", v)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "", Label{"k", "v"})
+	b := r.Counter("test_total", "", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("test_total", "", Label{"k", "w"})
+	if other == a {
+		t.Fatal("distinct labels share a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "")
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.01, 0.1, 1}, Label{"route", "/x"})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	got := exposition(t, r)
+	wantBuckets := map[string]float64{
+		`test_seconds_bucket{route="/x",le="0.01"}`: 1,
+		`test_seconds_bucket{route="/x",le="0.1"}`:  3,
+		`test_seconds_bucket{route="/x",le="1"}`:    4,
+		`test_seconds_bucket{route="/x",le="+Inf"}`: 5,
+	}
+	for k, want := range wantBuckets {
+		if got[k] != want {
+			t.Errorf("%s = %v, want %v", k, got[k], want)
+		}
+	}
+	if v := got[`test_seconds_count{route="/x"}`]; v != 5 {
+		t.Errorf("count = %v, want 5", v)
+	}
+	if v := got[`test_seconds_sum{route="/x"}`]; math.Abs(v-5.605) > 1e-9 {
+		t.Errorf("sum = %v, want 5.605", v)
+	}
+	// Cumulative buckets must be monotonic and end at the total count.
+	if got[`test_seconds_bucket{route="/x",le="+Inf"}`] != got[`test_seconds_count{route="/x"}`] {
+		t.Error("+Inf bucket disagrees with _count")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "", Label{"q", `a"b\c`}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_total{q="a\"b\\c"} 1`) {
+		t.Errorf("escaping broken:\n%s", b.String())
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	h := r.Histogram("test_seconds", "", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		exposition(t, r)
+	}
+	close(stop)
+	wg.Wait()
+	got := exposition(t, r)
+	if got["test_total"] != float64(c.Value()) {
+		t.Errorf("final scrape %v != counter %d", got["test_total"], c.Value())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{"debug": "DEBUG", "info": "INFO", "warn": "WARN", "error": "ERROR"} {
+		lv, err := ParseLevel(in)
+		if err != nil || lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, lv, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}

@@ -11,6 +11,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"cloudlens/internal/obs"
+)
+
+// Pool metrics, pre-resolved at init. A "dispatch" is one ForEach call
+// (ForEachChunk counts once, not once per chunk); the inflight gauge is
+// the live dispatch depth — nested fan-outs show as >1.
+var (
+	poolDispatches = obs.Default.Counter("cloudlens_pool_dispatches_total",
+		"Fan-out dispatches through the worker pool.")
+	poolTasks = obs.Default.Counter("cloudlens_pool_tasks_total",
+		"Work items dispatched through the worker pool.")
+	poolInflight = obs.Default.Gauge("cloudlens_pool_inflight_dispatches",
+		"Fan-out dispatches currently executing.")
 )
 
 // Workers returns the pool size used by the helpers: GOMAXPROCS, floored
@@ -28,6 +42,10 @@ func Workers() int {
 // fn must be safe for concurrent use and must not depend on invocation
 // order. A panic in any invocation is re-raised on the caller's goroutine.
 func ForEach(n int, fn func(i int)) {
+	poolDispatches.Inc()
+	poolTasks.Add(int64(n))
+	poolInflight.Add(1)
+	defer poolInflight.Add(-1)
 	workers := Workers()
 	if workers > n {
 		workers = n

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cloudlens/internal/classify"
 	"cloudlens/internal/core"
@@ -207,7 +208,7 @@ func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	}
 	fold := ing.opts.FoldEverySteps > 0 && b.Step > 0 && b.Step%ing.opts.FoldEverySteps == 0
 	if fold {
-		ing.foldLocked()
+		ing.timedFoldLocked()
 	}
 	ing.mu.Unlock()
 
@@ -215,15 +216,25 @@ func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	if b.Step < ing.tr.Grid.N {
 		ing.stepsIngested.Add(1)
 		ing.samplesIngested.Add(int64(len(b.Samples)))
+		mSteps.Inc()
+		mSamples.Add(int64(len(b.Samples)))
 	}
 }
 
 // Finish folds the remaining state once the stream ends.
 func (ing *Ingestor) Finish() {
 	ing.mu.Lock()
-	ing.foldLocked()
+	ing.timedFoldLocked()
 	ing.mu.Unlock()
 	ing.done.Store(true)
+}
+
+// timedFoldLocked runs a fold under the write lock and records its
+// wall-clock duration.
+func (ing *Ingestor) timedFoldLocked() {
+	start := time.Now()
+	ing.foldLocked()
+	mFoldSeconds.Observe(time.Since(start).Seconds())
 }
 
 // track starts accumulating a newly seen VM.
@@ -339,9 +350,11 @@ func (ing *Ingestor) retire(idx int32) {
 // record compacts a qualified VM's accumulators into a fold candidate,
 // classifying its pattern from the streaming evidence.
 func (ing *Ingestor) record(acc *vmAcc) classifiedVM {
+	p := ing.classifyAcc(acc)
+	mClassified[p].Inc()
 	return classifiedVM{
 		idx:     acc.idx,
-		pattern: ing.classifyAcc(acc),
+		pattern: p,
 		utilSum: acc.ac.Mean() * float64(acc.ac.N()),
 		n:       acc.ac.N(),
 		hourly:  acc.hourly,

@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"cloudlens/internal/core"
+	"cloudlens/internal/obs"
+)
+
+// Streaming-pipeline metrics, resolved once at package init so the hot
+// path never touches the registry: ingestion does a few atomic adds per
+// *batch* (never per sample), classification one add per classified VM,
+// and folds one histogram observation each. The overhead budget — <5%
+// throughput, zero extra allocations per sample on BenchmarkStreamIngest —
+// is tracked in BENCH_stream.json.
+var (
+	mSamples = obs.Default.Counter("cloudlens_stream_samples_total",
+		"Utilization samples folded into live state.")
+	mSteps = obs.Default.Counter("cloudlens_stream_steps_total",
+		"Grid steps ingested.")
+	mStalls = obs.Default.Counter("cloudlens_stream_backpressure_stalls_total",
+		"Times the replayer blocked on a full event channel (consumer slower than the replay clock).")
+	mOccupancy = obs.Default.Gauge("cloudlens_stream_channel_occupancy",
+		"Event-channel depth observed at the last emit.")
+	mFoldSeconds = obs.Default.Histogram("cloudlens_stream_fold_duration_seconds",
+		"Wall-clock duration of live knowledge-base folds.", obs.DefLatencyBuckets)
+
+	// mClassified counts streaming classifications by resulting pattern,
+	// indexed by core.Pattern so the classifier does an array load, not a
+	// map lookup.
+	mClassified = func() []*obs.Counter {
+		patterns := append([]core.Pattern{core.PatternUnknown}, core.Patterns()...)
+		max := core.Pattern(0)
+		for _, p := range patterns {
+			if p > max {
+				max = p
+			}
+		}
+		out := make([]*obs.Counter, max+1)
+		for _, p := range patterns {
+			out[p] = obs.Default.Counter("cloudlens_stream_classified_total",
+				"Streaming VM classifications by resulting pattern.",
+				obs.Label{Name: "pattern", Value: p.String()})
+		}
+		return out
+	}()
+)

@@ -215,10 +215,8 @@ func (r *Replayer) Run(ctx context.Context) error {
 		})
 
 		b := StepBatch{Step: s, Samples: samples, Created: createdAt[s], Deleted: deletedAt[s]}
-		select {
-		case r.ch <- b:
-		case <-ctx.Done():
-			return ctx.Err()
+		if err := r.send(ctx, b); err != nil {
+			return err
 		}
 		r.stepsEmitted.Add(1)
 		r.samplesEmitted.Add(int64(len(samples)))
@@ -232,12 +230,25 @@ func (r *Replayer) Run(ctx context.Context) error {
 
 	// Close the window: deletions falling exactly on Grid.N end inside the
 	// observation span (the batch pipeline's WithinWindow includes them).
-	final := StepBatch{Step: g.N, Deleted: deletedAt[g.N]}
+	return r.send(ctx, StepBatch{Step: g.N, Deleted: deletedAt[g.N]})
+}
+
+// send delivers one batch, counting backpressure: a full channel means the
+// consumer is slower than the replay clock, so the non-blocking first
+// attempt failing is exactly one stall. The occupancy gauge tracks the
+// channel depth right after each delivery.
+func (r *Replayer) send(ctx context.Context, b StepBatch) error {
 	select {
-	case r.ch <- final:
-	case <-ctx.Done():
-		return ctx.Err()
+	case r.ch <- b:
+	default:
+		mStalls.Inc()
+		select {
+		case r.ch <- b:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
+	mOccupancy.SetInt(len(r.ch))
 	return nil
 }
 

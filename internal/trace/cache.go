@@ -1,6 +1,20 @@
 package trace
 
-import "sync"
+import (
+	"sync"
+
+	"cloudlens/internal/obs"
+)
+
+// Series-cache metrics, pre-resolved at init. A miss is a materialization
+// (the sync.Once body ran, or the VM was outside the cache's trace); a hit
+// returns an already materialized series.
+var (
+	cacheHits = obs.Default.Counter("cloudlens_seriescache_hits_total",
+		"Series requests answered from an already materialized entry.")
+	cacheMisses = obs.Default.Counter("cloudlens_seriescache_misses_total",
+		"Series requests that had to materialize the series.")
+)
 
 // SeriesCache memoizes materialized per-VM utilization series for one
 // trace. Usage models are pure functions of their parameters (see package
@@ -54,6 +68,7 @@ func (c *SeriesCache) Trace() *Trace { return c.t }
 func (c *SeriesCache) Series(v *VM) (series []float64, from int) {
 	i, ok := c.index[v]
 	if !ok {
+		cacheMisses.Inc()
 		f, to, alive := v.AliveRange(c.t.Grid.N)
 		if !alive {
 			return nil, 0
@@ -61,7 +76,9 @@ func (c *SeriesCache) Series(v *VM) (series []float64, from int) {
 		return v.Usage.Series(c.t.Grid, f, to), f
 	}
 	e := &c.entries[i]
+	materialized := false
 	e.once.Do(func() {
+		materialized = true
 		f, to, alive := v.AliveRange(c.t.Grid.N)
 		if !alive {
 			return
@@ -69,6 +86,11 @@ func (c *SeriesCache) Series(v *VM) (series []float64, from int) {
 		e.from = f
 		e.series = v.Usage.Series(c.t.Grid, f, to)
 	})
+	if materialized {
+		cacheMisses.Inc()
+	} else {
+		cacheHits.Inc()
+	}
 	return e.series, e.from
 }
 
