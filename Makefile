@@ -3,13 +3,16 @@
 #   make test        — tier-1: build + unit tests (what CI gates on)
 #   make verify      — vet + full test suite under the race detector; required
 #                      before merging changes to the parallel pipeline
+#   make test-faults — fault-tolerance goldens under -race: fault-matrix
+#                      ledger reconciliation, kill/resume checkpoint golden,
+#                      and the paginated-walk-during-ingestion hammer
 #   make bench       — headline performance benchmarks (time + allocations)
 #   make bench-smoke — one iteration of each headline benchmark; CI runs this
 #                      so instrumented hot paths stay compile- and run-clean
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-smoke
+.PHONY: all build test verify test-faults bench bench-smoke
 
 all: build
 
@@ -22,6 +25,10 @@ test: build
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+test-faults:
+	$(GO) test -race -run 'Fault|Checkpoint|Resume|Harden|Reorder|Gap|Pagination' \
+		./internal/faultgen ./internal/stream ./cmd/wkbserver
 
 bench:
 	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace|StreamIngest' -benchmem .

@@ -34,6 +34,7 @@ import (
 	"cloudlens/internal/allocfail"
 	"cloudlens/internal/balance"
 	"cloudlens/internal/deferral"
+	"cloudlens/internal/faultgen"
 	"cloudlens/internal/kb"
 	"cloudlens/internal/oversub"
 	"cloudlens/internal/provision"
@@ -77,6 +78,30 @@ type (
 	// LiveProfile is a knowledge-base profile augmented with streaming
 	// sketch estimates (utilization quantiles, sample counters).
 	LiveProfile = stream.LiveProfile
+	// StreamFaultStats is the ingestor's ledger of input imperfections:
+	// reordered, deduplicated, quarantined, and repaired samples.
+	StreamFaultStats = stream.FaultStats
+	// GapPolicy selects how per-VM sample gaps are repaired (carry, skip,
+	// interpolate).
+	GapPolicy = stream.GapPolicy
+	// Checkpoint is a restartable snapshot of streaming-ingestion state.
+	Checkpoint = stream.Checkpoint
+	// CheckpointInfo describes the most recent durable checkpoint.
+	CheckpointInfo = stream.CheckpointInfo
+	// FaultSpec describes a seeded telemetry fault mix for injection.
+	FaultSpec = faultgen.Spec
+	// FaultInjector perturbs a replay according to a FaultSpec and keeps
+	// an exact ledger of what it did.
+	FaultInjector = faultgen.Injector
+	// FaultLedger is the injector's exact account of injected faults.
+	FaultLedger = faultgen.Ledger
+)
+
+// Gap-repair policies for StreamOptions.GapPolicy.
+const (
+	GapCarry       = stream.GapCarry
+	GapSkip        = stream.GapSkip
+	GapInterpolate = stream.GapInterpolate
 )
 
 // Policy experiment types.
@@ -153,6 +178,37 @@ func KnowledgeBaseHandler(store *KnowledgeBase) http.Handler {
 // its KB() converges to ExtractKnowledgeBase's output once the replay ends.
 func NewStreamPipeline(t *Trace, opts StreamOptions) *StreamPipeline {
 	return stream.NewPipeline(t, opts)
+}
+
+// ParseGapPolicy parses a gap-policy name: carry | skip | interpolate.
+func ParseGapPolicy(s string) (GapPolicy, error) {
+	return stream.ParseGapPolicy(s)
+}
+
+// ParseFaultSpec parses the fault-injection grammar, e.g.
+// "drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1"; "" and "off"
+// disable injection.
+func ParseFaultSpec(s string) (FaultSpec, error) {
+	return faultgen.ParseSpec(s)
+}
+
+// NewFaultInjector wraps a stream source with fault injection; use it via
+// StreamOptions.WrapSource. finalStep is the trace's trailing batch step
+// (Grid.N).
+func NewFaultInjector(src stream.Source, spec FaultSpec, finalStep int) (*FaultInjector, error) {
+	return faultgen.New(src, spec, finalStep)
+}
+
+// LoadStreamCheckpoint reads a checkpoint written by
+// (*StreamPipeline).SaveCheckpoint and validates it against the trace.
+func LoadStreamCheckpoint(path string, t *Trace) (*Checkpoint, error) {
+	return stream.LoadCheckpointFile(path, t)
+}
+
+// ResumeStreamPipeline builds a stopped pipeline that continues ingestion
+// from the checkpoint instead of step 0.
+func ResumeStreamPipeline(t *Trace, opts StreamOptions, ck *Checkpoint) (*StreamPipeline, error) {
+	return stream.NewResumedPipeline(t, opts, ck)
 }
 
 // RunOversubscription executes the chance-constrained over-subscription

@@ -8,6 +8,7 @@
 //	wkbctl -server http://localhost:8080 profiles -cloud private -min-agnostic 0.8 [-pattern diurnal] [-min-short-lived 0.5]
 //	wkbctl -server http://localhost:8080 profile <subscription-id>
 //	wkbctl -server http://localhost:8080 watch [-interval 2s] [-count 0]
+//	wkbctl -server http://localhost:8080 routes
 //	wkbctl -server http://localhost:8080 version
 //
 // watch follows a live replay (wkbserver -replay), printing one progress
@@ -32,6 +33,7 @@ import (
 	"net/url"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"cloudlens"
@@ -82,10 +84,12 @@ func run() error {
 			return helpErr(err)
 		}
 		return watch(client, *server, *interval, *count, os.Stdout)
+	case "routes":
+		return showRoutes(client, *server, os.Stdout)
 	case "version":
 		return showVersion(client, *server)
 	default:
-		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch | version)", flag.Arg(0))
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch | routes | version)", flag.Arg(0))
 	}
 }
 
@@ -147,6 +151,24 @@ func showVersion(client *http.Client, server string) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// showRoutes prints the server's machine-readable route index — the
+// discovery entry point of the v1 API.
+func showRoutes(client *http.Client, server string, w io.Writer) error {
+	var idx kb.RouteIndex
+	if err := getJSON(client, server+"/api/v1/", &idx); err != nil {
+		return err
+	}
+	t := report.NewTable("method", "pattern", "params", "description")
+	for _, ri := range idx.Routes {
+		params := make([]string, 0, len(ri.Params))
+		for _, p := range ri.Params {
+			params = append(params, p.Name)
+		}
+		t.AddRow(ri.Method, ri.Pattern, strings.Join(params, ","), ri.Doc)
+	}
+	return t.Render(w)
 }
 
 func showSummary(client *http.Client, server string) error {

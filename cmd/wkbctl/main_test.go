@@ -81,6 +81,34 @@ func TestWatchStopsOnEnvelopeError(t *testing.T) {
 	}
 }
 
+// TestShowRoutes renders the discovery index through the routes
+// subcommand: every row the server advertises must land in the table.
+func TestShowRoutes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/" {
+			kb.WriteError(w, http.StatusNotFound, "not_found", "nope")
+			return
+		}
+		kb.WriteJSON(w, http.StatusOK, kb.RouteIndex{Routes: []kb.RouteInfo{
+			{Method: "GET", Pattern: "/api/v1/profiles", Doc: "profile list",
+				Params: []kb.ParamInfo{{Name: "cloud"}, {Name: "limit"}, {Name: "cursor"}}},
+			{Method: "GET", Pattern: "/healthz", Doc: "readiness"},
+		}})
+	}))
+	defer srv.Close()
+
+	var sb strings.Builder
+	if err := showRoutes(srv.Client(), srv.URL, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"/api/v1/profiles", "/healthz", "cloud,limit,cursor", "profile list"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("routes table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestHelpErr(t *testing.T) {
 	if helpErr(nil) != nil {
 		t.Error("nil error mangled")

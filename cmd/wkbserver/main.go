@@ -10,10 +10,12 @@
 //	GET /api/v1/summary
 //	GET /api/v1/profiles?cloud=private&minAgnostic=0.8&pattern=diurnal
 //	GET /api/v1/profiles/{subscription-id}
+//	GET /api/v1/                         machine-readable route index
 //	GET /api/v1/live/status              (with -replay)
 //	GET /api/v1/live/summary             (with -replay)
 //	GET /api/v1/live/profiles[?filters]  (with -replay)
 //	GET /api/v1/live/profiles/{id}       (with -replay)
+//	GET /api/v1/live/faults              (with -replay)
 //
 // By default the knowledge base is extracted once, up front, from the full
 // trace. With -replay the server instead streams the trace through the
@@ -21,6 +23,14 @@
 // the clock; 0 replays as fast as ingestion keeps up) and the knowledge
 // base fills in continuously while the server runs; /healthz reports
 // "ingesting" until the replay completes.
+//
+// Fault tolerance: -faults injects a seeded fault mix into the replay
+// (grammar: drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1);
+// -lateness and -gap-policy tune the ingestor's reorder window and gap
+// repair. -checkpoint-dir enables durable checkpoints, written every
+// -checkpoint-every and once more on SIGTERM; -resume continues ingestion
+// from the newest checkpoint instead of replaying from step 0 (starting
+// fresh when none exists yet).
 //
 // Observability: /metrics exposes the process's counter/gauge/histogram
 // series (catalog in DESIGN.md §7); -debug-addr starts a second listener
@@ -35,6 +45,8 @@
 //
 //	wkbserver [-addr :8080] [-seed 42] [-trace bundle/trace.json.gz]
 //	          [-replay] [-speedup 2016] [-save kb.json]
+//	          [-faults drop=0.01,seed=1] [-lateness 3] [-gap-policy carry]
+//	          [-checkpoint-dir /var/lib/cloudlens] [-checkpoint-every 30s] [-resume]
 //	          [-debug-addr :6060] [-log-level info] [-log-requests]
 package main
 
@@ -48,6 +60,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -75,6 +88,12 @@ func run() error {
 		replay      = flag.Bool("replay", false, "stream the trace through the live ingestion pipeline instead of extracting up front")
 		speedup     = flag.Float64("speedup", 0, "simulated-to-wall-clock ratio for -replay (0 = as fast as possible)")
 		save        = flag.String("save", "", "persist the knowledge base JSON to this path on exit (batch mode: after extraction)")
+		faults      = flag.String("faults", "", "inject a seeded fault mix into the replay, e.g. drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1")
+		lateness    = flag.Int("lateness", 0, "reorder window in steps the ingestor tolerates (0 = default 3, negative = strictly in-order)")
+		gapPolicy   = flag.String("gap-policy", "carry", "repair policy for per-VM sample gaps: carry | skip | interpolate")
+		ckptDir     = flag.String("checkpoint-dir", "", "write durable ingestion checkpoints into this directory (requires -replay)")
+		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval while the replay runs")
+		resume      = flag.Bool("resume", false, "continue ingestion from the checkpoint in -checkpoint-dir instead of replaying from step 0")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		logLevel    = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
 		logRequests = flag.Bool("log-requests", false, "log one debug record per HTTP request (needs -log-level debug)")
@@ -101,16 +120,52 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	for flagName, set := range map[string]bool{
+		"-faults":         *faults != "",
+		"-checkpoint-dir": *ckptDir != "",
+		"-resume":         *resume,
+	} {
+		if set && !*replay {
+			return fmt.Errorf("%s requires -replay", flagName)
+		}
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+
 	var (
 		store *cloudlens.KnowledgeBase
 		pipe  *cloudlens.StreamPipeline
+		inj   *cloudlens.FaultInjector
 	)
 	if *replay {
-		pipe = cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: *speedup})
+		gp, err := cloudlens.ParseGapPolicy(*gapPolicy)
+		if err != nil {
+			return err
+		}
+		spec, err := cloudlens.ParseFaultSpec(*faults)
+		if err != nil {
+			return err
+		}
+		opts := cloudlens.StreamOptions{
+			Speedup:          *speedup,
+			MaxLatenessSteps: *lateness,
+			GapPolicy:        gp,
+			WrapSource:       spec.Wrap(tr.Grid.N, &inj),
+		}
+		ckptPath := checkpointPath(*ckptDir)
+		pipe, err = startPipeline(tr, opts, ckptPath, *resume, logger)
+		if err != nil {
+			return err
+		}
 		pipe.Start(ctx)
 		store = pipe.KB()
 		logger.Info("replay started",
-			"vms", len(tr.VMs), "steps", tr.Grid.N, "speedup", *speedup)
+			"vms", len(tr.VMs), "steps", tr.Grid.N, "speedup", *speedup,
+			"faults", spec.Enabled(), "gapPolicy", gp.String())
+		if ckptPath != "" {
+			go checkpointLoop(ctx, pipe, ckptPath, *ckptEvery, logger)
+		}
 	} else {
 		logger.Info("extracting workload knowledge", "vms", len(tr.VMs))
 		store = cloudlens.ExtractKnowledgeBase(tr)
@@ -129,7 +184,7 @@ func run() error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           buildHandler(store, pipe, reqLog),
+		Handler:           buildHandler(store, pipe, inj, reqLog),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -172,6 +227,16 @@ func run() error {
 	}
 	if pipe != nil {
 		pipe.Stop()
+		// A final checkpoint on SIGTERM captures whatever the stopped
+		// replay reached, so -resume continues from here, not from the
+		// last timer tick.
+		if path := checkpointPath(*ckptDir); path != "" {
+			if info, err := pipe.SaveCheckpoint(path); err != nil {
+				logger.Error("final checkpoint failed", "path", path, "err", err)
+			} else {
+				logger.Info("final checkpoint written", "path", path, "step", info.Step)
+			}
+		}
 		if *save != "" {
 			if err := store.SaveFile(*save); err != nil {
 				return err
@@ -183,6 +248,80 @@ func run() error {
 		return err
 	}
 	return shutdownErr
+}
+
+// checkpointFile is the checkpoint's name inside -checkpoint-dir. Writes
+// go through a temp file + rename, so the path always holds a complete
+// snapshot.
+const checkpointFile = "cloudlens.ckpt"
+
+func checkpointPath(dir string) string {
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, checkpointFile)
+}
+
+// startPipeline builds the streaming pipeline, resuming from the
+// checkpoint when -resume is set and one exists. A missing checkpoint is
+// not an error — the first boot of a supervised server has nothing to
+// resume — but a checkpoint that exists and fails to load is: silently
+// restarting from step 0 would discard state the operator asked to keep.
+func startPipeline(tr *cloudlens.Trace, opts cloudlens.StreamOptions, ckptPath string, resume bool, logger *slog.Logger) (*cloudlens.StreamPipeline, error) {
+	if resume && ckptPath != "" {
+		ck, err := cloudlens.LoadStreamCheckpoint(ckptPath, tr)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			logger.Info("no checkpoint found; starting from step 0", "path", ckptPath)
+		case err != nil:
+			return nil, fmt.Errorf("resume: %w", err)
+		default:
+			pipe, err := cloudlens.ResumeStreamPipeline(tr, opts, ck)
+			if err != nil {
+				return nil, fmt.Errorf("resume: %w", err)
+			}
+			logger.Info("resuming from checkpoint", "path", ckptPath, "step", ck.LastStep)
+			return pipe, nil
+		}
+	}
+	if err := ensureCheckpointDir(ckptPath); err != nil {
+		return nil, err
+	}
+	return cloudlens.NewStreamPipeline(tr, opts), nil
+}
+
+func ensureCheckpointDir(ckptPath string) error {
+	if ckptPath == "" {
+		return nil
+	}
+	return os.MkdirAll(filepath.Dir(ckptPath), 0o755)
+}
+
+// checkpointLoop writes a durable checkpoint every interval while the
+// replay is still ingesting. The final SIGTERM checkpoint is written by
+// the shutdown path, after the pipeline has stopped.
+func checkpointLoop(ctx context.Context, pipe *cloudlens.StreamPipeline, path string, every time.Duration, logger *slog.Logger) {
+	if every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if pipe.Status().Done {
+			return
+		}
+		info, err := pipe.SaveCheckpoint(path)
+		if err != nil {
+			logger.Error("checkpoint failed", "path", path, "err", err)
+			continue
+		}
+		logger.Debug("checkpoint written", "path", path, "step", info.Step)
+	}
 }
 
 // pprofMux serves the standard pprof surface on a dedicated mux so the

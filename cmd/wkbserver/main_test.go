@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -88,20 +89,27 @@ func assertEnvelope(t *testing.T, path string, body []byte, status int) {
 	if env.Error.Code == "" || env.Error.Message == "" {
 		t.Errorf("%s: envelope incomplete: %s", path, body)
 	}
-	wantCode := map[int]string{
-		http.StatusBadRequest:       "bad_request",
-		http.StatusNotFound:         "not_found",
-		http.StatusMethodNotAllowed: "method_not_allowed",
+	wantCodes := map[int][]string{
+		// Bad requests carry the strict-grammar code family.
+		http.StatusBadRequest:       {"bad_param", "bad_cursor", "unknown_param", "bad_request"},
+		http.StatusNotFound:         {"not_found"},
+		http.StatusMethodNotAllowed: {"method_not_allowed"},
 	}[status]
-	if wantCode != "" && env.Error.Code != wantCode {
-		t.Errorf("%s: envelope code = %q, want %q", path, env.Error.Code, wantCode)
+	if len(wantCodes) > 0 {
+		ok := false
+		for _, c := range wantCodes {
+			ok = ok || env.Error.Code == c
+		}
+		if !ok {
+			t.Errorf("%s: envelope code = %q, want one of %v", path, env.Error.Code, wantCodes)
+		}
 	}
 }
 
 func TestBatchHandlerRoutes(t *testing.T) {
 	tr := testTrace()
 	store := cloudlens.ExtractKnowledgeBase(tr)
-	srv := httptest.NewServer(buildHandler(store, nil, nil))
+	srv := httptest.NewServer(buildHandler(store, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/healthz", http.StatusOK)
@@ -146,6 +154,7 @@ func TestBatchHandlerRoutes(t *testing.T) {
 	// Without -replay every live route reports not found.
 	wantStatus(t, srv, "/api/v1/live/status", http.StatusNotFound)
 	wantStatus(t, srv, "/api/v1/live/summary", http.StatusNotFound)
+	wantStatus(t, srv, "/api/v1/live/faults", http.StatusNotFound)
 
 	// Unknown paths and wrong methods carry the envelope too.
 	wantStatus(t, srv, "/api/v1/nope", http.StatusNotFound)
@@ -177,7 +186,7 @@ func TestLiveHandlerRoutes(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/live/status", http.StatusOK)
@@ -244,7 +253,7 @@ func TestMetricsExposition(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
 	defer srv.Close()
 
 	// One API request first so the middleware series have data.
@@ -329,7 +338,7 @@ func TestMetricsExposition(t *testing.T) {
 func TestLiveEndpointsDuringIngestion(t *testing.T) {
 	tr := testTrace()
 	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
 	defer srv.Close()
 	pipe.Start(context.Background())
 
@@ -343,7 +352,10 @@ func TestLiveEndpointsDuringIngestion(t *testing.T) {
 				"/api/v1/live/status",
 				"/api/v1/live/summary",
 				"/api/v1/live/profiles",
+				"/api/v1/live/profiles?limit=2",
 				"/api/v1/live/profiles/sub-a",
+				"/api/v1/live/faults",
+				"/api/v1/",
 				"/api/v1/summary",
 				"/metrics",
 				"/healthz",
@@ -377,6 +389,249 @@ func TestLiveEndpointsDuringIngestion(t *testing.T) {
 	}
 }
 
+// pageEnvelope mirrors the kb.ListPage wire shape with typed items.
+type pageEnvelope struct {
+	Items      []cloudlens.LiveProfile `json:"items"`
+	NextCursor string                  `json:"next_cursor"`
+	Total      int                     `json:"total"`
+}
+
+// TestLivePaginationDuringIngestion walks the paginated live listing over
+// and over while the replay is still folding profiles in. Every walk must
+// return strictly increasing subscription keys with no duplicates — the
+// keyset-cursor guarantee that makes pagination safe against a moving
+// knowledge base.
+func TestLivePaginationDuringIngestion(t *testing.T) {
+	g := sim.WeekGrid()
+	var vms []cloudlens.VM
+	for i := 0; i < 26; i++ {
+		vms = append(vms, cloudlens.VM{
+			ID:           core.VMID(i),
+			Subscription: core.SubscriptionID("sub-" + string(rune('a'+i))),
+			Service:      "svc",
+			Cloud:        core.Private,
+			Region:       "r1",
+			Size:         core.VMSize{Cores: 2, MemoryGB: 8},
+			CreatedStep:  0,
+			DeletedStep:  g.N,
+			Usage:        usage.Stable(0.5, uint64(i+1)),
+		})
+	}
+	tr := &cloudlens.Trace{Grid: g, VMs: vms}
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	defer srv.Close()
+	pipe.Start(context.Background())
+
+	walk := func() []cloudlens.LiveProfile {
+		var out []cloudlens.LiveProfile
+		cursor := ""
+		for {
+			u := "/api/v1/live/profiles?limit=5"
+			if cursor != "" {
+				u += "&cursor=" + cursor
+			}
+			resp, body := get(t, srv, u)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d (%s)", u, resp.StatusCode, body)
+			}
+			var page pageEnvelope
+			if err := json.Unmarshal(body, &page); err != nil {
+				t.Fatalf("decode page: %v (%s)", err, body)
+			}
+			if len(page.Items) > 5 {
+				t.Fatalf("page of %d items exceeds limit 5", len(page.Items))
+			}
+			out = append(out, page.Items...)
+			if page.NextCursor == "" {
+				return out
+			}
+			cursor = page.NextCursor
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- pipe.Wait() }()
+	for {
+		profiles := walk()
+		for i := 1; i < len(profiles); i++ {
+			if profiles[i].Subscription <= profiles[i-1].Subscription {
+				t.Fatalf("walk not strictly increasing: %s after %s",
+					profiles[i].Subscription, profiles[i-1].Subscription)
+			}
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			// One final walk over the finished knowledge base must see
+			// every subscription.
+			if final := walk(); len(final) != len(vms) {
+				t.Fatalf("final walk saw %d profiles, want %d", len(final), len(vms))
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestLiveFaultsEndpoint replays with fault injection enabled and checks
+// the fault surface: /api/v1/live/faults reconciles the injector's ledger
+// with the ingestor's counters, and /healthz carries the same vitals.
+func TestLiveFaultsEndpoint(t *testing.T) {
+	tr := testTrace()
+	spec, err := cloudlens.ParseFaultSpec("drop=0.01,dup=0.01,delay=0.01:3,corrupt=0.005,seed=9")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	var inj *cloudlens.FaultInjector
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{
+		WrapSource: spec.Wrap(tr.Grid.N, &inj),
+	})
+	pipe.Start(context.Background())
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, inj, nil))
+	defer srv.Close()
+
+	body := wantStatus(t, srv, "/api/v1/live/faults", http.StatusOK)
+	var rep FaultsReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("faults decode: %v (%s)", err, body)
+	}
+	if rep.Injected == nil || rep.Injected.Total() == 0 {
+		t.Fatalf("faults report has no injector ledger: %s", body)
+	}
+	if rep.FaultSpec == "" {
+		t.Error("faults report does not echo the active spec")
+	}
+	if rep.Stream.DuplicatesDropped != rep.Injected.Duplicated ||
+		rep.Stream.Reordered != rep.Injected.Delayed ||
+		rep.Stream.QuarantinedCorrupt != rep.Injected.Corrupted {
+		t.Errorf("ledgers do not reconcile: stream %+v vs injected %+v", rep.Stream, *rep.Injected)
+	}
+
+	body = wantStatus(t, srv, "/healthz", http.StatusOK)
+	var health kb.Health
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if health.Quarantined != rep.Stream.QuarantinedCorrupt+rep.Stream.QuarantinedLate {
+		t.Errorf("healthz quarantined %d, want %d", health.Quarantined,
+			rep.Stream.QuarantinedCorrupt+rep.Stream.QuarantinedLate)
+	}
+	if health.DuplicatesDropped != rep.Stream.DuplicatesDropped {
+		t.Errorf("healthz duplicates %d, want %d", health.DuplicatesDropped, rep.Stream.DuplicatesDropped)
+	}
+
+	// Batch mode has no fault surface: enveloped 404, like every live route.
+	batch := httptest.NewServer(buildHandler(pipe.KB(), nil, nil, nil))
+	defer batch.Close()
+	wantStatus(t, batch, "/api/v1/live/faults", http.StatusNotFound)
+}
+
+// TestRouteIndexCoversLiveSurface checks that the discovery index served
+// at /api/v1/ documents the whole unified surface, batch and live.
+func TestRouteIndexCoversLiveSurface(t *testing.T) {
+	tr := testTrace()
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{})
+	pipe.Start(context.Background())
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	defer srv.Close()
+
+	body := wantStatus(t, srv, "/api/v1/", http.StatusOK)
+	var idx kb.RouteIndex
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatalf("index decode: %v", err)
+	}
+	have := map[string]bool{}
+	for _, ri := range idx.Routes {
+		have[ri.Pattern] = true
+	}
+	for _, want := range []string{
+		"/healthz", "/metrics", "/api/v1/", "/api/v1/version", "/api/v1/summary",
+		"/api/v1/profiles", "/api/v1/profiles/{id}",
+		"/api/v1/live/status", "/api/v1/live/summary", "/api/v1/live/profiles",
+		"/api/v1/live/profiles/{id}", "/api/v1/live/faults",
+	} {
+		if !have[want] {
+			t.Errorf("route index missing %s", want)
+		}
+	}
+}
+
+// TestCheckpointResumeFlow drives the server-side checkpoint helpers end
+// to end: boot fresh (no checkpoint), save mid-replay, then boot again
+// with -resume semantics and finish; the resumed run must land on the
+// same knowledge base as an uninterrupted one.
+func TestCheckpointResumeFlow(t *testing.T) {
+	tr := testTrace()
+	dir := t.TempDir()
+	path := checkpointPath(dir)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	opts := cloudlens.StreamOptions{FoldEverySteps: 12}
+
+	// Reference: uninterrupted replay.
+	ref := cloudlens.NewStreamPipeline(tr, opts)
+	ref.Start(context.Background())
+	if err := ref.Wait(); err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+
+	// First boot: -resume with an empty dir starts from step 0.
+	first, err := startPipeline(tr, opts, path, true, logger)
+	if err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	first.Start(ctx)
+	// Kill mid-replay, then checkpoint what was reached (the shutdown
+	// path's order: Stop, then SaveCheckpoint).
+	for first.Status().Step < 400 {
+	}
+	cancel()
+	first.Stop()
+	info, err := first.SaveCheckpoint(path)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if info.Step < 0 || info.Path != path {
+		t.Fatalf("checkpoint info = %+v", info)
+	}
+
+	// Second boot resumes past the checkpointed step and finishes.
+	second, err := startPipeline(tr, opts, path, true, logger)
+	if err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	second.Start(context.Background())
+	if err := second.Wait(); err != nil {
+		t.Fatalf("resumed replay: %v", err)
+	}
+	if got, want := second.Status().Step, tr.Grid.N; got != want {
+		t.Fatalf("resumed replay stopped at %d, want %d", got, want)
+	}
+
+	wantProfiles := ref.KB().List(kb.Query{MinRegionAgnosticScore: -2})
+	gotProfiles := second.KB().List(kb.Query{MinRegionAgnosticScore: -2})
+	if len(gotProfiles) != len(wantProfiles) {
+		t.Fatalf("resumed kb has %d profiles, want %d", len(gotProfiles), len(wantProfiles))
+	}
+	for i := range wantProfiles {
+		g, _ := json.Marshal(gotProfiles[i])
+		w, _ := json.Marshal(wantProfiles[i])
+		if string(g) != string(w) {
+			t.Errorf("profile %s diverged after resume:\n%s\n%s",
+				wantProfiles[i].Subscription, g, w)
+		}
+	}
+}
+
 // TestHealthzReportsIngesting pins the readiness contract: while a replay
 // is filling the knowledge base /healthz says "ingesting", so a load
 // balancer (or wkbctl watch) can hold traffic until the state is complete.
@@ -384,7 +639,7 @@ func TestHealthzReportsIngesting(t *testing.T) {
 	tr := testTrace()
 	// A paced replay (tiny speedup) stays mid-flight long enough to observe.
 	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: 1})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
 	defer srv.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -3,6 +3,7 @@ package main
 import (
 	"log/slog"
 	"net/http"
+	"time"
 
 	"cloudlens"
 	"cloudlens/internal/core"
@@ -15,31 +16,37 @@ import (
 // operational surface — all behind one mux with method-qualified patterns,
 // one JSON error envelope (kb.WithJSONErrors), and one metrics middleware:
 //
-//	GET /healthz                     readiness: ok | ingesting
+//	GET /healthz                     readiness: ok | ingesting, plus fault counters
 //	GET /metrics                     Prometheus text exposition
+//	GET /api/v1/                     machine-readable route index
 //	GET /api/v1/version              build info
 //	GET /api/v1/summary              batch per-platform aggregates
-//	GET /api/v1/profiles[?filters]   batch profile list
+//	GET /api/v1/profiles[?filters]   batch profile list (paginated with limit/cursor)
 //	GET /api/v1/profiles/{id}        one batch profile
 //	GET /api/v1/live/status          replay progress counters
 //	GET /api/v1/live/summary         incremental per-cloud characterization
-//	GET /api/v1/live/profiles        live profiles; same filters as /api/v1/profiles
+//	GET /api/v1/live/profiles        live profiles; same filter+paging grammar
 //	GET /api/v1/live/profiles/{id}   one live profile
+//	GET /api/v1/live/faults          ingestion fault ledger, injector ledger, checkpoint age
+//
+// Every route mounted here is also documented in the kb.RouteTable behind
+// GET /api/v1/, so clients (wkbctl routes) can discover the surface.
 //
 // Without a replay the live routes answer 404 so clients can distinguish
-// "server runs in batch mode" from transport errors. reqLog may be nil to
-// disable per-request logging.
-func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, reqLog *slog.Logger) http.Handler {
+// "server runs in batch mode" from transport errors. inj is non-nil only
+// when -faults injection is active; reqLog may be nil to disable
+// per-request logging.
+func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector, reqLog *slog.Logger) http.Handler {
 	metrics := obs.NewHTTPMetrics(obs.Default, reqLog)
 	mux := http.NewServeMux()
-	kb.Register(mux, store, kb.RouteOptions{
+	table := kb.Register(mux, store, kb.RouteOptions{
 		Health: healthFn(pipe),
 		Wrap:   metrics.Wrap,
 	})
 
 	// live wires one replay-backed route: the handler runs only when a
 	// pipeline is attached, and only for GET (the mux enforces the method).
-	live := func(pattern, route string, h func(w http.ResponseWriter, r *http.Request)) {
+	live := func(pattern, route, doc string, params []kb.ParamInfo, h func(w http.ResponseWriter, r *http.Request)) {
 		mux.Handle(pattern, metrics.Wrap(route, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if pipe == nil {
 				kb.WriteError(w, http.StatusNotFound, "not_found",
@@ -48,38 +55,98 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 			}
 			h(w, r)
 		})))
+		table.Add(kb.RouteInfo{Method: "GET", Pattern: route, Doc: doc + " (requires -replay)", Params: params})
 	}
-	live("GET /api/v1/live/status", "/api/v1/live/status", func(w http.ResponseWriter, r *http.Request) {
-		kb.WriteJSON(w, http.StatusOK, pipe.Status())
-	})
-	live("GET /api/v1/live/summary", "/api/v1/live/summary", func(w http.ResponseWriter, r *http.Request) {
-		kb.WriteJSON(w, http.StatusOK, pipe.Summary())
-	})
-	live("GET /api/v1/live/profiles", "/api/v1/live/profiles", func(w http.ResponseWriter, r *http.Request) {
-		q, err := kb.ParseQuery(r)
-		if err != nil {
-			kb.WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
-			return
-		}
-		kb.WriteJSON(w, http.StatusOK, pipe.Profiles(q))
-	})
-	live("GET /api/v1/live/profiles/{id}", "/api/v1/live/profiles/{id}", func(w http.ResponseWriter, r *http.Request) {
-		p, ok := pipe.Profile(core.SubscriptionID(r.PathValue("id")))
-		if !ok {
-			kb.WriteError(w, http.StatusNotFound, "not_found", "profile not found")
-			return
-		}
-		kb.WriteJSON(w, http.StatusOK, p)
-	})
+	live("GET /api/v1/live/status", "/api/v1/live/status",
+		"replay progress counters", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			kb.WriteJSON(w, http.StatusOK, pipe.Status())
+		})
+	live("GET /api/v1/live/summary", "/api/v1/live/summary",
+		"incremental per-cloud characterization", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			kb.WriteJSON(w, http.StatusOK, pipe.Summary())
+		})
+	live("GET /api/v1/live/profiles", "/api/v1/live/profiles",
+		"live profile list; bare array, or the paginated envelope with limit/cursor",
+		append(kb.FilterParamInfo(), kb.PageParamInfo()...),
+		func(w http.ResponseWriter, r *http.Request) {
+			q, pg, err := kb.ParseListParams(r)
+			if err != nil {
+				kb.WriteParamError(w, err)
+				return
+			}
+			items := pipe.Profiles(q)
+			if !pg.Enabled() {
+				kb.WriteJSON(w, http.StatusOK, items)
+				return
+			}
+			page, err := kb.Paginate(items, func(p cloudlens.LiveProfile) string { return string(p.Subscription) }, pg)
+			if err != nil {
+				kb.WriteParamError(w, err)
+				return
+			}
+			kb.WriteJSON(w, http.StatusOK, page)
+		})
+	live("GET /api/v1/live/profiles/{id}", "/api/v1/live/profiles/{id}",
+		"one live profile by subscription id",
+		[]kb.ParamInfo{{Name: "id", Type: "path", Doc: "subscription id"}},
+		func(w http.ResponseWriter, r *http.Request) {
+			p, ok := pipe.Profile(core.SubscriptionID(r.PathValue("id")))
+			if !ok {
+				kb.WriteError(w, http.StatusNotFound, "not_found", "profile not found")
+				return
+			}
+			kb.WriteJSON(w, http.StatusOK, p)
+		})
+	live("GET /api/v1/live/faults", "/api/v1/live/faults",
+		"ingestion fault ledger: quarantined/deduplicated samples, watermark lag, injector counts, checkpoint age", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			kb.WriteJSON(w, http.StatusOK, faultsPayload(pipe, inj))
+		})
 
 	mux.Handle("GET /metrics", metrics.Wrap("/metrics", obs.Default))
+	table.Add(kb.RouteInfo{Method: "GET", Pattern: "/metrics", Doc: "Prometheus text exposition"})
 	return kb.WithJSONErrors(mux)
+}
+
+// FaultsReport is the /api/v1/live/faults payload: the ingestor's ledger
+// of input imperfections, the fault injector's ground truth (when -faults
+// is active), and checkpoint freshness.
+type FaultsReport struct {
+	Stream cloudlens.StreamFaultStats `json:"stream"`
+	// Injected is the fault injector's exact ledger; absent without -faults.
+	Injected *cloudlens.FaultLedger `json:"injected,omitempty"`
+	// FaultSpec echoes the active -faults grammar; absent without -faults.
+	FaultSpec string `json:"faultSpec,omitempty"`
+	// LastCheckpoint describes the newest durable checkpoint; absent until
+	// one has been written.
+	LastCheckpoint *cloudlens.CheckpointInfo `json:"lastCheckpoint,omitempty"`
+	// LastCheckpointAgeSec is the checkpoint's age at response time.
+	LastCheckpointAgeSec float64 `json:"lastCheckpointAgeSec,omitempty"`
+}
+
+func faultsPayload(pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector) FaultsReport {
+	out := FaultsReport{Stream: pipe.FaultStats()}
+	if inj != nil {
+		led := inj.Ledger()
+		out.Injected = &led
+		out.FaultSpec = inj.Spec().String()
+	}
+	if info, ok := pipe.LastCheckpoint(); ok {
+		out.LastCheckpoint = &info
+		out.LastCheckpointAgeSec = time.Since(info.At).Seconds()
+	}
+	return out
 }
 
 // healthFn derives the /healthz readiness payload from the replay state:
 // "ingesting" while a replay is still filling the knowledge base, "ok"
 // once it finishes (or immediately in batch mode, where extraction
-// completes before the listener opens).
+// completes before the listener opens). On a replaying server the payload
+// also carries the fault-tolerance vitals — quarantined and deduplicated
+// samples, watermark lag, checkpoint age — so the probe shows a degrading
+// feed directly.
 func healthFn(pipe *cloudlens.StreamPipeline) func() kb.Health {
 	if pipe == nil {
 		return nil
@@ -89,6 +156,13 @@ func healthFn(pipe *cloudlens.StreamPipeline) func() kb.Health {
 		h := kb.Health{Status: "ok", Step: st.Step, Steps: st.Steps}
 		if !st.Done {
 			h.Status = "ingesting"
+		}
+		fs := pipe.FaultStats()
+		h.Quarantined = fs.QuarantinedCorrupt + fs.QuarantinedLate
+		h.DuplicatesDropped = fs.DuplicatesDropped
+		h.WatermarkLag = fs.WatermarkLag
+		if info, ok := pipe.LastCheckpoint(); ok {
+			h.LastCheckpointAgeSec = time.Since(info.At).Seconds()
 		}
 		return h
 	}

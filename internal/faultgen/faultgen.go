@@ -1,0 +1,406 @@
+// Package faultgen injects seeded telemetry faults into a streaming
+// replay. It wraps any stream.Source (via stream.Options.WrapSource) and
+// perturbs batches in flight: samples are dropped, duplicated, delayed by
+// a bounded number of steps, or corrupted (NaN / impossible spikes), and
+// the whole feed can stall. Every injected fault is recorded in an exact
+// Ledger, which the fault-matrix tests reconcile against the ingestor's
+// quarantine counters — the injector is the ground truth the hardening
+// layer is audited against.
+//
+// Fault draws are mutually exclusive per sample and driven by a single
+// seeded PRNG, so a given (trace, Spec) pair always produces the same
+// perturbed stream. The mechanics mirror how each fault class surfaces in
+// real pipelines, and how the ingestor is expected to book it:
+//
+//   - dropped samples vanish from their batch → repaired later as gap
+//     fills (or counted as skips, per the gap policy);
+//   - duplicated samples are appended to the same batch → exactly one
+//     DuplicatesDropped each;
+//   - delayed samples keep their true Step but ride a batch up to
+//     MaxDelaySteps later → exactly one Reordered each, and none are lost
+//     as long as the ingestor's MaxLatenessSteps >= MaxDelaySteps;
+//   - corrupted samples stay in place with an out-of-domain CPU value →
+//     exactly one QuarantinedCorrupt each.
+package faultgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cloudlens/internal/stream"
+)
+
+// Spec describes a fault mix. Drop, Dup, Delay, Corrupt, and Stall are
+// independent probabilities; the per-sample ones must sum to at most 1
+// because each sample suffers at most one fault.
+type Spec struct {
+	// Seed drives the injector's PRNG. The same (trace, Spec) pair always
+	// yields the same perturbed stream.
+	Seed uint64 `json:"seed"`
+	// Drop is the probability a sample is silently discarded.
+	Drop float64 `json:"drop,omitempty"`
+	// Dup is the probability a sample is delivered twice in its batch.
+	Dup float64 `json:"dup,omitempty"`
+	// Delay is the probability a sample is withheld and delivered, with
+	// its true Step, in a batch 1..MaxDelaySteps later.
+	Delay float64 `json:"delay,omitempty"`
+	// MaxDelaySteps bounds how far a delayed sample travels (default 3).
+	// Keep it <= the ingestor's MaxLatenessSteps or delayed samples fall
+	// behind the watermark and are quarantined as late.
+	MaxDelaySteps int `json:"maxDelaySteps,omitempty"`
+	// Corrupt is the probability a sample's CPU reading is replaced with
+	// NaN or an impossible spike above 1.
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Stall is the per-batch probability the feed pauses for StallFor
+	// before delivering, simulating an upstream hiccup.
+	Stall float64 `json:"stall,omitempty"`
+	// StallFor is the stall duration (default 50ms when Stall > 0).
+	StallFor time.Duration `json:"stallFor,omitempty"`
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.Drop > 0 || s.Dup > 0 || s.Delay > 0 || s.Corrupt > 0 || s.Stall > 0
+}
+
+func (s Spec) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", s.Drop}, {"dup", s.Dup}, {"delay", s.Delay}, {"corrupt", s.Corrupt}, {"stall", s.Stall}} {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("faultgen: %s=%v outside [0,1]", p.name, p.v)
+		}
+	}
+	if sum := s.Drop + s.Dup + s.Delay + s.Corrupt; sum > 1 {
+		return fmt.Errorf("faultgen: per-sample fault probabilities sum to %v > 1", sum)
+	}
+	if s.MaxDelaySteps < 0 {
+		return fmt.Errorf("faultgen: maxdelay=%d is negative", s.MaxDelaySteps)
+	}
+	if s.StallFor < 0 {
+		return fmt.Errorf("faultgen: stallfor=%v is negative", s.StallFor)
+	}
+	return nil
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.MaxDelaySteps == 0 {
+		s.MaxDelaySteps = 3
+	}
+	if s.Stall > 0 && s.StallFor == 0 {
+		s.StallFor = 50 * time.Millisecond
+	}
+	return s
+}
+
+// String renders the spec in ParseSpec's grammar (round-trippable).
+func (s Spec) String() string {
+	if !s.Enabled() {
+		return "off"
+	}
+	parts := []string{}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("drop", s.Drop)
+	add("dup", s.Dup)
+	if s.Delay > 0 {
+		p := "delay=" + strconv.FormatFloat(s.Delay, 'g', -1, 64)
+		if s.MaxDelaySteps > 0 {
+			p += ":" + strconv.Itoa(s.MaxDelaySteps)
+		}
+		parts = append(parts, p)
+	}
+	add("corrupt", s.Corrupt)
+	if s.Stall > 0 {
+		p := "stall=" + strconv.FormatFloat(s.Stall, 'g', -1, 64)
+		if s.StallFor > 0 {
+			p += ":" + s.StallFor.String()
+		}
+		parts = append(parts, p)
+	}
+	parts = append(parts, "seed="+strconv.FormatUint(s.Seed, 10))
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the -faults flag grammar: a comma-separated list of
+// key=value pairs. Keys: drop, dup, delay[:maxSteps], corrupt,
+// stall[:duration], seed. "" and "off" mean no injection. Example:
+//
+//	drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1
+func ParseSpec(str string) (Spec, error) {
+	var s Spec
+	str = strings.TrimSpace(str)
+	if str == "" || str == "off" || str == "none" {
+		return s, nil
+	}
+	for _, field := range strings.Split(str, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultgen: %q is not key=value", field)
+		}
+		prob := func(v string) (float64, error) {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, fmt.Errorf("faultgen: %s: %v", key, err)
+			}
+			return f, nil
+		}
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("faultgen: seed: %v", err)
+			}
+		case "drop":
+			s.Drop, err = prob(val)
+		case "dup":
+			s.Dup, err = prob(val)
+		case "corrupt":
+			s.Corrupt, err = prob(val)
+		case "delay":
+			p, steps, has := strings.Cut(val, ":")
+			s.Delay, err = prob(p)
+			if err == nil && has {
+				s.MaxDelaySteps, err = strconv.Atoi(steps)
+				if err != nil {
+					err = fmt.Errorf("faultgen: delay bound: %v", err)
+				}
+			}
+		case "stall":
+			p, dur, has := strings.Cut(val, ":")
+			s.Stall, err = prob(p)
+			if err == nil && has {
+				s.StallFor, err = time.ParseDuration(dur)
+				if err != nil {
+					err = fmt.Errorf("faultgen: stall duration: %v", err)
+				}
+			}
+		default:
+			keys := []string{"drop", "dup", "delay", "corrupt", "stall", "seed"}
+			sort.Strings(keys)
+			return Spec{}, fmt.Errorf("faultgen: unknown key %q (want one of %s)", key, strings.Join(keys, ", "))
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Ledger is the injector's exact account of what it did to the stream.
+// The fault-matrix tests assert the ingestor's FaultStats against it:
+// Duplicated == DuplicatesDropped, Delayed == Reordered, Corrupted ==
+// QuarantinedCorrupt, and QuarantinedLate == 0 whenever the reorder
+// window covers MaxDelaySteps.
+type Ledger struct {
+	Dropped    int64 `json:"dropped"`
+	Duplicated int64 `json:"duplicated"`
+	Delayed    int64 `json:"delayed"`
+	Corrupted  int64 `json:"corrupted"`
+	Stalls     int64 `json:"stalls"`
+}
+
+// Total is the number of injected faults (stalls excluded — they delay
+// delivery but never touch a sample).
+func (l Ledger) Total() int64 { return l.Dropped + l.Duplicated + l.Delayed + l.Corrupted }
+
+// Injector perturbs batches from an inner Source according to a Spec. It
+// implements stream.Source, so it slots between the replayer and the
+// ingestor via stream.Options.WrapSource.
+type Injector struct {
+	src       stream.Source
+	spec      Spec
+	finalStep int
+	rng       *rand.Rand
+	out       chan stream.StepBatch
+
+	// Cumulative per-sample fault thresholds: one uniform draw per sample
+	// lands in exactly one bucket, keeping fault classes mutually
+	// exclusive.
+	dropHi, dupHi, delayHi, corruptHi float64
+
+	// pend ring-buffers delayed samples keyed by delivery step; slot
+	// step%len(pend). MaxDelaySteps+1 slots guarantee a delivery step
+	// never collides with a pending later one.
+	pend [][]stream.Sample
+	dups []stream.Sample
+
+	// runErr is only set by Wrap when the spec failed validation; Run
+	// returns it immediately.
+	runErr error
+
+	dropped, duplicated, delayed, corrupted, stalls atomic.Int64
+}
+
+// New wraps src with fault injection. finalStep is the last batch step
+// the stream will carry (the trace's grid.N trailing lifecycle batch);
+// delayed samples are never scheduled past it, so nothing the injector
+// holds back can be lost.
+func New(src stream.Source, spec Spec, finalStep int) (*Injector, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	inj := &Injector{
+		src:       src,
+		spec:      spec,
+		finalStep: finalStep,
+		rng:       rand.New(rand.NewSource(int64(spec.Seed))),
+		out:       make(chan stream.StepBatch, 1),
+		pend:      make([][]stream.Sample, spec.MaxDelaySteps+1),
+	}
+	inj.dropHi = spec.Drop
+	inj.dupHi = inj.dropHi + spec.Dup
+	inj.delayHi = inj.dupHi + spec.Delay
+	inj.corruptHi = inj.delayHi + spec.Corrupt
+	return inj, nil
+}
+
+// Wrap returns a stream.Options.WrapSource hook for this spec, or nil
+// when the spec injects nothing. Construction errors surface on the first
+// Run instead, so the hook stays plumbing-friendly; validate the spec
+// up front (ParseSpec does) when a crisp error matters.
+func (s Spec) Wrap(finalStep int, sink **Injector) func(stream.Source) stream.Source {
+	if !s.Enabled() {
+		return nil
+	}
+	return func(src stream.Source) stream.Source {
+		inj, err := New(src, s, finalStep)
+		if err != nil {
+			inj = &Injector{src: src, out: make(chan stream.StepBatch), runErr: err}
+		}
+		if sink != nil {
+			*sink = inj
+		}
+		return inj
+	}
+}
+
+// Ledger snapshots the injected-fault counts. Safe to call while the
+// stream runs.
+func (inj *Injector) Ledger() Ledger {
+	return Ledger{
+		Dropped:    inj.dropped.Load(),
+		Duplicated: inj.duplicated.Load(),
+		Delayed:    inj.delayed.Load(),
+		Corrupted:  inj.corrupted.Load(),
+		Stalls:     inj.stalls.Load(),
+	}
+}
+
+// Spec returns the injector's effective (defaulted) fault mix.
+func (inj *Injector) Spec() Spec { return inj.spec }
+
+// Events returns the perturbed batch channel.
+func (inj *Injector) Events() <-chan stream.StepBatch { return inj.out }
+
+// Recycle forwards a consumed buffer to the inner source's free list.
+func (inj *Injector) Recycle(b stream.StepBatch) { inj.src.Recycle(b) }
+
+// Run drives the inner source, perturbing every batch in flight. It
+// returns the inner source's error.
+func (inj *Injector) Run(ctx context.Context) error {
+	defer close(inj.out)
+	if inj.runErr != nil {
+		return inj.runErr
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- inj.src.Run(ctx) }()
+	cancelled := false
+	for b := range inj.src.Events() {
+		if cancelled {
+			continue // drain so the inner source can close its channel
+		}
+		b = inj.perturb(b)
+		if inj.spec.Stall > 0 && inj.rng.Float64() < inj.spec.Stall {
+			inj.stalls.Add(1)
+			timer := time.NewTimer(inj.spec.StallFor)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				cancelled = true
+				continue
+			}
+		}
+		select {
+		case inj.out <- b:
+		case <-ctx.Done():
+			cancelled = true
+		}
+	}
+	return <-errCh
+}
+
+// perturb applies the per-sample fault mix in place and attaches any
+// delayed samples due on this batch's step. The batch buffer is compacted
+// rather than reallocated, preserving the zero-copy recycling contract
+// between replayer and ingestor.
+func (inj *Injector) perturb(b stream.StepBatch) stream.StepBatch {
+	if inj.corruptHi > 0 && len(b.Samples) > 0 {
+		kept := b.Samples[:0]
+		inj.dups = inj.dups[:0]
+		for _, s := range b.Samples {
+			x := inj.rng.Float64()
+			switch {
+			case x < inj.dropHi:
+				inj.dropped.Add(1)
+				continue
+			case x < inj.dupHi:
+				// Same batch, same Step: the ingestor folds the first
+				// copy and books the second as a duplicate.
+				kept = append(kept, s)
+				inj.dups = append(inj.dups, s)
+				inj.duplicated.Add(1)
+			case x < inj.delayHi:
+				at := b.Step + 1 + inj.rng.Intn(inj.spec.MaxDelaySteps)
+				if at > inj.finalStep {
+					at = inj.finalStep
+				}
+				if at <= b.Step {
+					// No later batch exists to carry it; deliver on time.
+					kept = append(kept, s)
+					continue
+				}
+				slot := &inj.pend[at%len(inj.pend)]
+				*slot = append(*slot, s)
+				inj.delayed.Add(1)
+			case x < inj.corruptHi:
+				if inj.rng.Intn(2) == 0 {
+					s.CPU = math.NaN()
+				} else {
+					s.CPU += 1 + inj.rng.Float64() // impossible spike, always > 1
+				}
+				kept = append(kept, s)
+				inj.corrupted.Add(1)
+			default:
+				kept = append(kept, s)
+			}
+		}
+		b.Samples = append(kept, inj.dups...)
+	}
+	if slot := &inj.pend[b.Step%len(inj.pend)]; len(*slot) > 0 {
+		b.Samples = append(b.Samples, *slot...)
+		*slot = (*slot)[:0]
+	}
+	return b
+}

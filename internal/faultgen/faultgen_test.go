@@ -1,0 +1,252 @@
+package faultgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/stream"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/usage"
+	"cloudlens/internal/workload"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,stall=0.01:200ms,seed=7")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Spec{Seed: 7, Drop: 0.01, Dup: 0.005, Delay: 0.002, MaxDelaySteps: 3,
+		Corrupt: 0.001, Stall: 0.01, StallFor: 200 * time.Millisecond}
+	if spec != want {
+		t.Errorf("parsed %+v, want %+v", spec, want)
+	}
+
+	// String renders back into the grammar ParseSpec accepts.
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", spec.String(), err)
+	}
+	if again != spec {
+		t.Errorf("round-trip %+v != %+v", again, spec)
+	}
+
+	for _, off := range []string{"", "off", "none", "  "} {
+		s, err := ParseSpec(off)
+		if err != nil || s.Enabled() {
+			t.Errorf("ParseSpec(%q) = %+v, %v; want disabled, nil", off, s, err)
+		}
+	}
+
+	for _, bad := range []string{
+		"drop",             // not key=value
+		"banana=0.1",       // unknown key
+		"drop=1.5",         // probability out of range
+		"drop=nope",        // not a number
+		"delay=0.1:x",      // bad delay bound
+		"stall=0.1:fast",   // bad stall duration
+		"drop=0.6,dup=0.6", // per-sample probabilities sum > 1
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// faultTrace is a small hand-built universe with enough samples (~10k)
+// for every fault class to fire, including a mid-week deletion so delayed
+// samples race VM retirement.
+func faultTrace() *trace.Trace {
+	g := sim.WeekGrid()
+	mk := func(id, created, deleted int, u usage.Params) trace.VM {
+		return trace.VM{
+			ID:           core.VMID(id),
+			Subscription: "faulty",
+			Service:      "svc",
+			Cloud:        core.Private,
+			Region:       "r1",
+			Size:         core.VMSize{Cores: 2, MemoryGB: 8},
+			CreatedStep:  created,
+			DeletedStep:  deleted,
+			Usage:        u,
+		}
+	}
+	n := g.N
+	return &trace.Trace{Grid: g, VMs: []trace.VM{
+		mk(0, 0, n, usage.Diurnal(0.3, 0.25, 14*60, 1)),
+		mk(1, 0, n, usage.Stable(0.5, 2)),
+		mk(2, 100, 1500, usage.Irregular(0.4, 3)),
+		mk(3, 0, 700, usage.HourlyPeak(0.2, 0.4, 10, 4)),
+		mk(4, 500, n+20, usage.Stable(0.6, 5)),
+	}}
+}
+
+// runFaulty replays tr through an injector into a pipeline and returns
+// both sides' books.
+func runFaulty(t *testing.T, tr *trace.Trace, spec Spec) (*stream.Pipeline, *Injector) {
+	t.Helper()
+	var inj *Injector
+	opts := stream.Options{WrapSource: spec.Wrap(tr.Grid.N, &inj)}
+	p := stream.NewPipeline(tr, opts)
+	p.Start(context.Background())
+	if err := p.Wait(); err != nil {
+		t.Fatalf("faulty pipeline: %v", err)
+	}
+	if inj == nil {
+		t.Fatal("WrapSource hook never ran")
+	}
+	return p, inj
+}
+
+// reconcile asserts the exact ledger contract between injector and
+// ingestor: every injected fault is booked by the hardening layer under
+// the matching counter, and nothing is lost beyond the watermark.
+func reconcile(t *testing.T, led Ledger, fs stream.FaultStats) {
+	t.Helper()
+	if fs.DuplicatesDropped != led.Duplicated {
+		t.Errorf("ingestor dropped %d duplicates, injector made %d", fs.DuplicatesDropped, led.Duplicated)
+	}
+	if fs.Reordered != led.Delayed {
+		t.Errorf("ingestor reordered %d samples, injector delayed %d", fs.Reordered, led.Delayed)
+	}
+	if fs.QuarantinedCorrupt != led.Corrupted {
+		t.Errorf("ingestor quarantined %d corrupt samples, injector corrupted %d", fs.QuarantinedCorrupt, led.Corrupted)
+	}
+	if fs.QuarantinedLate != 0 {
+		t.Errorf("%d samples lost beyond the watermark; reorder window should cover the delay bound", fs.QuarantinedLate)
+	}
+}
+
+// TestInjectorLedgerExact runs the full fault mix over the hand-built
+// trace and reconciles the books, then repeats the run to pin
+// determinism: same seed, same ledger.
+func TestInjectorLedgerExact(t *testing.T) {
+	tr := faultTrace()
+	spec := Spec{Seed: 1, Drop: 0.01, Dup: 0.005, Delay: 0.01, MaxDelaySteps: 3, Corrupt: 0.002}
+
+	p, inj := runFaulty(t, tr, spec)
+	led := inj.Ledger()
+	if led.Total() == 0 {
+		t.Fatal("injector fired no faults; the test exercises nothing")
+	}
+	for name, n := range map[string]int64{
+		"dropped": led.Dropped, "duplicated": led.Duplicated,
+		"delayed": led.Delayed, "corrupted": led.Corrupted,
+	} {
+		if n == 0 {
+			t.Errorf("no %s samples injected; raise rates or trace size", name)
+		}
+	}
+	reconcile(t, led, p.FaultStats())
+
+	p2, inj2 := runFaulty(t, tr, spec)
+	if led2 := inj2.Ledger(); led2 != led {
+		t.Errorf("same seed produced a different ledger: %+v vs %+v", led2, led)
+	}
+	if fs, fs2 := p.FaultStats(), p2.FaultStats(); fs != fs2 {
+		t.Errorf("same seed produced different ingest stats: %+v vs %+v", fs2, fs)
+	}
+}
+
+// TestInjectorGapAccounting bounds the repair ledger: every gap fill
+// traces back to a dropped or corrupted sample, never more.
+func TestInjectorGapAccounting(t *testing.T) {
+	tr := faultTrace()
+	p, inj := runFaulty(t, tr, Spec{Seed: 3, Drop: 0.02, Corrupt: 0.005})
+	led, fs := inj.Ledger(), p.FaultStats()
+	if fs.GapsFilled == 0 {
+		t.Error("drops produced no gap fills under the carry policy")
+	}
+	if fs.GapsFilled > led.Dropped+led.Corrupted {
+		t.Errorf("%d gap fills exceed %d dropped + %d corrupted samples",
+			fs.GapsFilled, led.Dropped, led.Corrupted)
+	}
+}
+
+// TestInjectorStalls pins the stall path: the feed pauses but nothing is
+// lost or altered.
+func TestInjectorStalls(t *testing.T) {
+	g := sim.WeekGrid()
+	tr := &trace.Trace{Grid: g, VMs: []trace.VM{{
+		ID: 1, Subscription: "s", Service: "svc", Cloud: core.Private, Region: "r1",
+		Size: core.VMSize{Cores: 2, MemoryGB: 8}, CreatedStep: 0, DeletedStep: g.N,
+		Usage: usage.Stable(0.5, 1),
+	}}}
+	p, inj := runFaulty(t, tr, Spec{Seed: 2, Stall: 0.005, StallFor: time.Millisecond})
+	led := inj.Ledger()
+	if led.Stalls == 0 {
+		t.Error("stall probability 0.5% over 2017 batches never fired")
+	}
+	if led.Total() != 0 {
+		t.Errorf("stall-only spec touched samples: %+v", led)
+	}
+	if fs := p.FaultStats(); fs != (stream.FaultStats{}) {
+		t.Errorf("stalls corrupted the stream: %+v", fs)
+	}
+	if st := p.Status(); st.Step != g.N {
+		t.Errorf("stalled replay stopped at step %d, want %d", st.Step, g.N)
+	}
+}
+
+// TestFaultMatrixGolden is the acceptance gate: the seeded matrix from
+// the issue (1% drop, 0.5% duplicates, out-of-order up to 3 steps) over
+// a generated quarter-scale week must ingest with zero panics, reconcile
+// the quarantine counters against the injector's ledger exactly, and keep
+// dominant-pattern agreement with the clean run at >= 90%.
+func TestFaultMatrixGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-week replay; skipped in -short mode")
+	}
+	cfg := workload.DefaultConfig(42)
+	cfg.Scale = 0.25
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+
+	clean := stream.NewPipeline(tr, stream.Options{})
+	clean.Start(context.Background())
+	if err := clean.Wait(); err != nil {
+		t.Fatalf("clean pipeline: %v", err)
+	}
+
+	spec, err := ParseSpec("drop=0.01,dup=0.005,delay=0.01:3,corrupt=0.002,seed=1")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	faulty, inj := runFaulty(t, tr, spec)
+	led := inj.Ledger()
+	t.Logf("injected: %+v", led)
+	reconcile(t, led, faulty.FaultStats())
+
+	q := kb.Query{MinRegionAgnosticScore: -2}
+	want, got := clean.KB().List(q), faulty.KB().List(q)
+	if len(got) != len(want) {
+		t.Fatalf("faulty kb has %d profiles, clean has %d", len(got), len(want))
+	}
+	total, agree := 0, 0
+	for i, wp := range want {
+		gp := got[i]
+		if gp.Subscription != wp.Subscription {
+			t.Fatalf("profile %d: subscription %s vs %s", i, gp.Subscription, wp.Subscription)
+		}
+		if wp.DominantPattern == core.PatternUnknown {
+			continue
+		}
+		total++
+		if gp.DominantPattern == wp.DominantPattern {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no classified subscriptions")
+	}
+	frac := float64(agree) / float64(total)
+	t.Logf("dominant-pattern agreement under faults: %d/%d = %.4f", agree, total, frac)
+	if frac < 0.90 {
+		t.Errorf("pattern agreement %.4f below 0.90", frac)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"runtime/debug"
-	"strconv"
+	"sort"
 	"sync"
 
 	"cloudlens/internal/core"
@@ -16,17 +16,22 @@ import (
 // stack:
 //
 //	GET /healthz                     readiness (ok | ingesting)
+//	GET /api/v1/                     machine-readable route index
 //	GET /api/v1/version              build info (module, VCS revision, Go)
 //	GET /api/v1/summary              per-platform aggregates
 //	GET /api/v1/profiles             profile list; filters: cloud=private|public,
 //	                                 minAgnostic=<float>, pattern=<name>,
-//	                                 minShortLived=<float>
+//	                                 minShortLived=<float>; paging: limit, cursor
 //	GET /api/v1/profiles/{id}        one profile
 //
 // All responses are JSON. Errors — including the mux's own 404 and 405
 // verdicts, via WithJSONErrors — use the envelope
 //
 //	{"error":{"code":"<machine code>","message":"<human text>"}}
+//
+// Listing routes answer a bare array by default and switch to the
+// paginated ListPage envelope when limit or cursor is present (page.go).
+// Unknown query parameters are rejected with code unknown_param.
 //
 // The handler is read-only; extraction happens offline via Extract or
 // incrementally via the streaming ingestor.
@@ -45,11 +50,19 @@ type ErrorDetail struct {
 
 // Health is the /healthz payload. Status is "ok" when the knowledge base
 // is fully built and "ingesting" while a live replay is still filling it —
-// the readiness contract load balancers and wkbctl watch share.
+// the readiness contract load balancers and wkbctl watch share. The
+// fault-tolerance fields appear only on a replaying server: they surface
+// input quality (quarantined and deduplicated samples, watermark lag) and
+// checkpoint freshness at the readiness probe, so an operator sees a
+// degrading feed without scraping /metrics.
 type Health struct {
-	Status string `json:"status"`
-	Step   int    `json:"step,omitempty"`
-	Steps  int    `json:"steps,omitempty"`
+	Status               string  `json:"status"`
+	Step                 int     `json:"step,omitempty"`
+	Steps                int     `json:"steps,omitempty"`
+	Quarantined          int64   `json:"quarantined,omitempty"`
+	DuplicatesDropped    int64   `json:"duplicatesDropped,omitempty"`
+	WatermarkLag         int     `json:"watermarkLag,omitempty"`
+	LastCheckpointAgeSec float64 `json:"lastCheckpointAgeSec,omitempty"`
 }
 
 // VersionInfo is the /api/v1/version payload, assembled from the binary's
@@ -98,51 +111,158 @@ type RouteOptions struct {
 	Wrap func(route string, h http.Handler) http.Handler
 }
 
+// ParamInfo documents one query or path parameter in the route index.
+type ParamInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Doc  string `json:"doc"`
+}
+
+// RouteInfo is one row of the machine-readable route index served at
+// GET /api/v1/.
+type RouteInfo struct {
+	Method  string      `json:"method"`
+	Pattern string      `json:"pattern"`
+	Doc     string      `json:"doc"`
+	Params  []ParamInfo `json:"params,omitempty"`
+}
+
+// RouteTable is the registry behind GET /api/v1/: every route mounted
+// through Register lands here, and the embedding server adds its own
+// (live, metrics) rows through Add before serving starts. The index
+// handler reads the table per request, so rows added after Register are
+// visible without re-mounting.
+type RouteTable struct {
+	mu     sync.RWMutex
+	routes []RouteInfo
+}
+
+// Add appends one route description to the index.
+func (t *RouteTable) Add(ri RouteInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routes = append(t.routes, ri)
+}
+
+// Routes returns the documented routes sorted by pattern then method.
+func (t *RouteTable) Routes() []RouteInfo {
+	t.mu.RLock()
+	out := make([]RouteInfo, len(t.routes))
+	copy(out, t.routes)
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// RouteIndex is the GET /api/v1/ payload.
+type RouteIndex struct {
+	Routes []RouteInfo `json:"routes"`
+}
+
+// FilterParamInfo documents the shared profile-filter grammar; listing
+// routes append PageParamInfo for the paging half.
+func FilterParamInfo() []ParamInfo {
+	return []ParamInfo{
+		{Name: "cloud", Type: "string", Doc: "restrict to one platform: private | public"},
+		{Name: "minAgnostic", Type: "float", Doc: "minimum region-agnostic score"},
+		{Name: "pattern", Type: "string", Doc: "dominant pattern name (e.g. diurnal, stable)"},
+		{Name: "minShortLived", Type: "float", Doc: "minimum short-lived VM share"},
+	}
+}
+
+// PageParamInfo documents the cursor-paging grammar of listing routes.
+func PageParamInfo() []ParamInfo {
+	return []ParamInfo{
+		{Name: "limit", Type: "int", Doc: "page size (1-1000); presence switches to the {items,next_cursor,total} envelope"},
+		{Name: "cursor", Type: "string", Doc: "opaque position token from a previous page's next_cursor"},
+	}
+}
+
+func listParamInfo() []ParamInfo { return append(FilterParamInfo(), PageParamInfo()...) }
+
 // Register installs the batch knowledge-base routes onto mux using
 // method-qualified patterns, so the mux itself enforces GET-only access
 // and WithJSONErrors turns its 404/405 verdicts into the shared envelope.
-func Register(mux *http.ServeMux, store *Store, opts RouteOptions) {
+// It returns the route table backing GET /api/v1/; the embedding server
+// documents any additional routes it mounts via RouteTable.Add.
+func Register(mux *http.ServeMux, store *Store, opts RouteOptions) *RouteTable {
 	wrap := opts.Wrap
 	if wrap == nil {
 		wrap = func(_ string, h http.Handler) http.Handler { return h }
 	}
-	handle := func(pattern, route string, h http.HandlerFunc) {
+	table := &RouteTable{}
+	handle := func(pattern, route, doc string, params []ParamInfo, h http.HandlerFunc) {
 		mux.Handle(pattern, wrap(route, h))
+		table.Add(RouteInfo{Method: "GET", Pattern: route, Doc: doc, Params: params})
 	}
 
-	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := Health{Status: "ok"}
-		if opts.Health != nil {
-			h = opts.Health()
-		}
-		WriteJSON(w, http.StatusOK, h)
-	})
-	handle("GET /api/v1/version", "/api/v1/version", func(w http.ResponseWriter, r *http.Request) {
-		WriteJSON(w, http.StatusOK, readVersion())
-	})
-	handle("GET /api/v1/summary", "/api/v1/summary", func(w http.ResponseWriter, r *http.Request) {
-		out := map[string]Summary{
-			core.Private.String(): store.Summarize(core.Private),
-			core.Public.String():  store.Summarize(core.Public),
-		}
-		WriteJSON(w, http.StatusOK, out)
-	})
-	handle("GET /api/v1/profiles", "/api/v1/profiles", func(w http.ResponseWriter, r *http.Request) {
-		q, err := ParseQuery(r)
-		if err != nil {
-			WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
-			return
-		}
-		WriteJSON(w, http.StatusOK, store.List(q))
-	})
-	handle("GET /api/v1/profiles/{id}", "/api/v1/profiles/{id}", func(w http.ResponseWriter, r *http.Request) {
-		p, ok := store.Get(core.SubscriptionID(r.PathValue("id")))
-		if !ok {
-			WriteError(w, http.StatusNotFound, "not_found", "profile not found")
-			return
-		}
-		WriteJSON(w, http.StatusOK, p)
-	})
+	handle("GET /healthz", "/healthz",
+		"readiness: ok once the knowledge base is complete, ingesting during a live replay", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			h := Health{Status: "ok"}
+			if opts.Health != nil {
+				h = opts.Health()
+			}
+			WriteJSON(w, http.StatusOK, h)
+		})
+	// {$} pins the exact path: /api/v1/ serves the index while deeper
+	// unknown paths still fall through to the enveloped 404.
+	handle("GET /api/v1/{$}", "/api/v1/",
+		"this route index", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			WriteJSON(w, http.StatusOK, RouteIndex{Routes: table.Routes()})
+		})
+	handle("GET /api/v1/version", "/api/v1/version",
+		"build info: module, version, VCS revision, Go toolchain", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			WriteJSON(w, http.StatusOK, readVersion())
+		})
+	handle("GET /api/v1/summary", "/api/v1/summary",
+		"per-platform aggregates keyed by cloud name", nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			out := map[string]Summary{
+				core.Private.String(): store.Summarize(core.Private),
+				core.Public.String():  store.Summarize(core.Public),
+			}
+			WriteJSON(w, http.StatusOK, out)
+		})
+	handle("GET /api/v1/profiles", "/api/v1/profiles",
+		"batch profile list; bare array, or the paginated envelope with limit/cursor", listParamInfo(),
+		func(w http.ResponseWriter, r *http.Request) {
+			q, pg, err := ParseListParams(r)
+			if err != nil {
+				WriteParamError(w, err)
+				return
+			}
+			items := store.List(q)
+			if !pg.Enabled() {
+				WriteJSON(w, http.StatusOK, items)
+				return
+			}
+			page, err := Paginate(items, func(p *Profile) string { return string(p.Subscription) }, pg)
+			if err != nil {
+				WriteParamError(w, err)
+				return
+			}
+			WriteJSON(w, http.StatusOK, page)
+		})
+	handle("GET /api/v1/profiles/{id}", "/api/v1/profiles/{id}",
+		"one batch profile by subscription id",
+		[]ParamInfo{{Name: "id", Type: "path", Doc: "subscription id"}},
+		func(w http.ResponseWriter, r *http.Request) {
+			p, ok := store.Get(core.SubscriptionID(r.PathValue("id")))
+			if !ok {
+				WriteError(w, http.StatusNotFound, "not_found", "profile not found")
+				return
+			}
+			WriteJSON(w, http.StatusOK, p)
+		})
+	return table
 }
 
 // NewHandler exposes a knowledge-base store over HTTP with the shared
@@ -208,57 +328,17 @@ func (w *headerOnlyWriter) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
-// ParseQuery translates URL parameters (cloud, minAgnostic, pattern,
-// minShortLived) into a store query. Exported so other handlers exposing
-// profile listings — the live endpoints of cmd/wkbserver — accept the same
-// filter grammar as /api/v1/profiles.
+// ParseQuery translates the filter parameters (cloud, minAgnostic,
+// pattern, minShortLived) into a store query, ignoring anything else.
+// Listing routes use the strict ParseListParams instead; this form stays
+// for callers that embed the filter grammar inside a wider query string.
 func ParseQuery(r *http.Request) (Query, error) {
-	q := Query{MinRegionAgnosticScore: disabledScore}
-	vals := r.URL.Query()
-	switch vals.Get("cloud") {
-	case "":
-	case "private":
-		q.Cloud = core.Private
-	case "public":
-		q.Cloud = core.Public
-	default:
-		return q, errBadParam("cloud")
-	}
-	if s := vals.Get("minAgnostic"); s != "" {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return q, errBadParam("minAgnostic")
-		}
-		q.MinRegionAgnosticScore = v
-	}
-	if s := vals.Get("minShortLived"); s != "" {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return q, errBadParam("minShortLived")
-		}
-		q.MinShortLivedShare = v
-	}
-	if s := vals.Get("pattern"); s != "" {
-		found := false
-		for _, p := range core.Patterns() {
-			if p.String() == s {
-				q.Pattern = p
-				found = true
-				break
-			}
-		}
-		if !found {
-			return q, errBadParam("pattern")
-		}
-	}
-	return q, nil
+	return parseFilters(r.URL.Query())
 }
 
-type badParamError string
-
-func (e badParamError) Error() string { return "invalid query parameter: " + string(e) }
-
-func errBadParam(name string) error { return badParamError(name) }
+func errBadParam(name string) error {
+	return &ParamError{Code: "bad_param", Message: "invalid query parameter: " + name}
+}
 
 // WriteJSON writes a JSON success body. Shared by every v1 route, batch
 // and live.

@@ -277,7 +277,7 @@ func TestHTTPProfiles(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("query %q: status %d, want 400", q, resp.StatusCode)
 			}
-			if env.Error.Code != "bad_request" || env.Error.Message == "" {
+			if env.Error.Code != "bad_param" || env.Error.Message == "" {
 				t.Errorf("query %q: envelope = %+v", q, env)
 			}
 		}

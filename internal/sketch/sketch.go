@@ -11,6 +11,11 @@
 // can be folded into a global one. AutoCorr is order-sensitive by nature
 // (it correlates a series with a shifted copy of itself) and therefore
 // consumes one ordered series; it has no merge operation.
+//
+// Every sketch also round-trips through an exported State value (see
+// state.go): encoding a sketch, decoding it, and folding further samples
+// yields exactly the accumulator that never left memory. The streaming
+// pipeline's checkpoint/resume support is built on this property.
 package sketch
 
 import "math"

@@ -1,0 +1,476 @@
+package stream
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/sketch"
+	"cloudlens/internal/trace"
+)
+
+// Checkpoint format (DESIGN.md §8): a gzip stream of two gob values — a
+// preamble carrying magic, version, and the trace fingerprint, then the
+// full ingestor state. Every sketch serializes through its exported State
+// type (internal/sketch/state.go), whose round-trip is exact, so a resumed
+// run folds the remaining stream into bit-identical accumulators. The
+// version gates decoding: a reader refuses newer snapshots outright instead
+// of misinterpreting them, and bumping CheckpointVersion is required
+// whenever any serialized shape below changes.
+
+const (
+	checkpointMagic = "cloudlens-checkpoint"
+	// CheckpointVersion is the serialization version of the snapshot
+	// payload.
+	CheckpointVersion = 1
+)
+
+// preamble is decoded alone before the payload so mismatches fail fast and
+// with a precise error.
+type preamble struct {
+	Magic       string
+	Version     int
+	Fingerprint uint64
+}
+
+// The DTOs below mirror the ingestor's unexported state with exported
+// fields only, which is all encoding/gob requires of a payload.
+
+// vmAccState is a live VM accumulator.
+type vmAccState struct {
+	Idx              int32
+	From             int
+	Seen             bool
+	Next             int
+	Last             float64
+	PeakSum, RestSum float64
+	PeakN, RestN     int
+	Qualified        bool
+	Hourly           [24]float64
+	HourlyN          [24]int
+	AC               sketch.AutoCorrState
+}
+
+// classifiedVMState is a retired, classified VM.
+type classifiedVMState struct {
+	Idx     int32
+	Pattern core.Pattern
+	UtilSum float64
+	N       int
+	Hourly  [24]float64
+	HourlyN [24]int
+}
+
+// regionHourState is one region's top-of-hour accumulator.
+type regionHourState struct {
+	Sum []float64
+	N   []float64
+}
+
+// subStateState is one subscription's streaming state.
+type subStateState struct {
+	ID            core.SubscriptionID
+	Cloud         core.Cloud
+	Regions       []string
+	Services      []string
+	VMsObserved   int
+	SnapshotVMs   int
+	SnapshotCores int
+	Lifetimes     []float64
+	ShortLived    int
+	Util          sketch.HistogramState
+	Retired       []classifiedVMState
+	RegionHours   map[string]regionHourState
+}
+
+// cloudStateState is one platform's aggregate.
+type cloudStateState struct {
+	Util    sketch.HistogramState
+	Samples int64
+	VMsSeen int64
+}
+
+// slotState is one pending reorder slot (delivered but not yet folded).
+type slotState struct {
+	Step    int
+	Samples []Sample
+	Deleted []int32
+}
+
+// Checkpoint is the complete serialized ingestor state. Resuming from it
+// and replaying the remaining steps reproduces the uninterrupted run
+// exactly (the kill/resume golden test pins this).
+type Checkpoint struct {
+	// LastStep is the newest batch step observed before the snapshot; the
+	// resumed replay starts at LastStep + 1.
+	LastStep int
+	// Watermark and Slots carry the reorder ring: steps at or below
+	// Watermark are folded, later delivered steps wait in Slots.
+	Watermark int
+	Slots     []slotState
+
+	// The pipeline parameters that shape folded state. A resumed run
+	// inherits them so its folds land on the same steps.
+	FoldEverySteps    int
+	MaxClassifyPerSub int
+	ShortBinMinutes   int
+	MaxLatenessSteps  int
+	GapPolicy         GapPolicy
+
+	Subs    []subStateState
+	Accs    []vmAccState
+	Clouds  map[core.Cloud]cloudStateState
+	Retired []bool
+	Faults  FaultStats
+
+	SamplesIngested int64
+	StepsIngested   int64
+	FoldCount       int64
+}
+
+// TraceFingerprint hashes the identity of a trace — grid geometry plus
+// every VM's metadata, lifecycle, and usage-model identity — so a
+// checkpoint refuses to resume against a different universe (which would
+// silently corrupt every accumulator).
+func TraceFingerprint(tr *trace.Trace) uint64 {
+	h := fnv.New64a()
+	w := func(vs ...int64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	w(tr.Grid.Start.Unix(), int64(tr.Grid.Step), int64(tr.Grid.N), int64(len(tr.VMs)))
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		io.WriteString(h, string(v.Subscription))
+		io.WriteString(h, v.Region)
+		io.WriteString(h, v.Service)
+		w(int64(v.ID), int64(v.Cloud), int64(v.Size.Cores),
+			int64(v.CreatedStep), int64(v.DeletedStep),
+			int64(v.Usage.Pattern), int64(v.Usage.Seed))
+	}
+	return h.Sum64()
+}
+
+// WriteCheckpoint serializes the ingestor's complete state to w. It holds
+// the read lock for the duration, so ingestion pauses but snapshot readers
+// do not.
+func (ing *Ingestor) WriteCheckpoint(w io.Writer) error {
+	ing.mu.RLock()
+	ck := ing.checkpointLocked()
+	ing.mu.RUnlock()
+
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	pre := preamble{Magic: checkpointMagic, Version: CheckpointVersion, Fingerprint: TraceFingerprint(ing.tr)}
+	if err := enc.Encode(pre); err != nil {
+		return fmt.Errorf("stream: encode checkpoint preamble: %w", err)
+	}
+	if err := enc.Encode(ck); err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	return zw.Close()
+}
+
+// checkpointLocked captures the ingestor state as a Checkpoint. Callers
+// hold at least the read lock. Every slice and sketch state is copied, so
+// the snapshot stays consistent after the lock is released.
+func (ing *Ingestor) checkpointLocked() *Checkpoint {
+	ck := &Checkpoint{
+		LastStep:          int(ing.lastStep.Load()),
+		Watermark:         ing.watermark,
+		FoldEverySteps:    ing.opts.FoldEverySteps,
+		MaxClassifyPerSub: ing.opts.MaxClassifyPerSub,
+		ShortBinMinutes:   ing.opts.ShortBinMinutes,
+		MaxLatenessSteps:  ing.opts.MaxLatenessSteps,
+		GapPolicy:         ing.opts.GapPolicy,
+		Clouds:            make(map[core.Cloud]cloudStateState, len(ing.clouds)),
+		Retired:           append([]bool(nil), ing.retired...),
+		Faults:            ing.faults,
+		SamplesIngested:   ing.samplesIngested.Load(),
+		StepsIngested:     ing.stepsIngested.Load(),
+		FoldCount:         ing.foldCount.Load(),
+	}
+	for _, slot := range ing.slots {
+		if !slot.valid {
+			continue
+		}
+		ck.Slots = append(ck.Slots, slotState{
+			Step:    slot.step,
+			Samples: append([]Sample(nil), slot.samples...),
+			Deleted: append([]int32(nil), slot.deleted...),
+		})
+	}
+	for _, ss := range ing.subs {
+		st := subStateState{
+			ID:            ss.id,
+			Cloud:         ss.cloud,
+			Regions:       sortedKeys(ss.regions),
+			Services:      sortedKeys(ss.services),
+			VMsObserved:   ss.vmsObserved,
+			SnapshotVMs:   ss.snapshotVMs,
+			SnapshotCores: ss.snapshotCores,
+			Lifetimes:     append([]float64(nil), ss.lifetimes...),
+			ShortLived:    ss.shortLived,
+			Util:          ss.util.State(),
+			Retired:       make([]classifiedVMState, 0, len(ss.retired)),
+			RegionHours:   make(map[string]regionHourState, len(ss.regionHours)),
+		}
+		for _, c := range ss.retired {
+			st.Retired = append(st.Retired, classifiedVMState{
+				Idx: c.idx, Pattern: c.pattern, UtilSum: c.utilSum, N: c.n,
+				Hourly: c.hourly, HourlyN: c.hourlyN,
+			})
+		}
+		for r, rh := range ss.regionHours {
+			st.RegionHours[r] = regionHourState{
+				Sum: append([]float64(nil), rh.sum...),
+				N:   append([]float64(nil), rh.n...),
+			}
+		}
+		ck.Subs = append(ck.Subs, st)
+	}
+	for _, acc := range ing.accs {
+		if acc == nil {
+			continue
+		}
+		ck.Accs = append(ck.Accs, vmAccState{
+			Idx: acc.idx, From: acc.from, Seen: acc.seen, Next: acc.next, Last: acc.last,
+			PeakSum: acc.peakSum, RestSum: acc.restSum, PeakN: acc.peakN, RestN: acc.restN,
+			Qualified: acc.qualified, Hourly: acc.hourly, HourlyN: acc.hourlyN,
+			AC: acc.ac.State(),
+		})
+	}
+	for c, cs := range ing.clouds {
+		ck.Clouds[c] = cloudStateState{Util: cs.util.State(), Samples: cs.samples, VMsSeen: cs.vmsSeen}
+	}
+	return ck
+}
+
+// ReadCheckpoint decodes a checkpoint written by WriteCheckpoint, verifying
+// magic, version, and that the snapshot belongs to the given trace.
+func ReadCheckpoint(r io.Reader, tr *trace.Trace) (*Checkpoint, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint is not gzip: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	var pre preamble
+	if err := dec.Decode(&pre); err != nil {
+		return nil, fmt.Errorf("stream: decode checkpoint preamble: %w", err)
+	}
+	if pre.Magic != checkpointMagic {
+		return nil, fmt.Errorf("stream: not a cloudlens checkpoint (magic %q)", pre.Magic)
+	}
+	if pre.Version != CheckpointVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d, this build reads %d", pre.Version, CheckpointVersion)
+	}
+	if fp := TraceFingerprint(tr); pre.Fingerprint != fp {
+		return nil, fmt.Errorf("stream: checkpoint fingerprint %016x does not match trace %016x (different seed, scale, or universe)", pre.Fingerprint, fp)
+	}
+	var ck Checkpoint
+	if err := dec.Decode(&ck); err != nil {
+		return nil, fmt.Errorf("stream: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// RestoreIngestor rebuilds an ingestor from a checkpoint. The checkpointed
+// fold cadence, classification cap, lateness bound, and gap policy override
+// the corresponding opts fields so the resumed run folds identically to the
+// interrupted one; runtime-only options (Speedup, Buffer, WrapSource) come
+// from opts.
+func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, error) {
+	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	opts.FoldEverySteps = ck.FoldEverySteps
+	opts.MaxClassifyPerSub = ck.MaxClassifyPerSub
+	opts.ShortBinMinutes = ck.ShortBinMinutes
+	opts.MaxLatenessSteps = ck.MaxLatenessSteps
+	opts.GapPolicy = ck.GapPolicy
+	opts.StartStep = ck.LastStep + 1
+	ing := NewIngestor(tr, opts)
+
+	if len(ck.Retired) != len(tr.VMs) {
+		return nil, fmt.Errorf("stream: checkpoint covers %d VMs, trace has %d", len(ck.Retired), len(tr.VMs))
+	}
+	ing.watermark = ck.Watermark
+	copy(ing.retired, ck.Retired)
+	ing.faults = ck.Faults
+	for _, st := range ck.Slots {
+		if st.Step <= ck.Watermark || st.Step > ck.Watermark+len(ing.slots) {
+			return nil, fmt.Errorf("stream: checkpoint slot step %d outside (%d, %d]", st.Step, ck.Watermark, ck.Watermark+len(ing.slots))
+		}
+		slot := &ing.slots[st.Step%len(ing.slots)]
+		slot.valid = true
+		slot.step = st.Step
+		slot.samples = st.Samples
+		slot.deleted = st.Deleted
+	}
+	for _, st := range ck.Subs {
+		util, err := sketch.HistogramFromState(st.Util)
+		if err != nil {
+			return nil, fmt.Errorf("stream: subscription %s: %w", st.ID, err)
+		}
+		ss := &subState{
+			id:            st.ID,
+			cloud:         st.Cloud,
+			regions:       setOf(st.Regions),
+			services:      setOf(st.Services),
+			vmsObserved:   st.VMsObserved,
+			snapshotVMs:   st.SnapshotVMs,
+			snapshotCores: st.SnapshotCores,
+			lifetimes:     st.Lifetimes,
+			shortLived:    st.ShortLived,
+			util:          util,
+			live:          make(map[int32]*vmAcc),
+			retired:       make([]classifiedVM, 0, len(st.Retired)),
+			regionHours:   make(map[string]*regionHour, len(st.RegionHours)),
+		}
+		for _, c := range st.Retired {
+			ss.retired = append(ss.retired, classifiedVM{
+				idx: c.Idx, pattern: c.Pattern, utilSum: c.UtilSum, n: c.N,
+				hourly: c.Hourly, hourlyN: c.HourlyN,
+			})
+		}
+		for r, rh := range st.RegionHours {
+			ss.regionHours[r] = &regionHour{sum: rh.Sum, n: rh.N}
+		}
+		ing.subs[st.ID] = ss
+	}
+	for _, st := range ck.Accs {
+		if int(st.Idx) < 0 || int(st.Idx) >= len(tr.VMs) {
+			return nil, fmt.Errorf("stream: checkpoint accumulator for VM %d outside trace", st.Idx)
+		}
+		v := &tr.VMs[st.Idx]
+		ss := ing.subs[v.Subscription]
+		if ss == nil {
+			return nil, fmt.Errorf("stream: checkpoint accumulator for VM %d precedes its subscription %s", st.Idx, v.Subscription)
+		}
+		ac, err := sketch.AutoCorrFromState(st.AC)
+		if err != nil {
+			return nil, fmt.Errorf("stream: VM %d autocorrelation: %w", st.Idx, err)
+		}
+		acc := &vmAcc{
+			idx: st.Idx, v: v, sub: ss, from: st.From,
+			seen: st.Seen, next: st.Next, last: st.Last, ac: ac,
+			peakSum: st.PeakSum, restSum: st.RestSum, peakN: st.PeakN, restN: st.RestN,
+			qualified: st.Qualified, hourly: st.Hourly, hourlyN: st.HourlyN,
+		}
+		ss.live[st.Idx] = acc
+		ing.accs[st.Idx] = acc
+	}
+	for c, st := range ck.Clouds {
+		cs := ing.clouds[c]
+		if cs == nil {
+			return nil, fmt.Errorf("stream: checkpoint carries unknown cloud %v", c)
+		}
+		util, err := sketch.HistogramFromState(st.Util)
+		if err != nil {
+			return nil, fmt.Errorf("stream: cloud %v: %w", c, err)
+		}
+		cs.util = util
+		cs.samples = st.Samples
+		cs.vmsSeen = st.VMsSeen
+	}
+
+	ing.lastStep.Store(int64(ck.LastStep))
+	ing.samplesIngested.Store(ck.SamplesIngested)
+	ing.stepsIngested.Store(ck.StepsIngested)
+	ing.foldCount.Store(ck.FoldCount)
+	// Repopulate the knowledge base immediately so the API serves profiles
+	// before the first post-resume fold.
+	for _, ss := range ing.subs {
+		ing.store.Put(ing.buildProfile(ss))
+	}
+	return ing, nil
+}
+
+func setOf(keys []string) map[string]bool {
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}
+
+// CheckpointInfo describes the most recent durable snapshot.
+type CheckpointInfo struct {
+	Step    int       `json:"step"`
+	At      time.Time `json:"at"`
+	Path    string    `json:"path"`
+	Version int       `json:"version"`
+}
+
+// SaveCheckpoint writes the pipeline's current state to path atomically
+// (temp file + rename) and records it as the latest checkpoint.
+func (p *Pipeline) SaveCheckpoint(path string) (CheckpointInfo, error) {
+	start := time.Now()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.ing.WriteCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return CheckpointInfo{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return CheckpointInfo{}, err
+	}
+	info := CheckpointInfo{
+		Step:    int(p.ing.lastStep.Load()),
+		At:      time.Now(),
+		Path:    path,
+		Version: CheckpointVersion,
+	}
+	p.mu.Lock()
+	p.lastCkpt = info
+	p.mu.Unlock()
+	mCheckpoints.Inc()
+	mCheckpointSeconds.Observe(time.Since(start).Seconds())
+	return info, nil
+}
+
+// LastCheckpoint returns the most recent checkpoint written by this
+// pipeline, if any.
+func (p *Pipeline) LastCheckpoint() (CheckpointInfo, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastCkpt, !p.lastCkpt.At.IsZero()
+}
+
+// LoadCheckpointFile reads and validates a checkpoint file against the
+// trace.
+func LoadCheckpointFile(path string, tr *trace.Trace) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f, tr)
+}
+
+// NewResumedPipeline builds a pipeline that continues ingestion from a
+// checkpoint: the ingestor restores every accumulator and the replay starts
+// at the step after the snapshot. The end-of-window knowledge base matches
+// the uninterrupted run's exactly.
+func NewResumedPipeline(tr *trace.Trace, opts Options, ck *Checkpoint) (*Pipeline, error) {
+	ing, err := RestoreIngestor(tr, opts, ck)
+	if err != nil {
+		return nil, err
+	}
+	return newPipeline(tr, ing.opts, ing), nil
+}

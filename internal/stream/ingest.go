@@ -67,6 +67,14 @@ type vmAcc struct {
 	from int
 	ac   *sketch.AutoCorr
 
+	// Ordering state: next is the grid step the VM's series expects next
+	// (deduplication and gap detection key off it), last the most recent
+	// accepted utilization (the carry/interpolate gap fills' anchor). seen
+	// distinguishes "no sample yet" from "expects step 0".
+	seen bool
+	next int
+	last float64
+
 	peakSum, restSum float64
 	peakN, restN     int
 
@@ -130,10 +138,56 @@ type cloudState struct {
 	vmsSeen int64
 }
 
+// reorderSlot buffers one grid step's telemetry until the watermark proves
+// no more samples for the step can arrive. Samples land here at delivery
+// (copied out of the recyclable batch buffer) and fold in step order; the
+// step's lifecycle deletions queue behind its samples so a delayed reading
+// is never discarded by its own VM's retirement.
+type reorderSlot struct {
+	step  int
+	valid bool
+	// owned marks a samples buffer stolen from a delivered batch; fold
+	// recycles it back to the source instead of letting it escape.
+	owned   bool
+	samples []Sample
+	deleted []int32
+}
+
+// FaultStats is the ingestor's ledger of input imperfections: what was
+// reordered, dropped, repaired, or refused. Served by /api/v1/live/faults
+// and matched exactly against the fault injector's ledger in tests.
+type FaultStats struct {
+	// Reordered counts samples that arrived in a later batch than their
+	// Step (and were buffered back into order).
+	Reordered int64 `json:"reordered"`
+	// DuplicatesDropped counts samples discarded because the VM's series
+	// already covered their step.
+	DuplicatesDropped int64 `json:"duplicatesDropped"`
+	// QuarantinedCorrupt counts samples refused for an impossible reading
+	// (NaN, negative, or above full utilization).
+	QuarantinedCorrupt int64 `json:"quarantinedCorrupt"`
+	// QuarantinedLate counts samples refused because their step was
+	// already folded past (lateness beyond MaxLatenessSteps) or violated
+	// batch ordering.
+	QuarantinedLate int64 `json:"quarantinedLate"`
+	// GapsFilled counts synthesized samples (carry or interpolate).
+	GapsFilled int64 `json:"gapsFilled"`
+	// GapsSkipped counts missing samples left unfilled under GapSkip.
+	GapsSkipped int64 `json:"gapsSkipped"`
+	// WatermarkLag is the current distance in steps between the newest
+	// delivered batch and the fold watermark.
+	WatermarkLag int `json:"watermarkLag"`
+}
+
 // Ingestor consumes StepBatch events and maintains a continuously refreshed
 // knowledge base. All exported read methods return consistent snapshots
 // while ingestion runs; ingestion and profile folding serialize on one
 // writer lock.
+//
+// Input need not be clean: samples are re-ordered through a bounded
+// watermark ring, duplicates are dropped per VM, corrupt readings are
+// quarantined, and per-VM gaps are repaired by the configured GapPolicy.
+// See DESIGN.md §8 for the fault model.
 type Ingestor struct {
 	tr           *trace.Trace
 	opts         Options
@@ -148,8 +202,16 @@ type Ingestor struct {
 	store    *kb.Store
 	subs     map[core.SubscriptionID]*subState
 	accs     []*vmAcc
+	retired  []bool
 	clouds   map[core.Cloud]*cloudState
 	flushBuf []float64
+	recycle  func([]Sample)
+
+	// watermark is the newest step already folded; slots hold the steps
+	// still in flight, indexed by step modulo len(slots).
+	watermark int
+	slots     []reorderSlot
+	faults    FaultStats
 
 	lastStep        atomic.Int64
 	samplesIngested atomic.Int64
@@ -174,9 +236,12 @@ func NewIngestor(tr *trace.Trace, opts Options) *Ingestor {
 		store:        kb.NewStore(),
 		subs:         make(map[core.SubscriptionID]*subState),
 		accs:         make([]*vmAcc, len(tr.VMs)),
+		retired:      make([]bool, len(tr.VMs)),
 		clouds:       make(map[core.Cloud]*cloudState),
+		watermark:    opts.StartStep - 1,
+		slots:        make([]reorderSlot, opts.MaxLatenessSteps+1),
 	}
-	ing.lastStep.Store(-1)
+	ing.lastStep.Store(int64(opts.StartStep) - 1)
 	for _, c := range core.Clouds() {
 		ing.clouds[c] = &cloudState{util: sketch.NewHistogram(0, 1, cloudBins)}
 	}
@@ -187,43 +252,218 @@ func NewIngestor(tr *trace.Trace, opts Options) *Ingestor {
 // profiles are refreshed in place at every fold.
 func (ing *Ingestor) KB() *kb.Store { return ing.store }
 
-// ObserveBatch folds one step's telemetry and lifecycle events into the
-// live state. Batches must arrive in step order.
+// ObserveBatch accepts one delivered batch: every sample is validated and
+// buffered in the reorder ring under its own Step, the batch's lifecycle
+// deletions queue behind that step's samples, and the watermark advances to
+// b.Step - MaxLatenessSteps, folding every step it passes in order. Batch
+// Steps must be non-decreasing; sample Steps may lag within the lateness
+// bound.
+//
+// The ingestor takes ownership of b.Samples (the common all-on-time batch
+// is buffered zero-copy by stealing it) and hands it back through the
+// recycler once folded; the caller must not Recycle or retain it.
 func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	ing.mu.Lock()
-	snapshot := b.Step == ing.snapStep
+	// A batch-step jump (or a source that skips steps entirely) may leave
+	// slots the ring is about to need; retire them first so every slot in
+	// (b.Step - len(slots), b.Step] is free or current.
+	ing.advanceLocked(b.Step - len(ing.slots))
+	nSamples := len(b.Samples)
+	kept := b.Samples[:0]
 	for _, s := range b.Samples {
-		acc := ing.accs[s.VM]
-		if acc == nil {
-			acc = ing.track(s.VM)
+		if !(s.CPU >= 0 && s.CPU <= 1) { // comparisons are false for NaN
+			ing.faults.QuarantinedCorrupt++
+			mQuarantinedCorrupt.Inc()
+			continue
 		}
-		ing.observe(acc, b.Step, s.CPU)
-		if snapshot {
-			acc.sub.snapshotVMs++
-			acc.sub.snapshotCores += acc.v.Size.Cores
+		if int(s.Step) == b.Step {
+			kept = append(kept, s)
+			continue
+		}
+		ing.placeLocked(b.Step, s)
+	}
+	if nSamples > 0 {
+		slot := ing.slotFor(b.Step)
+		if slot.samples == nil {
+			slot.samples = kept
+			slot.owned = true
+		} else {
+			// The slot already buffers delayed strays for this step (a
+			// source replaying a duplicate batch step); keep its buffer
+			// and free the delivered one.
+			slot.samples = append(slot.samples, kept...)
+			ing.recycleBuf(b.Samples)
 		}
 	}
-	for _, idx := range b.Deleted {
-		ing.retire(idx)
+	if len(b.Deleted) > 0 {
+		slot := ing.slotFor(b.Step)
+		slot.deleted = append(slot.deleted, b.Deleted...)
 	}
-	fold := ing.opts.FoldEverySteps > 0 && b.Step > 0 && b.Step%ing.opts.FoldEverySteps == 0
-	if fold {
-		ing.timedFoldLocked()
-	}
+	ing.advanceLocked(b.Step - ing.opts.MaxLatenessSteps)
+	lag := b.Step - ing.watermark
 	ing.mu.Unlock()
 
 	ing.lastStep.Store(int64(b.Step))
+	mWatermarkLag.SetInt(lag)
 	if b.Step < ing.tr.Grid.N {
 		ing.stepsIngested.Add(1)
-		ing.samplesIngested.Add(int64(len(b.Samples)))
+		ing.samplesIngested.Add(int64(nSamples))
 		mSteps.Inc()
-		mSamples.Add(int64(len(b.Samples)))
+		mSamples.Add(int64(nSamples))
 	}
 }
 
-// Finish folds the remaining state once the stream ends.
+// placeLocked buffers one valid sample whose Step diverges from its batch.
+// Readings older than the watermark (lateness beyond the bound) or claiming
+// a future step are quarantined; the rest count as reordered and wait in
+// their own step's slot.
+func (ing *Ingestor) placeLocked(batchStep int, s Sample) {
+	step := int(s.Step)
+	if step <= ing.watermark || step > batchStep {
+		ing.faults.QuarantinedLate++
+		mQuarantinedLate.Inc()
+		return
+	}
+	ing.faults.Reordered++
+	mReordered.Inc()
+	slot := ing.slotFor(step)
+	slot.samples = append(slot.samples, s)
+}
+
+// recycleBuf returns a spent sample buffer to the source's free list.
+func (ing *Ingestor) recycleBuf(buf []Sample) {
+	if ing.recycle != nil && buf != nil {
+		ing.recycle(buf)
+	}
+}
+
+// SetRecycler registers the function spent sample buffers are handed back
+// through once their slot folds (the pipeline points it at the source's
+// free list). It must be called before ingestion starts.
+func (ing *Ingestor) SetRecycler(f func([]Sample)) { ing.recycle = f }
+
+// slotFor returns the ring slot owning a step in (watermark, watermark +
+// len(slots)], initializing it on first touch. Callers guarantee the range
+// via advanceLocked.
+func (ing *Ingestor) slotFor(step int) *reorderSlot {
+	slot := &ing.slots[step%len(ing.slots)]
+	if !slot.valid {
+		slot.valid = true
+		slot.step = step
+	}
+	return slot
+}
+
+// advanceLocked moves the watermark up to the target step, folding each
+// buffered slot it passes in step order and running the periodic
+// knowledge-base fold at its configured cadence. Steps with no buffered
+// slot (an entirely dropped batch) advance the watermark silently; the gap
+// policy repairs the affected VMs when their next sample folds.
+func (ing *Ingestor) advanceLocked(target int) {
+	for ing.watermark < target {
+		next := ing.watermark + 1
+		slot := &ing.slots[next%len(ing.slots)]
+		if slot.valid && slot.step == next {
+			ing.foldSlotLocked(slot)
+		}
+		ing.watermark = next
+		if ing.opts.FoldEverySteps > 0 && next > 0 && next%ing.opts.FoldEverySteps == 0 {
+			ing.timedFoldLocked()
+		}
+	}
+}
+
+// foldSlotLocked folds one ready slot: its samples in delivery order, then
+// its lifecycle deletions, then the slot resets for reuse (buffers kept).
+func (ing *Ingestor) foldSlotLocked(slot *reorderSlot) {
+	for _, s := range slot.samples {
+		ing.ingestLocked(s.VM, slot.step, s.CPU)
+	}
+	for _, idx := range slot.deleted {
+		ing.retire(idx)
+	}
+	if slot.owned {
+		ing.recycleBuf(slot.samples)
+	}
+	slot.valid = false
+	slot.owned = false
+	slot.samples = nil
+	slot.deleted = slot.deleted[:0]
+}
+
+// ingestLocked folds one in-order sample into a VM's series, deduplicating
+// against the step the series expects next and repairing any gap before it
+// per the configured policy.
+func (ing *Ingestor) ingestLocked(idx int32, step int, cpu float64) {
+	acc := ing.accs[idx]
+	if acc == nil {
+		if ing.retired[idx] {
+			// A sample surfacing after its VM's deletion event folded; the
+			// series is closed, so it can only be refused.
+			ing.faults.QuarantinedLate++
+			mQuarantinedLate.Inc()
+			return
+		}
+		acc = ing.track(idx)
+	}
+	if !acc.seen {
+		acc.seen = true
+		acc.from = step
+	} else if step < acc.next {
+		ing.faults.DuplicatesDropped++
+		mDuplicates.Inc()
+		return
+	} else if gap := step - acc.next; gap > 0 {
+		switch ing.opts.GapPolicy {
+		case GapSkip:
+			ing.faults.GapsSkipped += int64(gap)
+		case GapInterpolate:
+			for k := 1; k <= gap; k++ {
+				v := acc.last + (cpu-acc.last)*float64(k)/float64(gap+1)
+				ing.applySample(acc, acc.next+k-1, v)
+			}
+			ing.faults.GapsFilled += int64(gap)
+			mGapsFilled.Add(int64(gap))
+		default: // GapCarry
+			for m := acc.next; m < step; m++ {
+				ing.applySample(acc, m, acc.last)
+			}
+			ing.faults.GapsFilled += int64(gap)
+			mGapsFilled.Add(int64(gap))
+		}
+	}
+	ing.applySample(acc, step, cpu)
+	acc.next = step + 1
+	acc.last = cpu
+}
+
+// applySample feeds one accepted (or synthesized) sample into the VM's
+// accumulators, including the platform-snapshot census when the sample's
+// step is the snapshot step.
+func (ing *Ingestor) applySample(acc *vmAcc, step int, cpu float64) {
+	ing.observe(acc, step, cpu)
+	if step == ing.snapStep {
+		acc.sub.snapshotVMs++
+		acc.sub.snapshotCores += acc.v.Size.Cores
+	}
+}
+
+// FaultStats returns the ledger of input imperfections observed so far.
+func (ing *Ingestor) FaultStats() FaultStats {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	fs := ing.faults
+	if lag := int(ing.lastStep.Load()) - ing.watermark; lag > 0 {
+		fs.WatermarkLag = lag
+	}
+	return fs
+}
+
+// Finish drains the reorder ring and folds the remaining state once the
+// stream ends.
 func (ing *Ingestor) Finish() {
 	ing.mu.Lock()
+	ing.advanceLocked(ing.watermark + len(ing.slots))
 	ing.timedFoldLocked()
 	ing.mu.Unlock()
 	ing.done.Store(true)
@@ -257,16 +497,14 @@ func (ing *Ingestor) track(idx int32) *vmAcc {
 	ss.regions[v.Region] = true
 	ss.services[v.Service] = true
 	ing.clouds[v.Cloud].vmsSeen++
-	from := v.CreatedStep
-	if from < 0 {
-		from = 0
-	}
+	// from is assigned when the first sample folds (ingestLocked): under a
+	// faulty collector the first delivered step, not the creation step, is
+	// where the observed series starts.
 	acc := &vmAcc{
-		idx:  idx,
-		v:    v,
-		sub:  ss,
-		from: from,
-		ac:   sketch.NewAutoCorr(ing.lags.all...),
+		idx: idx,
+		v:   v,
+		sub: ss,
+		ac:  sketch.NewAutoCorr(ing.lags.all...),
 	}
 	ss.live[idx] = acc
 	ing.accs[idx] = acc
@@ -327,6 +565,7 @@ func (ing *Ingestor) qualify(acc *vmAcc) {
 
 // retire finalizes a VM whose deletion event arrived.
 func (ing *Ingestor) retire(idx int32) {
+	ing.retired[idx] = true
 	acc := ing.accs[idx]
 	if acc == nil {
 		return

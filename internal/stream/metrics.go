@@ -23,6 +23,29 @@ var (
 	mFoldSeconds = obs.Default.Histogram("cloudlens_stream_fold_duration_seconds",
 		"Wall-clock duration of live knowledge-base folds.", obs.DefLatencyBuckets)
 
+	// Fault-tolerance counters: the ingestor's ledger of reordered,
+	// deduplicated, quarantined, and repaired input (DESIGN.md §8). All
+	// sit off the clean-stream hot path — a clean replay touches only the
+	// watermark-lag gauge, once per batch.
+	mReordered = obs.Default.Counter("cloudlens_stream_reordered_total",
+		"Samples delivered in a later batch than their step and buffered back into order.")
+	mDuplicates = obs.Default.Counter("cloudlens_stream_duplicates_dropped_total",
+		"Samples dropped because the VM's series already covered their step.")
+	mQuarantinedCorrupt = obs.Default.Counter("cloudlens_stream_quarantined_total",
+		"Samples refused by the ingestor, by reason.",
+		obs.Label{Name: "reason", Value: "corrupt"})
+	mQuarantinedLate = obs.Default.Counter("cloudlens_stream_quarantined_total",
+		"Samples refused by the ingestor, by reason.",
+		obs.Label{Name: "reason", Value: "late"})
+	mGapsFilled = obs.Default.Counter("cloudlens_stream_gap_fills_total",
+		"Samples synthesized to repair per-VM gaps (carry or interpolate policy).")
+	mWatermarkLag = obs.Default.Gauge("cloudlens_stream_watermark_lag_steps",
+		"Distance in steps between the newest delivered batch and the fold watermark.")
+	mCheckpoints = obs.Default.Counter("cloudlens_stream_checkpoints_total",
+		"Durable checkpoints written.")
+	mCheckpointSeconds = obs.Default.Histogram("cloudlens_stream_checkpoint_duration_seconds",
+		"Wall-clock duration of checkpoint writes (serialize + fsync + rename).", obs.DefLatencyBuckets)
+
 	// mClassified counts streaming classifications by resulting pattern,
 	// indexed by core.Pattern so the classifier does an array load, not a
 	// map lookup.

@@ -16,7 +16,7 @@ import (
 // pipeline runs.
 type Pipeline struct {
 	tr  *trace.Trace
-	rep *Replayer
+	src Source
 	ing *Ingestor
 
 	mu        sync.Mutex
@@ -25,15 +25,26 @@ type Pipeline struct {
 	cancel    context.CancelFunc
 	done      chan struct{}
 	err       error
+	lastCkpt  CheckpointInfo
 }
 
-// NewPipeline builds a stopped pipeline over the trace.
+// NewPipeline builds a stopped pipeline over the trace. When
+// Options.WrapSource is set, the replayer is wrapped before ingestion —
+// the hook fault injectors decorate.
 func NewPipeline(tr *trace.Trace, opts Options) *Pipeline {
 	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	return newPipeline(tr, opts, NewIngestor(tr, opts))
+}
+
+func newPipeline(tr *trace.Trace, opts Options, ing *Ingestor) *Pipeline {
+	var src Source = NewReplayer(tr, opts)
+	if opts.WrapSource != nil {
+		src = opts.WrapSource(src)
+	}
 	return &Pipeline{
 		tr:   tr,
-		rep:  NewReplayer(tr, opts),
-		ing:  NewIngestor(tr, opts),
+		src:  src,
+		ing:  ing,
 		done: make(chan struct{}),
 	}
 }
@@ -51,13 +62,16 @@ func (p *Pipeline) Start(ctx context.Context) {
 	p.startedAt = time.Now()
 	ctx, p.cancel = context.WithCancel(ctx)
 
+	// The ingestor owns delivered sample buffers until their reorder slot
+	// folds, then hands them back to the source's free list.
+	p.ing.SetRecycler(func(buf []Sample) { p.src.Recycle(StepBatch{Samples: buf}) })
+
 	errCh := make(chan error, 1)
-	go func() { errCh <- p.rep.Run(ctx) }()
+	go func() { errCh <- p.src.Run(ctx) }()
 	go func() {
 		defer close(p.done)
-		for b := range p.rep.Events() {
+		for b := range p.src.Events() {
 			p.ing.ObserveBatch(b)
-			p.rep.Recycle(b)
 		}
 		err := <-errCh
 		if err == nil {
@@ -143,6 +157,9 @@ func (p *Pipeline) Profiles(q kb.Query) []LiveProfile { return p.ing.Profiles(q)
 
 // Profile returns one subscription's live profile.
 func (p *Pipeline) Profile(id core.SubscriptionID) (LiveProfile, bool) { return p.ing.Profile(id) }
+
+// FaultStats returns the ingestor's ledger of input imperfections.
+func (p *Pipeline) FaultStats() FaultStats { return p.ing.FaultStats() }
 
 // KB exposes the live knowledge base (e.g. for persisting a snapshot).
 func (p *Pipeline) KB() *kb.Store { return p.ing.KB() }

@@ -17,6 +17,7 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -30,8 +31,30 @@ type Sample struct {
 	// VM indexes the trace's VMs slice; the ingestor resolves metadata
 	// (subscription, cloud, region, size) through it.
 	VM int32
+	// Step is the grid step the reading was taken at. In a clean replay it
+	// equals the carrying batch's Step; a faulty collector may deliver the
+	// sample late, in a batch whose Step is larger. The ingestor orders
+	// samples by this field, not by arrival.
+	Step int32
 	// CPU is the utilization fraction at the step.
 	CPU float64
+}
+
+// Source is anything that produces the ordered StepBatch feed the ingestor
+// consumes: the trace Replayer, or a wrapper around it (such as the fault
+// injector in internal/faultgen) that perturbs the batches in flight. Batch
+// Steps must be non-decreasing; individual samples inside a batch may carry
+// earlier Steps, bounded by Options.MaxLatenessSteps.
+type Source interface {
+	// Run produces batches until the window is exhausted or ctx is
+	// cancelled, then closes the Events channel. It must be called at most
+	// once.
+	Run(ctx context.Context) error
+	// Events returns the batch channel consumers range over.
+	Events() <-chan StepBatch
+	// Recycle hands a delivered batch's buffers back to the source. The
+	// caller must not retain the batch's slices afterwards.
+	Recycle(StepBatch)
 }
 
 // StepBatch carries everything the platform emits for one grid step: a
@@ -72,6 +95,26 @@ type Options struct {
 	// ShortBinMinutes mirrors kb.ExtractOptions.ShortBinMinutes
 	// (default 30).
 	ShortBinMinutes int
+	// StartStep makes the replay begin at the given grid step instead of 0,
+	// the resume-from-checkpoint entry point. VMs alive at StartStep appear
+	// in the first batch without a creation event (exactly like VMs that
+	// predate the window), and lifecycle events before StartStep are not
+	// re-emitted.
+	StartStep int
+	// MaxLatenessSteps is the reorder bound the ingestor tolerates: a
+	// sample whose Step lags the carrying batch's Step by at most this many
+	// steps is buffered and folded in order; anything older than the
+	// resulting watermark is quarantined. Default 3; negative disables
+	// reordering (strictly in-order input required).
+	MaxLatenessSteps int
+	// GapPolicy selects how a per-VM gap (dropped or quarantined samples)
+	// is repaired once the watermark passes it. Default GapCarry.
+	GapPolicy GapPolicy
+	// WrapSource, when set, wraps the pipeline's replayer before ingestion
+	// starts. This is the fault-injection hook: internal/faultgen cannot be
+	// imported from this package without a cycle, so the pipeline accepts
+	// any Source decorator instead.
+	WrapSource func(Source) Source
 }
 
 func (o Options) withDefaults(stepsPerHour int) Options {
@@ -87,7 +130,59 @@ func (o Options) withDefaults(stepsPerHour int) Options {
 	if o.ShortBinMinutes == 0 {
 		o.ShortBinMinutes = 30
 	}
+	if o.StartStep < 0 {
+		o.StartStep = 0
+	}
+	switch {
+	case o.MaxLatenessSteps == 0:
+		o.MaxLatenessSteps = 3
+	case o.MaxLatenessSteps < 0:
+		o.MaxLatenessSteps = 0
+	}
 	return o
+}
+
+// GapPolicy selects how the ingestor repairs a missing per-VM sample once
+// the watermark establishes it will never arrive.
+type GapPolicy int
+
+const (
+	// GapCarry repeats the VM's last observed utilization across the gap
+	// (the zero value: utilization is a slowly varying signal, so holding
+	// the last reading biases aggregates the least).
+	GapCarry GapPolicy = iota
+	// GapSkip ingests nothing for the gap. Counts stay exact but the VM's
+	// sample index slips against the grid, trading hour-of-day fidelity
+	// for zero synthesized data.
+	GapSkip
+	// GapInterpolate fills the gap with the linear ramp between the last
+	// observed reading and the one that closed the gap.
+	GapInterpolate
+)
+
+// String returns the flag spelling of the policy.
+func (g GapPolicy) String() string {
+	switch g {
+	case GapSkip:
+		return "skip"
+	case GapInterpolate:
+		return "interpolate"
+	default:
+		return "carry"
+	}
+}
+
+// ParseGapPolicy parses a flag spelling ("carry", "skip", "interpolate").
+func ParseGapPolicy(s string) (GapPolicy, error) {
+	switch s {
+	case "", "carry":
+		return GapCarry, nil
+	case "skip":
+		return GapSkip, nil
+	case "interpolate":
+		return GapInterpolate, nil
+	}
+	return GapCarry, fmt.Errorf("stream: unknown gap policy %q (want carry, skip, or interpolate)", s)
 }
 
 // Replayer walks a trace in simulated time and emits one StepBatch per grid
@@ -113,8 +208,11 @@ func NewReplayer(tr *trace.Trace, opts Options) *Replayer {
 	return &Replayer{
 		tr:   tr,
 		opts: opts,
+		// The free list covers every buffer that can be in flight at once:
+		// the channel, plus the consumer's reorder ring (which holds each
+		// buffer for MaxLatenessSteps extra steps before recycling).
 		ch:   make(chan StepBatch, opts.Buffer),
-		free: make(chan []Sample, opts.Buffer+2),
+		free: make(chan []Sample, opts.Buffer+opts.MaxLatenessSteps+2),
 	}
 }
 
@@ -148,23 +246,35 @@ func (r *Replayer) Run(ctx context.Context) error {
 	defer close(r.ch)
 	g := r.tr.Grid
 	vms := r.tr.VMs
+	start := r.opts.StartStep
+	if start > g.N {
+		// The checkpoint already covered the whole window, including the
+		// trailing lifecycle batch; there is nothing left to replay.
+		return nil
+	}
 
 	// Index lifecycle events once: creations in start order, deletions
-	// bucketed by their (window-clipped) step.
+	// bucketed by their (window-clipped) step. VMs whose deletion precedes
+	// StartStep were fully handled before the checkpoint and are skipped.
 	order := make([]int32, 0, len(vms))
 	createdAt := make(map[int][]int32)
 	deletedAt := make(map[int][]int32)
 	for i := range vms {
 		v := &vms[i]
-		if v.CreatedStep >= g.N || v.DeletedStep <= 0 {
-			continue // never alive inside the window
+		if v.CreatedStep >= g.N || v.DeletedStep <= 0 || v.DeletedStep < start {
+			continue // never alive inside the (remaining) window
+		}
+		if v.DeletedStep <= g.N {
+			deletedAt[v.DeletedStep] = append(deletedAt[v.DeletedStep], int32(i))
+		}
+		if v.DeletedStep <= start {
+			// Deleted exactly at the resume step: the deletion event is
+			// still owed, but sampling ended before the checkpoint.
+			continue
 		}
 		order = append(order, int32(i))
 		if v.CreatedStep >= 0 {
 			createdAt[v.CreatedStep] = append(createdAt[v.CreatedStep], int32(i))
-		}
-		if v.DeletedStep <= g.N {
-			deletedAt[v.DeletedStep] = append(deletedAt[v.DeletedStep], int32(i))
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {
@@ -187,7 +297,7 @@ func (r *Replayer) Run(ctx context.Context) error {
 		interval = time.Duration(float64(g.Step) / r.opts.Speedup)
 	}
 
-	for s := 0; s < g.N; s++ {
+	for s := start; s < g.N; s++ {
 		for _, idx := range deletedAt[s] {
 			pos := posOf[idx]
 			if pos < 0 {
@@ -210,7 +320,7 @@ func (r *Replayer) Run(ctx context.Context) error {
 		parallel.ForEachChunk(len(active), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				idx := active[i]
-				samples[i] = Sample{VM: idx, CPU: vms[idx].Usage.At(g, s)}
+				samples[i] = Sample{VM: idx, Step: int32(s), CPU: vms[idx].Usage.At(g, s)}
 			}
 		})
 
