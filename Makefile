@@ -9,10 +9,17 @@
 #   make bench       — headline performance benchmarks (time + allocations)
 #   make bench-smoke — one iteration of each headline benchmark; CI runs this
 #                      so instrumented hot paths stay compile- and run-clean
+#   make diffcheck   — differential gauntlet: 25 randomized trials holding the
+#                      batch extractor and the streaming pipeline against each
+#                      other through fault injection and kill/resume
+#   make fuzz-smoke  — every fuzz target briefly (seed corpora + 5s of
+#                      generated inputs each) over the untrusted decoders
+#   make lint        — determinism lint: no global math/rand draws, no
+#                      time.Now in deterministic packages
 
 GO ?= go
 
-.PHONY: all build test verify test-faults bench bench-smoke
+.PHONY: all build test verify test-faults bench bench-smoke diffcheck fuzz-smoke lint
 
 all: build
 
@@ -35,3 +42,20 @@ bench:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace|StreamIngest' -benchtime=1x -benchmem .
+
+diffcheck: build
+	$(GO) run ./cmd/diffcheck -trials 25 -seed 1
+
+# `go test -fuzz` takes one target per invocation, so the smoke runs each
+# untrusted-input decoder in turn: 5 seconds of generated inputs on top of
+# the checked-in seed corpus.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faultgen
+	$(GO) test -run=NONE -fuzz=FuzzReadCheckpoint -fuzztime=$(FUZZTIME) ./internal/stream
+	$(GO) test -run=NONE -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCursor -fuzztime=$(FUZZTIME) ./internal/kb
+	$(GO) test -run=NONE -fuzz=FuzzParseListParams -fuzztime=$(FUZZTIME) ./internal/kb
+
+lint: build
+	$(GO) run ./cmd/detlint .

@@ -1,0 +1,40 @@
+// Command detlint runs the determinism lint: no process-global math/rand
+// draws anywhere, no time.Now inside the deterministic
+// simulation/characterization packages. Built on go/parser alone so it
+// runs wherever the toolchain does.
+//
+// Usage:
+//
+//	detlint [path ...]   # default: .
+//
+// Exit status is 1 when any violation is found.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cloudlens/internal/lint/detrand"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := detrand.CheckDir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Println(f)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,263 @@
+// Package diffcheck is the differential-correctness gauntlet: it holds
+// the two independent characterization implementations — the batch
+// knowledge-base extractor (kb.Extract) and the streaming ingestion
+// pipeline — against each other over a randomized matrix of synthetic
+// workloads. Each trial generates a small multi-day trace from a seeded
+// workload model, runs both implementations over the same data (the
+// streaming side optionally through seeded fault injection and a
+// mid-replay kill/checkpoint/resume), and diffs the resulting knowledge
+// bases field by field.
+//
+// The comparison contract is fault-aware and deterministic:
+//
+//   - Lossless trials (no drops, no corruption — duplicates and bounded
+//     delays are fully repaired by the reorder ring) require exact
+//     equality on every structural field: the subscription roster, VM
+//     counts, snapshot census, lifetime statistics, regions, services.
+//   - Lossy trials (drops or corruption) can only lose information,
+//     never invent it: per subscription the streaming VM count must not
+//     exceed the batch count, and the total deficit across the whole
+//     knowledge base is bounded by the injector's exact fault ledger.
+//   - Statistical fields — dominant patterns, peak hours, mean and
+//     quantile utilization, region-agnosticism — are held to explicit
+//     tolerance bands (tighter when lossless), mirroring the golden
+//     batch-equivalence test's agreement thresholds.
+//
+// Every divergence is reported with the trial's full recipe (seed,
+// scale, gap policy, fault spec, kill step) and the first diverging
+// subscription and field, so a failure replays exactly.
+package diffcheck
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+
+	"cloudlens/internal/faultgen"
+	"cloudlens/internal/kb"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/stream"
+	"cloudlens/internal/trace"
+	"cloudlens/internal/workload"
+)
+
+// Config parameterizes a gauntlet run. The zero value is not runnable;
+// use withDefaults via Run.
+type Config struct {
+	// Trials is the number of randomized trials (default 25).
+	Trials int
+	// Seed derives every trial's workload seed, fault seed, and kill
+	// step; the same Config always runs the same matrix.
+	Seed uint64
+	// Days is the observation-window length per trial (default 3; the
+	// minimum, since the snapshot analyses sample Wednesday noon).
+	Days int
+	// Scales are cycled across trials (default {0.05, 0.1}).
+	Scales []float64
+	// FaultSpecs are cycled across trials, in faultgen.ParseSpec grammar
+	// (default: a mix of clean, repairable-only, and lossy specs).
+	FaultSpecs []string
+	// KillEvery makes every n-th trial checkpoint mid-replay and resume
+	// from the serialized bytes (default 2; 0 disables).
+	KillEvery int
+	// MaxDivergencesPerTrial caps the report size (default 16).
+	MaxDivergencesPerTrial int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 25
+	}
+	if c.Days < 3 {
+		c.Days = 3
+	}
+	if len(c.Scales) == 0 {
+		c.Scales = []float64{0.05, 0.1}
+	}
+	if len(c.FaultSpecs) == 0 {
+		c.FaultSpecs = []string{
+			"off",
+			"dup=0.01,seed=7",
+			"delay=0.01:3,seed=9",
+			"dup=0.005,delay=0.005:2,seed=11",
+			"drop=0.01,seed=13",
+			"drop=0.005,dup=0.005,delay=0.005:3,corrupt=0.005,seed=17",
+		}
+	}
+	if c.KillEvery < 0 {
+		c.KillEvery = 0
+	} else if c.KillEvery == 0 {
+		c.KillEvery = 2
+	}
+	if c.MaxDivergencesPerTrial <= 0 {
+		c.MaxDivergencesPerTrial = 16
+	}
+	return c
+}
+
+// Trial is one fully derived trial recipe. Every field is printed on
+// divergence so the exact trial replays from the report alone.
+type Trial struct {
+	Index     int              `json:"index"`
+	Seed      uint64           `json:"seed"`
+	Scale     float64          `json:"scale"`
+	GapPolicy stream.GapPolicy `json:"gapPolicy"`
+	Faults    string           `json:"faults"`
+	// KillStep is the batch step after which the run checkpointed and
+	// resumed; -1 means the run was uninterrupted.
+	KillStep int `json:"killStep"`
+}
+
+func (t Trial) String() string {
+	kill := "none"
+	if t.KillStep >= 0 {
+		kill = fmt.Sprintf("step %d", t.KillStep)
+	}
+	return fmt.Sprintf("trial %d: seed=%d scale=%g gap=%s faults=%q kill=%s",
+		t.Index, t.Seed, t.Scale, t.GapPolicy, t.Faults, kill)
+}
+
+// Run executes the gauntlet and returns the full report. The error covers
+// harness failures (generation, replay, checkpointing) — divergences are
+// data, reported in the Report, not errors.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	gridN := cfg.Days * 24 * 60 / sim.WeekGrid().StepMinutes()
+	rep := &Report{Config: cfg}
+	for i := 0; i < cfg.Trials; i++ {
+		// A per-trial PRNG seeded from (Seed, index) keeps trials
+		// independent of each other and of the matrix size.
+		rng := rand.New(rand.NewSource(int64(cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)))
+		tl := Trial{
+			Index:     i,
+			Seed:      cfg.Seed + uint64(i)*1000003,
+			Scale:     cfg.Scales[i%len(cfg.Scales)],
+			GapPolicy: []stream.GapPolicy{stream.GapCarry, stream.GapSkip, stream.GapInterpolate}[i%3],
+			Faults:    cfg.FaultSpecs[i%len(cfg.FaultSpecs)],
+			KillStep:  -1,
+		}
+		if cfg.KillEvery > 0 && i%cfg.KillEvery == cfg.KillEvery-1 {
+			// Anywhere strictly inside the window, including steps where
+			// the reorder ring holds undelivered state.
+			tl.KillStep = 1 + rng.Intn(gridN-2)
+		}
+		res, err := runTrial(tl, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("diffcheck: %s: %w", tl, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// runTrial generates one synthetic workload, runs both implementations
+// over it, and diffs the knowledge bases.
+func runTrial(tl Trial, cfg Config) (TrialResult, error) {
+	tr, batch, res, err := materializeTrial(tl, cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return compareTrial(tl, tr, batch, res, cfg.MaxDivergencesPerTrial), nil
+}
+
+// materializeTrial produces a trial's trace and both knowledge bases
+// without comparing them (the comparator's own tests corrupt the streaming
+// side first).
+func materializeTrial(tl Trial, cfg Config) (*trace.Trace, *kb.Store, *streamRun, error) {
+	wl := workload.DefaultConfig(tl.Seed)
+	wl.Scale = tl.Scale
+	g := sim.WeekGrid()
+	g.N = cfg.Days * 24 * 60 / g.StepMinutes()
+	wl.Grid = g
+	tr, err := workload.Generate(wl)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("generate: %w", err)
+	}
+
+	batch := kb.Extract(tr, kb.ExtractOptions{})
+
+	spec, err := faultgen.ParseSpec(tl.Faults)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("fault spec: %w", err)
+	}
+	res, err := runStream(tr, tl, spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return tr, batch, res, nil
+}
+
+// streamRun is the streaming side's complete output for one trial.
+type streamRun struct {
+	ing *stream.Ingestor
+	// ledger is the injector's exact account of what it perturbed (zero
+	// for clean trials).
+	ledger faultgen.Ledger
+	// lossless reports whether every injected fault is repairable: drops
+	// and corruption destroy readings, duplicates and bounded delays are
+	// fully absorbed by the reorder ring.
+	lossless bool
+}
+
+// runStream replays the trace into a fresh ingestor, optionally through
+// the fault injector, and — on kill trials — serializes the ingestor at
+// the kill step, restores it from the bytes, and finishes on the
+// restored instance.
+func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error) {
+	// The reorder window must cover the injector's delay bound or delayed
+	// samples are (correctly) quarantined and the trial measures loss,
+	// not equivalence.
+	lateness := 3
+	if spec.Delay > 0 && spec.MaxDelaySteps > lateness {
+		lateness = spec.MaxDelaySteps
+	}
+	opts := stream.Options{
+		GapPolicy:        tl.GapPolicy,
+		MaxLatenessSteps: lateness,
+	}
+
+	var src stream.Source = stream.NewReplayer(tr, opts)
+	var inj *faultgen.Injector
+	if wrap := spec.Wrap(tr.Grid.N, &inj); wrap != nil {
+		src = wrap(src)
+	}
+	ing := stream.NewIngestor(tr, opts)
+	recycle := func(buf []stream.Sample) { src.Recycle(stream.StepBatch{Samples: buf}) }
+	ing.SetRecycler(recycle)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- src.Run(context.Background()) }()
+	killed := tl.KillStep < 0
+	for b := range src.Events() {
+		step := b.Step
+		ing.ObserveBatch(b)
+		if !killed && step >= tl.KillStep {
+			killed = true
+			var buf bytes.Buffer
+			if err := ing.WriteCheckpoint(&buf); err != nil {
+				return nil, fmt.Errorf("checkpoint at step %d: %w", step, err)
+			}
+			ck, err := stream.ReadCheckpoint(bytes.NewReader(buf.Bytes()), tr)
+			if err != nil {
+				return nil, fmt.Errorf("read checkpoint at step %d: %w", step, err)
+			}
+			resumed, err := stream.RestoreIngestor(tr, opts, ck)
+			if err != nil {
+				return nil, fmt.Errorf("restore at step %d: %w", step, err)
+			}
+			resumed.SetRecycler(recycle)
+			ing = resumed
+		}
+	}
+	if err := <-errCh; err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	ing.Finish()
+
+	run := &streamRun{ing: ing, lossless: spec.Drop == 0 && spec.Corrupt == 0}
+	if inj != nil {
+		run.ledger = inj.Ledger()
+	}
+	return run, nil
+}

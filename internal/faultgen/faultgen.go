@@ -70,12 +70,18 @@ func (s Spec) Enabled() bool {
 	return s.Drop > 0 || s.Dup > 0 || s.Delay > 0 || s.Corrupt > 0 || s.Stall > 0
 }
 
+// MaxDelayStepsLimit bounds the delay ring: the injector allocates
+// MaxDelaySteps+1 slots, so an unchecked bound (fuzz found
+// delay=p:9223372036854775807) overflowed makeslice. A week is 2016 steps;
+// anything beyond a million steps is a spec error, not a workload.
+const MaxDelayStepsLimit = 1 << 20
+
 func (s Spec) validate() error {
 	for _, p := range []struct {
 		name string
 		v    float64
 	}{{"drop", s.Drop}, {"dup", s.Dup}, {"delay", s.Delay}, {"corrupt", s.Corrupt}, {"stall", s.Stall}} {
-		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+		if !(p.v >= 0 && p.v <= 1) { // also rejects NaN
 			return fmt.Errorf("faultgen: %s=%v outside [0,1]", p.name, p.v)
 		}
 	}
@@ -84,6 +90,9 @@ func (s Spec) validate() error {
 	}
 	if s.MaxDelaySteps < 0 {
 		return fmt.Errorf("faultgen: maxdelay=%d is negative", s.MaxDelaySteps)
+	}
+	if s.MaxDelaySteps > MaxDelayStepsLimit {
+		return fmt.Errorf("faultgen: maxdelay=%d exceeds limit %d", s.MaxDelaySteps, MaxDelayStepsLimit)
 	}
 	if s.StallFor < 0 {
 		return fmt.Errorf("faultgen: stallfor=%v is negative", s.StallFor)
@@ -144,6 +153,7 @@ func ParseSpec(str string) (Spec, error) {
 	if str == "" || str == "off" || str == "none" {
 		return s, nil
 	}
+	seen := make(map[string]bool, 6)
 	for _, field := range strings.Split(str, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
@@ -153,6 +163,12 @@ func ParseSpec(str string) (Spec, error) {
 		if !ok {
 			return Spec{}, fmt.Errorf("faultgen: %q is not key=value", field)
 		}
+		if seen[key] {
+			// Last-wins would make "drop=0.5,drop=0" silently injectionless;
+			// a repeated key is always a caller mistake.
+			return Spec{}, fmt.Errorf("faultgen: duplicate key %q", key)
+		}
+		seen[key] = true
 		prob := func(v string) (float64, error) {
 			f, err := strconv.ParseFloat(v, 64)
 			if err != nil {
@@ -180,6 +196,10 @@ func ParseSpec(str string) (Spec, error) {
 				s.MaxDelaySteps, err = strconv.Atoi(steps)
 				if err != nil {
 					err = fmt.Errorf("faultgen: delay bound: %v", err)
+				} else if s.MaxDelaySteps <= 0 {
+					// Zero would silently turn into the default bound in
+					// withDefaults — an explicit bound must be positive.
+					err = fmt.Errorf("faultgen: delay bound %d is not positive", s.MaxDelaySteps)
 				}
 			}
 		case "stall":
@@ -189,6 +209,9 @@ func ParseSpec(str string) (Spec, error) {
 				s.StallFor, err = time.ParseDuration(dur)
 				if err != nil {
 					err = fmt.Errorf("faultgen: stall duration: %v", err)
+				} else if s.StallFor <= 0 {
+					// Same default-shadowing hazard as the delay bound.
+					err = fmt.Errorf("faultgen: stall duration %v is not positive", s.StallFor)
 				}
 			}
 		default:

@@ -1,0 +1,149 @@
+package faultgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// normalized zeroes the fields that are inert while their gate probability
+// is zero (MaxDelaySteps without Delay, StallFor without Stall). Two specs
+// equal after normalization inject byte-identical fault streams.
+func normalized(s Spec) Spec {
+	if s.Delay == 0 {
+		s.MaxDelaySteps = 0
+	}
+	if s.Stall == 0 {
+		s.StallFor = 0
+	}
+	return s
+}
+
+// checkRoundTrip asserts the ParseSpec <-> String round-trip contract for
+// one already-parsed spec: an enabled spec re-parses to itself, a disabled
+// one renders as the canonical "off".
+func checkRoundTrip(t *testing.T, spec Spec) {
+	t.Helper()
+	str := spec.String()
+	if !spec.Enabled() {
+		if str != "off" {
+			t.Fatalf("disabled spec %+v renders %q, want \"off\"", spec, str)
+		}
+		return
+	}
+	again, err := ParseSpec(str)
+	if err != nil {
+		t.Fatalf("re-parse of %q (from %+v): %v", str, spec, err)
+	}
+	if normalized(again) != normalized(spec) {
+		t.Fatalf("round-trip of %q: %+v != %+v", str, again, spec)
+	}
+}
+
+// FuzzParseSpec fuzzes the -faults flag grammar: any input must yield
+// either a crisp error or a spec that (a) constructs an injector without
+// panicking and (b) survives the String round-trip.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"none",
+		"drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,stall=0.01:200ms,seed=7",
+		"drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1",
+		"delay=0.1:9223372036854775807", // used to panic in New (makeslice overflow)
+		"delay=0.1:0",                   // used to silently become the default bound
+		"stall=0.5:0s",                  // used to silently become the default stall
+		"drop=0.5,drop=0",               // duplicate key, last used to win
+		"drop=NaN",
+		"drop=+Inf",
+		"drop=-1",
+		"drop=1e309",
+		"drop=0x1p-3",
+		"seed=18446744073709551615",
+		"seed=-1",
+		"delay=0.1:-5",
+		"stall=0.1:-200ms",
+		"stall=0.1:10000h",
+		"drop=0.6,dup=0.6",
+		"=,=,=",
+		"drop=",
+		", , ,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // a crisp rejection is a correct outcome
+		}
+		// Anything ParseSpec accepts must construct without panicking.
+		inj, err := New(nil, spec, 2016)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) accepted %+v but New rejected it: %v", in, spec, err)
+		}
+		if spec.Delay > 0 && len(inj.pend) > MaxDelayStepsLimit+1 {
+			t.Fatalf("ParseSpec(%q): delay ring of %d slots escaped the bound", in, len(inj.pend))
+		}
+		checkRoundTrip(t, spec)
+	})
+}
+
+// TestSpecStringRoundTripProperty drives the round-trip over randomly
+// generated valid specs, covering corners the grammar fuzzer reaches only
+// slowly (simultaneous rare fields, extreme-but-legal floats).
+func TestSpecStringRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < 2000; i++ {
+		var s Spec
+		budget := 1.0
+		draw := func() float64 {
+			if rng.Intn(3) == 0 {
+				return 0
+			}
+			p := rng.Float64() * budget / 4
+			budget -= p
+			return p
+		}
+		s.Drop, s.Dup, s.Delay, s.Corrupt = draw(), draw(), draw(), draw()
+		if s.Delay > 0 && rng.Intn(2) == 0 {
+			s.MaxDelaySteps = 1 + rng.Intn(MaxDelayStepsLimit)
+		}
+		if rng.Intn(2) == 0 {
+			s.Stall = rng.Float64()
+			if rng.Intn(2) == 0 {
+				s.StallFor = time.Duration(1+rng.Intn(1_000_000)) * time.Microsecond
+			}
+		}
+		s.Seed = rng.Uint64()
+		if err := s.validate(); err != nil {
+			t.Fatalf("generated invalid spec %+v: %v", s, err)
+		}
+		checkRoundTrip(t, s)
+	}
+}
+
+// TestParseSpecRejectsFuzzFoundEdges pins each hardened rejection with the
+// input class the fuzzer (or the grammar audit) surfaced it from.
+func TestParseSpecRejectsFuzzFoundEdges(t *testing.T) {
+	cases := map[string]string{
+		"delay=0.1:9223372036854775807": "overflowing delay bound (makeslice panic in New)",
+		"delay=0.1:1048577":             "delay bound beyond MaxDelayStepsLimit",
+		"delay=0.1:0":                   "explicit zero delay bound shadowed the default",
+		"stall=0.5:0s":                  "explicit zero stall duration shadowed the default",
+		"stall=0.5:-1ms":                "negative stall duration",
+		"drop=0.5,drop=0":               "duplicate key silently last-wins",
+		"seed=1,seed=2":                 "duplicate seed silently last-wins",
+		"drop=NaN":                      "NaN probability",
+		"drop=+Inf":                     "infinite probability",
+	}
+	for in, why := range cases {
+		if spec, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted %+v — %s", in, spec, why)
+		}
+	}
+	// The pre-hardening panic path, pinned end-to-end: even a hand-built
+	// Spec with an absurd bound must be refused by New, not crash it.
+	if _, err := New(nil, Spec{Delay: 0.1, MaxDelaySteps: 1<<63 - 1}, 2016); err == nil {
+		t.Error("New accepted MaxDelaySteps = MaxInt64")
+	}
+}

@@ -1,0 +1,113 @@
+package kb
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudlens/internal/core"
+)
+
+// FuzzDecodeCursor feeds arbitrary client-supplied cursor tokens through
+// the decoder. A cursor is the one opaque value clients echo back
+// verbatim, so decoding must never panic, and anything the decoder
+// accepts must survive a re-encode round trip (otherwise a walk could
+// silently jump position).
+func FuzzDecodeCursor(f *testing.F) {
+	f.Add(EncodeCursor("micro"))
+	f.Add(EncodeCursor(""))
+	f.Add("")
+	f.Add("not-base64!")
+	f.Add("cGxhaW4")          // valid base64, missing the p1: prefix
+	f.Add("cDE6bWljcm8=====") // padding where RawURLEncoding allows none
+	f.Fuzz(func(t *testing.T, token string) {
+		key, err := DecodeCursor(token)
+		if err != nil {
+			pe, ok := err.(*ParamError)
+			if !ok || pe.Code != "bad_cursor" {
+				t.Fatalf("DecodeCursor(%q) rejected with %v, want a bad_cursor ParamError", token, err)
+			}
+			return
+		}
+		got, err := DecodeCursor(EncodeCursor(key))
+		if err != nil || got != key {
+			t.Fatalf("accepted cursor %q does not round-trip: key %q re-decoded as %q, %v", token, key, got, err)
+		}
+	})
+}
+
+// FuzzParseListParams drives the strict listing grammar with raw query
+// strings, the exact bytes a client puts after the ? — parsing must never
+// panic, and every accepted result must be safe to hand to Store.List and
+// Paginate: a limit inside [0, MaxPageLimit] and thresholds that actually
+// compare (no NaN filter bypass).
+func FuzzParseListParams(f *testing.F) {
+	f.Add("")
+	f.Add("limit=7")
+	f.Add("cursor=" + EncodeCursor("s1"))
+	f.Add("cloud=private&minAgnostic=0.5&minShortLived=0.25&pattern=" + core.Patterns()[0].String())
+	f.Add("minAgnostic=NaN")
+	f.Add("minShortLived=+Inf")
+	f.Add("limit=1001")
+	f.Add("limit=-1&cursor=zzz")
+	f.Add("nope=1")
+	f.Add("cloud=%zz&limit=2") // malformed percent-escape
+	f.Add("limit=2&limit=999") // repeated parameter
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		r := &http.Request{URL: &url.URL{RawQuery: rawQuery}}
+		q, pg, err := ParseListParams(r)
+		if err != nil {
+			if _, ok := err.(*ParamError); !ok {
+				t.Fatalf("query %q rejected with a non-ParamError %T: %v", rawQuery, err, err)
+			}
+			return
+		}
+		if pg.Limit < 0 || pg.Limit > MaxPageLimit {
+			t.Fatalf("query %q produced out-of-range limit %d", rawQuery, pg.Limit)
+		}
+		if math.IsNaN(q.MinRegionAgnosticScore) || math.IsNaN(q.MinShortLivedShare) {
+			t.Fatalf("query %q produced a NaN threshold, which disables the filter silently", rawQuery)
+		}
+	})
+}
+
+// TestWriteListParamsCorpus regenerates the checked-in seed corpora for the
+// kb fuzz targets. Set CLOUDLENS_WRITE_CORPUS=1 to rewrite testdata.
+func TestWriteListParamsCorpus(t *testing.T) {
+	if os.Getenv("CLOUDLENS_WRITE_CORPUS") == "" {
+		t.Skip("corpus generator; set CLOUDLENS_WRITE_CORPUS=1 to rewrite testdata")
+	}
+	corpora := map[string]map[string]string{
+		"FuzzDecodeCursor": {
+			"valid-cursor":   EncodeCursor("micro"),
+			"empty-key":      EncodeCursor(""),
+			"empty":          "",
+			"not-base64":     "not-base64!",
+			"missing-prefix": "cGxhaW4",
+		},
+		"FuzzParseListParams": {
+			"empty":         "",
+			"paged":         "limit=7&cursor=" + EncodeCursor("s1"),
+			"all-filters":   "cloud=private&minAgnostic=0.5&minShortLived=0.25&pattern=" + core.Patterns()[0].String(),
+			"nan-threshold": "minAgnostic=NaN",
+			"over-limit":    "limit=1001",
+			"unknown-param": "nope=1",
+		},
+	}
+	for fuzzName, entries := range corpora {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range entries {
+			content := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", s)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package kb
 import (
 	"encoding/base64"
 	"errors"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
@@ -189,14 +190,16 @@ func parseFilters(vals url.Values) (Query, error) {
 	}
 	if s := vals.Get("minAgnostic"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
+		// ParseFloat accepts "NaN", which fails every threshold comparison
+		// in Store.List and silently returns the unfiltered set.
+		if err != nil || math.IsNaN(v) {
 			return q, errBadParam("minAgnostic")
 		}
 		q.MinRegionAgnosticScore = v
 	}
 	if s := vals.Get("minShortLived"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
+		if err != nil || math.IsNaN(v) {
 			return q, errBadParam("minShortLived")
 		}
 		q.MinShortLivedShare = v

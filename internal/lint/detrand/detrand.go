@@ -1,0 +1,181 @@
+// Package detrand is the determinism lint behind `make lint`: it walks Go
+// sources with go/parser (no third-party analysis framework) and rejects
+// the two constructs that silently break reproducibility in this
+// codebase's deterministic paths.
+//
+// Rule global-rand (all non-test code): calling math/rand through the
+// package-level functions (rand.Intn, rand.Float64, rand.Shuffle, ...)
+// draws from the process-global source, whose seed and cross-goroutine
+// interleaving are outside any trial's control. Constructing an explicit
+// seeded generator — rand.New(rand.NewSource(seed)) — is the allowed form.
+//
+// Rule wall-clock (deterministic packages only): time.Now in the
+// simulation/characterization data path makes output depend on when it
+// ran. Observability code (request timing, checkpoint timestamps, metrics)
+// legitimately reads the clock, so the rule applies only to the packages
+// whose output must be a pure function of (trace, seed, config).
+package detrand
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DeterministicPaths are the package directories (slash-separated path
+// suffixes) whose output must be a pure function of their inputs. The
+// stream and obs packages are deliberately absent: their fold timers,
+// checkpoint timestamps, and HTTP metrics read the wall clock without
+// touching folded state.
+var DeterministicPaths = []string{
+	"internal/sim", "internal/usage", "internal/workload", "internal/trace",
+	"internal/kb", "internal/classify", "internal/stats", "internal/sketch",
+	"internal/fft", "internal/faultgen", "internal/balance", "internal/diffcheck",
+	"internal/analyze", "internal/report", "internal/periodic",
+	"internal/provision", "internal/oversub", "internal/spot", "internal/deferral",
+	"internal/allocfail", "internal/platform",
+}
+
+// allowedRandCalls are the math/rand package-level functions that build
+// explicit generators instead of drawing from the global source.
+var allowedRandCalls = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the repo migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Finding is one lint violation.
+type Finding struct {
+	Pos     token.Position
+	Rule    string // "global-rand" or "wall-clock"
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// deterministic reports whether path sits inside a deterministic package.
+func deterministic(path string) bool {
+	dir := filepath.ToSlash(filepath.Dir(path))
+	for _, p := range DeterministicPaths {
+		if dir == p || strings.HasSuffix(dir, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckSource lints one file. Test files carry no findings: tests may
+// freely read clocks and draw unseeded randomness.
+func CheckSource(path string, src []byte) ([]Finding, error) {
+	if strings.HasSuffix(path, "_test.go") {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+
+	// Effective local names of the imports the rules watch.
+	randName, timeName := "", ""
+	for _, imp := range file.Imports {
+		ipath, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch ipath {
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randName = name
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeName = name
+		}
+	}
+	if randName == "" && timeName == "" {
+		return nil, nil
+	}
+	wallClockScope := deterministic(path)
+
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case randName != "" && pkg.Name == randName && !allowedRandCalls[sel.Sel.Name]:
+			out = append(out, Finding{
+				Pos:  fset.Position(call.Pos()),
+				Rule: "global-rand",
+				Message: fmt.Sprintf("%s.%s draws from the process-global source; build a seeded generator with %s.New(%s.NewSource(seed))",
+					randName, sel.Sel.Name, randName, randName),
+			})
+		case wallClockScope && timeName != "" && pkg.Name == timeName && sel.Sel.Name == "Now":
+			out = append(out, Finding{
+				Pos:  fset.Position(call.Pos()),
+				Rule: "wall-clock",
+				Message: fmt.Sprintf("%s.Now in a deterministic package makes output depend on when it ran; thread the timestamp in from the caller",
+					timeName),
+			})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// CheckDir lints every non-test Go file under root, skipping testdata,
+// vendor, and VCS directories.
+func CheckDir(root string) ([]Finding, error) {
+	var out []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fs, err := CheckSource(path, src)
+		if err != nil {
+			return err
+		}
+		out = append(out, fs...)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,106 @@
+package detrand
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, path, src string) []Finding {
+	t.Helper()
+	fs, err := CheckSource(path, []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestGlobalRandForbidden(t *testing.T) {
+	src := `package x
+import "math/rand"
+func f() int { rand.Shuffle(3, func(i, j int) {}); return rand.Intn(10) }
+`
+	fs := check(t, "internal/kb/x.go", src)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 global-rand findings, got %v", fs)
+	}
+	for _, f := range fs {
+		if f.Rule != "global-rand" {
+			t.Errorf("finding %v: want rule global-rand", f)
+		}
+	}
+	if !strings.Contains(fs[0].String(), "internal/kb/x.go:3") {
+		t.Errorf("finding should carry position, got %q", fs[0].String())
+	}
+}
+
+func TestSeededGeneratorAllowed(t *testing.T) {
+	src := `package x
+import "math/rand"
+func f() int { r := rand.New(rand.NewSource(7)); return r.Intn(10) }
+`
+	if fs := check(t, "internal/kb/x.go", src); len(fs) != 0 {
+		t.Fatalf("seeded generator flagged: %v", fs)
+	}
+}
+
+func TestRenamedImportStillCaught(t *testing.T) {
+	src := `package x
+import mrand "math/rand"
+func f() float64 { return mrand.Float64() }
+`
+	fs := check(t, "cmd/tool/x.go", src)
+	if len(fs) != 1 || fs[0].Rule != "global-rand" {
+		t.Fatalf("renamed import escaped the lint: %v", fs)
+	}
+}
+
+func TestWallClockOnlyInDeterministicPackages(t *testing.T) {
+	src := `package x
+import "time"
+func f() time.Time { return time.Now() }
+`
+	if fs := check(t, "internal/workload/x.go", src); len(fs) != 1 || fs[0].Rule != "wall-clock" {
+		t.Fatalf("time.Now in a deterministic package must be flagged, got %v", fs)
+	}
+	// Observability and serving paths read the clock legitimately.
+	for _, path := range []string{"internal/obs/x.go", "internal/stream/x.go", "cmd/wkbserver/x.go"} {
+		if fs := check(t, path, src); len(fs) != 0 {
+			t.Fatalf("%s: wall-clock rule must not apply, got %v", path, fs)
+		}
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	src := `package x
+import ("math/rand"; "time")
+func f() int { _ = time.Now(); return rand.Intn(10) }
+`
+	if fs := check(t, "internal/kb/x_test.go", src); len(fs) != 0 {
+		t.Fatalf("test file flagged: %v", fs)
+	}
+}
+
+func TestLocalVariableNamedRandNotConfused(t *testing.T) {
+	// No math/rand import at all: selector calls on an unrelated value
+	// named rand must pass.
+	src := `package x
+type gen struct{}
+func (gen) Intn(int) int { return 0 }
+func f() int { var rand gen; return rand.Intn(10) }
+`
+	if fs := check(t, "internal/kb/x.go", src); len(fs) != 0 {
+		t.Fatalf("unrelated identifier flagged: %v", fs)
+	}
+}
+
+// TestRepoIsClean runs the lint over the repository itself — the same
+// gate `make lint` enforces in CI.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := CheckDir("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

@@ -111,6 +111,13 @@ func AutoCorrFromState(s AutoCorrState) (*AutoCorr, error) {
 		return nil, fmt.Errorf("sketch: autocorr state has %d lags but %d/%d/%d sums",
 			len(s.Lags), len(s.SumProd), len(s.HeadSum), len(s.TailSum))
 	}
+	for _, l := range s.Lags {
+		if l <= 0 {
+			// NewAutoCorr panics on this; a decoded snapshot must get an
+			// error instead.
+			return nil, fmt.Errorf("sketch: autocorr state carries non-positive lag %d", l)
+		}
+	}
 	a := NewAutoCorr(s.Lags...)
 	if len(s.Ring) > a.maxLag {
 		return nil, fmt.Errorf("sketch: autocorr ring of %d exceeds max lag %d", len(s.Ring), a.maxLag)

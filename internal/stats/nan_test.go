@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: a NaN reading that slips past quarantine into a sample pool
+// must not poison the whole percentile band. Before the fix, the NaN broke
+// sort.Float64s ordering and corrupted every order statistic near it.
+func TestQuantileIgnoresNaN(t *testing.T) {
+	clean := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	dirty := append([]float64{math.NaN()}, clean...)
+	dirty = append(dirty, math.NaN())
+
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		want := Quantile(clean, q)
+		got := Quantile(dirty, q)
+		if got != want {
+			t.Errorf("Quantile(dirty, %v) = %v, want %v (NaNs must be ignored)", q, got, want)
+		}
+	}
+
+	qsClean := QuantilesOf(clean, 0.5, 0.95)
+	qsDirty := QuantilesOf(dirty, 0.5, 0.95)
+	for i := range qsClean {
+		if qsDirty[i] != qsClean[i] {
+			t.Errorf("QuantilesOf(dirty)[%d] = %v, want %v", i, qsDirty[i], qsClean[i])
+		}
+	}
+}
+
+// NaN placement used to matter: depending on where the NaN landed in the
+// input, sort.Float64s left different sublists unsorted. Pin that every
+// placement yields the clean answer.
+func TestQuantileNaNPlacementInvariant(t *testing.T) {
+	clean := []float64{5, 1, 4, 2, 3, 9, 7, 8, 6}
+	want := Quantile(clean, 0.5)
+	for pos := 0; pos <= len(clean); pos++ {
+		dirty := make([]float64, 0, len(clean)+1)
+		dirty = append(dirty, clean[:pos]...)
+		dirty = append(dirty, math.NaN())
+		dirty = append(dirty, clean[pos:]...)
+		if got := Quantile(dirty, 0.5); got != want {
+			t.Errorf("NaN at %d: Quantile = %v, want %v", pos, got, want)
+		}
+	}
+}
+
+func TestQuantileAllNaN(t *testing.T) {
+	all := []float64{math.NaN(), math.NaN()}
+	if got := Quantile(all, 0.5); got != 0 {
+		t.Errorf("Quantile(all-NaN) = %v, want 0 (empty-sample behaviour)", got)
+	}
+	qs := QuantilesOf(all, 0.25, 0.75)
+	if qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("QuantilesOf(all-NaN) = %v, want zeros", qs)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("Quantile(q=-0.5) = %v, want min", got)
+	}
+	if got := Quantile(xs, 1.5); got != 3 {
+		t.Errorf("Quantile(q=1.5) = %v, want max", got)
+	}
+	if got := Quantile(xs, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(q=NaN) = %v, want NaN", got)
+	}
+	if got := Quantile(xs, math.Inf(1)); got != 3 {
+		t.Errorf("Quantile(q=+Inf) = %v, want max", got)
+	}
+	if got := Quantile(xs, math.Inf(-1)); got != 1 {
+		t.Errorf("Quantile(q=-Inf) = %v, want min", got)
+	}
+}
+
+// QuantilesOf and Quantile must stay interchangeable on dirty input too.
+func TestQuantilesOfMatchesQuantileWithNaN(t *testing.T) {
+	xs := []float64{0.3, math.NaN(), 0.1, 0.9, math.NaN(), 0.5}
+	qs := []float64{0, 0.1, 0.5, 0.9, 1}
+	got := QuantilesOf(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Errorf("QuantilesOf[%d] = %v, Quantile(%v) = %v", i, got[i], q, want)
+		}
+	}
+}

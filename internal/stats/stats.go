@@ -86,34 +86,54 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics (the R-7 / NumPy default method).
-// It returns 0 for an empty slice.
+// Quantile returns the q-quantile of xs using linear interpolation between
+// order statistics (the R-7 / NumPy default method). q is clamped to [0, 1].
+// NaN samples are ignored — a NaN breaks sort.Float64s ordering and would
+// silently corrupt every order statistic near it — and the result is 0 when
+// no finite-ordered samples remain (matching the empty-slice behaviour). A
+// NaN q yields NaN.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	sorted := sortedFinite(xs)
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	return quantileSorted(sorted, q)
 }
 
 // QuantilesOf returns the quantiles at each q in qs, sorting xs only once.
+// NaN samples are ignored, each q is clamped to [0, 1], and a NaN q yields
+// NaN, exactly as in Quantile.
 func QuantilesOf(xs []float64, qs ...float64) []float64 {
 	out := make([]float64, len(qs))
-	if len(xs) == 0 {
+	sorted := sortedFinite(xs)
+	if len(sorted) == 0 {
 		return out
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	for i, q := range qs {
 		out[i] = quantileSorted(sorted, q)
 	}
 	return out
 }
 
+// sortedFinite returns a sorted copy of xs with NaNs dropped. The copy is
+// allocated only when needed; a clean input still pays one copy (the public
+// functions never mutate their inputs) but no second pass.
+func sortedFinite(xs []float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	return sorted
+}
+
 // quantileSorted computes the R-7 quantile of an already sorted slice.
 func quantileSorted(sorted []float64, q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return sorted[0]
 	}

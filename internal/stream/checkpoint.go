@@ -28,8 +28,9 @@ import (
 const (
 	checkpointMagic = "cloudlens-checkpoint"
 	// CheckpointVersion is the serialization version of the snapshot
-	// payload.
-	CheckpointVersion = 1
+	// payload. v2 added per-accumulator GapSteps, which a resumed GapSkip
+	// run needs to flush qualification aggregates at the right steps.
+	CheckpointVersion = 2
 )
 
 // preamble is decoded alone before the payload so mismatches fail fast and
@@ -55,7 +56,11 @@ type vmAccState struct {
 	Qualified        bool
 	Hourly           [24]float64
 	HourlyN          [24]int
-	AC               sketch.AutoCorrState
+	// GapSteps are the unfilled holes GapSkip recorded before the VM
+	// qualified (empty once Qualified); qualify's flush needs them to
+	// restore each retained sample's true step.
+	GapSteps []int32
+	AC       sketch.AutoCorrState
 }
 
 // classifiedVMState is a retired, classified VM.
@@ -247,7 +252,8 @@ func (ing *Ingestor) checkpointLocked() *Checkpoint {
 			Idx: acc.idx, From: acc.from, Seen: acc.seen, Next: acc.next, Last: acc.last,
 			PeakSum: acc.peakSum, RestSum: acc.restSum, PeakN: acc.peakN, RestN: acc.restN,
 			Qualified: acc.qualified, Hourly: acc.hourly, HourlyN: acc.hourlyN,
-			AC: acc.ac.State(),
+			GapSteps: append([]int32(nil), acc.gapSteps...),
+			AC:       acc.ac.State(),
 		})
 	}
 	for c, cs := range ing.clouds {
@@ -282,7 +288,99 @@ func ReadCheckpoint(r io.Reader, tr *trace.Trace) (*Checkpoint, error) {
 	if err := dec.Decode(&ck); err != nil {
 		return nil, fmt.Errorf("stream: decode checkpoint: %w", err)
 	}
+	if err := ck.validate(tr); err != nil {
+		return nil, err
+	}
 	return &ck, nil
+}
+
+// effectiveRingLen mirrors Options.withDefaults' MaxLatenessSteps handling:
+// the reorder ring a restored ingestor will allocate for this checkpoint.
+func (ck *Checkpoint) effectiveRingLen() int {
+	switch {
+	case ck.MaxLatenessSteps == 0:
+		return 3 + 1
+	case ck.MaxLatenessSteps < 0:
+		return 0 + 1
+	}
+	return ck.MaxLatenessSteps + 1
+}
+
+// validate rejects checkpoints whose decoded fields would panic, hang, or
+// silently corrupt a restored ingestor. Gob guarantees types, not domains:
+// a flipped bit can turn MaxClassifyPerSub negative (a [:negative] slice
+// panic in buildProfile), plant an out-of-range VM index or NaN reading in
+// a pending reorder slot (an index panic or quarantine bypass at the first
+// fold), or rewind an accumulator's Next far enough that the next sample
+// "repairs" a billion-step gap. Everything checked here was found by
+// fuzzing ReadCheckpoint over mutated snapshot bytes.
+func (ck *Checkpoint) validate(tr *trace.Trace) error {
+	n := tr.Grid.N
+	ringLen := ck.effectiveRingLen()
+	if ck.LastStep < -1 || ck.LastStep > n {
+		return fmt.Errorf("stream: checkpoint last step %d outside [-1, %d]", ck.LastStep, n)
+	}
+	if ck.Watermark < -1 || ck.Watermark > n+ringLen {
+		return fmt.Errorf("stream: checkpoint watermark %d outside [-1, %d]", ck.Watermark, n+ringLen)
+	}
+	if ck.MaxClassifyPerSub < 0 {
+		return fmt.Errorf("stream: checkpoint classification cap %d is negative", ck.MaxClassifyPerSub)
+	}
+	switch ck.GapPolicy {
+	case GapCarry, GapSkip, GapInterpolate:
+	default:
+		return fmt.Errorf("stream: checkpoint carries unknown gap policy %d", ck.GapPolicy)
+	}
+	if len(ck.Retired) != len(tr.VMs) {
+		return fmt.Errorf("stream: checkpoint covers %d VMs, trace has %d", len(ck.Retired), len(tr.VMs))
+	}
+	for _, st := range ck.Slots {
+		if st.Step <= ck.Watermark || st.Step > ck.Watermark+ringLen {
+			return fmt.Errorf("stream: checkpoint slot step %d outside (%d, %d]", st.Step, ck.Watermark, ck.Watermark+ringLen)
+		}
+		for _, s := range st.Samples {
+			if int(s.VM) < 0 || int(s.VM) >= len(tr.VMs) {
+				return fmt.Errorf("stream: checkpoint slot %d buffers sample for VM %d outside trace", st.Step, s.VM)
+			}
+			if !(s.CPU >= 0 && s.CPU <= 1) { // also rejects NaN
+				return fmt.Errorf("stream: checkpoint slot %d buffers out-of-domain reading %v for VM %d", st.Step, s.CPU, s.VM)
+			}
+		}
+		for _, idx := range st.Deleted {
+			if int(idx) < 0 || int(idx) >= len(tr.VMs) {
+				return fmt.Errorf("stream: checkpoint slot %d deletes VM %d outside trace", st.Step, idx)
+			}
+		}
+	}
+	for _, st := range ck.Accs {
+		if int(st.Idx) < 0 || int(st.Idx) >= len(tr.VMs) {
+			return fmt.Errorf("stream: checkpoint accumulator for VM %d outside trace", st.Idx)
+		}
+		if st.Seen && (st.From < 0 || st.Next <= st.From || st.Next > n) {
+			return fmt.Errorf("stream: checkpoint accumulator for VM %d has impossible span [%d, %d)", st.Idx, st.From, st.Next)
+		}
+		if !(st.Last >= 0 && st.Last <= 1) && st.Seen {
+			return fmt.Errorf("stream: checkpoint accumulator for VM %d holds out-of-domain last reading %v", st.Idx, st.Last)
+		}
+		// Gap steps must be strictly increasing holes inside the observed
+		// span, or qualify's step-reconstruction walk misattributes (or
+		// never terminates advancing past) every flushed sample.
+		prev := st.From
+		for _, gs := range st.GapSteps {
+			if int(gs) <= prev || int(gs) >= st.Next {
+				return fmt.Errorf("stream: checkpoint accumulator for VM %d records gap step %d outside (%d, %d)", st.Idx, gs, prev, st.Next)
+			}
+			prev = int(gs)
+		}
+	}
+	for _, ss := range ck.Subs {
+		for _, c := range ss.Retired {
+			if c.Pattern < core.PatternUnknown || c.Pattern > core.PatternHourlyPeak {
+				return fmt.Errorf("stream: checkpoint subscription %s retired VM %d with unknown pattern %d", ss.ID, c.Idx, c.Pattern)
+			}
+		}
+	}
+	return nil
 }
 
 // RestoreIngestor rebuilds an ingestor from a checkpoint. The checkpointed
@@ -291,6 +389,12 @@ func ReadCheckpoint(r io.Reader, tr *trace.Trace) (*Checkpoint, error) {
 // interrupted one; runtime-only options (Speedup, Buffer, WrapSource) come
 // from opts.
 func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, error) {
+	// Checkpoints read through ReadCheckpoint are already validated, but
+	// RestoreIngestor also accepts hand-built ones; validate is cheap and
+	// the restore path below indexes trusting every checked invariant.
+	if err := ck.validate(tr); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
 	opts.FoldEverySteps = ck.FoldEverySteps
 	opts.MaxClassifyPerSub = ck.MaxClassifyPerSub
@@ -300,16 +404,10 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 	opts.StartStep = ck.LastStep + 1
 	ing := NewIngestor(tr, opts)
 
-	if len(ck.Retired) != len(tr.VMs) {
-		return nil, fmt.Errorf("stream: checkpoint covers %d VMs, trace has %d", len(ck.Retired), len(tr.VMs))
-	}
 	ing.watermark = ck.Watermark
 	copy(ing.retired, ck.Retired)
 	ing.faults = ck.Faults
 	for _, st := range ck.Slots {
-		if st.Step <= ck.Watermark || st.Step > ck.Watermark+len(ing.slots) {
-			return nil, fmt.Errorf("stream: checkpoint slot step %d outside (%d, %d]", st.Step, ck.Watermark, ck.Watermark+len(ing.slots))
-		}
 		slot := &ing.slots[st.Step%len(ing.slots)]
 		slot.valid = true
 		slot.step = st.Step
@@ -348,9 +446,6 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 		ing.subs[st.ID] = ss
 	}
 	for _, st := range ck.Accs {
-		if int(st.Idx) < 0 || int(st.Idx) >= len(tr.VMs) {
-			return nil, fmt.Errorf("stream: checkpoint accumulator for VM %d outside trace", st.Idx)
-		}
 		v := &tr.VMs[st.Idx]
 		ss := ing.subs[v.Subscription]
 		if ss == nil {
@@ -365,6 +460,7 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 			seen: st.Seen, next: st.Next, last: st.Last, ac: ac,
 			peakSum: st.PeakSum, restSum: st.RestSum, peakN: st.PeakN, restN: st.RestN,
 			qualified: st.Qualified, hourly: st.Hourly, hourlyN: st.HourlyN,
+			gapSteps: st.GapSteps,
 		}
 		ss.live[st.Idx] = acc
 		ing.accs[st.Idx] = acc

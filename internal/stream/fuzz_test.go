@@ -1,0 +1,238 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkpointedIngestor feeds a few hand-built batches — including a delayed
+// sample so the reorder ring is non-empty — and returns the ingestor mid
+// flight, before Finish.
+func checkpointedIngestor(t testing.TB) *Ingestor {
+	t.Helper()
+	tr := microTrace()
+	ing := NewIngestor(tr, Options{MaxLatenessSteps: 2, FoldEverySteps: 10000})
+	ing.ObserveBatch(batchOf(0, sampleAt(0, 0, 0.2), sampleAt(1, 0, 0.4)))
+	ing.ObserveBatch(batchOf(1, sampleAt(0, 1, 0.3)))
+	// Step 2 is missing for VM 0 and steps 2-3 arrive out of order, so the
+	// snapshot carries pending slots above the watermark.
+	ing.ObserveBatch(batchOf(3, sampleAt(0, 3, 0.5)))
+	return ing
+}
+
+// checkpointOf captures the mid-flight state as a mutable Checkpoint.
+func checkpointOf(t testing.TB) *Checkpoint {
+	ing := checkpointedIngestor(t)
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return ing.checkpointLocked()
+}
+
+// checkpointBytes serializes the mid-flight state as WriteCheckpoint would.
+func checkpointBytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := checkpointedIngestor(t).WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadCheckpoint decodes mutated snapshot bytes. Checkpoint files are
+// read back across process restarts, so a bit flip on disk must surface as
+// an error — never a panic in ReadCheckpoint, and never a panic or hang in
+// the RestoreIngestor that consumes an accepted checkpoint.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := checkpointBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	f.Add(valid[:len(valid)/2])
+	// A handful of single-byte corruptions of the real snapshot seed the
+	// mutator close to the interesting surface (gob payload, not gzip CRC).
+	for _, i := range []int{0, 10, len(valid) / 2, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x41
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := microTrace()
+		ck, err := ReadCheckpoint(bytes.NewReader(data), tr)
+		if err != nil {
+			return // rejection is the common, correct outcome
+		}
+		// Whatever decoding accepted must restore into a working ingestor
+		// (or be refused with an error): fold the pending ring, ingest one
+		// more clean batch, and build every profile.
+		ing, err := RestoreIngestor(tr, Options{FoldEverySteps: 10000}, ck)
+		if err != nil {
+			return
+		}
+		next := ck.LastStep + 1
+		if next >= 0 && next < tr.Grid.N {
+			ing.ObserveBatch(batchOf(next, sampleAt(0, next, 0.5)))
+		}
+		ing.Finish()
+		if _, ok := ing.KB().Get("micro"); !ok {
+			t.Fatal("restored ingestor lost the subscription profile")
+		}
+	})
+}
+
+// TestWriteReadCheckpointCorpus regenerates the checked-in seed corpus for
+// FuzzReadCheckpoint (the binary entries cannot be hand-written). Set
+// CLOUDLENS_WRITE_CORPUS=1 to rewrite testdata after a format change.
+func TestWriteReadCheckpointCorpus(t *testing.T) {
+	if os.Getenv("CLOUDLENS_WRITE_CORPUS") == "" {
+		t.Skip("corpus generator; set CLOUDLENS_WRITE_CORPUS=1 to rewrite testdata")
+	}
+	valid := checkpointBytes(t)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x41
+	entries := map[string][]byte{
+		"valid-snapshot":     valid,
+		"truncated-snapshot": valid[:len(valid)/2],
+		"flipped-byte":       flipped,
+		"empty":              {},
+		"garbage":            []byte("not a checkpoint"),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadCheckpoint")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range entries {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreRejectsNegativeClassifyCap pins a fuzz-found crash: gob
+// faithfully delivers a negative MaxClassifyPerSub (one flipped sign bit),
+// withDefaults only replaces a zero value, and buildProfile then slices
+// cands[:negative] — a panic raised inside RestoreIngestor itself while
+// repopulating the knowledge base.
+func TestRestoreRejectsNegativeClassifyCap(t *testing.T) {
+	ck := checkpointOf(t)
+	ck.MaxClassifyPerSub = -1
+	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+		t.Fatal("RestoreIngestor accepted a negative classification cap")
+	}
+}
+
+// TestRestoreRejectsOutOfRangeSlotVM pins that a pending reorder slot cannot
+// smuggle a sample for a VM the trace does not have; before validation the
+// panic surfaced only later, at the fold that drained the slot.
+func TestRestoreRejectsOutOfRangeSlotVM(t *testing.T) {
+	ck := checkpointOf(t)
+	if len(ck.Slots) == 0 {
+		t.Fatal("fixture checkpoint has no pending slots")
+	}
+	ck.Slots[0].Samples = append(ck.Slots[0].Samples, sampleAt(99, ck.Slots[0].Step, 0.5))
+	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+		t.Fatal("RestoreIngestor accepted a slot sample for VM 99 of 2")
+	}
+}
+
+// TestRestoreRejectsPoisonedSlotReading pins that buffered readings cannot
+// bypass the quarantine ObserveBatch applies to live ones: a NaN parked in a
+// pending slot used to fold straight into the accumulators.
+func TestRestoreRejectsPoisonedSlotReading(t *testing.T) {
+	ck := checkpointOf(t)
+	if len(ck.Slots) == 0 {
+		t.Fatal("fixture checkpoint has no pending slots")
+	}
+	ck.Slots[0].Samples = append(ck.Slots[0].Samples, sampleAt(0, ck.Slots[0].Step, math.NaN()))
+	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+		t.Fatal("RestoreIngestor accepted a NaN reading in a pending slot")
+	}
+}
+
+// TestRestoreRejectsImpossibleAccSpan pins the hang vector: an accumulator
+// whose Next rewound to a huge negative (or tiny) value makes the next
+// on-time sample "repair" a gap of billions of steps, looping in gap-fill
+// for minutes. The span must stay inside the grid.
+func TestRestoreRejectsImpossibleAccSpan(t *testing.T) {
+	for name, mut := range map[string]func(*vmAccState){
+		"negative from":    func(a *vmAccState) { a.From = -5 },
+		"next at maxint":   func(a *vmAccState) { a.Next = math.MaxInt64 },
+		"next before from": func(a *vmAccState) { a.Next = a.From },
+	} {
+		ck := checkpointOf(t)
+		if len(ck.Accs) == 0 {
+			t.Fatal("fixture checkpoint has no accumulators")
+		}
+		mut(&ck.Accs[0])
+		if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+			t.Errorf("RestoreIngestor accepted an accumulator with %s", name)
+		}
+	}
+}
+
+// TestRestoreRejectsJunkWatermark pins the companion hang: advanceLocked
+// walks the watermark one step at a time toward the incoming batch step, so
+// a watermark rewound below -1 (or beyond the grid) loops billions of times.
+func TestRestoreRejectsJunkWatermark(t *testing.T) {
+	for _, junk := range []int{-2, math.MinInt64, math.MaxInt64} {
+		ck := checkpointOf(t)
+		ck.Watermark = junk
+		if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+			t.Errorf("RestoreIngestor accepted watermark %d", junk)
+		}
+	}
+}
+
+// TestRestoreRejectsCorruptAutoCorrLags pins the sketch-level crash: a
+// non-positive lag in a decoded AutoCorrState used to reach NewAutoCorr,
+// which panics on it (correctly, for programmer-built sketches — but a
+// snapshot must get an error).
+func TestRestoreRejectsCorruptAutoCorrLags(t *testing.T) {
+	ck := checkpointOf(t)
+	if len(ck.Accs) == 0 {
+		t.Fatal("fixture checkpoint has no accumulators")
+	}
+	ck.Accs[0].AC.Lags[0] = -1
+	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+		t.Fatal("RestoreIngestor accepted an autocorrelation lag of -1")
+	}
+}
+
+// TestRestoreRejectsUnknownGapPolicy pins that the checkpointed policy byte
+// is domain-checked; an unknown value would silently behave as a fourth,
+// undefined policy in the gap-fill switch.
+func TestRestoreRejectsUnknownGapPolicy(t *testing.T) {
+	ck := checkpointOf(t)
+	ck.GapPolicy = GapPolicy(42)
+	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
+		t.Fatal("RestoreIngestor accepted gap policy 42")
+	}
+}
+
+// TestReadCheckpointValidates pins that the byte-level reader applies the
+// same domain checks as RestoreIngestor, so cloudlens.go's resume path
+// fails at load time with a precise error instead of at first fold.
+func TestReadCheckpointValidates(t *testing.T) {
+	ing := checkpointedIngestor(t)
+	ing.mu.RLock()
+	ck := ing.checkpointLocked()
+	ing.mu.RUnlock()
+	ck.MaxClassifyPerSub = -1
+
+	// Re-serialize the mutated state through the same writer path.
+	var buf bytes.Buffer
+	restore := ing.opts.MaxClassifyPerSub
+	ing.opts.MaxClassifyPerSub = -1
+	if err := ing.WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+	ing.opts.MaxClassifyPerSub = restore
+
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()), microTrace()); err == nil {
+		t.Fatal("ReadCheckpoint accepted a checkpoint with a negative classification cap")
+	}
+}

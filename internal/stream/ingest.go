@@ -81,6 +81,13 @@ type vmAcc struct {
 	qualified bool
 	hourly    [24]float64
 	hourlyN   [24]int
+
+	// gapSteps records, until qualification, the grid steps GapSkip left
+	// unfilled. The autocorrelation ring is index-addressed, so under skip
+	// the i-th retained sample is not at from+i; qualify's flush needs the
+	// holes to recover each sample's true step. Cleared at qualification
+	// (afterwards samples fold with their real step directly).
+	gapSteps []int32
 }
 
 // classifiedVM is the compact record a qualified VM leaves behind when it
@@ -416,6 +423,11 @@ func (ing *Ingestor) ingestLocked(idx int32, step int, cpu float64) {
 	} else if gap := step - acc.next; gap > 0 {
 		switch ing.opts.GapPolicy {
 		case GapSkip:
+			if !acc.qualified {
+				for m := acc.next; m < step; m++ {
+					acc.gapSteps = append(acc.gapSteps, int32(m))
+				}
+			}
 			ing.faults.GapsSkipped += int64(gap)
 		case GapInterpolate:
 			for k := 1; k <= gap; k++ {
@@ -513,9 +525,12 @@ func (ing *Ingestor) track(idx int32) *vmAcc {
 
 // observe folds one sample into a VM's accumulators.
 func (ing *Ingestor) observe(acc *vmAcc, step int, cpu float64) {
-	i := acc.ac.N() // sample index within the VM's series
 	acc.ac.Add(cpu)
-	if classify.AlignedSlot(i%ing.stepsPerHour, ing.stepsPerHour) {
+	// Slot alignment is relative to the series origin, matching the batch
+	// classifier's index convention over a materialized series. Under
+	// GapSkip the observed-sample count drifts from the true step offset
+	// after every hole, so the slot must derive from the step itself.
+	if classify.AlignedSlot((step-acc.from)%ing.stepsPerHour, ing.stepsPerHour) {
 		acc.peakSum += cpu
 		acc.peakN++
 	} else {
@@ -549,8 +564,19 @@ func (ing *Ingestor) qualify(acc *vmAcc) {
 	vals := acc.ac.Retained(ing.flushBuf[:0])
 	g := ing.tr.Grid
 	cs := ing.clouds[acc.v.Cloud]
-	for i, x := range vals {
-		step := acc.from + i
+	// Under GapSkip the ring is compacted: the i-th retained sample is not
+	// necessarily at from+i. Walk the recorded holes to restore each
+	// sample's true step, or every post-gap sample lands in the wrong
+	// hour bucket and the wrong reading is picked as the top-of-hour
+	// region sample (found by the differential gauntlet as a
+	// region-agnosticism drift on drop+skip trials).
+	step := acc.from
+	gi := 0
+	for _, x := range vals {
+		for gi < len(acc.gapSteps) && int(acc.gapSteps[gi]) == step {
+			step++
+			gi++
+		}
 		h := g.HourOf(step) % 24
 		acc.hourly[h] += x
 		acc.hourlyN[h]++
@@ -559,7 +585,9 @@ func (ing *Ingestor) qualify(acc *vmAcc) {
 		if step%ing.stepsPerHour == 0 {
 			acc.sub.addRegionHour(acc.v.Region, g.HourOf(step), x, g.Hours())
 		}
+		step++
 	}
+	acc.gapSteps = nil
 	ing.flushBuf = vals[:0]
 }
 

@@ -172,6 +172,21 @@ func (g GapPolicy) String() string {
 	}
 }
 
+// MarshalText renders the flag spelling, so policies embedded in JSON
+// reports round-trip through ParseGapPolicy.
+func (g GapPolicy) MarshalText() ([]byte, error) { return []byte(g.String()), nil }
+
+// UnmarshalText parses a flag spelling, accepting exactly what
+// ParseGapPolicy accepts.
+func (g *GapPolicy) UnmarshalText(b []byte) error {
+	p, err := ParseGapPolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*g = p
+	return nil
+}
+
 // ParseGapPolicy parses a flag spelling ("carry", "skip", "interpolate").
 func ParseGapPolicy(s string) (GapPolicy, error) {
 	switch s {

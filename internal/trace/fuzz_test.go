@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/platform"
+	"cloudlens/internal/sim"
+	"cloudlens/internal/usage"
+)
+
+// tinyTrace is the smallest trace Validate accepts: one region, one VM,
+// a two-hour grid at the canonical five-minute step.
+func tinyTrace() *Trace {
+	return &Trace{
+		Grid: sim.Grid{
+			Start: time.Date(2023, time.March, 6, 0, 0, 0, 0, time.UTC),
+			Step:  5 * time.Minute,
+			N:     24,
+		},
+		Topology: platform.Topology{Regions: []platform.Region{{Name: "r1"}}},
+		VMs: []VM{{
+			ID:           1,
+			Subscription: "s1",
+			Service:      "svc",
+			Cloud:        core.Private,
+			Region:       "r1",
+			Size:         core.VMSize{Cores: 2, MemoryGB: 8},
+			CreatedStep:  0,
+			DeletedStep:  24,
+			Usage:        usage.Stable(0.5, 1),
+		}},
+	}
+}
+
+func tinyTraceJSON(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tinyTrace().WriteJSON(&buf); err != nil {
+		t.Fatalf("encode trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadJSON drives the trace decoder with arbitrary bytes. ReadJSON is
+// the boundary where external trace files enter (cloudlens -trace=...), so
+// any input must either be rejected or yield a trace whose grid survives
+// the hourly bucketing arithmetic every analysis performs.
+func FuzzReadJSON(f *testing.F) {
+	valid := tinyTraceJSON(f)
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"grid":{"start":"2023-03-06T00:00:00Z","step":300000000000,"n":24}}`))
+	// A 30-second step: decoded fine, used to pass Validate, then divided
+	// every hourly analysis by zero.
+	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":30000000000`), 1))
+	// A 7-minute step: whole minutes, but misaligns hour bucketing.
+	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":420000000000`), 1))
+	// A 90-second step: StepMinutes truncates to 1, hiding the fraction.
+	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":90000000000`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"region":"r1"`), []byte(`"region":"rX"`), 1))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the correct outcome for most inputs
+		}
+		// An accepted trace must hold the invariants the analyses assume.
+		if m := tr.Grid.StepMinutes(); m < 1 || 60%m != 0 {
+			t.Fatalf("accepted grid step %v (%d minutes) breaks hourly bucketing", tr.Grid.Step, m)
+		}
+		// These all divide by step-derived quantities; they must not panic
+		// on any accepted trace.
+		_ = tr.SnapshotStep()
+		_ = tr.Grid.Hours()
+		for _, r := range tr.Topology.Regions {
+			_ = tr.HourlyAliveCounts(core.Private, r.Name)
+			_ = tr.HourlyCreations(core.Public, r.Name)
+		}
+	})
+}
+
+// TestValidateRejectsNonHourlyGrids pins the fuzz-found crash class: a grid
+// step below one minute passed Validate (only positivity was checked) and
+// then SnapshotStep, kb.Extract, and stream.NewIngestor all computed
+// 60/StepMinutes() — an integer divide by zero.
+func TestValidateRejectsNonHourlyGrids(t *testing.T) {
+	cases := map[time.Duration]string{
+		30 * time.Second:                "sub-minute step divides hourly bucketing by zero",
+		90 * time.Second:                "fractional minutes truncate silently",
+		7 * time.Minute:                 "whole minutes that do not divide an hour",
+		5*time.Minute + time.Nanosecond: "near-miss of the canonical step",
+	}
+	for step, why := range cases {
+		tr := tinyTrace()
+		tr.Grid.Step = step
+		if err := tr.Validate(); err == nil {
+			t.Errorf("Validate accepted grid step %v — %s", step, why)
+		}
+	}
+	// The canonical steps must all stay valid.
+	for _, step := range []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour} {
+		tr := tinyTrace()
+		tr.Grid.Step = step
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Validate rejected legal grid step %v: %v", step, err)
+		}
+	}
+}
+
+// TestWriteReadJSONCorpus regenerates the checked-in seed corpus for
+// FuzzReadJSON. Set CLOUDLENS_WRITE_CORPUS=1 to rewrite testdata.
+func TestWriteReadJSONCorpus(t *testing.T) {
+	if os.Getenv("CLOUDLENS_WRITE_CORPUS") == "" {
+		t.Skip("corpus generator; set CLOUDLENS_WRITE_CORPUS=1 to rewrite testdata")
+	}
+	valid := tinyTraceJSON(t)
+	entries := map[string][]byte{
+		"valid-trace":     valid,
+		"sub-minute-step": bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":30000000000`), 1),
+		"seven-min-step":  bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":420000000000`), 1),
+		"unknown-region":  bytes.Replace(valid, []byte(`"region":"r1"`), []byte(`"region":"rX"`), 1),
+		"empty-object":    []byte(`{}`),
+		"not-json":        []byte(`not json`),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadJSON")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range entries {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

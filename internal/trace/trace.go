@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"time"
 
 	"cloudlens/internal/core"
 	"cloudlens/internal/platform"
@@ -98,6 +99,12 @@ type Meta struct {
 func (t *Trace) Validate() error {
 	if t.Grid.N <= 0 || t.Grid.Step <= 0 {
 		return fmt.Errorf("trace: invalid grid %+v", t.Grid)
+	}
+	// Everything downstream buckets steps into hours via 60/StepMinutes():
+	// a sub-minute step divides by zero, a fractional or non-hour-dividing
+	// one silently misaligns every hourly analysis. Reject them at the door.
+	if m := t.Grid.StepMinutes(); m < 1 || 60%m != 0 || t.Grid.Step != time.Duration(m)*time.Minute {
+		return fmt.Errorf("trace: grid step %v must be a whole number of minutes dividing an hour", t.Grid.Step)
 	}
 	if err := t.Topology.Validate(); err != nil {
 		return fmt.Errorf("trace: %w", err)
