@@ -9,9 +9,12 @@
 #   make bench       — headline performance benchmarks (time + allocations)
 #   make bench-smoke — one iteration of each headline benchmark; CI runs this
 #                      so instrumented hot paths stay compile- and run-clean
+#   make bench-shards— streaming-ingestion throughput swept over shard
+#                      counts 1/2/4/8 (the BENCH_stream.json scaling table)
 #   make diffcheck   — differential gauntlet: 25 randomized trials holding the
 #                      batch extractor and the streaming pipeline against each
-#                      other through fault injection and kill/resume
+#                      other through fault injection, kill/resume, and
+#                      shard-invariance (sharded runs bit-exact to shards=1)
 #   make fuzz-smoke  — every fuzz target briefly (seed corpora + 5s of
 #                      generated inputs each) over the untrusted decoders
 #   make lint        — determinism lint: no global math/rand draws, no
@@ -19,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify test-faults bench bench-smoke diffcheck fuzz-smoke lint
+.PHONY: all build test verify test-faults bench bench-smoke bench-shards diffcheck fuzz-smoke lint
 
 all: build
 
@@ -34,7 +37,7 @@ verify:
 	$(GO) test -race ./...
 
 test-faults:
-	$(GO) test -race -run 'Fault|Checkpoint|Resume|Harden|Reorder|Gap|Pagination' \
+	$(GO) test -race -run 'Fault|Checkpoint|Resume|Harden|Reorder|Gap|Pagination|Shard' \
 		./internal/faultgen ./internal/stream ./cmd/wkbserver
 
 bench:
@@ -43,8 +46,11 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench='CharacterizeEndToEnd|KBExtract|GenerateTrace|StreamIngest' -benchtime=1x -benchmem .
 
+bench-shards:
+	$(GO) test -run=NONE -bench=StreamIngestShards -benchmem .
+
 diffcheck: build
-	$(GO) run ./cmd/diffcheck -trials 25 -seed 1
+	$(GO) run ./cmd/diffcheck -trials 25 -seed 1 -shards 2,4,8
 
 # `go test -fuzz` takes one target per invocation, so the smoke runs each
 # untrusted-input decoder in turn: 5 seconds of generated inputs on top of

@@ -12,6 +12,7 @@ package cloudlens
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -357,9 +358,26 @@ func BenchmarkKBExtract(b *testing.B) {
 
 // BenchmarkStreamIngest tracks streaming-ingestion throughput: the full
 // default week replayed (unpaced) through the live pipeline, folding every
-// hour. Reports end-to-end samples/s and the per-sample allocation rate of
-// the hot path alongside the standard per-op counters.
+// hour. Reports end-to-end samples/sec and the per-sample allocation rate
+// of the hot path alongside the standard per-op counters.
 func BenchmarkStreamIngest(b *testing.B) {
+	benchStreamIngest(b, StreamOptions{})
+}
+
+// BenchmarkStreamIngestShards sweeps the ingestion shard count over the
+// same replay (`make bench-shards`). The knowledge base is bit-exact
+// across counts, so the sub-benchmarks differ only in samples/sec; the
+// speedup over shards=1 is the scaling table recorded in
+// BENCH_stream.json.
+func BenchmarkStreamIngestShards(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchStreamIngest(b, StreamOptions{Shards: n})
+		})
+	}
+}
+
+func benchStreamIngest(b *testing.B, opts StreamOptions) {
 	tr := benchTraceOrSkip(b)
 	b.ReportAllocs()
 	var before runtime.MemStats
@@ -367,7 +385,7 @@ func BenchmarkStreamIngest(b *testing.B) {
 	b.ResetTimer()
 	var samples int64
 	for i := 0; i < b.N; i++ {
-		p := NewStreamPipeline(tr, StreamOptions{})
+		p := NewStreamPipeline(tr, opts)
 		p.Start(context.Background())
 		if err := p.Wait(); err != nil {
 			b.Fatal(err)
@@ -382,7 +400,7 @@ func BenchmarkStreamIngest(b *testing.B) {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	if sec := b.Elapsed().Seconds(); sec > 0 {
-		b.ReportMetric(float64(samples)/sec, "samples/s")
+		b.ReportMetric(float64(samples)/sec, "samples/sec")
 	}
 	if samples > 0 {
 		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(samples), "allocs/sample")

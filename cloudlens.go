@@ -81,6 +81,9 @@ type (
 	// StreamFaultStats is the ingestor's ledger of input imperfections:
 	// reordered, deduplicated, quarantined, and repaired samples.
 	StreamFaultStats = stream.FaultStats
+	// StreamShardVital is one ingestion shard's progress and fault ledger
+	// on a sharded pipeline (StreamOptions.Shards > 1).
+	StreamShardVital = stream.ShardVital
 	// GapPolicy selects how per-VM sample gaps are repaired (carry, skip,
 	// interpolate).
 	GapPolicy = stream.GapPolicy

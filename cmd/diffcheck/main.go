@@ -7,7 +7,8 @@
 // Usage:
 //
 //	diffcheck [-trials 25] [-seed 1] [-days 3] [-scales 0.05,0.1]
-//	          [-specs 'off;drop=0.01,seed=13'] [-kill-every 2] [-json]
+//	          [-specs 'off;drop=0.01,seed=13'] [-kill-every 2]
+//	          [-shards 2,4,8] [-json]
 //
 // Exit status is 1 when any trial diverges; the report names the first
 // diverging subscription and field with the full trial recipe, so a
@@ -33,6 +34,7 @@ func main() {
 		scales    = flag.String("scales", "", "comma-separated universe scales to cycle (default 0.05,0.1)")
 		specs     = flag.String("specs", "", "semicolon-separated fault specs to cycle, in faultgen grammar (default: clean, repairable, and lossy mixes)")
 		killEvery = flag.Int("kill-every", 2, "checkpoint+resume every n-th trial mid-replay (0 disables)")
+		shards    = flag.String("shards", "", "comma-separated shard counts to cycle; sharded trials are held bit-exact to a single-ingestor reference on lossless fault mixes")
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
 	)
 	flag.Parse()
@@ -53,6 +55,16 @@ func main() {
 	}
 	if *specs != "" {
 		cfg.FaultSpecs = strings.Split(*specs, ";")
+	}
+	if *shards != "" {
+		for _, f := range strings.Split(*shards, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "diffcheck: bad shard count %q\n", f)
+				os.Exit(2)
+			}
+			cfg.ShardCounts = append(cfg.ShardCounts, v)
+		}
 	}
 
 	rep, err := diffcheck.Run(cfg)

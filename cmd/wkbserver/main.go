@@ -22,7 +22,11 @@
 // incremental ingestion pipeline in simulated time (-speedup compresses
 // the clock; 0 replays as fast as ingestion keeps up) and the knowledge
 // base fills in continuously while the server runs; /healthz reports
-// "ingesting" until the replay completes.
+// "ingesting" until the replay completes. -shards partitions ingestion by
+// subscription hash across that many parallel ingestor shards (default:
+// GOMAXPROCS); the merged knowledge base is bit-exact with -shards 1, and
+// /healthz plus /api/v1/live/faults break progress and fault counters out
+// per shard.
 //
 // Fault tolerance: -faults injects a seeded fault mix into the replay
 // (grammar: drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1);
@@ -44,7 +48,7 @@
 // Usage:
 //
 //	wkbserver [-addr :8080] [-seed 42] [-trace bundle/trace.json.gz]
-//	          [-replay] [-speedup 2016] [-save kb.json]
+//	          [-replay] [-shards 4] [-speedup 2016] [-save kb.json]
 //	          [-faults drop=0.01,seed=1] [-lateness 3] [-gap-policy carry]
 //	          [-checkpoint-dir /var/lib/cloudlens] [-checkpoint-every 30s] [-resume]
 //	          [-debug-addr :6060] [-log-level info] [-log-requests]
@@ -61,6 +65,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -86,6 +91,7 @@ func run() error {
 		scale       = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
 		tracePath   = flag.String("trace", "", "load a saved trace instead of generating")
 		replay      = flag.Bool("replay", false, "stream the trace through the live ingestion pipeline instead of extracting up front")
+		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "ingestion shards for -replay; subscriptions are hash-partitioned across this many parallel ingestors (1 = single ingestor)")
 		speedup     = flag.Float64("speedup", 0, "simulated-to-wall-clock ratio for -replay (0 = as fast as possible)")
 		save        = flag.String("save", "", "persist the knowledge base JSON to this path on exit (batch mode: after extraction)")
 		faults      = flag.String("faults", "", "inject a seeded fault mix into the replay, e.g. drop=0.01,dup=0.005,delay=0.002:3,corrupt=0.001,seed=1")
@@ -147,10 +153,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *shards < 1 {
+			return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
+		}
 		opts := cloudlens.StreamOptions{
 			Speedup:          *speedup,
 			MaxLatenessSteps: *lateness,
 			GapPolicy:        gp,
+			Shards:           *shards,
 			WrapSource:       spec.Wrap(tr.Grid.N, &inj),
 		}
 		ckptPath := checkpointPath(*ckptDir)
@@ -162,7 +172,7 @@ func run() error {
 		store = pipe.KB()
 		logger.Info("replay started",
 			"vms", len(tr.VMs), "steps", tr.Grid.N, "speedup", *speedup,
-			"faults", spec.Enabled(), "gapPolicy", gp.String())
+			"shards", *shards, "faults", spec.Enabled(), "gapPolicy", gp.String())
 		if ckptPath != "" {
 			go checkpointLoop(ctx, pipe, ckptPath, *ckptEvery, logger)
 		}

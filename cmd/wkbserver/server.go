@@ -100,7 +100,7 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 			kb.WriteJSON(w, http.StatusOK, p)
 		})
 	live("GET /api/v1/live/faults", "/api/v1/live/faults",
-		"ingestion fault ledger: quarantined/deduplicated samples, watermark lag, injector counts, checkpoint age", nil,
+		"ingestion fault ledger: quarantined/deduplicated samples, watermark lag, per-shard vitals, injector counts, checkpoint age", nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			kb.WriteJSON(w, http.StatusOK, faultsPayload(pipe, inj))
 		})
@@ -124,10 +124,13 @@ type FaultsReport struct {
 	LastCheckpoint *cloudlens.CheckpointInfo `json:"lastCheckpoint,omitempty"`
 	// LastCheckpointAgeSec is the checkpoint's age at response time.
 	LastCheckpointAgeSec float64 `json:"lastCheckpointAgeSec,omitempty"`
+	// Shards breaks the stream ledger out per ingestion shard; absent on a
+	// single-ingestor replay. Stream remains the cross-shard aggregate.
+	Shards []cloudlens.StreamShardVital `json:"shards,omitempty"`
 }
 
 func faultsPayload(pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector) FaultsReport {
-	out := FaultsReport{Stream: pipe.FaultStats()}
+	out := FaultsReport{Stream: pipe.FaultStats(), Shards: pipe.ShardVitals()}
 	if inj != nil {
 		led := inj.Ledger()
 		out.Injected = &led
@@ -161,6 +164,16 @@ func healthFn(pipe *cloudlens.StreamPipeline) func() kb.Health {
 		h.Quarantined = fs.QuarantinedCorrupt + fs.QuarantinedLate
 		h.DuplicatesDropped = fs.DuplicatesDropped
 		h.WatermarkLag = fs.WatermarkLag
+		for _, sv := range pipe.ShardVitals() {
+			h.Shards = append(h.Shards, kb.ShardHealth{
+				Shard:             sv.Shard,
+				Step:              sv.Step,
+				SamplesIngested:   sv.SamplesIngested,
+				Quarantined:       sv.Faults.QuarantinedCorrupt + sv.Faults.QuarantinedLate,
+				DuplicatesDropped: sv.Faults.DuplicatesDropped,
+				WatermarkLag:      sv.Faults.WatermarkLag,
+			})
+		}
 		if info, ok := pipe.LastCheckpoint(); ok {
 			h.LastCheckpointAgeSec = time.Since(info.At).Seconds()
 		}

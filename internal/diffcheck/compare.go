@@ -3,6 +3,7 @@ package diffcheck
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -196,7 +197,7 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 	all := kb.Query{MinRegionAgnosticScore: -2}
 	bps := batch.List(all)
 	res.Subscriptions = len(bps)
-	live := run.ing.KB()
+	live := run.eng.KB()
 
 	// The stream must never invent a subscription the trace does not have.
 	for _, lp := range live.List(all) {
@@ -269,7 +270,7 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 		// stream's qualified pool matches the batch one — under drops a
 		// borderline VM can miss the observed-sample threshold and take its
 		// whole series out of the stream's aggregates.
-		prof, _ := run.ing.Profile(bp.Subscription)
+		prof, _ := run.eng.Profile(bp.Subscription)
 		poolComplete := run.lossless || prof.QualifiedVMs == pools.dayPlus[bp.Subscription]
 		meanTol, qTol, rasTol := meanUtilTolLossy, quantileTolLossy, rasTolLossy
 		if run.lossless {
@@ -344,7 +345,7 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 	if run.lossless {
 		qTol = quantileTolLossless
 	}
-	sum := run.ing.Summary()
+	sum := run.eng.Summary()
 	for _, cloud := range core.Clouds() {
 		samples := pools.perCloud[cloud]
 		if len(samples) == 0 {
@@ -363,7 +364,7 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 
 	// Ledger reconciliation: the injector's exact account of what it did
 	// must match the ingestor's books, and nothing repairable may be lost.
-	fs := run.ing.FaultStats()
+	fs := run.eng.FaultStats()
 	if fs.DuplicatesDropped != run.ledger.Duplicated {
 		d.addf("", "ledger.duplicates", float64(run.ledger.Duplicated), float64(fs.DuplicatesDropped))
 	}
@@ -382,4 +383,39 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 	}
 
 	return res
+}
+
+// compareShardInvariance holds a sharded run against the single-ingestor
+// reference that replayed the identical (seeded) fault sequence. On
+// lossless trials every published profile, the live profiles, the
+// per-cloud summary, and the fault ledger must be bit-identical — the
+// sharded merge contract. On lossy trials the destroyed readings are the
+// same on both sides, so the ledgers must still reconcile exactly.
+// Divergences are reported with the reference in the Batch column.
+func compareShardInvariance(res *TrialResult, ref, sharded *streamRun, maxDiv int) {
+	d := &diffState{res: res, max: maxDiv}
+	if w, g := ref.eng.FaultStats(), sharded.eng.FaultStats(); w != g {
+		d.add("", "shard.faultStats", fmt.Sprintf("%+v", w), fmt.Sprintf("%+v", g))
+	}
+	if !ref.lossless {
+		return
+	}
+	all := kb.Query{MinRegionAgnosticScore: -2}
+	want, got := ref.eng.KB().List(all), sharded.eng.KB().List(all)
+	if len(got) != len(want) {
+		d.add("", "shard.profiles", fmt.Sprintf("%d", len(want)), fmt.Sprintf("%d", len(got)))
+		return
+	}
+	for i := range want {
+		if !reflect.DeepEqual(*got[i], *want[i]) {
+			d.add(want[i].Subscription, "shard.profile",
+				fmt.Sprintf("%+v", *want[i]), fmt.Sprintf("%+v", *got[i]))
+		}
+	}
+	if w, g := ref.eng.Profiles(all), sharded.eng.Profiles(all); !reflect.DeepEqual(w, g) {
+		d.add("", "shard.liveProfiles", fmt.Sprintf("%d entries", len(w)), "diverged")
+	}
+	if w, g := ref.eng.Summary(), sharded.eng.Summary(); !reflect.DeepEqual(w, g) {
+		d.add("", "shard.summary", fmt.Sprintf("%+v", w), fmt.Sprintf("%+v", g))
+	}
 }

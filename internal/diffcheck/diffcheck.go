@@ -61,6 +61,12 @@ type Config struct {
 	// KillEvery makes every n-th trial checkpoint mid-replay and resume
 	// from the serialized bytes (default 2; 0 disables).
 	KillEvery int
+	// ShardCounts are cycled across trials as the streaming side's shard
+	// count (default nil: single-ingestor only). A trial with more than
+	// one shard additionally runs an uninterrupted single-ingestor
+	// reference over the same faulted replay and, on lossless trials,
+	// holds the sharded knowledge base bit-exactly to it.
+	ShardCounts []int
 	// MaxDivergencesPerTrial caps the report size (default 16).
 	MaxDivergencesPerTrial int
 }
@@ -107,6 +113,9 @@ type Trial struct {
 	// KillStep is the batch step after which the run checkpointed and
 	// resumed; -1 means the run was uninterrupted.
 	KillStep int `json:"killStep"`
+	// Shards is the streaming side's shard count (0 or 1: single
+	// ingestor).
+	Shards int `json:"shards,omitempty"`
 }
 
 func (t Trial) String() string {
@@ -114,8 +123,12 @@ func (t Trial) String() string {
 	if t.KillStep >= 0 {
 		kill = fmt.Sprintf("step %d", t.KillStep)
 	}
-	return fmt.Sprintf("trial %d: seed=%d scale=%g gap=%s faults=%q kill=%s",
-		t.Index, t.Seed, t.Scale, t.GapPolicy, t.Faults, kill)
+	shards := ""
+	if t.Shards > 1 {
+		shards = fmt.Sprintf(" shards=%d", t.Shards)
+	}
+	return fmt.Sprintf("trial %d: seed=%d scale=%g gap=%s faults=%q kill=%s%s",
+		t.Index, t.Seed, t.Scale, t.GapPolicy, t.Faults, kill, shards)
 }
 
 // Run executes the gauntlet and returns the full report. The error covers
@@ -142,6 +155,9 @@ func Run(cfg Config) (*Report, error) {
 			// the reorder ring holds undelivered state.
 			tl.KillStep = 1 + rng.Intn(gridN-2)
 		}
+		if len(cfg.ShardCounts) > 0 {
+			tl.Shards = cfg.ShardCounts[i%len(cfg.ShardCounts)]
+		}
 		res, err := runTrial(tl, cfg)
 		if err != nil {
 			return rep, fmt.Errorf("diffcheck: %s: %w", tl, err)
@@ -152,13 +168,33 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // runTrial generates one synthetic workload, runs both implementations
-// over it, and diffs the knowledge bases.
+// over it, and diffs the knowledge bases. Sharded trials also run an
+// uninterrupted single-ingestor reference over the same faulted replay:
+// on lossless trials the sharded knowledge base must match it bit for
+// bit (even when the sharded run was killed and resumed mid-week); on
+// lossy trials both sides see the identical seeded fault sequence, so
+// their ledgers must still reconcile exactly.
 func runTrial(tl Trial, cfg Config) (TrialResult, error) {
 	tr, batch, res, err := materializeTrial(tl, cfg)
 	if err != nil {
 		return TrialResult{}, err
 	}
-	return compareTrial(tl, tr, batch, res, cfg.MaxDivergencesPerTrial), nil
+	result := compareTrial(tl, tr, batch, res, cfg.MaxDivergencesPerTrial)
+	if tl.Shards > 1 {
+		refTl := tl
+		refTl.Shards = 0
+		refTl.KillStep = -1
+		spec, err := faultgen.ParseSpec(tl.Faults)
+		if err != nil {
+			return result, fmt.Errorf("fault spec: %w", err)
+		}
+		ref, err := runStream(tr, refTl, spec)
+		if err != nil {
+			return result, fmt.Errorf("reference stream: %w", err)
+		}
+		compareShardInvariance(&result, ref, res, cfg.MaxDivergencesPerTrial)
+	}
+	return result, nil
 }
 
 // materializeTrial produces a trial's trace and both knowledge bases
@@ -190,7 +226,7 @@ func materializeTrial(tl Trial, cfg Config) (*trace.Trace, *kb.Store, *streamRun
 
 // streamRun is the streaming side's complete output for one trial.
 type streamRun struct {
-	ing *stream.Ingestor
+	eng stream.Engine
 	// ledger is the injector's exact account of what it perturbed (zero
 	// for clean trials).
 	ledger faultgen.Ledger
@@ -200,10 +236,10 @@ type streamRun struct {
 	lossless bool
 }
 
-// runStream replays the trace into a fresh ingestor, optionally through
-// the fault injector, and — on kill trials — serializes the ingestor at
-// the kill step, restores it from the bytes, and finishes on the
-// restored instance.
+// runStream replays the trace into a fresh engine (single or sharded per
+// tl.Shards), optionally through the fault injector, and — on kill trials
+// — serializes the engine at the kill step, restores it from the bytes,
+// and finishes on the restored instance.
 func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error) {
 	// The reorder window must cover the injector's delay bound or delayed
 	// samples are (correctly) quarantined and the trial measures loss,
@@ -215,6 +251,7 @@ func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error
 	opts := stream.Options{
 		GapPolicy:        tl.GapPolicy,
 		MaxLatenessSteps: lateness,
+		Shards:           tl.Shards,
 	}
 
 	var src stream.Source = stream.NewReplayer(tr, opts)
@@ -222,40 +259,41 @@ func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error
 	if wrap := spec.Wrap(tr.Grid.N, &inj); wrap != nil {
 		src = wrap(src)
 	}
-	ing := stream.NewIngestor(tr, opts)
+	eng := stream.NewEngine(tr, opts)
 	recycle := func(buf []stream.Sample) { src.Recycle(stream.StepBatch{Samples: buf}) }
-	ing.SetRecycler(recycle)
+	eng.SetRecycler(recycle)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- src.Run(context.Background()) }()
 	killed := tl.KillStep < 0
 	for b := range src.Events() {
 		step := b.Step
-		ing.ObserveBatch(b)
+		eng.ObserveBatch(b)
 		if !killed && step >= tl.KillStep {
 			killed = true
 			var buf bytes.Buffer
-			if err := ing.WriteCheckpoint(&buf); err != nil {
+			if err := eng.WriteCheckpoint(&buf); err != nil {
 				return nil, fmt.Errorf("checkpoint at step %d: %w", step, err)
 			}
 			ck, err := stream.ReadCheckpoint(bytes.NewReader(buf.Bytes()), tr)
 			if err != nil {
 				return nil, fmt.Errorf("read checkpoint at step %d: %w", step, err)
 			}
-			resumed, err := stream.RestoreIngestor(tr, opts, ck)
+			resumed, err := stream.RestoreEngine(tr, opts, ck)
 			if err != nil {
 				return nil, fmt.Errorf("restore at step %d: %w", step, err)
 			}
+			eng.Abort()
 			resumed.SetRecycler(recycle)
-			ing = resumed
+			eng = resumed
 		}
 	}
 	if err := <-errCh; err != nil {
 		return nil, fmt.Errorf("replay: %w", err)
 	}
-	ing.Finish()
+	eng.Finish()
 
-	run := &streamRun{ing: ing, lossless: spec.Drop == 0 && spec.Corrupt == 0}
+	run := &streamRun{eng: eng, lossless: spec.Drop == 0 && spec.Corrupt == 0}
 	if inj != nil {
 		run.ledger = inj.Ledger()
 	}

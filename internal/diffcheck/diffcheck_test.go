@@ -36,6 +36,28 @@ func TestGauntletMatrix(t *testing.T) {
 	}
 }
 
+// TestGauntletShardInvariance runs the matrix with shard counts cycled
+// across trials: lossless sharded runs must match the single-ingestor
+// reference bit for bit (the kill trials resume the sharded engine), and
+// lossy runs must reconcile their fault ledgers exactly.
+func TestGauntletShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial differential run")
+	}
+	rep, err := Run(Config{Trials: 6, Seed: 20260807, Scales: []float64{0.05}, ShardCounts: []int{2, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("sharded stream diverged:\n%s", rep)
+	}
+	for _, res := range rep.Results {
+		if res.Trial.Shards < 2 {
+			t.Fatalf("trial %d ran unsharded (%d)", res.Trial.Index, res.Trial.Shards)
+		}
+	}
+}
+
 // TestComparatorDetectsMutation proves the oracle is alive: hand-corrupt
 // one field of the streaming knowledge base and the comparator must name
 // that exact subscription and field.
@@ -62,13 +84,13 @@ func TestComparatorDetectsMutation(t *testing.T) {
 			break
 		}
 	}
-	lp, ok := run.ing.KB().Get(victim)
+	lp, ok := run.eng.KB().Get(victim)
 	if !ok {
 		t.Fatalf("subscription %s missing from live knowledge base", victim)
 	}
 	mutated := *lp
 	mutated.MedianLifetimeMin += 17
-	run.ing.KB().Put(&mutated)
+	run.eng.KB().Put(&mutated)
 
 	got := compareTrial(tl, tr, batch, run, cfg.MaxDivergencesPerTrial)
 	if len(got.Divergences) == 0 {

@@ -63,6 +63,21 @@ type Health struct {
 	DuplicatesDropped    int64   `json:"duplicatesDropped,omitempty"`
 	WatermarkLag         int     `json:"watermarkLag,omitempty"`
 	LastCheckpointAgeSec float64 `json:"lastCheckpointAgeSec,omitempty"`
+	// Shards breaks the vitals out per ingestion shard on a sharded
+	// replay; absent on single-ingestor and batch servers.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one ingestion shard's slice of the /healthz vitals, so a
+// probe shows a lagging or fault-heavy shard instead of one blended
+// number. The top-level Health fields remain the cross-shard aggregate.
+type ShardHealth struct {
+	Shard             int   `json:"shard"`
+	Step              int   `json:"step"`
+	SamplesIngested   int64 `json:"samplesIngested"`
+	Quarantined       int64 `json:"quarantined,omitempty"`
+	DuplicatesDropped int64 `json:"duplicatesDropped,omitempty"`
+	WatermarkLag      int   `json:"watermarkLag,omitempty"`
 }
 
 // VersionInfo is the /api/v1/version payload, assembled from the binary's

@@ -118,7 +118,10 @@ type Summary struct {
 // multi-region subscription is considered region-agnostic.
 const RegionAgnosticThreshold = 0.8
 
-// Summarize aggregates all profiles of one platform.
+// Summarize aggregates all profiles of one platform. Profiles are walked
+// in subscription order so the floating-point accumulation order — and
+// therefore the summary, bit for bit — is a pure function of the stored
+// profiles, never of map iteration or insertion order.
 func (s *Store) Summarize(cloud core.Cloud) Summary {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -126,10 +129,16 @@ func (s *Store) Summarize(cloud core.Cloud) Summary {
 		Cloud:         cloud,
 		PatternShares: make(map[core.Pattern]float64),
 	}
+	ids := make([]core.SubscriptionID, 0, len(s.profiles))
+	for id := range s.profiles {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var utilSum float64
 	var lifetimes []float64
 	classifiedSubs := 0
-	for _, p := range s.profiles {
+	for _, id := range ids {
+		p := s.profiles[id]
 		if p.Cloud != cloud {
 			continue
 		}
@@ -155,9 +164,14 @@ func (s *Store) Summarize(cloud core.Cloud) Summary {
 	}
 	if classifiedSubs > 0 {
 		sum.MeanUtilization = utilSum / float64(classifiedSubs)
+		patterns := make([]core.Pattern, 0, len(sum.PatternShares))
+		for k := range sum.PatternShares {
+			patterns = append(patterns, k)
+		}
+		sort.Slice(patterns, func(i, j int) bool { return patterns[i] < patterns[j] })
 		total := 0.0
-		for _, v := range sum.PatternShares {
-			total += v
+		for _, k := range patterns {
+			total += sum.PatternShares[k]
 		}
 		if total > 0 {
 			for k := range sum.PatternShares {

@@ -16,21 +16,24 @@ import (
 	"cloudlens/internal/trace"
 )
 
-// Checkpoint format (DESIGN.md §8): a gzip stream of two gob values — a
-// preamble carrying magic, version, and the trace fingerprint, then the
-// full ingestor state. Every sketch serializes through its exported State
-// type (internal/sketch/state.go), whose round-trip is exact, so a resumed
-// run folds the remaining stream into bit-identical accumulators. The
-// version gates decoding: a reader refuses newer snapshots outright instead
-// of misinterpreting them, and bumping CheckpointVersion is required
-// whenever any serialized shape below changes.
+// Checkpoint format (DESIGN.md §8, §11): a gzip stream of two gob values —
+// a preamble carrying magic, version, and the trace fingerprint, then the
+// engine state: the shard count plus one ShardCheckpoint per shard (a
+// single-ingestor pipeline writes exactly one). Every sketch serializes
+// through its exported State type (internal/sketch/state.go), whose
+// round-trip is exact, so a resumed run folds the remaining stream into
+// bit-identical accumulators. The version gates decoding: a reader refuses
+// newer snapshots outright instead of misinterpreting them, and bumping
+// CheckpointVersion is required whenever any serialized shape below changes.
 
 const (
 	checkpointMagic = "cloudlens-checkpoint"
 	// CheckpointVersion is the serialization version of the snapshot
 	// payload. v2 added per-accumulator GapSteps, which a resumed GapSkip
-	// run needs to flush qualification aggregates at the right steps.
-	CheckpointVersion = 2
+	// run needs to flush qualification aggregates at the right steps; v3
+	// records the shard count and one snapshot per shard, so a sharded
+	// pipeline resumes each shard's ring and accumulators independently.
+	CheckpointVersion = 3
 )
 
 // preamble is decoded alone before the payload so mismatches fail fast and
@@ -42,7 +45,9 @@ type preamble struct {
 }
 
 // The DTOs below mirror the ingestor's unexported state with exported
-// fields only, which is all encoding/gob requires of a payload.
+// fields only, which is all encoding/gob requires of a payload. Keys stay
+// strings (not interned ids) so the serialized form is independent of the
+// intern table's assignment order.
 
 // vmAccState is a live VM accumulator.
 type vmAccState struct {
@@ -109,10 +114,11 @@ type slotState struct {
 	Deleted []int32
 }
 
-// Checkpoint is the complete serialized ingestor state. Resuming from it
-// and replaying the remaining steps reproduces the uninterrupted run
-// exactly (the kill/resume golden test pins this).
-type Checkpoint struct {
+// ShardCheckpoint is one ingestor's complete serialized state — the whole
+// pipeline when unsharded, one shard of it otherwise. Resuming from it and
+// replaying the remaining steps reproduces the uninterrupted run exactly
+// (the kill/resume golden tests pin this).
+type ShardCheckpoint struct {
 	// LastStep is the newest batch step observed before the snapshot; the
 	// resumed replay starts at LastStep + 1.
 	LastStep int
@@ -138,6 +144,28 @@ type Checkpoint struct {
 	SamplesIngested int64
 	StepsIngested   int64
 	FoldCount       int64
+}
+
+// Checkpoint is the complete serialized engine state: how many shards the
+// pipeline ran with, group-level counters, and one snapshot per shard. A
+// resume must run with the recorded shard count — the per-shard reorder
+// rings, dedup cursors, and fault ledgers are only meaningful under the
+// same partitioning.
+type Checkpoint struct {
+	// ShardCount is the number of ingestor shards the writing pipeline ran
+	// (1 for the single-ingestor pipeline).
+	ShardCount int
+	// LastStep is the newest batch step observed before the snapshot,
+	// common to every shard.
+	LastStep int
+
+	SamplesIngested int64
+	StepsIngested   int64
+	// FoldCount counts published folds: ingestor folds when unsharded,
+	// hour-barrier merges when sharded.
+	FoldCount int64
+
+	Shards []*ShardCheckpoint
 }
 
 // TraceFingerprint hashes the identity of a trace — grid geometry plus
@@ -166,17 +194,11 @@ func TraceFingerprint(tr *trace.Trace) uint64 {
 	return h.Sum64()
 }
 
-// WriteCheckpoint serializes the ingestor's complete state to w. It holds
-// the read lock for the duration, so ingestion pauses but snapshot readers
-// do not.
-func (ing *Ingestor) WriteCheckpoint(w io.Writer) error {
-	ing.mu.RLock()
-	ck := ing.checkpointLocked()
-	ing.mu.RUnlock()
-
+// writeCheckpoint serializes an already-captured engine snapshot to w.
+func writeCheckpoint(w io.Writer, tr *trace.Trace, ck *Checkpoint) error {
 	zw := gzip.NewWriter(w)
 	enc := gob.NewEncoder(zw)
-	pre := preamble{Magic: checkpointMagic, Version: CheckpointVersion, Fingerprint: TraceFingerprint(ing.tr)}
+	pre := preamble{Magic: checkpointMagic, Version: CheckpointVersion, Fingerprint: TraceFingerprint(tr)}
 	if err := enc.Encode(pre); err != nil {
 		return fmt.Errorf("stream: encode checkpoint preamble: %w", err)
 	}
@@ -186,11 +208,33 @@ func (ing *Ingestor) WriteCheckpoint(w io.Writer) error {
 	return zw.Close()
 }
 
-// checkpointLocked captures the ingestor state as a Checkpoint. Callers
-// hold at least the read lock. Every slice and sketch state is copied, so
-// the snapshot stays consistent after the lock is released.
-func (ing *Ingestor) checkpointLocked() *Checkpoint {
-	ck := &Checkpoint{
+// WriteCheckpoint serializes the ingestor's complete state to w as a
+// single-shard checkpoint. It holds the read lock only while capturing the
+// snapshot, so ingestion pauses but snapshot readers do not.
+func (ing *Ingestor) WriteCheckpoint(w io.Writer) error {
+	sc := ing.snapshot()
+	return writeCheckpoint(w, ing.tr, &Checkpoint{
+		ShardCount:      1,
+		LastStep:        sc.LastStep,
+		SamplesIngested: sc.SamplesIngested,
+		StepsIngested:   sc.StepsIngested,
+		FoldCount:       sc.FoldCount,
+		Shards:          []*ShardCheckpoint{sc},
+	})
+}
+
+// snapshot captures a deep copy of the ingestor state under the read lock.
+func (ing *Ingestor) snapshot() *ShardCheckpoint {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return ing.checkpointLocked()
+}
+
+// checkpointLocked captures the ingestor state as a ShardCheckpoint.
+// Callers hold at least the read lock. Every slice and sketch state is
+// copied, so the snapshot stays consistent after the lock is released.
+func (ing *Ingestor) checkpointLocked() *ShardCheckpoint {
+	ck := &ShardCheckpoint{
 		LastStep:          int(ing.lastStep.Load()),
 		Watermark:         ing.watermark,
 		FoldEverySteps:    ing.opts.FoldEverySteps,
@@ -216,6 +260,9 @@ func (ing *Ingestor) checkpointLocked() *Checkpoint {
 		})
 	}
 	for _, ss := range ing.subs {
+		if ss == nil {
+			continue
+		}
 		st := subStateState{
 			ID:            ss.id,
 			Cloud:         ss.cloud,
@@ -228,7 +275,7 @@ func (ing *Ingestor) checkpointLocked() *Checkpoint {
 			ShortLived:    ss.shortLived,
 			Util:          ss.util.State(),
 			Retired:       make([]classifiedVMState, 0, len(ss.retired)),
-			RegionHours:   make(map[string]regionHourState, len(ss.regionHours)),
+			RegionHours:   make(map[string]regionHourState),
 		}
 		for _, c := range ss.retired {
 			st.Retired = append(st.Retired, classifiedVMState{
@@ -236,8 +283,11 @@ func (ing *Ingestor) checkpointLocked() *Checkpoint {
 				Hourly: c.hourly, HourlyN: c.hourlyN,
 			})
 		}
-		for r, rh := range ss.regionHours {
-			st.RegionHours[r] = regionHourState{
+		for ri, rh := range ss.regionHours {
+			if rh == nil {
+				continue
+			}
+			st.RegionHours[ing.keys.Regions[ri]] = regionHourState{
 				Sum: append([]float64(nil), rh.sum...),
 				N:   append([]float64(nil), rh.n...),
 			}
@@ -294,9 +344,55 @@ func ReadCheckpoint(r io.Reader, tr *trace.Trace) (*Checkpoint, error) {
 	return &ck, nil
 }
 
+// validate rejects engine checkpoints whose shape is internally
+// inconsistent: an impossible shard count, shards snapshotted at different
+// steps, or (when sharded) state that belongs to a different shard under
+// the subscription-hash partition.
+func (ck *Checkpoint) validate(tr *trace.Trace) error {
+	if ck.ShardCount < 1 || ck.ShardCount > MaxShards {
+		return fmt.Errorf("stream: checkpoint shard count %d outside [1, %d]", ck.ShardCount, MaxShards)
+	}
+	if len(ck.Shards) != ck.ShardCount {
+		return fmt.Errorf("stream: checkpoint declares %d shards but carries %d", ck.ShardCount, len(ck.Shards))
+	}
+	keys := tr.Keys()
+	for i, sc := range ck.Shards {
+		if sc == nil {
+			return fmt.Errorf("stream: checkpoint shard %d is empty", i)
+		}
+		if err := sc.validate(tr); err != nil {
+			return fmt.Errorf("stream: shard %d: %w", i, err)
+		}
+		if sc.LastStep != ck.LastStep {
+			return fmt.Errorf("stream: checkpoint shard %d snapshotted at step %d, group at %d", i, sc.LastStep, ck.LastStep)
+		}
+		if sc.Watermark != ck.Shards[0].Watermark {
+			return fmt.Errorf("stream: checkpoint shard %d watermark %d diverges from shard 0's %d", i, sc.Watermark, ck.Shards[0].Watermark)
+		}
+		if ck.ShardCount == 1 {
+			continue
+		}
+		// Sharded state must respect the partition: a VM's accumulator (or
+		// a subscription's state) restored into the wrong shard would split
+		// its series across dedup cursors and corrupt every aggregate.
+		for _, st := range sc.Accs {
+			if owner := int(keys.SubHash[keys.SubOf[st.Idx]] % uint64(ck.ShardCount)); owner != i {
+				return fmt.Errorf("stream: checkpoint shard %d holds accumulator for VM %d owned by shard %d", i, st.Idx, owner)
+			}
+		}
+		for _, ss := range sc.Subs {
+			si, _ := keys.SubIndex(ss.ID) // existence verified by sc.validate
+			if owner := int(keys.SubHash[si] % uint64(ck.ShardCount)); owner != i {
+				return fmt.Errorf("stream: checkpoint shard %d holds subscription %s owned by shard %d", i, ss.ID, owner)
+			}
+		}
+	}
+	return nil
+}
+
 // effectiveRingLen mirrors Options.withDefaults' MaxLatenessSteps handling:
 // the reorder ring a restored ingestor will allocate for this checkpoint.
-func (ck *Checkpoint) effectiveRingLen() int {
+func (ck *ShardCheckpoint) effectiveRingLen() int {
 	switch {
 	case ck.MaxLatenessSteps == 0:
 		return 3 + 1
@@ -314,9 +410,10 @@ func (ck *Checkpoint) effectiveRingLen() int {
 // fold), or rewind an accumulator's Next far enough that the next sample
 // "repairs" a billion-step gap. Everything checked here was found by
 // fuzzing ReadCheckpoint over mutated snapshot bytes.
-func (ck *Checkpoint) validate(tr *trace.Trace) error {
+func (ck *ShardCheckpoint) validate(tr *trace.Trace) error {
 	n := tr.Grid.N
 	ringLen := ck.effectiveRingLen()
+	keys := tr.Keys()
 	if ck.LastStep < -1 || ck.LastStep > n {
 		return fmt.Errorf("stream: checkpoint last step %d outside [-1, %d]", ck.LastStep, n)
 	}
@@ -374,20 +471,44 @@ func (ck *Checkpoint) validate(tr *trace.Trace) error {
 		}
 	}
 	for _, ss := range ck.Subs {
+		if _, ok := keys.SubIndex(ss.ID); !ok {
+			return fmt.Errorf("stream: checkpoint carries subscription %s not in trace", ss.ID)
+		}
 		for _, c := range ss.Retired {
 			if c.Pattern < core.PatternUnknown || c.Pattern > core.PatternHourlyPeak {
 				return fmt.Errorf("stream: checkpoint subscription %s retired VM %d with unknown pattern %d", ss.ID, c.Idx, c.Pattern)
+			}
+		}
+		for r := range ss.RegionHours {
+			if _, ok := keys.RegionIndex(r); !ok {
+				return fmt.Errorf("stream: checkpoint subscription %s reports from region %q not in trace", ss.ID, r)
 			}
 		}
 	}
 	return nil
 }
 
-// RestoreIngestor rebuilds an ingestor from a checkpoint. The checkpointed
-// fold cadence, classification cap, lateness bound, and gap policy override
-// the corresponding opts fields so the resumed run folds identically to the
-// interrupted one; runtime-only options (Speedup, Buffer, WrapSource) come
-// from opts.
+// applyOptions merges the checkpointed pipeline parameters over opts: a
+// resumed run inherits the fold cadence, classification cap, lateness
+// bound, and gap policy that shaped the snapshot, while runtime-only
+// options (Speedup, Buffer, WrapSource, Shards) come from opts.
+func (ck *ShardCheckpoint) applyOptions(opts Options) Options {
+	opts.FoldEverySteps = ck.FoldEverySteps
+	opts.MaxClassifyPerSub = ck.MaxClassifyPerSub
+	opts.ShortBinMinutes = ck.ShortBinMinutes
+	opts.MaxLatenessSteps = ck.MaxLatenessSteps
+	opts.GapPolicy = ck.GapPolicy
+	opts.StartStep = ck.LastStep + 1
+	return opts
+}
+
+// RestoreIngestor rebuilds a single ingestor from a single-shard
+// checkpoint. The checkpointed fold cadence, classification cap, lateness
+// bound, and gap policy override the corresponding opts fields so the
+// resumed run folds identically to the interrupted one; runtime-only
+// options (Speedup, Buffer, WrapSource) come from opts. Multi-shard
+// checkpoints must resume through RestoreEngine with a matching shard
+// count.
 func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, error) {
 	// Checkpoints read through ReadCheckpoint are already validated, but
 	// RestoreIngestor also accepts hand-built ones; validate is cheap and
@@ -395,14 +516,62 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 	if err := ck.validate(tr); err != nil {
 		return nil, err
 	}
+	if ck.ShardCount != 1 {
+		return nil, fmt.Errorf("stream: checkpoint was written by a %d-shard pipeline; resume it through a sharded engine with -shards %d", ck.ShardCount, ck.ShardCount)
+	}
+	return restoreShard(tr, opts, ck.Shards[0], defaultIngestMetrics, true, 0)
+}
+
+// RestoreEngine rebuilds the ingestion engine a checkpoint describes. The
+// requested opts.Shards must match the recorded shard count: per-shard
+// reorder rings and dedup cursors are only meaningful under the same
+// partitioning, so a mismatch is refused loudly instead of corrupting
+// state.
+func RestoreEngine(tr *trace.Trace, opts Options, ck *Checkpoint) (Engine, error) {
+	eng, _, err := restoreEngine(tr, opts, ck)
+	return eng, err
+}
+
+// restoreEngine is RestoreEngine also returning the effective options the
+// restored engine runs under (checkpoint parameters merged over opts),
+// which the resumed pipeline's replayer needs.
+func restoreEngine(tr *trace.Trace, opts Options, ck *Checkpoint) (Engine, Options, error) {
 	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
-	opts.FoldEverySteps = ck.FoldEverySteps
-	opts.MaxClassifyPerSub = ck.MaxClassifyPerSub
-	opts.ShortBinMinutes = ck.ShortBinMinutes
-	opts.MaxLatenessSteps = ck.MaxLatenessSteps
-	opts.GapPolicy = ck.GapPolicy
-	opts.StartStep = ck.LastStep + 1
-	ing := NewIngestor(tr, opts)
+	if err := ck.validate(tr); err != nil {
+		return nil, opts, err
+	}
+	if opts.Shards != ck.ShardCount {
+		return nil, opts, fmt.Errorf("stream: checkpoint was written with %d shard(s) but this run is configured for %d; restart with -shards %d to resume it", ck.ShardCount, opts.Shards, ck.ShardCount)
+	}
+	if ck.ShardCount == 1 {
+		ing, err := restoreShard(tr, opts, ck.Shards[0], defaultIngestMetrics, true, 0)
+		if err != nil {
+			return nil, opts, err
+		}
+		return ing, ing.opts, nil
+	}
+	shards := make([]*Ingestor, ck.ShardCount)
+	for i := range shards {
+		ing, err := restoreShard(tr, opts, ck.Shards[i], newIngestMetrics(shardLabel(i)), false, i)
+		if err != nil {
+			return nil, opts, fmt.Errorf("stream: restore shard %d: %w", i, err)
+		}
+		shards[i] = ing
+	}
+	eff := shards[0].opts
+	g := startShardGroup(tr, eff, shards, ck.FoldCount)
+	// Publish the restored profiles immediately so the API serves them
+	// before the first post-resume merge.
+	for _, ing := range shards {
+		ing.foldInto(g.store)
+	}
+	return g, eff, nil
+}
+
+// restoreShard rebuilds one ingestor from its shard snapshot.
+func restoreShard(tr *trace.Trace, opts Options, ck *ShardCheckpoint, met *ingestMetrics, selfFold bool, shard int) (*Ingestor, error) {
+	opts = ck.applyOptions(opts.withDefaults(60 / tr.Grid.StepMinutes()))
+	ing := newIngestorWith(tr, opts, met, selfFold, shard)
 
 	ing.watermark = ck.Watermark
 	copy(ing.retired, ck.Retired)
@@ -415,6 +584,10 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 		slot.deleted = st.Deleted
 	}
 	for _, st := range ck.Subs {
+		si, ok := ing.keys.SubIndex(st.ID)
+		if !ok {
+			return nil, fmt.Errorf("stream: checkpoint carries subscription %s not in trace", st.ID)
+		}
 		util, err := sketch.HistogramFromState(st.Util)
 		if err != nil {
 			return nil, fmt.Errorf("stream: subscription %s: %w", st.ID, err)
@@ -432,7 +605,7 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 			util:          util,
 			live:          make(map[int32]*vmAcc),
 			retired:       make([]classifiedVM, 0, len(st.Retired)),
-			regionHours:   make(map[string]*regionHour, len(st.RegionHours)),
+			regionHours:   make([]*regionHour, len(ing.keys.Regions)),
 		}
 		for _, c := range st.Retired {
 			ss.retired = append(ss.retired, classifiedVM{
@@ -441,13 +614,17 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 			})
 		}
 		for r, rh := range st.RegionHours {
-			ss.regionHours[r] = &regionHour{sum: rh.Sum, n: rh.N}
+			ri, ok := ing.keys.RegionIndex(r)
+			if !ok {
+				return nil, fmt.Errorf("stream: subscription %s reports from region %q not in trace", st.ID, r)
+			}
+			ss.regionHours[ri] = &regionHour{sum: rh.Sum, n: rh.N}
 		}
-		ing.subs[st.ID] = ss
+		ing.subs[si] = ss
 	}
 	for _, st := range ck.Accs {
 		v := &tr.VMs[st.Idx]
-		ss := ing.subs[v.Subscription]
+		ss := ing.subs[ing.keys.SubOf[st.Idx]]
 		if ss == nil {
 			return nil, fmt.Errorf("stream: checkpoint accumulator for VM %d precedes its subscription %s", st.Idx, v.Subscription)
 		}
@@ -483,10 +660,15 @@ func RestoreIngestor(tr *trace.Trace, opts Options, ck *Checkpoint) (*Ingestor, 
 	ing.samplesIngested.Store(ck.SamplesIngested)
 	ing.stepsIngested.Store(ck.StepsIngested)
 	ing.foldCount.Store(ck.FoldCount)
-	// Repopulate the knowledge base immediately so the API serves profiles
-	// before the first post-resume fold.
-	for _, ss := range ing.subs {
-		ing.store.Put(ing.buildProfile(ss))
+	if selfFold {
+		// Repopulate the knowledge base immediately so the API serves
+		// profiles before the first post-resume fold; shard members publish
+		// through the group's store instead.
+		for _, ss := range ing.subs {
+			if ss != nil {
+				ing.store.Put(ing.buildProfile(ss))
+			}
+		}
 	}
 	return ing, nil
 }
@@ -516,7 +698,7 @@ func (p *Pipeline) SaveCheckpoint(path string) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	defer os.Remove(tmp.Name())
-	if err := p.ing.WriteCheckpoint(tmp); err != nil {
+	if err := p.eng.WriteCheckpoint(tmp); err != nil {
 		tmp.Close()
 		return CheckpointInfo{}, err
 	}
@@ -527,7 +709,7 @@ func (p *Pipeline) SaveCheckpoint(path string) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	info := CheckpointInfo{
-		Step:    int(p.ing.lastStep.Load()),
+		Step:    p.eng.Progress().Step,
 		At:      time.Now(),
 		Path:    path,
 		Version: CheckpointVersion,
@@ -560,13 +742,14 @@ func LoadCheckpointFile(path string, tr *trace.Trace) (*Checkpoint, error) {
 }
 
 // NewResumedPipeline builds a pipeline that continues ingestion from a
-// checkpoint: the ingestor restores every accumulator and the replay starts
-// at the step after the snapshot. The end-of-window knowledge base matches
-// the uninterrupted run's exactly.
+// checkpoint: the engine restores every accumulator (per shard, when the
+// checkpoint was written sharded) and the replay starts at the step after
+// the snapshot. The end-of-window knowledge base matches the uninterrupted
+// run's exactly. Options.Shards must match the checkpoint's shard count.
 func NewResumedPipeline(tr *trace.Trace, opts Options, ck *Checkpoint) (*Pipeline, error) {
-	ing, err := RestoreIngestor(tr, opts, ck)
+	eng, eff, err := restoreEngine(tr, opts, ck)
 	if err != nil {
 		return nil, err
 	}
-	return newPipeline(tr, ing.opts, ing), nil
+	return newPipeline(tr, eff, eng), nil
 }

@@ -24,12 +24,18 @@ func checkpointedIngestor(t testing.TB) *Ingestor {
 	return ing
 }
 
-// checkpointOf captures the mid-flight state as a mutable Checkpoint.
+// checkpointOf captures the mid-flight state as a mutable single-shard
+// Checkpoint, shaped exactly as WriteCheckpoint would wrap it.
 func checkpointOf(t testing.TB) *Checkpoint {
-	ing := checkpointedIngestor(t)
-	ing.mu.RLock()
-	defer ing.mu.RUnlock()
-	return ing.checkpointLocked()
+	sc := checkpointedIngestor(t).snapshot()
+	return &Checkpoint{
+		ShardCount:      1,
+		LastStep:        sc.LastStep,
+		SamplesIngested: sc.SamplesIngested,
+		StepsIngested:   sc.StepsIngested,
+		FoldCount:       sc.FoldCount,
+		Shards:          []*ShardCheckpoint{sc},
+	}
 }
 
 // checkpointBytes serializes the mid-flight state as WriteCheckpoint would.
@@ -119,7 +125,7 @@ func TestWriteReadCheckpointCorpus(t *testing.T) {
 // repopulating the knowledge base.
 func TestRestoreRejectsNegativeClassifyCap(t *testing.T) {
 	ck := checkpointOf(t)
-	ck.MaxClassifyPerSub = -1
+	ck.Shards[0].MaxClassifyPerSub = -1
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted a negative classification cap")
 	}
@@ -130,10 +136,11 @@ func TestRestoreRejectsNegativeClassifyCap(t *testing.T) {
 // panic surfaced only later, at the fold that drained the slot.
 func TestRestoreRejectsOutOfRangeSlotVM(t *testing.T) {
 	ck := checkpointOf(t)
-	if len(ck.Slots) == 0 {
+	sc := ck.Shards[0]
+	if len(sc.Slots) == 0 {
 		t.Fatal("fixture checkpoint has no pending slots")
 	}
-	ck.Slots[0].Samples = append(ck.Slots[0].Samples, sampleAt(99, ck.Slots[0].Step, 0.5))
+	sc.Slots[0].Samples = append(sc.Slots[0].Samples, sampleAt(99, sc.Slots[0].Step, 0.5))
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted a slot sample for VM 99 of 2")
 	}
@@ -144,10 +151,11 @@ func TestRestoreRejectsOutOfRangeSlotVM(t *testing.T) {
 // pending slot used to fold straight into the accumulators.
 func TestRestoreRejectsPoisonedSlotReading(t *testing.T) {
 	ck := checkpointOf(t)
-	if len(ck.Slots) == 0 {
+	sc := ck.Shards[0]
+	if len(sc.Slots) == 0 {
 		t.Fatal("fixture checkpoint has no pending slots")
 	}
-	ck.Slots[0].Samples = append(ck.Slots[0].Samples, sampleAt(0, ck.Slots[0].Step, math.NaN()))
+	sc.Slots[0].Samples = append(sc.Slots[0].Samples, sampleAt(0, sc.Slots[0].Step, math.NaN()))
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted a NaN reading in a pending slot")
 	}
@@ -164,10 +172,10 @@ func TestRestoreRejectsImpossibleAccSpan(t *testing.T) {
 		"next before from": func(a *vmAccState) { a.Next = a.From },
 	} {
 		ck := checkpointOf(t)
-		if len(ck.Accs) == 0 {
+		if len(ck.Shards[0].Accs) == 0 {
 			t.Fatal("fixture checkpoint has no accumulators")
 		}
-		mut(&ck.Accs[0])
+		mut(&ck.Shards[0].Accs[0])
 		if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 			t.Errorf("RestoreIngestor accepted an accumulator with %s", name)
 		}
@@ -180,7 +188,7 @@ func TestRestoreRejectsImpossibleAccSpan(t *testing.T) {
 func TestRestoreRejectsJunkWatermark(t *testing.T) {
 	for _, junk := range []int{-2, math.MinInt64, math.MaxInt64} {
 		ck := checkpointOf(t)
-		ck.Watermark = junk
+		ck.Shards[0].Watermark = junk
 		if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 			t.Errorf("RestoreIngestor accepted watermark %d", junk)
 		}
@@ -193,10 +201,10 @@ func TestRestoreRejectsJunkWatermark(t *testing.T) {
 // snapshot must get an error).
 func TestRestoreRejectsCorruptAutoCorrLags(t *testing.T) {
 	ck := checkpointOf(t)
-	if len(ck.Accs) == 0 {
+	if len(ck.Shards[0].Accs) == 0 {
 		t.Fatal("fixture checkpoint has no accumulators")
 	}
-	ck.Accs[0].AC.Lags[0] = -1
+	ck.Shards[0].Accs[0].AC.Lags[0] = -1
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted an autocorrelation lag of -1")
 	}
@@ -207,7 +215,7 @@ func TestRestoreRejectsCorruptAutoCorrLags(t *testing.T) {
 // undefined policy in the gap-fill switch.
 func TestRestoreRejectsUnknownGapPolicy(t *testing.T) {
 	ck := checkpointOf(t)
-	ck.GapPolicy = GapPolicy(42)
+	ck.Shards[0].GapPolicy = GapPolicy(42)
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted gap policy 42")
 	}

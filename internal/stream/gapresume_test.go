@@ -32,17 +32,15 @@ func ringScript() []StepBatch {
 
 // normalizeCheckpoint sorts the map-ordered sections so two checkpoints of
 // identical state compare DeepEqual.
-func normalizeCheckpoint(ck *Checkpoint) *Checkpoint {
+func normalizeCheckpoint(ck *ShardCheckpoint) *ShardCheckpoint {
 	sort.Slice(ck.Subs, func(i, j int) bool { return ck.Subs[i].ID < ck.Subs[j].ID })
 	sort.Slice(ck.Slots, func(i, j int) bool { return ck.Slots[i].Step < ck.Slots[j].Step })
 	return ck
 }
 
 // snapshotOf captures an ingestor's complete state for comparison.
-func snapshotOf(ing *Ingestor) *Checkpoint {
-	ing.mu.RLock()
-	defer ing.mu.RUnlock()
-	return normalizeCheckpoint(ing.checkpointLocked())
+func snapshotOf(ing *Ingestor) *ShardCheckpoint {
+	return normalizeCheckpoint(ing.snapshot())
 }
 
 // TestKillResumeMidFlightRingAllPolicies is the gap-policy golden: under

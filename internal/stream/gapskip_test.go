@@ -6,9 +6,21 @@ import (
 	"testing"
 
 	"cloudlens/internal/classify"
+	"cloudlens/internal/core"
 	"cloudlens/internal/kb"
 	"cloudlens/internal/trace"
 )
+
+// regionHourOf resolves a subscription's per-region hour series through the
+// intern tables, for tests that address state by name.
+func regionHourOf(ing *Ingestor, id core.SubscriptionID, region string) *regionHour {
+	ss := ing.subFor(id)
+	ri, ok := ing.keys.RegionIndex(region)
+	if ss == nil || !ok {
+		return nil
+	}
+	return ss.regionHours[ri]
+}
 
 // reserialize snapshots an ingestor to bytes and restores it, simulating a
 // mid-stream process death.
@@ -96,7 +108,7 @@ func TestGapSkipQualifyStepAttribution(t *testing.T) {
 				h, acc.hourly[h], acc.hourlyN[h], hourly[h], hourlyN[h])
 		}
 	}
-	rh := ing.subs["micro"].regionHours["r1"]
+	rh := regionHourOf(ing, "micro", "r1")
 	if rh == nil {
 		t.Fatal("no region-hour series for r1")
 	}
@@ -145,7 +157,7 @@ func TestGapSkipStepAttributionSurvivesResume(t *testing.T) {
 	if a.hourly != b.hourly || a.hourlyN != b.hourlyN {
 		t.Errorf("resumed run flushed different hour buckets:\n  plain   %v\n  resumed %v", a.hourly, b.hourly)
 	}
-	ra, rb := plain.subs["micro"].regionHours["r1"], resumed.subs["micro"].regionHours["r1"]
+	ra, rb := regionHourOf(plain, "micro", "r1"), regionHourOf(resumed, "micro", "r1")
 	for h := range ra.sum {
 		if ra.sum[h] != rb.sum[h] || ra.n[h] != rb.n[h] {
 			t.Fatalf("region hour %d differs after resume: %.6f/%.0f vs %.6f/%.0f",

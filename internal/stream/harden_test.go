@@ -107,7 +107,7 @@ func TestIngestorRefusesPostRetirementSamples(t *testing.T) {
 	if fs.QuarantinedLate != 4 {
 		t.Errorf("QuarantinedLate = %d, want 4 (post-retirement readings)", fs.QuarantinedLate)
 	}
-	if ss := ing.subs["micro"]; ss == nil || ss.vmsObserved != 2 {
+	if ss := ing.subFor("micro"); ss == nil || ss.vmsObserved != 2 {
 		t.Errorf("subscription observed %v VMs, want exactly 2", ss.vmsObserved)
 	}
 }

@@ -122,13 +122,15 @@ type subState struct {
 	lifetimes  []float64
 	shortLived int
 
-	util        *sketch.Histogram
-	live        map[int32]*vmAcc
-	retired     []classifiedVM
-	regionHours map[string]*regionHour
+	util    *sketch.Histogram
+	live    map[int32]*vmAcc
+	retired []classifiedVM
+	// regionHours is indexed by the trace's interned region id; entries
+	// are allocated when the subscription first reports from the region.
+	regionHours []*regionHour
 }
 
-func (ss *subState) addRegionHour(region string, hour int, x float64, hours int) {
+func (ss *subState) addRegionHour(region int32, hour int, x float64, hours int) {
 	rh := ss.regionHours[region]
 	if rh == nil {
 		rh = &regionHour{sum: make([]float64, hours), n: make([]float64, hours)}
@@ -197,6 +199,7 @@ type FaultStats struct {
 // See DESIGN.md §8 for the fault model.
 type Ingestor struct {
 	tr           *trace.Trace
+	keys         *trace.KeyTable
 	opts         Options
 	lags         lagSet
 	clOpts       classify.Options
@@ -204,10 +207,18 @@ type Ingestor struct {
 	snapStep     int
 	stepsPerHour int
 	stepMin      int
+	met          *ingestMetrics
+
+	// shard is the ingestor's position in a sharded group (0 when it is
+	// the whole pipeline). selfFold is false for shard members: the group
+	// rebuilds the published store at the hour barrier instead, so each
+	// shard only maintains accumulators.
+	shard    int
+	selfFold bool
 
 	mu       sync.RWMutex
 	store    *kb.Store
-	subs     map[core.SubscriptionID]*subState
+	subs     []*subState // indexed by interned subscription id
 	accs     []*vmAcc
 	retired  []bool
 	clouds   map[core.Cloud]*cloudState
@@ -229,10 +240,19 @@ type Ingestor struct {
 
 // NewIngestor returns an empty ingestor for the trace's universe.
 func NewIngestor(tr *trace.Trace, opts Options) *Ingestor {
+	return newIngestorWith(tr, opts, defaultIngestMetrics, true, 0)
+}
+
+// newIngestorWith is NewIngestor with the shard wiring exposed: the metric
+// set the ingestor reports through, whether it publishes its own folds, and
+// its shard id.
+func newIngestorWith(tr *trace.Trace, opts Options, met *ingestMetrics, selfFold bool, shard int) *Ingestor {
 	stepsPerHour := 60 / tr.Grid.StepMinutes()
 	opts = opts.withDefaults(stepsPerHour)
+	keys := tr.Keys()
 	ing := &Ingestor{
 		tr:           tr,
+		keys:         keys,
 		opts:         opts,
 		lags:         newLagSet(stepsPerHour),
 		clOpts:       classify.Options{StepsPerHour: stepsPerHour},
@@ -240,8 +260,11 @@ func NewIngestor(tr *trace.Trace, opts Options) *Ingestor {
 		snapStep:     tr.SnapshotStep(),
 		stepsPerHour: stepsPerHour,
 		stepMin:      tr.Grid.StepMinutes(),
+		met:          met,
+		shard:        shard,
+		selfFold:     selfFold,
 		store:        kb.NewStore(),
-		subs:         make(map[core.SubscriptionID]*subState),
+		subs:         make([]*subState, len(keys.Subs)),
 		accs:         make([]*vmAcc, len(tr.VMs)),
 		retired:      make([]bool, len(tr.VMs)),
 		clouds:       make(map[core.Cloud]*cloudState),
@@ -280,7 +303,7 @@ func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	for _, s := range b.Samples {
 		if !(s.CPU >= 0 && s.CPU <= 1) { // comparisons are false for NaN
 			ing.faults.QuarantinedCorrupt++
-			mQuarantinedCorrupt.Inc()
+			ing.met.quarantinedCorrupt.Inc()
 			continue
 		}
 		if int(s.Step) == b.Step {
@@ -311,12 +334,12 @@ func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	ing.mu.Unlock()
 
 	ing.lastStep.Store(int64(b.Step))
-	mWatermarkLag.SetInt(lag)
+	ing.met.watermarkLag.SetInt(lag)
 	if b.Step < ing.tr.Grid.N {
 		ing.stepsIngested.Add(1)
 		ing.samplesIngested.Add(int64(nSamples))
-		mSteps.Inc()
-		mSamples.Add(int64(nSamples))
+		ing.met.steps.Inc()
+		ing.met.samples.Add(int64(nSamples))
 	}
 }
 
@@ -328,11 +351,11 @@ func (ing *Ingestor) placeLocked(batchStep int, s Sample) {
 	step := int(s.Step)
 	if step <= ing.watermark || step > batchStep {
 		ing.faults.QuarantinedLate++
-		mQuarantinedLate.Inc()
+		ing.met.quarantinedLate.Inc()
 		return
 	}
 	ing.faults.Reordered++
-	mReordered.Inc()
+	ing.met.reordered.Inc()
 	slot := ing.slotFor(step)
 	slot.samples = append(slot.samples, s)
 }
@@ -374,7 +397,7 @@ func (ing *Ingestor) advanceLocked(target int) {
 			ing.foldSlotLocked(slot)
 		}
 		ing.watermark = next
-		if ing.opts.FoldEverySteps > 0 && next > 0 && next%ing.opts.FoldEverySteps == 0 {
+		if ing.selfFold && ing.opts.FoldEverySteps > 0 && next > 0 && next%ing.opts.FoldEverySteps == 0 {
 			ing.timedFoldLocked()
 		}
 	}
@@ -408,7 +431,7 @@ func (ing *Ingestor) ingestLocked(idx int32, step int, cpu float64) {
 			// A sample surfacing after its VM's deletion event folded; the
 			// series is closed, so it can only be refused.
 			ing.faults.QuarantinedLate++
-			mQuarantinedLate.Inc()
+			ing.met.quarantinedLate.Inc()
 			return
 		}
 		acc = ing.track(idx)
@@ -418,7 +441,7 @@ func (ing *Ingestor) ingestLocked(idx int32, step int, cpu float64) {
 		acc.from = step
 	} else if step < acc.next {
 		ing.faults.DuplicatesDropped++
-		mDuplicates.Inc()
+		ing.met.duplicates.Inc()
 		return
 	} else if gap := step - acc.next; gap > 0 {
 		switch ing.opts.GapPolicy {
@@ -435,13 +458,13 @@ func (ing *Ingestor) ingestLocked(idx int32, step int, cpu float64) {
 				ing.applySample(acc, acc.next+k-1, v)
 			}
 			ing.faults.GapsFilled += int64(gap)
-			mGapsFilled.Add(int64(gap))
+			ing.met.gapsFilled.Add(int64(gap))
 		default: // GapCarry
 			for m := acc.next; m < step; m++ {
 				ing.applySample(acc, m, acc.last)
 			}
 			ing.faults.GapsFilled += int64(gap)
-			mGapsFilled.Add(int64(gap))
+			ing.met.gapsFilled.Add(int64(gap))
 		}
 	}
 	ing.applySample(acc, step, cpu)
@@ -476,23 +499,30 @@ func (ing *Ingestor) FaultStats() FaultStats {
 func (ing *Ingestor) Finish() {
 	ing.mu.Lock()
 	ing.advanceLocked(ing.watermark + len(ing.slots))
-	ing.timedFoldLocked()
+	if ing.selfFold {
+		ing.timedFoldLocked()
+	}
 	ing.mu.Unlock()
 	ing.done.Store(true)
 }
+
+// Abort implements Engine. A lone ingestor has no goroutines of its own to
+// stop; cancellation just leaves the last folded state standing.
+func (ing *Ingestor) Abort() {}
 
 // timedFoldLocked runs a fold under the write lock and records its
 // wall-clock duration.
 func (ing *Ingestor) timedFoldLocked() {
 	start := time.Now()
 	ing.foldLocked()
-	mFoldSeconds.Observe(time.Since(start).Seconds())
+	ing.met.foldSeconds.Observe(time.Since(start).Seconds())
 }
 
 // track starts accumulating a newly seen VM.
 func (ing *Ingestor) track(idx int32) *vmAcc {
 	v := &ing.tr.VMs[idx]
-	ss := ing.subs[v.Subscription]
+	si := ing.keys.SubOf[idx]
+	ss := ing.subs[si]
 	if ss == nil {
 		ss = &subState{
 			id:          v.Subscription,
@@ -501,9 +531,9 @@ func (ing *Ingestor) track(idx int32) *vmAcc {
 			services:    make(map[string]bool),
 			util:        sketch.NewHistogram(0, 1, subBins),
 			live:        make(map[int32]*vmAcc),
-			regionHours: make(map[string]*regionHour),
+			regionHours: make([]*regionHour, len(ing.keys.Regions)),
 		}
-		ing.subs[v.Subscription] = ss
+		ing.subs[si] = ss
 	}
 	ss.vmsObserved++
 	ss.regions[v.Region] = true
@@ -550,7 +580,7 @@ func (ing *Ingestor) observe(acc *vmAcc, step int, cpu float64) {
 	acc.sub.util.Add(cpu)
 	ing.clouds[acc.v.Cloud].util.Add(cpu)
 	if step%ing.stepsPerHour == 0 {
-		acc.sub.addRegionHour(acc.v.Region, ing.tr.Grid.HourOf(step), cpu, ing.tr.Grid.Hours())
+		acc.sub.addRegionHour(ing.keys.RegionOf[acc.idx], ing.tr.Grid.HourOf(step), cpu, ing.tr.Grid.Hours())
 	}
 }
 
@@ -583,7 +613,7 @@ func (ing *Ingestor) qualify(acc *vmAcc) {
 		acc.sub.util.Add(x)
 		cs.util.Add(x)
 		if step%ing.stepsPerHour == 0 {
-			acc.sub.addRegionHour(acc.v.Region, g.HourOf(step), x, g.Hours())
+			acc.sub.addRegionHour(ing.keys.RegionOf[acc.idx], g.HourOf(step), x, g.Hours())
 		}
 		step++
 	}
@@ -680,9 +710,25 @@ func (ing *Ingestor) validatedACF(ac *sketch.AutoCorr, lag int) float64 {
 // base. Callers hold the write lock.
 func (ing *Ingestor) foldLocked() {
 	for _, ss := range ing.subs {
-		ing.store.Put(ing.buildProfile(ss))
+		if ss != nil {
+			ing.store.Put(ing.buildProfile(ss))
+		}
 	}
 	ing.foldCount.Add(1)
+}
+
+// foldInto rebuilds this ingestor's subscriptions' profiles into an
+// external store — the hour-barrier merge path of a sharded pipeline. The
+// subscriptions of one trace partition across shards, so each profile has
+// exactly one writer and the merged store equals the single-ingestor fold.
+func (ing *Ingestor) foldInto(store *kb.Store) {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	for _, ss := range ing.subs {
+		if ss != nil {
+			store.Put(ing.buildProfile(ss))
+		}
+	}
 }
 
 // buildProfile assembles a kb.Profile from a subscription's streaming
@@ -763,18 +809,41 @@ func (ing *Ingestor) buildProfile(ss *subState) *kb.Profile {
 // subscription's region-averaged top-of-hour utilization, matching the
 // batch computation over the hours observed so far.
 func (ing *Ingestor) regionAgnosticScore(ss *subState) float64 {
-	if len(ss.regionHours) < 2 {
+	// Count before collecting: most subscriptions are single-region, and
+	// this runs for every subscription on every fold, so the common case
+	// must not allocate.
+	populated := 0
+	for _, rh := range ss.regionHours {
+		if rh != nil {
+			populated++
+		}
+	}
+	if populated < 2 {
 		return -1
 	}
-	regions := make([]string, 0, len(ss.regionHours))
-	for r := range ss.regionHours {
-		regions = append(regions, r)
+	// Collect the populated regions and order them by name, matching the
+	// batch extractor's iteration order so the pairwise sum accumulates in
+	// the same sequence bit for bit. Insertion sort keeps the hot path free
+	// of sort.Slice's reflection allocations; region counts are tiny.
+	type namedRegion struct {
+		name string
+		rh   *regionHour
 	}
-	sort.Strings(regions)
+	regions := make([]namedRegion, 0, populated)
+	for ri, rh := range ss.regionHours {
+		if rh != nil {
+			regions = append(regions, namedRegion{ing.keys.Regions[ri], rh})
+		}
+	}
+	for i := 1; i < len(regions); i++ {
+		for j := i; j > 0 && regions[j].name < regions[j-1].name; j-- {
+			regions[j], regions[j-1] = regions[j-1], regions[j]
+		}
+	}
 	hours := ing.tr.Grid.Hours()
 	avgs := make([][]float64, len(regions))
 	for i, r := range regions {
-		rh := ss.regionHours[r]
+		rh := r.rh
 		avg := make([]float64, hours)
 		for h := 0; h < hours; h++ {
 			if rh.n[h] > 0 {
@@ -889,9 +958,28 @@ func (ing *Ingestor) Profile(id core.SubscriptionID) (LiveProfile, bool) {
 	return ing.liveProfileLocked(p), true
 }
 
+// liveProfile augments one published profile with this ingestor's
+// streaming-only knowledge, taking the read lock itself — the shard group's
+// per-profile path.
+func (ing *Ingestor) liveProfile(p *kb.Profile) LiveProfile {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return ing.liveProfileLocked(p)
+}
+
+// subFor resolves a subscription ID to its streaming state, or nil when the
+// subscription is unknown or not yet observed.
+func (ing *Ingestor) subFor(id core.SubscriptionID) *subState {
+	si, ok := ing.keys.SubIndex(id)
+	if !ok {
+		return nil
+	}
+	return ing.subs[si]
+}
+
 func (ing *Ingestor) liveProfileLocked(p *kb.Profile) LiveProfile {
 	lp := LiveProfile{Profile: *p}
-	if ss := ing.subs[p.Subscription]; ss != nil {
+	if ss := ing.subFor(p.Subscription); ss != nil {
 		lp.UtilP50 = ss.util.Quantile(0.5)
 		lp.UtilP95 = ss.util.Quantile(0.95)
 		lp.Samples = ss.util.Count()

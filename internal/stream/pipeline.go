@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"io"
 	"sync"
 	"time"
 
@@ -10,14 +11,97 @@ import (
 	"cloudlens/internal/trace"
 )
 
-// Pipeline couples a Replayer to an Ingestor: one goroutine replays the
-// trace into the bounded event channel, another folds each batch into live
-// knowledge-base state. All snapshot accessors are safe to call while the
-// pipeline runs.
+// Engine is the batch-consuming side of the pipeline: a single Ingestor, or
+// a shardGroup routing batches across several. Both maintain a continuously
+// refreshed knowledge base and expose the same race-free snapshots, so the
+// pipeline, the HTTP server, and the differential gauntlet drive either
+// interchangeably.
+type Engine interface {
+	// SetRecycler registers where spent sample buffers are returned once
+	// folded. It must be called before ingestion starts.
+	SetRecycler(func([]Sample))
+	// ObserveBatch accepts one delivered batch; the engine takes ownership
+	// of b.Samples.
+	ObserveBatch(b StepBatch)
+	// Finish drains in-flight state and publishes the final fold.
+	Finish()
+	// Abort stops the engine's internal goroutines without a final fold,
+	// leaving the last published state standing — the cancellation path.
+	Abort()
+	// KB returns the live knowledge base.
+	KB() *kb.Store
+	// Summary returns the live per-cloud snapshot.
+	Summary() Summary
+	// Profiles lists live profiles matching the query.
+	Profiles(q kb.Query) []LiveProfile
+	// Profile returns one subscription's live profile.
+	Profile(id core.SubscriptionID) (LiveProfile, bool)
+	// FaultStats returns the ledger of input imperfections.
+	FaultStats() FaultStats
+	// WriteCheckpoint serializes a resumable snapshot of the engine.
+	WriteCheckpoint(w io.Writer) error
+	// Progress reports ingestion counters.
+	Progress() Progress
+	// ShardVitals reports per-shard progress, nil for a single ingestor.
+	ShardVitals() []ShardVital
+}
+
+// NewEngine builds the ingestion engine the options call for: a lone
+// Ingestor when Shards <= 1, a sharded group otherwise.
+func NewEngine(tr *trace.Trace, opts Options) Engine {
+	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	if opts.Shards > 1 {
+		return newShardGroup(tr, opts)
+	}
+	return NewIngestor(tr, opts)
+}
+
+// Progress is a point-in-time view of engine progress, assembled from
+// atomic counters so it never contends with ingestion.
+type Progress struct {
+	Done            bool
+	Step            int
+	Steps           int
+	SamplesIngested int64
+	StepsIngested   int64
+	Folds           int64
+}
+
+// Progress implements Engine.
+func (ing *Ingestor) Progress() Progress {
+	return Progress{
+		Done:            ing.done.Load(),
+		Step:            int(ing.lastStep.Load()),
+		Steps:           ing.tr.Grid.N,
+		SamplesIngested: ing.samplesIngested.Load(),
+		StepsIngested:   ing.stepsIngested.Load(),
+		Folds:           ing.foldCount.Load(),
+	}
+}
+
+// ShardVital is one shard's progress and fault ledger, served by /healthz
+// and /api/v1/live/faults so operators see a lagging or fault-heavy shard
+// instead of a single blended number.
+type ShardVital struct {
+	Shard           int        `json:"shard"`
+	Step            int        `json:"step"`
+	SamplesIngested int64      `json:"samplesIngested"`
+	StepsIngested   int64      `json:"stepsIngested"`
+	Faults          FaultStats `json:"faults"`
+}
+
+// ShardVitals implements Engine; a lone ingestor has no shards to report.
+func (ing *Ingestor) ShardVitals() []ShardVital { return nil }
+
+// Pipeline couples a Replayer to an ingestion Engine: one goroutine replays
+// the trace into the bounded event channel, another feeds each batch to the
+// engine (a single Ingestor, or a shard router fanning out to several). All
+// snapshot accessors are safe to call while the pipeline runs.
 type Pipeline struct {
-	tr  *trace.Trace
-	src Source
-	ing *Ingestor
+	tr   *trace.Trace
+	opts Options
+	src  Source
+	eng  Engine
 
 	mu        sync.Mutex
 	started   bool
@@ -33,18 +117,19 @@ type Pipeline struct {
 // the hook fault injectors decorate.
 func NewPipeline(tr *trace.Trace, opts Options) *Pipeline {
 	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
-	return newPipeline(tr, opts, NewIngestor(tr, opts))
+	return newPipeline(tr, opts, NewEngine(tr, opts))
 }
 
-func newPipeline(tr *trace.Trace, opts Options, ing *Ingestor) *Pipeline {
+func newPipeline(tr *trace.Trace, opts Options, eng Engine) *Pipeline {
 	var src Source = NewReplayer(tr, opts)
 	if opts.WrapSource != nil {
 		src = opts.WrapSource(src)
 	}
 	return &Pipeline{
 		tr:   tr,
+		opts: opts,
 		src:  src,
-		ing:  ing,
+		eng:  eng,
 		done: make(chan struct{}),
 	}
 }
@@ -62,22 +147,24 @@ func (p *Pipeline) Start(ctx context.Context) {
 	p.startedAt = time.Now()
 	ctx, p.cancel = context.WithCancel(ctx)
 
-	// The ingestor owns delivered sample buffers until their reorder slot
+	// The engine owns delivered sample buffers until their reorder slot
 	// folds, then hands them back to the source's free list.
-	p.ing.SetRecycler(func(buf []Sample) { p.src.Recycle(StepBatch{Samples: buf}) })
+	p.eng.SetRecycler(func(buf []Sample) { p.src.Recycle(StepBatch{Samples: buf}) })
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- p.src.Run(ctx) }()
 	go func() {
 		defer close(p.done)
 		for b := range p.src.Events() {
-			p.ing.ObserveBatch(b)
+			p.eng.ObserveBatch(b)
 		}
 		err := <-errCh
 		if err == nil {
 			// Only a completed replay yields a finished knowledge base; a
 			// cancelled one leaves the last folded state standing.
-			p.ing.Finish()
+			p.eng.Finish()
+		} else {
+			p.eng.Abort()
 		}
 		p.mu.Lock()
 		p.err = err
@@ -115,6 +202,7 @@ type Status struct {
 	Steps           int     `json:"steps"`
 	SamplesIngested int64   `json:"samplesIngested"`
 	Folds           int64   `json:"folds"`
+	Shards          int     `json:"shards,omitempty"`
 	Speedup         float64 `json:"speedup"`
 	ElapsedSec      float64 `json:"elapsedSec"`
 	SamplesPerSec   float64 `json:"samplesPerSec"`
@@ -127,13 +215,17 @@ func (p *Pipeline) Status() Status {
 	startedAt := p.startedAt
 	p.mu.Unlock()
 
+	pr := p.eng.Progress()
 	st := Status{
-		Done:            p.ing.done.Load(),
-		Step:            int(p.ing.lastStep.Load()),
-		Steps:           p.tr.Grid.N,
-		SamplesIngested: p.ing.samplesIngested.Load(),
-		Folds:           p.ing.foldCount.Load(),
-		Speedup:         p.ing.opts.Speedup,
+		Done:            pr.Done,
+		Step:            pr.Step,
+		Steps:           pr.Steps,
+		SamplesIngested: pr.SamplesIngested,
+		Folds:           pr.Folds,
+		Speedup:         p.opts.Speedup,
+	}
+	if p.opts.Shards > 1 {
+		st.Shards = p.opts.Shards
 	}
 	if started {
 		select {
@@ -149,20 +241,32 @@ func (p *Pipeline) Status() Status {
 	return st
 }
 
-// Summary returns the ingestor's live per-cloud snapshot.
-func (p *Pipeline) Summary() Summary { return p.ing.Summary() }
+// Summary returns the engine's live per-cloud snapshot.
+func (p *Pipeline) Summary() Summary { return p.eng.Summary() }
 
 // Profiles lists live profiles matching the query.
-func (p *Pipeline) Profiles(q kb.Query) []LiveProfile { return p.ing.Profiles(q) }
+func (p *Pipeline) Profiles(q kb.Query) []LiveProfile { return p.eng.Profiles(q) }
 
 // Profile returns one subscription's live profile.
-func (p *Pipeline) Profile(id core.SubscriptionID) (LiveProfile, bool) { return p.ing.Profile(id) }
+func (p *Pipeline) Profile(id core.SubscriptionID) (LiveProfile, bool) { return p.eng.Profile(id) }
 
-// FaultStats returns the ingestor's ledger of input imperfections.
-func (p *Pipeline) FaultStats() FaultStats { return p.ing.FaultStats() }
+// FaultStats returns the engine's ledger of input imperfections, summed
+// across shards when the pipeline is sharded.
+func (p *Pipeline) FaultStats() FaultStats { return p.eng.FaultStats() }
 
 // KB exposes the live knowledge base (e.g. for persisting a snapshot).
-func (p *Pipeline) KB() *kb.Store { return p.ing.KB() }
+func (p *Pipeline) KB() *kb.Store { return p.eng.KB() }
 
-// Ingestor exposes the underlying ingestor for tests and direct feeding.
-func (p *Pipeline) Ingestor() *Ingestor { return p.ing }
+// ShardVitals reports per-shard progress and fault ledgers; nil when the
+// pipeline runs a single ingestor.
+func (p *Pipeline) ShardVitals() []ShardVital { return p.eng.ShardVitals() }
+
+// Engine exposes the underlying ingestion engine.
+func (p *Pipeline) Engine() Engine { return p.eng }
+
+// Ingestor exposes the underlying ingestor for tests and direct feeding; it
+// returns nil when the pipeline is sharded.
+func (p *Pipeline) Ingestor() *Ingestor {
+	ing, _ := p.eng.(*Ingestor)
+	return ing
+}

@@ -110,6 +110,12 @@ type Options struct {
 	// GapPolicy selects how a per-VM gap (dropped or quarantined samples)
 	// is repaired once the watermark passes it. Default GapCarry.
 	GapPolicy GapPolicy
+	// Shards is the number of independent ingestor shards the stream is
+	// partitioned across by subscription (DESIGN.md §11). 0 or 1 runs the
+	// single in-process ingestor; values above MaxShards are clamped. The
+	// merged knowledge base is bit-exact with the single-shard result on
+	// clean input regardless of the setting.
+	Shards int
 	// WrapSource, when set, wraps the pipeline's replayer before ingestion
 	// starts. This is the fault-injection hook: internal/faultgen cannot be
 	// imported from this package without a cycle, so the pipeline accepts
@@ -139,8 +145,19 @@ func (o Options) withDefaults(stepsPerHour int) Options {
 	case o.MaxLatenessSteps < 0:
 		o.MaxLatenessSteps = 0
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > MaxShards {
+		o.Shards = MaxShards
+	}
 	return o
 }
+
+// MaxShards bounds Options.Shards: sharding buys nothing beyond the core
+// count of any plausible host, and the checkpoint validator rejects files
+// claiming more.
+const MaxShards = 64
 
 // GapPolicy selects how the ingestor repairs a missing per-VM sample once
 // the watermark establishes it will never arrive.

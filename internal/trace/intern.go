@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"sync"
+
+	"cloudlens/internal/core"
+)
+
+// KeyTable interns a trace's subscription and region strings to dense
+// small-int ids. Hot paths that route or bucket by subscription (the shard
+// router, the streaming ingestor's per-subscription state) index arrays by
+// these ids instead of hashing strings per sample; the string↔id tables
+// stay available for API output.
+//
+// Ids are assigned in first-appearance order over the VMs slice, so the
+// table is a pure function of the trace and identical across processes.
+type KeyTable struct {
+	// Subs lists the distinct subscription IDs; index i is subscription
+	// id i.
+	Subs []core.SubscriptionID
+	// Regions lists the distinct region names; index i is region id i.
+	Regions []string
+	// SubOf and RegionOf map each VM index to its interned ids.
+	SubOf    []int32
+	RegionOf []int32
+	// SubHash holds the 64-bit FNV-1a hash of each subscription string,
+	// precomputed so shard routing is an array load and a modulo, never a
+	// per-sample string hash.
+	SubHash []uint64
+
+	subIdx    map[core.SubscriptionID]int32
+	regionIdx map[string]int32
+}
+
+// SubIndex returns the interned id of a subscription.
+func (k *KeyTable) SubIndex(id core.SubscriptionID) (int32, bool) {
+	i, ok := k.subIdx[id]
+	return i, ok
+}
+
+// RegionIndex returns the interned id of a region name.
+func (k *KeyTable) RegionIndex(name string) (int32, bool) {
+	i, ok := k.regionIdx[name]
+	return i, ok
+}
+
+// keysMu guards lazy KeyTable construction. A package-level mutex (rather
+// than a sync.Once inside Trace) keeps Trace free of no-copy fields.
+var keysMu sync.Mutex
+
+// Keys returns the trace's interned key table, building it on first use.
+// The table is cached on the trace; concurrent callers are safe.
+func (t *Trace) Keys() *KeyTable {
+	keysMu.Lock()
+	defer keysMu.Unlock()
+	if t.keys == nil {
+		t.keys = buildKeyTable(t)
+	}
+	return t.keys
+}
+
+func buildKeyTable(t *Trace) *KeyTable {
+	k := &KeyTable{
+		SubOf:     make([]int32, len(t.VMs)),
+		RegionOf:  make([]int32, len(t.VMs)),
+		subIdx:    make(map[core.SubscriptionID]int32),
+		regionIdx: make(map[string]int32),
+	}
+	for i := range t.VMs {
+		v := &t.VMs[i]
+		si, ok := k.subIdx[v.Subscription]
+		if !ok {
+			si = int32(len(k.Subs))
+			k.subIdx[v.Subscription] = si
+			k.Subs = append(k.Subs, v.Subscription)
+			k.SubHash = append(k.SubHash, fnv64a(string(v.Subscription)))
+		}
+		k.SubOf[i] = si
+		ri, ok := k.regionIdx[v.Region]
+		if !ok {
+			ri = int32(len(k.Regions))
+			k.regionIdx[v.Region] = ri
+			k.Regions = append(k.Regions, v.Region)
+		}
+		k.RegionOf[i] = ri
+	}
+	return k
+}
+
+// fnv64a is the 64-bit FNV-1a hash, inlined so table construction does not
+// allocate a hasher per key.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

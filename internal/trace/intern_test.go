@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/platform"
+	"cloudlens/internal/sim"
+)
+
+func internTrace() *Trace {
+	vm := func(id int, sub, region string) VM {
+		return VM{
+			ID:           core.VMID(id),
+			Subscription: core.SubscriptionID(sub),
+			Region:       region,
+		}
+	}
+	return &Trace{
+		Grid:     sim.Grid{},
+		Topology: platform.Topology{},
+		VMs: []VM{
+			vm(0, "a", "east"),
+			vm(1, "b", "west"),
+			vm(2, "a", "west"),
+			vm(3, "c", "east"),
+			vm(4, "b", "north"),
+		},
+	}
+}
+
+func TestKeyTableInternsFirstAppearanceOrder(t *testing.T) {
+	tr := internTrace()
+	k := tr.Keys()
+	if k != tr.Keys() {
+		t.Fatalf("Keys not cached: got distinct tables")
+	}
+	wantSubs := []core.SubscriptionID{"a", "b", "c"}
+	if len(k.Subs) != len(wantSubs) {
+		t.Fatalf("Subs = %v, want %v", k.Subs, wantSubs)
+	}
+	for i, s := range wantSubs {
+		if k.Subs[i] != s {
+			t.Fatalf("Subs[%d] = %q, want %q", i, k.Subs[i], s)
+		}
+		if idx, ok := k.SubIndex(s); !ok || idx != int32(i) {
+			t.Fatalf("SubIndex(%q) = %d,%v, want %d,true", s, idx, ok, i)
+		}
+	}
+	wantRegions := []string{"east", "west", "north"}
+	for i, r := range wantRegions {
+		if k.Regions[i] != r {
+			t.Fatalf("Regions[%d] = %q, want %q", i, k.Regions[i], r)
+		}
+		if idx, ok := k.RegionIndex(r); !ok || idx != int32(i) {
+			t.Fatalf("RegionIndex(%q) = %d,%v, want %d,true", r, idx, ok, i)
+		}
+	}
+	wantSubOf := []int32{0, 1, 0, 2, 1}
+	wantRegionOf := []int32{0, 1, 1, 0, 2}
+	for i := range tr.VMs {
+		if k.SubOf[i] != wantSubOf[i] || k.RegionOf[i] != wantRegionOf[i] {
+			t.Fatalf("VM %d interned as sub %d region %d, want %d %d",
+				i, k.SubOf[i], k.RegionOf[i], wantSubOf[i], wantRegionOf[i])
+		}
+	}
+	if _, ok := k.SubIndex("nope"); ok {
+		t.Fatalf("SubIndex accepted unknown subscription")
+	}
+	if _, ok := k.RegionIndex("nope"); ok {
+		t.Fatalf("RegionIndex accepted unknown region")
+	}
+}
+
+func TestKeyTableSubHashStable(t *testing.T) {
+	tr := internTrace()
+	k := tr.Keys()
+	if len(k.SubHash) != len(k.Subs) {
+		t.Fatalf("SubHash has %d entries for %d subs", len(k.SubHash), len(k.Subs))
+	}
+	// FNV-1a is a fixed algorithm: the hash of "a" must never change, or
+	// shard assignments (and checkpoint compatibility) silently shift.
+	if got, want := k.SubHash[0], fnv64a("a"); got != want {
+		t.Fatalf("SubHash[0] = %d, want %d", got, want)
+	}
+	seen := map[uint64]bool{}
+	for _, h := range k.SubHash {
+		if seen[h] {
+			t.Fatalf("duplicate SubHash %d", h)
+		}
+		seen[h] = true
+	}
+}

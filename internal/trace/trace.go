@@ -85,6 +85,9 @@ type Trace struct {
 	VMs      []VM              `json:"vms"`
 	// Meta records generation provenance.
 	Meta Meta `json:"meta"`
+
+	// keys caches the interned key table built by Keys.
+	keys *KeyTable
 }
 
 // Meta records how a trace was produced.
