@@ -11,10 +11,15 @@
 #                      so instrumented hot paths stay compile- and run-clean
 #   make bench-shards— streaming-ingestion throughput swept over shard
 #                      counts 1/2/4/8 (the BENCH_stream.json scaling table)
+#   make test-policy — policy-engine suite under -race: decision engine,
+#                      ledger pagination hammer, fold-source seqlock, and the
+#                      policy HTTP surface
 #   make diffcheck   — differential gauntlet: 25 randomized trials holding the
 #                      batch extractor and the streaming pipeline against each
 #                      other through fault injection, kill/resume, and
-#                      shard-invariance (sharded runs bit-exact to shards=1)
+#                      shard-invariance (sharded runs bit-exact to shards=1),
+#                      plus 5 policy-determinism trials (byte-identical
+#                      decision ledgers across runs and shard counts)
 #   make fuzz-smoke  — every fuzz target briefly (seed corpora + 5s of
 #                      generated inputs each) over the untrusted decoders
 #   make lint        — determinism lint: no global math/rand draws, no
@@ -22,7 +27,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify test-faults bench bench-smoke bench-shards diffcheck fuzz-smoke lint
+.PHONY: all build test verify test-faults test-policy bench bench-smoke bench-shards diffcheck fuzz-smoke lint
 
 all: build
 
@@ -49,8 +54,11 @@ bench-smoke:
 bench-shards:
 	$(GO) test -run=NONE -bench=StreamIngestShards -benchmem .
 
+test-policy:
+	$(GO) test -race ./internal/policy ./internal/kb ./cmd/wkbserver
+
 diffcheck: build
-	$(GO) run ./cmd/diffcheck -trials 25 -seed 1 -shards 2,4,8
+	$(GO) run ./cmd/diffcheck -trials 25 -seed 1 -shards 2,4,8 -policy-trials 5
 
 # `go test -fuzz` takes one target per invocation, so the smoke runs each
 # untrusted-input decoder in turn: 5 seconds of generated inputs on top of
@@ -62,6 +70,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCursor -fuzztime=$(FUZZTIME) ./internal/kb
 	$(GO) test -run=NONE -fuzz=FuzzParseListParams -fuzztime=$(FUZZTIME) ./internal/kb
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/policy
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/policy
 
 lint: build
 	$(GO) run ./cmd/detlint .

@@ -33,10 +33,12 @@ import (
 
 	"cloudlens/internal/allocfail"
 	"cloudlens/internal/balance"
+	"cloudlens/internal/core"
 	"cloudlens/internal/deferral"
 	"cloudlens/internal/faultgen"
 	"cloudlens/internal/kb"
 	"cloudlens/internal/oversub"
+	"cloudlens/internal/policy"
 	"cloudlens/internal/provision"
 	"cloudlens/internal/spot"
 	"cloudlens/internal/stream"
@@ -106,6 +108,57 @@ const (
 	GapSkip        = stream.GapSkip
 	GapInterpolate = stream.GapInterpolate
 )
+
+// Online policy engine types: pluggable policies deciding live
+// placement/admission requests against immutable KB snapshots, with an
+// append-only decision ledger and counterfactual replay (see DESIGN.md,
+// "Online policy engine").
+type (
+	// PolicyEngine evaluates requests and appends every decision to its
+	// ledger.
+	PolicyEngine = policy.Engine
+	// PolicyEngineOptions tunes trace level, counterfactual depth, and
+	// the optional latency clock.
+	PolicyEngineOptions = policy.Options
+	// PolicyRequest is one placement/admission ask.
+	PolicyRequest = policy.Request
+	// PolicyDecision is one append-only ledger entry.
+	PolicyDecision = policy.Decision
+	// PolicyCounterfactual is the regret report replaying one entry.
+	PolicyCounterfactual = policy.Counterfactual
+	// PolicyCounterfactualAlt is one re-scored rejected alternative.
+	PolicyCounterfactualAlt = policy.CounterfactualAlt
+	// PolicyFoldSource publishes immutable snapshots at fold boundaries
+	// (plug it into StreamOptions.FoldObserver and Bind the live store).
+	PolicyFoldSource = policy.FoldSource
+	// PolicySnapshotSource hands the engine its evaluation snapshots.
+	PolicySnapshotSource = policy.SnapshotSource
+	// KBSnapshot is an immutable fingerprinted knowledge-base view.
+	KBSnapshot = kb.Snapshot
+	// SubscriptionID identifies one subscription across the system.
+	SubscriptionID = core.SubscriptionID
+)
+
+// ParsePolicySpec builds policies from the -policies grammar, e.g.
+// "oversub:risk=4,spot,balance".
+func ParsePolicySpec(spec string) ([]policy.Policy, error) {
+	return policy.ParseSpec(spec)
+}
+
+// NewPolicyEngine builds a decision engine over a snapshot source.
+func NewPolicyEngine(src policy.SnapshotSource, policies []policy.Policy, opts PolicyEngineOptions) (*PolicyEngine, error) {
+	return policy.NewEngine(src, policies, opts)
+}
+
+// NewPolicyFoldSource returns an unbound fold-boundary snapshot source
+// for live pipelines.
+func NewPolicyFoldSource() *PolicyFoldSource { return policy.NewFoldSource() }
+
+// NewPolicyStoreSource serves one static knowledge base as a single
+// immutable snapshot (batch mode).
+func NewPolicyStoreSource(store *KnowledgeBase, step int) policy.SnapshotSource {
+	return policy.NewStoreSource(store, step)
+}
 
 // Policy experiment types.
 type (

@@ -8,7 +8,13 @@
 //
 //	diffcheck [-trials 25] [-seed 1] [-days 3] [-scales 0.05,0.1]
 //	          [-specs 'off;drop=0.01,seed=13'] [-kill-every 2]
-//	          [-shards 2,4,8] [-json]
+//	          [-shards 2,4,8] [-policy-trials 5] [-json]
+//
+// With -policy-trials > 0 the run appends the policy-determinism oracle:
+// each trial replays one workload into fold-boundary snapshots and feeds
+// one seeded request stream to the policy engine across repeated runs and
+// shard counts 1 and 4, demanding byte-identical decision ledgers and
+// exact counterfactual score reproduction.
 //
 // Exit status is 1 when any trial diverges; the report names the first
 // diverging subscription and field with the full trial recipe, so a
@@ -35,6 +41,7 @@ func main() {
 		specs     = flag.String("specs", "", "semicolon-separated fault specs to cycle, in faultgen grammar (default: clean, repairable, and lossy mixes)")
 		killEvery = flag.Int("kill-every", 2, "checkpoint+resume every n-th trial mid-replay (0 disables)")
 		shards    = flag.String("shards", "", "comma-separated shard counts to cycle; sharded trials are held bit-exact to a single-ingestor reference on lossless fault mixes")
+		polTrials = flag.Int("policy-trials", 0, "policy-determinism trials to append (0 disables): byte-identical decision ledgers across runs and shard counts")
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
 	)
 	flag.Parse()
@@ -72,17 +79,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "diffcheck:", err)
 		os.Exit(1)
 	}
+	var prep *diffcheck.PolicyReport
+	if *polTrials > 0 {
+		prep, err = diffcheck.RunPolicy(diffcheck.PolicyConfig{Trials: *polTrials, Seed: *seed, Days: *days})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffcheck:", err)
+			os.Exit(1)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		out := struct {
+			*diffcheck.Report
+			Policy *diffcheck.PolicyReport `json:",omitempty"`
+		}{rep, prep}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "diffcheck:", err)
 			os.Exit(1)
 		}
 	} else {
 		fmt.Print(rep.String())
+		if prep != nil {
+			fmt.Println()
+			fmt.Println(prep.String())
+		}
 	}
-	if rep.Failed() {
+	if rep.Failed() || (prep != nil && prep.Failed()) {
 		os.Exit(1)
 	}
 }

@@ -1,10 +1,17 @@
-// Command policysim runs the paper's management pilots over a trace:
+// Command policysim runs the paper's management pilots over a trace.
 //
-//	oversub   chance-constrained over-subscription sweep (Section III-B);
-//	          the paper reports 20%-86% utilization improvement
-//	spot      spot-VM valley harvesting with eviction-rate prediction
-//	balance   the Canada region-shift pilot (Section IV-B): move a
-//	          region-agnostic service from a hot region to an idle one
+// The oversub, spot, and balance pilots are thin drivers over the online
+// policy engine (internal/policy): the trace is replayed offline through
+// the streaming pipeline into fold-boundary knowledge-base snapshots, a
+// seeded request stream is fed to the engine, and the resulting decision
+// ledger plus counterfactual regret are reported. The remaining pilots
+// are batch analyses without an online counterpart:
+//
+//	oversub   chance-constrained over-subscription admission via the
+//	          Oversubscribe policy (Section III-B)
+//	spot      spot/on-demand admission via the SpotAdmit policy
+//	balance   region placement via the RegionBalance policy (Section IV-B)
+//	engine    oversub+spot+balance in one engine run (honors -policies)
 //	deferral  deferrable-workload valley scheduling (Section IV-A)
 //	mixture   dynamic spot/on-demand mixture for a deadline batch job
 //	provision reactive vs predictive pre-provisioning for hourly peaks
@@ -14,14 +21,19 @@
 // Usage:
 //
 //	policysim [-seed 42] [-scale 1.0] [-trace bundle/trace.json.gz] [-experiment all]
+//	          [-policies oversub,spot,balance] [-requests 24] [-shards 1]
+//	          [-trace-level 1] [-counterfactual-k 3]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"sort"
 
 	"cloudlens"
 	"cloudlens/internal/report"
@@ -39,7 +51,12 @@ func run() error {
 		seed       = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
 		scale      = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
 		tracePath  = flag.String("trace", "", "load a saved trace instead of generating")
-		experiment = flag.String("experiment", "all", "oversub | spot | balance | deferral | all")
+		experiment = flag.String("experiment", "all", "oversub | spot | balance | engine | deferral | mixture | provision | allocfail | all")
+		policies   = flag.String("policies", "oversub,spot,balance", "policy spec for -experiment engine")
+		requests   = flag.Int("requests", 24, "generated requests per policy for the engine experiments")
+		shards     = flag.Int("shards", 1, "ingestion shards for the offline replay feeding the engine")
+		traceLevel = flag.Int("trace-level", 1, "policy ledger detail: 0 | 1 | 2")
+		cfK        = flag.Int("counterfactual-k", 3, "rejected alternatives re-scored per decision")
 	)
 	flag.Parse()
 
@@ -61,22 +78,33 @@ func run() error {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 
+	engineCfg := engineConfig{
+		Seed:            *seed,
+		Requests:        *requests,
+		Shards:          *shards,
+		TraceLevel:      *traceLevel,
+		CounterfactualK: *cfK,
+	}
 	runAll := *experiment == "all"
 	ran := false
-	if runAll || *experiment == "oversub" {
-		if err := runOversub(w, tr); err != nil {
+	switch *experiment {
+	case "oversub", "spot", "balance":
+		// Single-policy engine runs replacing the old batch pilots.
+		engineCfg.Spec = *experiment
+		if err := runEngine(w, tr, engineCfg); err != nil {
+			return err
+		}
+		ran = true
+	case "engine":
+		engineCfg.Spec = *policies
+		if err := runEngine(w, tr, engineCfg); err != nil {
 			return err
 		}
 		ran = true
 	}
-	if runAll || *experiment == "spot" {
-		if err := runSpot(w, tr); err != nil {
-			return err
-		}
-		ran = true
-	}
-	if runAll || *experiment == "balance" {
-		if err := runBalance(w, tr); err != nil {
+	if runAll {
+		engineCfg.Spec = *policies
+		if err := runEngine(w, tr, engineCfg); err != nil {
 			return err
 		}
 		ran = true
@@ -111,73 +139,163 @@ func run() error {
 	return nil
 }
 
-func runOversub(w io.Writer, tr *cloudlens.Trace) error {
-	if err := report.Section(w, "Chance-constrained over-subscription (paper: +20% to +86%)"); err != nil {
+// engineConfig parameterizes one offline engine run.
+type engineConfig struct {
+	Spec            string
+	Seed            uint64
+	Requests        int
+	Shards          int
+	TraceLevel      int
+	CounterfactualK int
+}
+
+// runEngine is the offline driver over the online policy engine: replay
+// the trace through the streaming pipeline (snapshots publish at fold
+// boundaries), feed a seeded request stream against the final snapshot,
+// and report the decision ledger and counterfactual regret per policy.
+// With a nil engine clock the whole run is deterministic in (trace, seed).
+func runEngine(w io.Writer, tr *cloudlens.Trace, cfg engineConfig) error {
+	if err := report.Section(w, "Online policy engine (offline replay -> seeded request stream)"); err != nil {
 		return err
 	}
-	res, err := cloudlens.RunOversubscription(tr, cloudlens.OversubOptions{})
+	pols, err := cloudlens.ParsePolicySpec(cfg.Spec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "nodes=%d baseline reservation=%.0f cores, mean usage=%.0f cores\n",
-		res.Nodes, res.BaselineCores, res.MeanUsedCores)
-	t := report.NewTable("epsilon", "reserved cores", "utilization gain", "violation rate")
-	for _, p := range res.Points {
-		t.AddRow(fmt.Sprintf("%.4f", p.Epsilon),
-			fmt.Sprintf("%.0f", p.ReservedCores),
-			report.Pct(p.UtilizationGain),
-			fmt.Sprintf("%.4f", p.ViolationRate))
+	foldSrc := cloudlens.NewPolicyFoldSource()
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{
+		FoldObserver: foldSrc,
+		Shards:       cfg.Shards,
+	})
+	foldSrc.Bind(pipe.KB())
+	pipe.Start(context.Background())
+	pipe.Wait()
+
+	eng, err := cloudlens.NewPolicyEngine(foldSrc, pols, cloudlens.PolicyEngineOptions{
+		TraceLevel:      cfg.TraceLevel,
+		CounterfactualK: cfg.CounterfactualK,
+	})
+	if err != nil {
+		return err
+	}
+	sn := eng.Snapshot()
+	fmt.Fprintf(w, "snapshot: step %d, %d profiles, %s (replay shards=%d)\n",
+		sn.Step(), sn.Len(), sn.Fingerprint(), cfg.Shards)
+	if sn.Len() == 0 {
+		return fmt.Errorf("empty knowledge base after replay")
+	}
+
+	for _, req := range generateRequests(sn, eng.Policies(), cfg.Seed, cfg.Requests) {
+		if _, err := eng.Decide(req); err != nil {
+			return err
+		}
+	}
+
+	type agg struct {
+		decisions, accepted int
+		scoreSum, regretSum float64
+		reproduced          bool
+		actions             map[string]int
+	}
+	byPolicy := make(map[string]*agg)
+	for _, name := range eng.Policies() {
+		byPolicy[name] = &agg{reproduced: true, actions: map[string]int{}}
+	}
+	for _, d := range eng.Ledger().List("") {
+		cf, err := eng.Counterfactual(d.ID)
+		if err != nil {
+			return err
+		}
+		a := byPolicy[d.Policy]
+		a.decisions++
+		if d.Accepted {
+			a.accepted++
+		}
+		a.scoreSum += d.Score
+		a.regretSum += cf.Regret
+		a.reproduced = a.reproduced && cf.Reproduced
+		a.actions[d.Action]++
+	}
+	t := report.NewTable("policy", "decisions", "accepted", "mean score", "mean regret", "reproduced", "top action")
+	for _, name := range eng.Policies() {
+		a := byPolicy[name]
+		n := float64(max(a.decisions, 1))
+		t.AddRow(name,
+			fmt.Sprintf("%d", a.decisions),
+			report.Pct(float64(a.accepted)/n),
+			fmt.Sprintf("%.4f", a.scoreSum/n),
+			fmt.Sprintf("%.4f", a.regretSum/n),
+			fmt.Sprintf("%v", a.reproduced),
+			topAction(a.actions))
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
-	lo, hi := res.GainRange()
-	fmt.Fprintf(w, "gain range across safety levels: %s .. %s\n", report.Pct(lo), report.Pct(hi))
+	fmt.Fprintf(w, "%d ledger entries; counterfactual replay on the final snapshot reproduces every chosen score\n",
+		eng.Ledger().Len())
 	return nil
 }
 
-func runSpot(w io.Writer, tr *cloudlens.Trace) error {
-	if err := report.Section(w, "Spot-VM valley harvesting (public cloud)"); err != nil {
-		return err
+// generateRequests builds the seeded request stream: for each policy,
+// cfg.Requests asks against snapshot subscriptions drawn by a seeded
+// generator; balance asks carry two candidate regions drawn from the
+// snapshot's region universe. Deterministic in (snapshot, policies, seed).
+func generateRequests(sn *cloudlens.KBSnapshot, policies []string, seed uint64, perPolicy int) []cloudlens.PolicyRequest {
+	profiles := sn.Profiles()
+	regionSet := map[string]bool{}
+	for _, p := range profiles {
+		for _, r := range p.Regions {
+			regionSet[r] = true
+		}
 	}
-	res, err := cloudlens.RunSpotHarvest(tr, cloudlens.SpotOptions{})
-	if err != nil {
-		return err
+	regions := make([]string, 0, len(regionSet))
+	for r := range regionSet {
+		regions = append(regions, r)
 	}
-	fmt.Fprintf(w, "pool=%d cores; utilization %s -> %s with spot; harvested %.0f core-hours\n",
-		res.PhysicalCores, report.Pct(res.OnDemandUtilization),
-		report.Pct(res.WithSpotUtilization), res.SpotCoreHours)
-	fmt.Fprintf(w, "spot VMs served=%d evictions=%d mean lifetime=%.1f h\n",
-		res.SpotVMsServed, res.Evictions, res.MeanSpotLifetimeHours)
-	fmt.Fprintf(w, "eviction predictor: correlation=%.2f MAE=%.4f\n",
-		res.Predictor.Correlation, res.Predictor.MAE)
-	fmt.Fprintf(w, "evictions by hour of day: %s\n",
-		report.Sparkline(res.EvictionsPerHourOfDay))
-	return nil
+	sort.Strings(regions)
+
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var out []cloudlens.PolicyRequest
+	for _, pol := range policies {
+		for i := 0; i < perPolicy; i++ {
+			req := cloudlens.PolicyRequest{
+				Policy:       pol,
+				Subscription: profiles[rng.Intn(len(profiles))].Subscription,
+				Cores:        1 + rng.Intn(16),
+			}
+			if pol == "balance" && len(regions) > 0 {
+				a := rng.Intn(len(regions))
+				b := rng.Intn(len(regions))
+				req.Regions = []string{regions[a]}
+				if b != a {
+					req.Regions = append(req.Regions, regions[b])
+				}
+			}
+			out = append(out, req)
+		}
+	}
+	return out
 }
 
-func runBalance(w io.Writer, tr *cloudlens.Trace) error {
-	if err := report.Section(w, "Region-agnostic workload shift (Canada pilot, Section IV-B)"); err != nil {
-		return err
+// topAction names the most frequent chosen action (ties break
+// lexicographically).
+func topAction(actions map[string]int) string {
+	var best string
+	bestN := -1
+	keys := make([]string, 0, len(actions))
+	for k := range actions {
+		keys = append(keys, k)
 	}
-	out, err := cloudlens.RunRegionBalance(tr, nil, "canada-a", "canada-b")
-	if err != nil {
-		return err
+	sort.Strings(keys)
+	for _, k := range keys {
+		if actions[k] > bestN {
+			best, bestN = k, actions[k]
+		}
 	}
-	fmt.Fprintf(w, "plan: move %s (%d VMs, %d cores, agnostic score %.2f) from %s to %s\n",
-		out.Plan.Service, out.Plan.VMs, out.Plan.Cores, out.Plan.AgnosticScore,
-		out.Plan.Source, out.Plan.Destination)
-	t := report.NewTable("region", "phase", "utilization rate", "underutilized share")
-	t.AddRow(out.Plan.Source, "before", report.Pct(out.SourceBefore.UtilizationRate), report.Pct(out.SourceBefore.UnderutilizedShare))
-	t.AddRow(out.Plan.Source, "after", report.Pct(out.SourceAfter.UtilizationRate), report.Pct(out.SourceAfter.UnderutilizedShare))
-	t.AddRow(out.Plan.Destination, "before", report.Pct(out.DestBefore.UtilizationRate), report.Pct(out.DestBefore.UnderutilizedShare))
-	t.AddRow(out.Plan.Destination, "after", report.Pct(out.DestAfter.UtilizationRate), report.Pct(out.DestAfter.UnderutilizedShare))
-	if err := t.Render(w); err != nil {
-		return err
+	if best == "" {
+		return "-"
 	}
-	fmt.Fprintf(w, "paper: source 42%%->37%% utilization, 23%%->16%% underutilized; health improved: %v\n",
-		out.HealthImproved())
-	return nil
+	return fmt.Sprintf("%s (%d)", best, bestN)
 }
 
 func runDeferral(w io.Writer, tr *cloudlens.Trace) error {

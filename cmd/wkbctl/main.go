@@ -10,10 +10,19 @@
 //	wkbctl -server http://localhost:8080 watch [-interval 2s] [-count 0]
 //	wkbctl -server http://localhost:8080 routes
 //	wkbctl -server http://localhost:8080 version
+//	wkbctl -server http://localhost:8080 decide -policy oversub -subscription sub-001 [-cores 4] [-regions r1,r2]
+//	wkbctl -server http://localhost:8080 decisions [-policy oversub] [-limit 100] [-cursor ...]
+//	wkbctl -server http://localhost:8080 counterfactual <decision-id>
 //
 // watch follows a live replay (wkbserver -replay), printing one progress
 // line per poll until the replay finishes; -count bounds the number of
 // polls (0 means until done).
+//
+// decide, decisions, and counterfactual talk to the online policy engine
+// (wkbserver -policies): decide posts one placement/admission request,
+// decisions pages through the ledger (with -limit/-cursor it decodes the
+// {items,next_cursor,total} envelope and prints the next cursor), and
+// counterfactual prints the regret replay for one ledger entry.
 //
 // Every HTTP status ≥ 400 exits non-zero; the server's JSON error envelope
 // ({"error":{"code","message"}}) is decoded into a one-line stderr
@@ -88,8 +97,39 @@ func run() error {
 		return showRoutes(client, *server, os.Stdout)
 	case "version":
 		return showVersion(client, *server)
+	case "decide":
+		fs := flag.NewFlagSet("decide", flag.ContinueOnError)
+		var (
+			pol     = fs.String("policy", "", "policy to consult (required)")
+			sub     = fs.String("subscription", "", "workload subscription id (required)")
+			cores   = fs.Int("cores", 0, "ask size in cores (0 = server default of 1)")
+			regions = fs.String("regions", "", "comma-separated candidate regions (balance)")
+		)
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			return helpErr(err)
+		}
+		if *pol == "" || *sub == "" {
+			return fmt.Errorf("decide requires -policy and -subscription")
+		}
+		return decide(client, *server, *pol, *sub, *cores, *regions, os.Stdout)
+	case "decisions":
+		fs := flag.NewFlagSet("decisions", flag.ContinueOnError)
+		var (
+			pol    = fs.String("policy", "", "restrict to one policy's decisions")
+			limit  = fs.Int("limit", 0, "page size; any paging flag switches to the cursor envelope")
+			cursor = fs.String("cursor", "", "resume from a previous page's next cursor")
+		)
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			return helpErr(err)
+		}
+		return showDecisions(client, *server, *pol, *limit, *cursor, os.Stdout)
+	case "counterfactual":
+		if flag.Arg(1) == "" {
+			return fmt.Errorf("counterfactual requires a decision id")
+		}
+		return showCounterfactual(client, *server, flag.Arg(1), os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch | routes | version)", flag.Arg(0))
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch | routes | version | decide | decisions | counterfactual)", flag.Arg(0))
 	}
 }
 
@@ -237,6 +277,142 @@ func showProfiles(client *http.Client, server, cloud string, minAgnostic float64
 		return err
 	}
 	fmt.Printf("%d profiles\n", len(profiles))
+	return nil
+}
+
+// postJSON posts body to rawURL and decodes the response like getJSON,
+// including the error-envelope handling.
+func postJSON(client *http.Client, rawURL string, body, out interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(rawURL, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		var env kb.ErrorBody
+		if json.Unmarshal(raw, &env) == nil && env.Error.Message != "" {
+			return fmt.Errorf("%s (%s, HTTP %d)", env.Error.Message, env.Error.Code, resp.StatusCode)
+		}
+		return fmt.Errorf("POST %s: %s: %s", rawURL, resp.Status, bytes.TrimSpace(raw))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: unexpected status %s", rawURL, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decide posts one placement/admission request and prints the resulting
+// ledger entry.
+func decide(client *http.Client, server, pol, sub string, cores int, regions string, w io.Writer) error {
+	req := cloudlens.PolicyRequest{
+		Policy:       pol,
+		Subscription: cloudlens.SubscriptionID(sub),
+		Cores:        cores,
+	}
+	if regions != "" {
+		req.Regions = strings.Split(regions, ",")
+	}
+	var d cloudlens.PolicyDecision
+	if err := postJSON(client, server+"/api/v1/policy/decide", req, &d); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "decision %d: %s -> %s (score %.4f, accepted %v, snapshot step %d %s)\n",
+		d.ID, d.Policy, d.Action, d.Score, d.Accepted, d.SnapshotStep, d.SnapshotFingerprint)
+	for _, a := range d.Alternatives {
+		fmt.Fprintf(w, "  rejected %-24s score %.4f  %s\n", a.Action, a.Score, a.Note)
+	}
+	return nil
+}
+
+// decisionPage mirrors the kb.ListPage envelope with typed items.
+type decisionPage struct {
+	Items      []cloudlens.PolicyDecision `json:"items"`
+	NextCursor string                     `json:"next_cursor"`
+	Total      int                        `json:"total"`
+}
+
+// showDecisions lists the ledger; with -limit or -cursor it walks the
+// paginated envelope and prints the next cursor for the following page.
+func showDecisions(client *http.Client, server, pol string, limit int, cursor string, w io.Writer) error {
+	q := url.Values{}
+	if pol != "" {
+		q.Set("policy", pol)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	rawURL := server + "/api/v1/policy/decisions"
+	if enc := q.Encode(); enc != "" {
+		rawURL += "?" + enc
+	}
+	var (
+		items      []cloudlens.PolicyDecision
+		nextCursor string
+		total      int
+	)
+	if limit > 0 || cursor != "" {
+		var page decisionPage
+		if err := getJSON(client, rawURL, &page); err != nil {
+			return err
+		}
+		items, nextCursor, total = page.Items, page.NextCursor, page.Total
+	} else {
+		if err := getJSON(client, rawURL, &items); err != nil {
+			return err
+		}
+		total = len(items)
+	}
+	t := report.NewTable("id", "policy", "subscription", "action", "score", "accepted", "snapshot")
+	for _, d := range items {
+		t.AddRow(strconv.FormatUint(d.ID, 10),
+			d.Policy,
+			string(d.Request.Subscription),
+			d.Action,
+			fmt.Sprintf("%.4f", d.Score),
+			strconv.FormatBool(d.Accepted),
+			strconv.Itoa(d.SnapshotStep))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d of %d decisions\n", len(items), total)
+	if nextCursor != "" {
+		fmt.Fprintf(w, "next: -cursor %s\n", nextCursor)
+	}
+	return nil
+}
+
+// showCounterfactual prints the regret replay for one ledger entry.
+func showCounterfactual(client *http.Client, server, id string, w io.Writer) error {
+	var cf cloudlens.PolicyCounterfactual
+	if err := getJSON(client, server+"/api/v1/policy/decisions/"+url.PathEscape(id)+"/counterfactual", &cf); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "decision %d (%s): chose %s, original score %.4f, replay %.4f (reproduced %v)\n",
+		cf.ID, cf.Policy, cf.Action, cf.OriginalScore, cf.ReplayScore, cf.Reproduced)
+	fmt.Fprintf(w, "snapshot then: step %d %s\n", cf.SnapshotStep, cf.SnapshotFingerprint)
+	fmt.Fprintf(w, "snapshot now:  step %d %s (chosen action now scores %.4f)\n",
+		cf.CurrentStep, cf.CurrentFingerprint, cf.ChosenCurrentScore)
+	t := report.NewTable("alternative", "replay score", "current score", "regret")
+	for _, a := range cf.Alternatives {
+		cur := "n/a"
+		if a.CurrentKnown {
+			cur = fmt.Sprintf("%.4f", a.CurrentScore)
+		}
+		t.AddRow(a.Action, fmt.Sprintf("%.4f", a.ReplayScore), cur, fmt.Sprintf("%.4f", a.Regret))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "regret %.4f\n", cf.Regret)
 	return nil
 }
 

@@ -16,6 +16,9 @@
 //	GET /api/v1/live/profiles[?filters]  (with -replay)
 //	GET /api/v1/live/profiles/{id}       (with -replay)
 //	GET /api/v1/live/faults              (with -replay)
+//	POST /api/v1/policy/decide           (with -policies)
+//	GET /api/v1/policy/decisions         (with -policies; cursor-paginated)
+//	GET /api/v1/policy/decisions/{id}/counterfactual (with -policies)
 //
 // By default the knowledge base is extracted once, up front, from the full
 // trace. With -replay the server instead streams the trace through the
@@ -36,6 +39,16 @@
 // from the newest checkpoint instead of replaying from step 0 (starting
 // fresh when none exists yet).
 //
+// Policies: -policies enables the online decision engine (grammar:
+// "oversub:risk=4,spot,balance"). Policies evaluate requests against an
+// immutable knowledge-base snapshot — republished at every fold boundary
+// during a replay, fixed to the extracted KB in batch mode — and append
+// every decision to a ledger served at /api/v1/policy/decisions.
+// -trace-level controls how much each entry records and
+// -counterfactual-k how many rejected alternatives are kept and
+// re-scored by the counterfactual route. /healthz carries the engine's
+// vitals.
+//
 // Observability: /metrics exposes the process's counter/gauge/histogram
 // series (catalog in DESIGN.md §7); -debug-addr starts a second listener
 // serving net/http/pprof; -log-level sets the slog threshold and
@@ -51,6 +64,7 @@
 //	          [-replay] [-shards 4] [-speedup 2016] [-save kb.json]
 //	          [-faults drop=0.01,seed=1] [-lateness 3] [-gap-policy carry]
 //	          [-checkpoint-dir /var/lib/cloudlens] [-checkpoint-every 30s] [-resume]
+//	          [-policies oversub,spot,balance] [-trace-level 1] [-counterfactual-k 3]
 //	          [-debug-addr :6060] [-log-level info] [-log-requests]
 package main
 
@@ -100,6 +114,9 @@ func run() error {
 		ckptDir     = flag.String("checkpoint-dir", "", "write durable ingestion checkpoints into this directory (requires -replay)")
 		ckptEvery   = flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval while the replay runs")
 		resume      = flag.Bool("resume", false, "continue ingestion from the checkpoint in -checkpoint-dir instead of replaying from step 0")
+		policies    = flag.String("policies", "", "enable the online policy engine with this spec, e.g. oversub:risk=4,spot,balance (empty = disabled)")
+		traceLevel  = flag.Int("trace-level", 1, "policy ledger detail: 0 chosen action only, 1 +top-k rejected alternatives, 2 +evaluation spans")
+		cfK         = flag.Int("counterfactual-k", 3, "rejected alternatives recorded per decision and re-scored during counterfactual replay")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		logLevel    = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
 		logRequests = flag.Bool("log-requests", false, "log one debug record per HTTP request (needs -log-level debug)")
@@ -139,10 +156,23 @@ func run() error {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 
+	pols, err := cloudlens.ParsePolicySpec(*policies)
+	if err != nil {
+		return fmt.Errorf("-policies: %w", err)
+	}
+	if *traceLevel < 0 || *traceLevel > 2 {
+		return fmt.Errorf("-trace-level must be 0, 1, or 2 (got %d)", *traceLevel)
+	}
+	if *cfK < 1 {
+		return fmt.Errorf("-counterfactual-k must be at least 1 (got %d)", *cfK)
+	}
+
 	var (
-		store *cloudlens.KnowledgeBase
-		pipe  *cloudlens.StreamPipeline
-		inj   *cloudlens.FaultInjector
+		store   *cloudlens.KnowledgeBase
+		pipe    *cloudlens.StreamPipeline
+		inj     *cloudlens.FaultInjector
+		peng    *cloudlens.PolicyEngine
+		foldSrc *cloudlens.PolicyFoldSource
 	)
 	if *replay {
 		gp, err := cloudlens.ParseGapPolicy(*gapPolicy)
@@ -163,10 +193,20 @@ func run() error {
 			Shards:           *shards,
 			WrapSource:       spec.Wrap(tr.Grid.N, &inj),
 		}
+		if len(pols) > 0 {
+			// The fold source must be in the options before the pipeline
+			// is built (ingestors copy them) and bound to the published
+			// store before Start, so no fold can race the binding.
+			foldSrc = cloudlens.NewPolicyFoldSource()
+			opts.FoldObserver = foldSrc
+		}
 		ckptPath := checkpointPath(*ckptDir)
 		pipe, err = startPipeline(tr, opts, ckptPath, *resume, logger)
 		if err != nil {
 			return err
+		}
+		if foldSrc != nil {
+			foldSrc.Bind(pipe.KB())
 		}
 		pipe.Start(ctx)
 		store = pipe.KB()
@@ -188,13 +228,30 @@ func run() error {
 		}
 	}
 
+	if len(pols) > 0 {
+		var src cloudlens.PolicySnapshotSource = foldSrc
+		if foldSrc == nil {
+			src = cloudlens.NewPolicyStoreSource(store, tr.Grid.N)
+		}
+		peng, err = cloudlens.NewPolicyEngine(src, pols, cloudlens.PolicyEngineOptions{
+			TraceLevel:      *traceLevel,
+			CounterfactualK: *cfK,
+			Clock:           time.Now,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("policy engine enabled",
+			"policies", peng.Policies(), "traceLevel", *traceLevel, "counterfactualK", *cfK)
+	}
+
 	var reqLog *slog.Logger
 	if *logRequests {
 		reqLog = logger
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           buildHandler(store, pipe, inj, reqLog),
+		Handler:           buildHandler(store, pipe, inj, peng, reqLog),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -109,7 +109,7 @@ func assertEnvelope(t *testing.T, path string, body []byte, status int) {
 func TestBatchHandlerRoutes(t *testing.T) {
 	tr := testTrace()
 	store := cloudlens.ExtractKnowledgeBase(tr)
-	srv := httptest.NewServer(buildHandler(store, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(store, nil, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/healthz", http.StatusOK)
@@ -186,7 +186,7 @@ func TestLiveHandlerRoutes(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/live/status", http.StatusOK)
@@ -253,7 +253,7 @@ func TestMetricsExposition(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 
 	// One API request first so the middleware series have data.
@@ -338,7 +338,7 @@ func TestMetricsExposition(t *testing.T) {
 func TestLiveEndpointsDuringIngestion(t *testing.T) {
 	tr := testTrace()
 	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 	pipe.Start(context.Background())
 
@@ -419,7 +419,7 @@ func TestLivePaginationDuringIngestion(t *testing.T) {
 	}
 	tr := &cloudlens.Trace{Grid: g, VMs: vms}
 	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 	pipe.Start(context.Background())
 
@@ -493,7 +493,7 @@ func TestLiveFaultsEndpoint(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, inj, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, inj, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/live/faults", http.StatusOK)
@@ -527,7 +527,7 @@ func TestLiveFaultsEndpoint(t *testing.T) {
 	}
 
 	// Batch mode has no fault surface: enveloped 404, like every live route.
-	batch := httptest.NewServer(buildHandler(pipe.KB(), nil, nil, nil))
+	batch := httptest.NewServer(buildHandler(pipe.KB(), nil, nil, nil, nil))
 	defer batch.Close()
 	wantStatus(t, batch, "/api/v1/live/faults", http.StatusNotFound)
 }
@@ -541,7 +541,7 @@ func TestRouteIndexCoversLiveSurface(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/", http.StatusOK)
@@ -639,7 +639,7 @@ func TestHealthzReportsIngesting(t *testing.T) {
 	tr := testTrace()
 	// A paced replay (tiny speedup) stays mid-flight long enough to observe.
 	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: 1})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -670,7 +670,7 @@ func TestShardedHealthAndFaults(t *testing.T) {
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/healthz", http.StatusOK)

@@ -9,6 +9,7 @@ import (
 	"cloudlens/internal/core"
 	"cloudlens/internal/kb"
 	"cloudlens/internal/obs"
+	"cloudlens/internal/policy"
 )
 
 // buildHandler assembles the server's unified v1 route table: the batch
@@ -32,17 +33,26 @@ import (
 // Every route mounted here is also documented in the kb.RouteTable behind
 // GET /api/v1/, so clients (wkbctl routes) can discover the surface.
 //
+// The policy engine adds its decision surface on top (see
+// internal/policy):
+//
+//	POST /api/v1/policy/decide                        evaluate one request
+//	GET  /api/v1/policy/decisions[?policy&limit&cursor]  decision ledger
+//	GET  /api/v1/policy/decisions/{id}/counterfactual    regret replay
+//
 // Without a replay the live routes answer 404 so clients can distinguish
-// "server runs in batch mode" from transport errors. inj is non-nil only
-// when -faults injection is active; reqLog may be nil to disable
+// "server runs in batch mode" from transport errors; the policy routes do
+// the same without -policies. inj is non-nil only when -faults injection
+// is active; peng is nil without -policies; reqLog may be nil to disable
 // per-request logging.
-func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector, reqLog *slog.Logger) http.Handler {
+func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector, peng *cloudlens.PolicyEngine, reqLog *slog.Logger) http.Handler {
 	metrics := obs.NewHTTPMetrics(obs.Default, reqLog)
 	mux := http.NewServeMux()
 	table := kb.Register(mux, store, kb.RouteOptions{
-		Health: healthFn(pipe),
+		Health: healthFn(pipe, peng),
 		Wrap:   metrics.Wrap,
 	})
+	policy.RegisterRoutes(mux, table, peng, metrics.Wrap)
 
 	// live wires one replay-backed route: the handler runs only when a
 	// pipeline is attached, and only for GET (the mux enforces the method).
@@ -149,14 +159,24 @@ func faultsPayload(pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector)
 // completes before the listener opens). On a replaying server the payload
 // also carries the fault-tolerance vitals — quarantined and deduplicated
 // samples, watermark lag, checkpoint age — so the probe shows a degrading
-// feed directly.
-func healthFn(pipe *cloudlens.StreamPipeline) func() kb.Health {
-	if pipe == nil {
+// feed directly. With -policies the payload additionally carries the
+// policy engine's vitals (decision counters, ledger depth, and the
+// identity of the snapshot currently served to policies).
+func healthFn(pipe *cloudlens.StreamPipeline, peng *cloudlens.PolicyEngine) func() kb.Health {
+	if pipe == nil && peng == nil {
 		return nil
 	}
 	return func() kb.Health {
+		h := kb.Health{Status: "ok"}
+		if peng != nil {
+			v := peng.Vitals()
+			h.Policy = &v
+		}
+		if pipe == nil {
+			return h
+		}
 		st := pipe.Status()
-		h := kb.Health{Status: "ok", Step: st.Step, Steps: st.Steps}
+		h.Step, h.Steps = st.Step, st.Steps
 		if !st.Done {
 			h.Status = "ingesting"
 		}

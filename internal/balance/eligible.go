@@ -1,0 +1,15 @@
+package balance
+
+import "cloudlens/internal/kb"
+
+// Eligible reports whether a profile passes the Section IV-B
+// cross-region gate for migration: the subscription must already span
+// multiple regions and its minimum pairwise cross-region utilization
+// correlation must clear kb.RegionAgnosticThreshold — the same gate
+// Recommend applies when it builds batch migration plans, shared here so
+// the online RegionBalance policy cannot drift from it.
+func Eligible(p *kb.Profile) bool {
+	return p != nil &&
+		len(p.Regions) > 1 &&
+		p.RegionAgnosticScore >= kb.RegionAgnosticThreshold
+}

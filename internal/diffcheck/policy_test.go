@@ -1,0 +1,31 @@
+package diffcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyDeterminism runs the policy oracle's compact slice: two
+// trials, each replaying the same workload at shards 1 (twice) and 4 and
+// demanding byte-identical decision ledgers plus exact counterfactual
+// score reproduction. The 5-trial run is wired to `make diffcheck`.
+func TestPolicyDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial differential run")
+	}
+	rep, err := RunPolicy(PolicyConfig{Trials: 2, Seed: 20260808})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("policy ledger diverged:\n%s", rep)
+	}
+	for _, res := range rep.Results {
+		if res.Decisions == 0 {
+			t.Fatalf("trial %d decided nothing", res.Trial)
+		}
+	}
+	if !strings.Contains(rep.String(), "0 diverged") {
+		t.Fatalf("report: %s", rep)
+	}
+}

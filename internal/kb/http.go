@@ -66,6 +66,9 @@ type Health struct {
 	// Shards breaks the vitals out per ingestion shard on a sharded
 	// replay; absent on single-ingestor and batch servers.
 	Shards []ShardHealth `json:"shards,omitempty"`
+	// Policy carries the online policy engine's vitals; absent when the
+	// server runs without -policies.
+	Policy *PolicyVitals `json:"policy,omitempty"`
 }
 
 // ShardHealth is one ingestion shard's slice of the /healthz vitals, so a

@@ -1,0 +1,108 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"cloudlens/internal/core"
+)
+
+// MatchAll returns the query that matches every stored profile. The zero
+// Query is NOT match-all: its MinRegionAgnosticScore of 0 silently drops
+// profiles whose score is negative (single-region subscriptions carry -1).
+// Snapshot construction and any other "give me the whole knowledge base"
+// caller must use this instead.
+func MatchAll() Query { return Query{MinRegionAgnosticScore: disabledScore} }
+
+// Snapshot is an immutable point-in-time view of a knowledge base,
+// published at fold boundaries for readers (the policy engine) that must
+// see a consistent profile set while ingestion keeps rewriting the live
+// store underneath them. The profile pointers are safe to retain because
+// every fold Puts freshly built Profile values — published profiles are
+// never mutated in place.
+type Snapshot struct {
+	step     int
+	seq      uint64
+	profiles []*Profile // sorted by subscription
+	bySub    map[core.SubscriptionID]*Profile
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// NewSnapshot captures the store's current profile set. step labels the
+// fold boundary the snapshot was published at (grid steps); seq is the
+// publication sequence number (diagnostic only — it is never part of the
+// snapshot's identity, which is the fingerprint).
+func NewSnapshot(store *Store, step int, seq uint64) *Snapshot {
+	var profiles []*Profile
+	if store != nil {
+		profiles = store.List(MatchAll())
+	}
+	if profiles == nil {
+		profiles = []*Profile{} // empty snapshots stay range- and JSON-safe
+	}
+	bySub := make(map[core.SubscriptionID]*Profile, len(profiles))
+	for _, p := range profiles {
+		bySub[p.Subscription] = p
+	}
+	return &Snapshot{step: step, seq: seq, profiles: profiles, bySub: bySub}
+}
+
+// Step returns the fold boundary (in grid steps) the snapshot was
+// published at.
+func (s *Snapshot) Step() int { return s.step }
+
+// Seq returns the publication sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Len returns the number of profiles captured.
+func (s *Snapshot) Len() int { return len(s.profiles) }
+
+// Profiles returns the captured profiles sorted by subscription. Callers
+// must not mutate the slice or the profiles.
+func (s *Snapshot) Profiles() []*Profile { return s.profiles }
+
+// Get returns one subscription's profile.
+func (s *Snapshot) Get(id core.SubscriptionID) (*Profile, bool) {
+	p, ok := s.bySub[id]
+	return p, ok
+}
+
+// Fingerprint returns the snapshot's content identity: an FNV-1a 64 over
+// the canonical JSON of the sorted profile list, rendered as
+// "fnv1a:<16 hex digits>". Two snapshots fingerprint equal exactly when
+// their profile sets are byte-identical under encoding/json — the
+// property the policy determinism oracle pins across runs and shard
+// counts. Computed lazily, once: fold publication never pays for it.
+func (s *Snapshot) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		h := fnv.New64a()
+		enc := json.NewEncoder(h)
+		for _, p := range s.profiles {
+			// Encode cannot fail on Profile (no channels, funcs, or NaN
+			// fields reach a published profile); a failure would poison
+			// the hash deterministically anyway.
+			_ = enc.Encode(p)
+		}
+		s.fp = fmt.Sprintf("fnv1a:%016x", h.Sum64())
+	})
+	return s.fp
+}
+
+// PolicyVitals is the policy-engine slice of the /healthz payload: the
+// configured policies, decision counters, ledger depth, and the identity
+// of the snapshot decisions are currently evaluated against.
+type PolicyVitals struct {
+	Policies            []string `json:"policies"`
+	Decisions           int64    `json:"decisions"`
+	Accepted            int64    `json:"accepted"`
+	Rejected            int64    `json:"rejected"`
+	Counterfactuals     int64    `json:"counterfactuals"`
+	LedgerEntries       int      `json:"ledgerEntries"`
+	SnapshotStep        int      `json:"snapshotStep"`
+	SnapshotProfiles    int      `json:"snapshotProfiles"`
+	SnapshotFingerprint string   `json:"snapshotFingerprint"`
+}

@@ -1,0 +1,81 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+
+	"cloudlens/internal/core"
+)
+
+func snapStore() *Store {
+	s := NewStore()
+	s.Put(&Profile{Subscription: "b", Cloud: core.Public, MeanUtilization: 0.4, RegionAgnosticScore: -1})
+	s.Put(&Profile{Subscription: "a", Cloud: core.Private, MeanUtilization: 0.3, RegionAgnosticScore: 0.9})
+	s.Put(&Profile{Subscription: "c", Cloud: core.Private, MeanUtilization: 0.5, RegionAgnosticScore: -1})
+	return s
+}
+
+func TestMatchAllIncludesNegativeScores(t *testing.T) {
+	// The zero Query filters out single-region profiles whose
+	// RegionAgnosticScore is the -1 sentinel; MatchAll must not.
+	s := snapStore()
+	if got := len(s.List(Query{})); got == 3 {
+		t.Skip("zero Query no longer filters; MatchAll redundant but harmless")
+	}
+	if got := len(s.List(MatchAll())); got != 3 {
+		t.Errorf("MatchAll lists %d of 3 profiles", got)
+	}
+}
+
+func TestSnapshotContents(t *testing.T) {
+	sn := NewSnapshot(snapStore(), 12, 3)
+	if sn.Step() != 12 || sn.Seq() != 3 || sn.Len() != 3 {
+		t.Errorf("snapshot identity = step %d seq %d len %d", sn.Step(), sn.Seq(), sn.Len())
+	}
+	// Profiles come back sorted by subscription for deterministic
+	// iteration.
+	ps := sn.Profiles()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Subscription >= ps[i].Subscription {
+			t.Errorf("profiles unsorted: %s before %s", ps[i-1].Subscription, ps[i].Subscription)
+		}
+	}
+	if p, ok := sn.Get("a"); !ok || p.Cloud != core.Private {
+		t.Errorf("Get(a) = %+v, %v", p, ok)
+	}
+	if _, ok := sn.Get("ghost"); ok {
+		t.Error("Get(ghost) found a profile")
+	}
+	// Nil-store snapshots are empty, not nil.
+	empty := NewSnapshot(nil, 0, 0)
+	if empty.Len() != 0 || empty.Profiles() == nil {
+		t.Errorf("nil-store snapshot = %+v", empty)
+	}
+}
+
+func TestSnapshotFingerprint(t *testing.T) {
+	fp := NewSnapshot(snapStore(), 12, 3).Fingerprint()
+	if !strings.HasPrefix(fp, "fnv1a:") || len(fp) != len("fnv1a:")+16 {
+		t.Fatalf("fingerprint format = %q", fp)
+	}
+	// Same contents ⇒ same fingerprint, regardless of step/seq labels and
+	// insertion order.
+	s2 := NewStore()
+	s2.Put(&Profile{Subscription: "c", Cloud: core.Private, MeanUtilization: 0.5, RegionAgnosticScore: -1})
+	s2.Put(&Profile{Subscription: "a", Cloud: core.Private, MeanUtilization: 0.3, RegionAgnosticScore: 0.9})
+	s2.Put(&Profile{Subscription: "b", Cloud: core.Public, MeanUtilization: 0.4, RegionAgnosticScore: -1})
+	if got := NewSnapshot(s2, 99, 7).Fingerprint(); got != fp {
+		t.Errorf("fingerprint depends on labels or order: %q != %q", got, fp)
+	}
+	// Different contents ⇒ different fingerprint.
+	s3 := snapStore()
+	s3.Put(&Profile{Subscription: "a", Cloud: core.Private, MeanUtilization: 0.31, RegionAgnosticScore: 0.9})
+	if got := NewSnapshot(s3, 12, 3).Fingerprint(); got == fp {
+		t.Error("fingerprint ignored a profile change")
+	}
+	// Fingerprint is stable across calls (computed once).
+	sn := NewSnapshot(snapStore(), 12, 3)
+	if sn.Fingerprint() != sn.Fingerprint() {
+		t.Error("fingerprint not stable")
+	}
+}

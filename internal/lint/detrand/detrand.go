@@ -39,7 +39,7 @@ var DeterministicPaths = []string{
 	"internal/fft", "internal/faultgen", "internal/balance", "internal/diffcheck",
 	"internal/analyze", "internal/report", "internal/periodic",
 	"internal/provision", "internal/oversub", "internal/spot", "internal/deferral",
-	"internal/allocfail", "internal/platform",
+	"internal/allocfail", "internal/platform", "internal/policy",
 }
 
 // allowedRandCalls are the math/rand package-level functions that build

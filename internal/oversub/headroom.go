@@ -1,0 +1,68 @@
+package oversub
+
+import (
+	"math"
+
+	"cloudlens/internal/core"
+)
+
+// Profile-level headroom helpers shared by the batch sweep (Run) and the
+// online Oversubscribe policy (internal/policy). The batch path measures
+// the p(1-epsilon) aggregate usage quantile directly from node series;
+// the online path has only the knowledge-base profile, so it approximates
+// the same chance constraint from the profile's mean utilization and a
+// per-pattern dispersion proxy.
+
+// DefaultEpsilons is the violation-probability ladder shared by the
+// batch sweep and the online policy's alternative set.
+func DefaultEpsilons() []float64 {
+	return []float64{0.0001, 0.001, 0.01, 0.05, 0.1}
+}
+
+// PatternSpread maps a dominant utilization pattern to a dispersion proxy
+// (fraction of requested cores): how far aggregate usage strays above its
+// mean. Stable workloads barely move; irregular ones swing hard; an
+// unclassified pattern is treated worst-case.
+func PatternSpread(p core.Pattern) float64 {
+	switch p {
+	case core.PatternStable:
+		return 0.05
+	case core.PatternDiurnal:
+		return 0.15
+	case core.PatternHourlyPeak:
+		return 0.25
+	case core.PatternIrregular:
+		return 0.35
+	default:
+		return 0.45
+	}
+}
+
+// Reservation approximates the per-core reservation fraction that keeps
+// the probability of aggregate usage exceeding the reservation below
+// epsilon: mean + spread·sqrt(2·ln(1/eps)), clamped to [mean, 1]. It is
+// monotone non-increasing in epsilon — looser safety targets reserve
+// less, exactly like the batch sweep's p(1-eps) quantile ladder.
+func Reservation(meanUtil, spread, epsilon float64) float64 {
+	if epsilon <= 0 || epsilon >= 1 || math.IsNaN(meanUtil) {
+		return 1
+	}
+	r := meanUtil + spread*math.Sqrt(2*math.Log(1/epsilon))
+	if r < meanUtil {
+		r = meanUtil
+	}
+	return math.Min(1, math.Max(0, r))
+}
+
+// Gain converts a reservation fraction into the oversubscription gain:
+// the extra requested cores a node can host per reserved core,
+// 1/reservation − 1. A full reservation yields no gain.
+func Gain(reservation float64) float64 {
+	if reservation <= 0 {
+		return 0
+	}
+	if reservation > 1 {
+		reservation = 1
+	}
+	return 1/reservation - 1
+}

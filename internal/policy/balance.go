@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"cloudlens/internal/balance"
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+)
+
+func init() {
+	RegisterBuilder("balance", newRegionBalance)
+}
+
+// RegionBalance picks a destination region for a movable workload, or
+// keeps it where it is. A subscription is movable only when it passes the
+// Section IV-B gate shared with the batch recommender
+// (balance.Eligible: multi-region with cross-region correlation above
+// kb.RegionAgnosticThreshold). Each candidate region in the request is
+// one "move:<region>" alternative scored by the region's free share of
+// the snapshot's estimated load (each profile's cores spread evenly over
+// its regions), so emptier regions win; "stay" is a fixed-score baseline
+// a move must beat.
+//
+// Parameters: stay=<float in [0,1]> (the stay baseline, default 0.25).
+type regionBalancePolicy struct {
+	stay float64
+}
+
+func newRegionBalance(params map[string]string) (Policy, error) {
+	p := &regionBalancePolicy{stay: 0.25}
+	for key, val := range params {
+		switch key {
+		case "stay":
+			f, err := parseFiniteFloat(val)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("stay: want a float in [0,1], got %q", val)
+			}
+			p.stay = f
+		default:
+			return nil, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	return p, nil
+}
+
+func (p *regionBalancePolicy) Name() string { return "balance" }
+
+func (p *regionBalancePolicy) Evaluate(sn *kb.Snapshot, req Request, tr *Tracer) []Alternative {
+	prof, ok := sn.Get(req.Subscription)
+	if !ok {
+		return []Alternative{{Action: "reject", Note: "subscription not in knowledge base"}}
+	}
+	if !balance.Eligible(prof) {
+		return []Alternative{{
+			Action: "reject",
+			Note: fmt.Sprintf("not region-agnostic (score %.3f < %.2f or single-region)",
+				prof.RegionAgnosticScore, kb.RegionAgnosticThreshold),
+		}}
+	}
+	if len(req.Regions) == 0 {
+		return []Alternative{{Action: "reject", Note: "no candidate regions in request"}}
+	}
+	loads, total := regionLoadShares(sn, prof.Cloud)
+	tr.Record("region_agnostic_score", prof.RegionAgnosticScore, "")
+	tr.Record("cloud_total_cores", total, prof.Cloud.String())
+	alts := make([]Alternative, 0, len(req.Regions)+1)
+	for _, region := range req.Regions {
+		share := loads[region]
+		tr.Record("region_load_share", share, region)
+		alts = append(alts, Alternative{
+			Action: "move:" + region,
+			Accept: true,
+			Score:  1 - share,
+			Note:   fmt.Sprintf("region holds %.4f of the cloud's estimated load", share),
+		})
+	}
+	alts = append(alts, Alternative{
+		Action: "stay",
+		Score:  p.stay,
+		Note:   "keep current placement",
+	})
+	return alts
+}
+
+// regionLoadShares estimates each region's share of a cloud's load from
+// the snapshot: every profile's snapshot cores spread evenly across its
+// regions, normalized by the cloud total. Deterministic: profiles iterate
+// in subscription order and each profile's Regions list is sorted.
+func regionLoadShares(sn *kb.Snapshot, cloud core.Cloud) (map[string]float64, float64) {
+	loads := make(map[string]float64)
+	var total float64
+	for _, p := range sn.Profiles() {
+		if p.Cloud != cloud || p.SnapshotCores <= 0 || len(p.Regions) == 0 {
+			continue
+		}
+		per := float64(p.SnapshotCores) / float64(len(p.Regions))
+		for _, r := range p.Regions {
+			loads[r] += per
+		}
+		total += float64(p.SnapshotCores)
+	}
+	if total > 0 {
+		for r := range loads {
+			loads[r] = loads[r] / total
+		}
+	}
+	// Guard against float residue producing shares a hair above 1.
+	for r, s := range loads {
+		loads[r] = math.Min(1, s)
+	}
+	return loads, total
+}

@@ -1,0 +1,35 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxRequestBytes caps the wire size of one decision request.
+const MaxRequestBytes = 1 << 16
+
+// DecodeRequest parses one JSON decision request from untrusted input:
+// unknown fields, trailing garbage, oversized bodies, and out-of-range
+// values are all rejected; defaults (Cores=1) are applied on success.
+func DecodeRequest(data []byte) (Request, error) {
+	if len(data) > MaxRequestBytes {
+		return Request{}, fmt.Errorf("request body larger than %d bytes", MaxRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		return Request{}, fmt.Errorf("decode request: %w", err)
+	}
+	// Reject trailing content so "{}{}" and concatenated documents fail
+	// loudly instead of silently dropping the tail.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Request{}, fmt.Errorf("decode request: trailing data after JSON document")
+	}
+	if err := r.Validate(); err != nil {
+		return Request{}, err
+	}
+	return r.withDefaults(), nil
+}

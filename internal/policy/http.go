@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cloudlens/internal/kb"
+)
+
+// RegisterRoutes mounts the policy API onto mux and documents it in the
+// route index. The routes are always mounted — with a nil engine they
+// answer 404 with a hint, mirroring how the live routes behave on a
+// batch server — so the route index is identical with and without
+// -policies. wrap instruments handlers (may be nil).
+func RegisterRoutes(mux *http.ServeMux, table *kb.RouteTable, eng *Engine, wrap func(route string, h http.Handler) http.Handler) {
+	if wrap == nil {
+		wrap = func(_ string, h http.Handler) http.Handler { return h }
+	}
+	handle := func(method, route, doc string, params []kb.ParamInfo, h http.HandlerFunc) {
+		mux.Handle(method+" "+route, wrap(route, h))
+		table.Add(kb.RouteInfo{Method: method, Pattern: route, Doc: doc, Params: params})
+	}
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if eng == nil {
+				kb.WriteError(w, http.StatusNotFound, "not_found",
+					"no policy engine (start wkbserver with -policies)")
+				return
+			}
+			h(w, r)
+		}
+	}
+
+	handle("POST", "/api/v1/policy/decide",
+		"evaluate one placement/admission request and append the decision to the ledger (requires -policies)",
+		[]kb.ParamInfo{
+			{Name: "policy", Type: "string", Doc: "body field: configured policy to consult"},
+			{Name: "subscription", Type: "string", Doc: "body field: workload subscription id"},
+			{Name: "cores", Type: "int", Doc: "body field: ask size in cores (default 1)"},
+			{Name: "regions", Type: "[]string", Doc: "body field: candidate regions (balance)"},
+		},
+		guard(func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+			if err != nil {
+				kb.WriteError(w, http.StatusBadRequest, "bad_request", "read body: "+err.Error())
+				return
+			}
+			req, err := DecodeRequest(body)
+			if err != nil {
+				kb.WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
+				return
+			}
+			d, err := eng.Decide(req)
+			if err != nil {
+				var unknown ErrUnknownPolicy
+				if errors.As(err, &unknown) {
+					kb.WriteError(w, http.StatusBadRequest, "unknown_policy", err.Error())
+					return
+				}
+				kb.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+				return
+			}
+			kb.WriteJSON(w, http.StatusOK, d)
+		}))
+
+	handle("GET", "/api/v1/policy/decisions",
+		"decision ledger in id order; supports the shared cursor-paging envelope (requires -policies)",
+		append([]kb.ParamInfo{
+			{Name: "policy", Type: "string", Doc: "restrict to one policy's decisions"},
+		}, kb.PageParamInfo()...),
+		guard(func(w http.ResponseWriter, r *http.Request) {
+			filter, pg, err := parseDecisionParams(r)
+			if err != nil {
+				var pe *kb.ParamError
+				if errors.As(err, &pe) {
+					kb.WriteError(w, http.StatusBadRequest, pe.Code, pe.Message)
+					return
+				}
+				kb.WriteError(w, http.StatusBadRequest, "bad_param", err.Error())
+				return
+			}
+			items := eng.Ledger().List(filter)
+			if !pg.Enabled() {
+				kb.WriteJSON(w, http.StatusOK, items)
+				return
+			}
+			page, err := kb.Paginate(items, Decision.Key, pg)
+			if err != nil {
+				var pe *kb.ParamError
+				if errors.As(err, &pe) {
+					kb.WriteError(w, http.StatusBadRequest, pe.Code, pe.Message)
+					return
+				}
+				kb.WriteError(w, http.StatusBadRequest, "bad_cursor", err.Error())
+				return
+			}
+			kb.WriteJSON(w, http.StatusOK, page)
+		}))
+
+	handle("GET", "/api/v1/policy/decisions/{id}/counterfactual",
+		"replay one ledger entry: re-score the chosen action and top-k rejected alternatives, report regret (requires -policies)",
+		[]kb.ParamInfo{
+			{Name: "id", Type: "int", Doc: "path: ledger decision id"},
+		},
+		guard(func(w http.ResponseWriter, r *http.Request) {
+			id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+			if err != nil {
+				kb.WriteError(w, http.StatusBadRequest, "bad_param",
+					"invalid decision id: want an unsigned integer")
+				return
+			}
+			cf, err := eng.Counterfactual(id)
+			if err != nil {
+				kb.WriteError(w, http.StatusNotFound, "not_found", err.Error())
+				return
+			}
+			kb.WriteJSON(w, http.StatusOK, cf)
+		}))
+}
+
+// decisionParamNames is the strict allow-list for GET
+// /api/v1/policy/decisions, in the spirit of kb.ParseListParams: unknown
+// parameters 400 instead of being silently ignored.
+var decisionParamNames = map[string]bool{"policy": true, "limit": true, "cursor": true}
+
+func parseDecisionParams(r *http.Request) (policyFilter string, pg kb.Page, err error) {
+	q, err := url.ParseQuery(r.URL.RawQuery)
+	if err != nil {
+		return "", kb.Page{}, &kb.ParamError{Code: "bad_param", Message: "malformed query string"}
+	}
+	for name, vals := range q {
+		if !decisionParamNames[name] {
+			return "", kb.Page{}, &kb.ParamError{Code: "unknown_param",
+				Message: "unknown query parameter: " + name}
+		}
+		if len(vals) > 1 {
+			return "", kb.Page{}, &kb.ParamError{Code: "bad_param",
+				Message: "repeated query parameter: " + name}
+		}
+	}
+	if v := q.Get("policy"); v != "" {
+		if !isSpecName(v) || len(v) > maxPolicyNameLen {
+			return "", kb.Page{}, &kb.ParamError{Code: "bad_param",
+				Message: "invalid query parameter: policy (want a policy name)"}
+		}
+		policyFilter = v
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 || n > kb.MaxPageLimit {
+			return "", kb.Page{}, &kb.ParamError{Code: "bad_param",
+				Message: "invalid query parameter: limit (want an integer in [1, " +
+					strconv.Itoa(kb.MaxPageLimit) + "])"}
+		}
+		pg.Limit = n
+	}
+	if v := q.Get("cursor"); v != "" {
+		pg.Cursor = v
+	}
+	return policyFilter, pg, nil
+}

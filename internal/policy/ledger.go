@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"cloudlens/internal/kb"
+)
+
+// Decision is one append-only ledger entry: the request, the snapshot
+// identity it was evaluated against, the chosen action, and — depending
+// on the trace level — the ranked rejected alternatives and evaluation
+// spans. IDs are assigned sequentially from 1.
+//
+// The entry deliberately records the snapshot's step and fingerprint but
+// never its sequence number or any wall-clock time: fold counts differ
+// between shard layouts and clocks differ between runs, while step and
+// fingerprint are invariants — that is what makes the serialized ledger
+// byte-identical across runs and shard counts.
+type Decision struct {
+	ID                  uint64        `json:"id"`
+	Policy              string        `json:"policy"`
+	Request             Request       `json:"request"`
+	SnapshotStep        int           `json:"snapshotStep"`
+	SnapshotFingerprint string        `json:"snapshotFingerprint"`
+	Action              string        `json:"action"`
+	Score               float64       `json:"score"`
+	Accepted            bool          `json:"accepted"`
+	Note                string        `json:"note,omitempty"`
+	Alternatives        []Alternative `json:"alternatives,omitempty"`
+	Spans               []Span        `json:"spans,omitempty"`
+}
+
+// Key returns the decision's keyset-pagination cursor key: the ID
+// zero-padded to 20 digits so lexicographic order equals numeric order
+// for the full uint64 range.
+func (d Decision) Key() string { return LedgerKey(d.ID) }
+
+// LedgerKey formats a decision ID as its cursor key.
+func LedgerKey(id uint64) string { return fmt.Sprintf("%020d", id) }
+
+// entry pairs the public record with the retained snapshot, which
+// counterfactual replay re-evaluates against.
+type entry struct {
+	d  Decision
+	sn *kb.Snapshot
+}
+
+// Ledger is the append-only decision log. Entries are immutable once
+// appended; reads take a shared lock and copy, so pagination under
+// concurrent decisions sees a consistent prefix.
+type Ledger struct {
+	mu      sync.RWMutex
+	entries []entry
+}
+
+// append assigns the next ID and appends the decision with its snapshot.
+func (l *Ledger) append(d Decision, sn *kb.Snapshot) Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d.ID = uint64(len(l.entries)) + 1
+	l.entries = append(l.entries, entry{d: d, sn: sn})
+	return d
+}
+
+// Len returns the number of ledger entries.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Get returns one entry and the snapshot it was decided against.
+func (l *Ledger) Get(id uint64) (Decision, *kb.Snapshot, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if id < 1 || id > uint64(len(l.entries)) {
+		return Decision{}, nil, false
+	}
+	e := l.entries[id-1]
+	return e.d, e.sn, true
+}
+
+// List copies out decisions in ascending ID order; policy filters to one
+// policy's decisions when non-empty.
+func (l *Ledger) List(policy string) []Decision {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Decision, 0, len(l.entries))
+	for _, e := range l.entries {
+		if policy != "" && e.d.Policy != policy {
+			continue
+		}
+		out = append(out, e.d)
+	}
+	return out
+}
+
+// WriteJSONL serializes the full ledger as one JSON document per line in
+// ID order — the canonical byte representation the determinism oracle
+// compares across runs and shard counts.
+func (l *Ledger) WriteJSONL(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	for _, e := range l.entries {
+		if err := enc.Encode(e.d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

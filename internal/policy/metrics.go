@@ -1,0 +1,41 @@
+package policy
+
+import "cloudlens/internal/obs"
+
+// Engine-wide instruments. Per-policy instruments are resolved once at
+// engine build so the decision path never formats a label.
+var (
+	mLedgerEntries = obs.Default.Gauge(
+		"cloudlens_policy_ledger_entries",
+		"Decisions currently held in the append-only policy ledger.")
+	mCounterfactuals = obs.Default.Counter(
+		"cloudlens_policy_counterfactuals_total",
+		"Counterfactual replays served.")
+)
+
+// policyMetrics bundles one policy's pre-resolved instruments.
+type policyMetrics struct {
+	decisions *obs.Counter
+	accepts   *obs.Counter
+	rejects   *obs.Counter
+	latency   *obs.Histogram
+}
+
+func newPolicyMetrics(name string) *policyMetrics {
+	l := obs.Label{Name: "policy", Value: name}
+	return &policyMetrics{
+		decisions: obs.Default.Counter(
+			"cloudlens_policy_decisions_total",
+			"Decisions evaluated, by policy.", l),
+		accepts: obs.Default.Counter(
+			"cloudlens_policy_accepts_total",
+			"Decisions whose chosen action accepts the request, by policy.", l),
+		rejects: obs.Default.Counter(
+			"cloudlens_policy_rejects_total",
+			"Decisions whose chosen action rejects the request, by policy.", l),
+		latency: obs.Default.Histogram(
+			"cloudlens_policy_decide_seconds",
+			"Decide latency, by policy (only observed when the engine has a clock).",
+			obs.DefLatencyBuckets, l),
+	}
+}

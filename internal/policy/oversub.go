@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"cloudlens/internal/kb"
+	"cloudlens/internal/oversub"
+)
+
+func init() {
+	RegisterBuilder("oversub", newOversubscribe)
+}
+
+// Oversubscribe decides at which safety level (violation probability
+// epsilon) to admit a workload onto oversubscribed capacity. Each epsilon
+// on the ladder is one alternative: the profile's mean utilization and
+// dominant-pattern dispersion proxy give a chance-constrained reservation
+// (oversub.Reservation), whose oversubscription gain is traded against
+// the violation risk:
+//
+//	score(eps) = Gain(Reservation(mean, spread, eps)) − risk·eps·Gain
+//
+// so loose epsilons win only when the pattern is benign enough that their
+// extra gain beats the weighted risk. Workloads without utilization
+// knowledge are rejected — oversubscribing blind is the one move the
+// paper's Section VII warns against.
+//
+// Parameters: risk=<float ≥ 0> (risk aversion weight, default 4),
+// eps=<float in (0,1)> (restrict the ladder to a single epsilon).
+type oversubscribePolicy struct {
+	risk     float64
+	epsilons []float64
+}
+
+func newOversubscribe(params map[string]string) (Policy, error) {
+	p := &oversubscribePolicy{risk: 4, epsilons: oversub.DefaultEpsilons()}
+	for key, val := range params {
+		switch key {
+		case "risk":
+			f, err := parseFiniteFloat(val)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("risk: want a finite float >= 0, got %q", val)
+			}
+			p.risk = f
+		case "eps":
+			f, err := parseFiniteFloat(val)
+			if err != nil || f <= 0 || f >= 1 {
+				return nil, fmt.Errorf("eps: want a float in (0,1), got %q", val)
+			}
+			p.epsilons = []float64{f}
+		default:
+			return nil, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	return p, nil
+}
+
+func (p *oversubscribePolicy) Name() string { return "oversub" }
+
+func (p *oversubscribePolicy) Evaluate(sn *kb.Snapshot, req Request, tr *Tracer) []Alternative {
+	prof, ok := sn.Get(req.Subscription)
+	if !ok {
+		return []Alternative{{Action: "reject", Note: "subscription not in knowledge base"}}
+	}
+	if prof.MeanUtilization <= 0 || math.IsNaN(prof.MeanUtilization) {
+		return []Alternative{{Action: "reject", Note: "no utilization knowledge for subscription"}}
+	}
+	spread := oversub.PatternSpread(prof.DominantPattern)
+	tr.Record("mean_utilization", prof.MeanUtilization, prof.DominantPattern.String())
+	tr.Record("pattern_spread", spread, "")
+	alts := make([]Alternative, 0, len(p.epsilons)+1)
+	for _, eps := range p.epsilons {
+		res := oversub.Reservation(prof.MeanUtilization, spread, eps)
+		gain := oversub.Gain(res)
+		score := gain * (1 - p.risk*eps)
+		tr.Record("reservation", res, "eps="+formatEps(eps))
+		alts = append(alts, Alternative{
+			Action: "admit:eps=" + formatEps(eps),
+			Accept: true,
+			Score:  score,
+			Note: fmt.Sprintf("reservation %.3f, gain %.3f at eps %s",
+				res, gain, formatEps(eps)),
+		})
+	}
+	alts = append(alts, Alternative{Action: "reject", Note: "decline oversubscription"})
+	return alts
+}
+
+// formatEps renders an epsilon with the shortest round-trippable form so
+// action identifiers are stable.
+func formatEps(eps float64) string {
+	return strconv.FormatFloat(eps, 'g', -1, 64)
+}
+
+// parseFiniteFloat parses a float and rejects NaN/Inf.
+func parseFiniteFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return f, nil
+}

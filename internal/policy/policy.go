@@ -1,0 +1,288 @@
+// Package policy is the online decision subsystem: pluggable policies
+// evaluate placement/admission requests against an immutable knowledge-base
+// snapshot published at fold boundaries, every decision is appended to a
+// ledger with the snapshot's fingerprint and the scored alternatives, and
+// any ledger entry can be counterfactually replayed to measure regret.
+//
+// Determinism contract: a policy's Evaluate must be a pure function of
+// (snapshot, request) — no wall-clock reads, no global randomness, no
+// iteration over unordered maps into scores. The engine sorts alternatives
+// by (score desc, action asc), so the ledger is byte-identical across runs
+// and across ingestion shard counts given the same snapshot and request
+// stream; internal/diffcheck pins this and internal/lint/detrand enforces
+// the package-level ban on wall-clock and global-rand calls.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+)
+
+// Request is one placement/admission ask evaluated by a single policy.
+type Request struct {
+	// Policy names the policy to consult; it must be one of the engine's
+	// configured policies.
+	Policy string `json:"policy"`
+	// Subscription identifies the workload the ask is for. The policy
+	// looks its profile up in the snapshot; an unknown subscription is a
+	// valid request that typically scores a reject.
+	Subscription core.SubscriptionID `json:"subscription"`
+	// Cores is the size of the ask in cores (defaults to 1).
+	Cores int `json:"cores,omitempty"`
+	// Regions lists candidate placement regions (RegionBalance only).
+	Regions []string `json:"regions,omitempty"`
+}
+
+// Request size caps — the decoder rejects anything beyond these so
+// hostile input cannot balloon the ledger.
+const (
+	maxPolicyNameLen   = 64
+	maxSubscriptionLen = 256
+	maxCores           = 1 << 20
+	maxRegions         = 16
+	maxRegionLen       = 128
+)
+
+// Validate applies the decoder's structural caps. It does not check that
+// the policy is configured — that is the engine's job (the set of valid
+// names depends on the engine instance, not the wire format).
+func (r Request) Validate() error {
+	if r.Policy == "" {
+		return fmt.Errorf("policy: missing")
+	}
+	if len(r.Policy) > maxPolicyNameLen {
+		return fmt.Errorf("policy: longer than %d bytes", maxPolicyNameLen)
+	}
+	if !isSpecName(r.Policy) {
+		return fmt.Errorf("policy: %q is not a valid policy name (want [a-z0-9-])", r.Policy)
+	}
+	if r.Subscription == "" {
+		return fmt.Errorf("subscription: missing")
+	}
+	if len(r.Subscription) > maxSubscriptionLen {
+		return fmt.Errorf("subscription: longer than %d bytes", maxSubscriptionLen)
+	}
+	if r.Cores < 0 || r.Cores > maxCores {
+		return fmt.Errorf("cores: %d out of range [0,%d]", r.Cores, maxCores)
+	}
+	if len(r.Regions) > maxRegions {
+		return fmt.Errorf("regions: %d candidates exceed the cap of %d", len(r.Regions), maxRegions)
+	}
+	seen := make(map[string]bool, len(r.Regions))
+	for _, reg := range r.Regions {
+		if reg == "" {
+			return fmt.Errorf("regions: empty region name")
+		}
+		if len(reg) > maxRegionLen {
+			return fmt.Errorf("regions: name longer than %d bytes", maxRegionLen)
+		}
+		if seen[reg] {
+			return fmt.Errorf("regions: duplicate %q", reg)
+		}
+		seen[reg] = true
+	}
+	return nil
+}
+
+// withDefaults fills derived fields after validation.
+func (r Request) withDefaults() Request {
+	if r.Cores == 0 {
+		r.Cores = 1
+	}
+	return r
+}
+
+// Alternative is one candidate action scored by a policy.
+type Alternative struct {
+	// Action is the stable identifier of the candidate decision, e.g.
+	// "admit:eps=0.01", "admit-spot", "move:region-3", "reject".
+	Action string `json:"action"`
+	// Accept reports whether the action admits/places the request.
+	Accept bool `json:"accept"`
+	// Score is the policy's deterministic fitness for the action; higher
+	// is better. Must be finite.
+	Score float64 `json:"score"`
+	// Note is a one-line explanation of how the score came about.
+	Note string `json:"note,omitempty"`
+}
+
+// Span is one trace record emitted during an evaluation at
+// TraceSpans level: a named intermediate value with an optional note.
+type Span struct {
+	Policy string  `json:"policy"`
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Note   string  `json:"note,omitempty"`
+}
+
+// Trace levels for Options.TraceLevel.
+const (
+	// TraceOff records only the chosen action and score.
+	TraceOff = 0
+	// TraceAlternatives additionally records the top-k rejected
+	// alternatives on each ledger entry (the default).
+	TraceAlternatives = 1
+	// TraceSpans additionally records per-policy evaluation spans.
+	TraceSpans = 2
+)
+
+// Tracer collects evaluation spans for one decision. At levels below
+// TraceSpans, Record is a no-op, so policies can trace unconditionally
+// without paying for it in production.
+type Tracer struct {
+	policy string
+	level  int
+	spans  []Span
+}
+
+// Record appends one span when span tracing is enabled.
+func (t *Tracer) Record(name string, value float64, note string) {
+	if t == nil || t.level < TraceSpans {
+		return
+	}
+	t.spans = append(t.spans, Span{Policy: t.policy, Name: name, Value: value, Note: note})
+}
+
+// Policy evaluates requests against knowledge-base snapshots.
+type Policy interface {
+	// Name returns the registry name the policy was built under.
+	Name() string
+	// Evaluate returns every candidate action scored against the
+	// snapshot, in any order; the engine ranks them (score desc, action
+	// asc) and the head becomes the decision. Must be deterministic in
+	// (sn, req) and safe for concurrent use.
+	Evaluate(sn *kb.Snapshot, req Request, tr *Tracer) []Alternative
+}
+
+// Builder constructs a policy from the key=value parameters of one spec
+// entry. Builders must reject unknown keys and non-finite values.
+type Builder func(params map[string]string) (Policy, error)
+
+// registry maps policy names to builders. Populated by the policy files'
+// init functions; iterated only through sorted Names().
+var registry = map[string]Builder{}
+
+// RegisterBuilder adds a named policy constructor. Panics on duplicates —
+// registration happens at init time, and a duplicate is a programming
+// error, not an input error.
+func RegisterBuilder(name string, b Builder) {
+	if !isSpecName(name) {
+		panic(fmt.Sprintf("policy: invalid registry name %q", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec grammar caps (the -policies flag is operator input, but it also
+// reaches the server via scripts — keep the decoder total).
+const (
+	maxSpecLen     = 1024
+	maxSpecEntries = 16
+	maxSpecParams  = 16
+	maxParamKeyLen = 32
+	maxParamValLen = 64
+)
+
+// ParseSpec parses the -policies grammar and builds the policies:
+// comma-separated entries, each "name" or "name:key=value:key=value",
+// e.g. "oversub:risk=4,spot,balance". Entry order is preserved; duplicate
+// policies, unknown names, duplicate keys, and malformed parameters are
+// rejected.
+func ParseSpec(spec string) ([]Policy, error) {
+	if len(spec) > maxSpecLen {
+		return nil, fmt.Errorf("policy spec longer than %d bytes", maxSpecLen)
+	}
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	entries := strings.Split(spec, ",")
+	if len(entries) > maxSpecEntries {
+		return nil, fmt.Errorf("policy spec has %d entries, cap is %d", len(entries), maxSpecEntries)
+	}
+	var out []Policy
+	seen := make(map[string]bool, len(entries))
+	for _, entry := range entries {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("empty policy entry in spec %q", spec)
+		}
+		parts := strings.Split(entry, ":")
+		name := parts[0]
+		if !isSpecName(name) || len(name) > maxPolicyNameLen {
+			return nil, fmt.Errorf("invalid policy name %q (want [a-z0-9-])", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate policy %q", name)
+		}
+		seen[name] = true
+		build, ok := registry[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		if len(parts)-1 > maxSpecParams {
+			return nil, fmt.Errorf("policy %q has %d parameters, cap is %d", name, len(parts)-1, maxSpecParams)
+		}
+		params := make(map[string]string, len(parts)-1)
+		for _, kv := range parts[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok || key == "" {
+				return nil, fmt.Errorf("policy %q: malformed parameter %q (want key=value)", name, kv)
+			}
+			if len(key) > maxParamKeyLen || len(val) > maxParamValLen {
+				return nil, fmt.Errorf("policy %q: parameter %q too long", name, key)
+			}
+			if _, dup := params[key]; dup {
+				return nil, fmt.Errorf("policy %q: duplicate parameter %q", name, key)
+			}
+			params[key] = val
+		}
+		p, err := build(params)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q: %w", name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// isSpecName reports whether s is a well-formed policy name: non-empty
+// lowercase letters, digits, and dashes.
+func isSpecName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// sortAlternatives ranks candidates deterministically: score descending,
+// then action ascending as the tie-break.
+func sortAlternatives(alts []Alternative) {
+	sort.Slice(alts, func(i, j int) bool {
+		if alts[i].Score != alts[j].Score {
+			return alts[i].Score > alts[j].Score
+		}
+		return alts[i].Action < alts[j].Action
+	})
+}

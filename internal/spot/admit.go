@@ -1,0 +1,35 @@
+package spot
+
+import (
+	"math"
+
+	"cloudlens/internal/core"
+)
+
+// EvictionTolerance scores how well a workload tolerates spot-VM
+// eviction, in [0,1], from its knowledge-base profile: the short-lived
+// share (Section V — workloads that die young lose little when
+// preempted) blended with a dominant-pattern affinity (irregular batch
+// work checkpoints and retries; stable always-on services do not).
+// Shared by the online SpotAdmit policy so its admission ranking stays
+// consistent with the batch harvest simulation's framing.
+func EvictionTolerance(shortLivedShare float64, pattern core.Pattern) float64 {
+	if math.IsNaN(shortLivedShare) {
+		shortLivedShare = 0
+	}
+	shortLivedShare = math.Min(1, math.Max(0, shortLivedShare))
+	var affinity float64
+	switch pattern {
+	case core.PatternIrregular:
+		affinity = 0.9
+	case core.PatternHourlyPeak:
+		affinity = 0.6
+	case core.PatternDiurnal:
+		affinity = 0.5
+	case core.PatternStable:
+		affinity = 0.3
+	default:
+		affinity = 0.5
+	}
+	return 0.6*shortLivedShare + 0.4*affinity
+}

@@ -398,7 +398,7 @@ func (ing *Ingestor) advanceLocked(target int) {
 		}
 		ing.watermark = next
 		if ing.selfFold && ing.opts.FoldEverySteps > 0 && next > 0 && next%ing.opts.FoldEverySteps == 0 {
-			ing.timedFoldLocked()
+			ing.timedFoldLocked(next)
 		}
 	}
 }
@@ -500,7 +500,7 @@ func (ing *Ingestor) Finish() {
 	ing.mu.Lock()
 	ing.advanceLocked(ing.watermark + len(ing.slots))
 	if ing.selfFold {
-		ing.timedFoldLocked()
+		ing.timedFoldLocked(ing.tr.Grid.N)
 	}
 	ing.mu.Unlock()
 	ing.done.Store(true)
@@ -510,11 +510,24 @@ func (ing *Ingestor) Finish() {
 // stop; cancellation just leaves the last folded state standing.
 func (ing *Ingestor) Abort() {}
 
-// timedFoldLocked runs a fold under the write lock and records its
-// wall-clock duration.
-func (ing *Ingestor) timedFoldLocked() {
+// timedFoldLocked runs a fold under the write lock, brackets it with the
+// configured FoldObserver (step labels the fold boundary in grid steps),
+// and records its wall-clock duration.
+func (ing *Ingestor) timedFoldLocked(step int) {
 	start := time.Now()
+	if step > ing.tr.Grid.N {
+		// Draining the reorder ring at Finish can cross fold boundaries
+		// past the end of the grid; clamp so published step labels match
+		// the sharded path, which never folds beyond Grid.N.
+		step = ing.tr.Grid.N
+	}
+	if ob := ing.opts.FoldObserver; ob != nil {
+		ob.FoldBegin()
+	}
 	ing.foldLocked()
+	if ob := ing.opts.FoldObserver; ob != nil {
+		ob.FoldPublished(step)
+	}
 	ing.met.foldSeconds.Observe(time.Since(start).Seconds())
 }
 

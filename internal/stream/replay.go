@@ -121,6 +121,29 @@ type Options struct {
 	// imported from this package without a cycle, so the pipeline accepts
 	// any Source decorator instead.
 	WrapSource func(Source) Source
+	// FoldObserver, when non-nil, is notified synchronously around every
+	// publication of the knowledge base: FoldBegin before a fold starts
+	// rewriting the published store, FoldPublished(step) once it is
+	// complete and consistent, where step is the fold boundary in grid
+	// steps (the final fold at stream end reports Grid.N). The policy
+	// engine's snapshot source implements this as a seqlock so readers
+	// obtain immutable consistent snapshots without adding work — or
+	// allocations — to the ingest hot path. The callbacks run on the
+	// ingestion goroutine with internal locks held; they must be cheap
+	// and must not call back into ingestion.
+	FoldObserver FoldObserver
+}
+
+// FoldObserver brackets knowledge-base fold publications. Implementations
+// must be safe for use from the ingestion goroutine and O(1): snapshot
+// materialization belongs on the reader side, not in the fold.
+type FoldObserver interface {
+	// FoldBegin marks the published store as inconsistent (a fold is
+	// rewriting it).
+	FoldBegin()
+	// FoldPublished marks the store consistent again as of the given fold
+	// boundary (grid steps).
+	FoldPublished(step int)
 }
 
 func (o Options) withDefaults(stepsPerHour int) Options {

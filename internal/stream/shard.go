@@ -245,7 +245,7 @@ func (g *shardGroup) ObserveBatch(b StepBatch) {
 	if target := b.Step - g.opts.MaxLatenessSteps; target > g.wm {
 		for next := g.wm + 1; next <= target; next++ {
 			if g.opts.FoldEverySteps > 0 && next > 0 && next%g.opts.FoldEverySteps == 0 {
-				g.mergeLocked()
+				g.mergeLocked(next)
 			}
 		}
 		g.wm = target
@@ -305,16 +305,25 @@ func (g *shardGroup) barrierLocked() chan struct{} {
 // order. The order is deterministic — and since subscriptions partition
 // across shards, each profile has exactly one writer, so the merged store
 // is identical to the single-ingestor fold of the same accumulator state.
-func (g *shardGroup) mergeLocked() {
+// step labels the fold boundary (grid steps) for the FoldObserver, which
+// brackets the store rewrite exactly like the single-ingestor path so
+// snapshot identities match across shard counts.
+func (g *shardGroup) mergeLocked(step int) {
 	start := time.Now()
 	var release chan struct{}
 	if !g.closed {
 		release = g.barrierLocked()
 	}
+	if ob := g.opts.FoldObserver; ob != nil {
+		ob.FoldBegin()
+	}
 	for _, ing := range g.shards {
 		ing.foldInto(g.store)
 	}
 	g.foldCount.Add(1)
+	if ob := g.opts.FoldObserver; ob != nil {
+		ob.FoldPublished(step)
+	}
 	if release != nil {
 		close(release)
 	}
@@ -343,7 +352,7 @@ func (g *shardGroup) Finish() {
 	for _, ing := range g.shards {
 		ing.Finish()
 	}
-	g.mergeLocked()
+	g.mergeLocked(g.tr.Grid.N)
 	g.done.Store(true)
 }
 
