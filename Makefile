@@ -11,6 +11,11 @@
 #                      so instrumented hot paths stay compile- and run-clean
 #   make bench-shards— streaming-ingestion throughput swept over shard
 #                      counts 1/2/4/8 (the BENCH_stream.json scaling table)
+#   make bench-http  — HTTP read-path load harness smoke: a small reader
+#                      fleet against a live-ingesting server; fails on any
+#                      5xx or if readers slow ingestion below 80% of its
+#                      unloaded rate (the BENCH_http.json harness at full
+#                      scale runs via cmd/kbload directly)
 #   make test-policy — policy-engine suite under -race: decision engine,
 #                      ledger pagination hammer, fold-source seqlock, and the
 #                      policy HTTP surface
@@ -27,7 +32,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify test-faults test-policy bench bench-smoke bench-shards diffcheck fuzz-smoke lint
+.PHONY: all build test verify test-faults test-policy bench bench-smoke bench-shards bench-http diffcheck fuzz-smoke lint
 
 all: build
 
@@ -53,6 +58,12 @@ bench-smoke:
 
 bench-shards:
 	$(GO) test -run=NONE -bench=StreamIngestShards -benchmem .
+
+# Small-fleet smoke sized for a one-core CI box: short phases, lenient
+# latency gate, hard gates on 5xx and on readers starving ingestion.
+bench-http: build
+	$(GO) run ./cmd/kbload -readers 8 -scale 0.05 -replay-wall 3s -duration 2s \
+		-fold-every 288 -min-reads 500 -max-ingest-drop 0.8 -out /tmp/bench_http_smoke.json
 
 test-policy:
 	$(GO) test -race ./internal/policy ./internal/kb ./cmd/wkbserver

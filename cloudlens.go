@@ -30,6 +30,7 @@ package cloudlens
 
 import (
 	"net/http"
+	"time"
 
 	"cloudlens/internal/allocfail"
 	"cloudlens/internal/balance"
@@ -89,6 +90,21 @@ type (
 	// GapPolicy selects how per-VM sample gaps are repaired (carry, skip,
 	// interpolate).
 	GapPolicy = stream.GapPolicy
+	// StreamReadSource publishes immutable LiveSnapshots at fold
+	// boundaries — the seqlock behind the whole live read surface (plug it
+	// into StreamOptions.FoldObserver and Bind the pipeline's engine).
+	StreamReadSource = stream.ReadSource
+	// LiveSnapshot is one immutable read-side view of a live replay, with
+	// its aggregated payloads pre-encoded.
+	LiveSnapshot = stream.LiveSnapshot
+	// LivePercentiles is the per-pattern utilization-band report served by
+	// GET /api/v1/live/percentiles.
+	LivePercentiles = stream.PercentilesReport
+	// PatternBand is one workload pattern's utilization band.
+	PatternBand = stream.PatternBand
+	// RegionRollup is one region's aggregate served by
+	// GET /api/v1/live/regions.
+	RegionRollup = kb.RegionRollup
 	// Checkpoint is a restartable snapshot of streaming-ingestion state.
 	Checkpoint = stream.Checkpoint
 	// CheckpointInfo describes the most recent durable checkpoint.
@@ -153,6 +169,12 @@ func NewPolicyEngine(src policy.SnapshotSource, policies []policy.Policy, opts P
 // NewPolicyFoldSource returns an unbound fold-boundary snapshot source
 // for live pipelines.
 func NewPolicyFoldSource() *PolicyFoldSource { return policy.NewFoldSource() }
+
+// NewStreamReadSource returns an unbound fold-boundary read source for
+// live pipelines; clock stamps each snapshot's publish time (may be nil).
+func NewStreamReadSource(clock func() time.Time) *StreamReadSource {
+	return stream.NewReadSource(clock)
+}
 
 // NewPolicyStoreSource serves one static knowledge base as a single
 // immutable snapshot (batch mode).

@@ -1,0 +1,636 @@
+// Command kbload is the HTTP load harness for the knowledge-base read
+// path: a concurrent reader fleet drives a configurable request mix
+// against a wkbserver-style surface and reports read latency percentiles
+// alongside the ingestion throughput the readers stole.
+//
+// By default it self-hosts: the trace is generated in-process, served
+// through exactly the wiring wkbserver uses (a stream.ReadSource observing
+// folds, kb.Register over it, the snapshot-backed live routes), and three
+// phases run back to back:
+//
+//  1. baseline — the replay runs with zero readers, measuring the
+//     ingestion rate nothing competes with;
+//  2. ingesting — a fresh replay runs with -readers concurrent readers
+//     hammering the API until ingestion finishes;
+//  3. idle — the same (now complete) server keeps serving the reader
+//     fleet for -duration, measuring read latency with no writer.
+//
+// The headline numbers — written to -out as JSON and printed — are the
+// ingestion ratio (phase 2 samples/s over phase 1's; 1.0 means readers
+// cost ingestion nothing) and the p99 ratio (phase 2 read p99 over phase
+// 3's; 1.0 means a full-speed writer costs readers nothing). Optional
+// -max-p99-ratio / -max-ingest-drop / -min-reads turn the report into a
+// pass/fail gate for CI. Any 5xx fails the run unconditionally.
+//
+// With -server the harness instead drives an already running server for
+// -duration (one phase, no ingestion accounting).
+//
+// The mix grammar assigns integer weights to reader operations:
+//
+//	summary, percentiles, regions, profiles (paginated list),
+//	profile (single by id), conditional (summary with If-None-Match)
+//
+// e.g. -mix summary=3,profiles=2,conditional=4. The conditional op mirrors
+// wkbctl watch: it replays the last ETag and expects mostly 304s between
+// fold boundaries.
+//
+// Both replay phases are paced: the simulated week is compressed into
+// -replay-wall of wall clock, reproducing a continuous production feed
+// rather than a CPU-saturating bulk load (use -replay-wall 0 for the
+// unpaced variant).
+//
+// Usage:
+//
+//	kbload [-readers 64] [-duration 5s] [-replay-wall 10s] [-fold-every 288]
+//	       [-seed 42] [-scale 0.2] [-shards 1]
+//	       [-mix summary=3,percentiles=1,regions=1,profiles=2,profile=1,conditional=5]
+//	       [-out BENCH_http.json] [-server http://host:8080]
+//	       [-min-reads 0] [-max-p99-ratio 0] [-max-ingest-drop 0]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudlens"
+	"cloudlens/internal/core"
+	"cloudlens/internal/kb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kbload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server        = flag.String("server", "", "drive this base URL instead of self-hosting")
+		readers       = flag.Int("readers", 64, "concurrent reader goroutines")
+		duration      = flag.Duration("duration", 5*time.Second, "idle-phase length (and remote-mode run length)")
+		seed          = flag.Uint64("seed", 42, "trace generation seed (self-host)")
+		scale         = flag.Float64("scale", 0.2, "universe scale (self-host)")
+		shards        = flag.Int("shards", 1, "ingestion shards (self-host)")
+		replayWall    = flag.Duration("replay-wall", 10*time.Second, "wall time the paced replay phases target (0 = unpaced, as fast as possible)")
+		foldEvery     = flag.Int("fold-every", 0, "fold cadence in steps (0 = pipeline default)")
+		mixSpec       = flag.String("mix", "summary=3,percentiles=1,regions=1,profiles=2,profile=1,conditional=5", "weighted reader-operation mix")
+		out           = flag.String("out", "BENCH_http.json", "write the JSON report here (empty = stdout only)")
+		minReads      = flag.Int("min-reads", 0, "fail if the fleet completed fewer total reads (0 = report only)")
+		maxP99Ratio   = flag.Float64("max-p99-ratio", 0, "fail if ingesting-p99 / idle-p99 exceeds this (0 = report only)")
+		maxIngestDrop = flag.Float64("max-ingest-drop", 0, "fail if loaded/baseline ingestion ratio falls below this (0 = report only)")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	rep := Report{
+		Config: RunConfig{
+			Readers: *readers, DurationSec: duration.Seconds(), Seed: *seed,
+			Scale: *scale, Shards: *shards, FoldEvery: *foldEvery,
+			ReplayWall: replayWall.Seconds(), Mix: *mixSpec, Server: *server,
+		},
+	}
+
+	if *server != "" {
+		stats := drive(*server, http.DefaultClient, *readers, mix, *seed, waitDuration(*duration))
+		rep.Idle = stats.summarize()
+	} else {
+		if err := selfHost(&rep, *readers, mix, *seed, *scale, *shards, *foldEvery, *replayWall, *duration); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Gates. 5xx is always fatal: the snapshot read path has no excuse.
+	if n := rep.Idle.ServerErrors + rep.Ingesting.ServerErrors; n > 0 {
+		return fmt.Errorf("%d 5xx responses", n)
+	}
+	if total := rep.Idle.Reads + rep.Ingesting.Reads; *minReads > 0 && total < int64(*minReads) {
+		return fmt.Errorf("only %d reads completed, want >= %d", total, *minReads)
+	}
+	if *maxP99Ratio > 0 && rep.P99Ratio > *maxP99Ratio {
+		return fmt.Errorf("p99 ratio ingesting/idle = %.2f, want <= %.2f", rep.P99Ratio, *maxP99Ratio)
+	}
+	if *maxIngestDrop > 0 && rep.Ingest.Ratio < *maxIngestDrop {
+		return fmt.Errorf("ingestion ratio loaded/baseline = %.2f, want >= %.2f", rep.Ingest.Ratio, *maxIngestDrop)
+	}
+	return nil
+}
+
+// selfHost runs the three-phase benchmark and fills the report.
+func selfHost(rep *Report, readers int, mix []op, seed uint64, scale float64, shards, foldEvery int, replayWall, idleFor time.Duration) error {
+	cfg := cloudlens.DefaultConfig(seed)
+	cfg.Scale = scale
+	tr, err := cloudlens.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Pace the replay so the simulated week lands in -replay-wall of wall
+	// clock. An unpaced replay saturates every core and turns the read
+	// benchmark into a pure CPU-contention measurement; pacing reproduces
+	// a production live feed, where ingestion runs continuously but below
+	// machine capacity and the question is whether readers perturb it.
+	speedup := 0.0
+	if replayWall > 0 {
+		span := time.Duration(tr.Grid.N) * tr.Grid.Step
+		speedup = span.Seconds() / replayWall.Seconds()
+	}
+	rep.Config.Speedup = speedup
+
+	// Phase 1: baseline ingestion, zero readers.
+	basePipe, _, baseSrv := newServer(tr, shards, foldEvery, speedup)
+	baseStart := time.Now()
+	basePipe.Start(context.Background())
+	if err := basePipe.Wait(); err != nil {
+		return err
+	}
+	baseElapsed := time.Since(baseStart).Seconds()
+	rep.Ingest.Samples = basePipe.Status().SamplesIngested
+	rep.Ingest.BaselineElapsedSec = baseElapsed
+	rep.Ingest.BaselineSamplesPerSec = float64(rep.Ingest.Samples) / baseElapsed
+	baseSrv.Close()
+
+	// Phase 2: fresh replay with the reader fleet competing.
+	pipe, _, srv := newServer(tr, shards, foldEvery, speedup)
+	defer srv.Close()
+	loadStart := time.Now()
+	pipe.Start(context.Background())
+	replayDone := make(chan struct{})
+	var loadElapsed float64
+	go func() {
+		_ = pipe.Wait()
+		loadElapsed = time.Since(loadStart).Seconds()
+		close(replayDone)
+	}()
+	ingStats := drive(srv.URL, srv.Client(), readers, mix, seed, replayDone)
+	rep.Ingest.LoadedElapsedSec = loadElapsed
+	rep.Ingest.LoadedSamplesPerSec = float64(pipe.Status().SamplesIngested) / loadElapsed
+	if rep.Ingest.BaselineSamplesPerSec > 0 {
+		rep.Ingest.Ratio = rep.Ingest.LoadedSamplesPerSec / rep.Ingest.BaselineSamplesPerSec
+	}
+	rep.Ingesting = ingStats.summarize()
+
+	// Phase 3: same server, replay finished — the idle read floor.
+	idleStats := drive(srv.URL, srv.Client(), readers, mix, seed+1, waitDuration(idleFor))
+	rep.Idle = idleStats.summarize()
+
+	if rep.Idle.P99Ms > 0 {
+		rep.P99Ratio = rep.Ingesting.P99Ms / rep.Idle.P99Ms
+	}
+	return nil
+}
+
+// newServer assembles the wkbserver read surface over a live pipeline:
+// ReadSource as fold observer (wired before the pipeline copies options,
+// bound before Start), kb.Register over it, and the snapshot-backed live
+// routes.
+func newServer(tr *cloudlens.Trace, shards, foldEvery int, speedup float64) (*cloudlens.StreamPipeline, *cloudlens.StreamReadSource, *httptest.Server) {
+	readSrc := cloudlens.NewStreamReadSource(time.Now)
+	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{
+		Shards:         shards,
+		Speedup:        speedup,
+		FoldEverySteps: foldEvery,
+		FoldObserver:   readSrc,
+	})
+	readSrc.Bind(pipe.Engine())
+
+	mux := http.NewServeMux()
+	kb.Register(mux, readSrc, kb.RouteOptions{})
+	mux.HandleFunc("GET /api/v1/live/status", func(w http.ResponseWriter, r *http.Request) {
+		kb.WriteJSON(w, http.StatusOK, pipe.Status())
+	})
+	mux.HandleFunc("GET /api/v1/live/summary", func(w http.ResponseWriter, r *http.Request) {
+		ls := readSrc.Live()
+		kb.WriteSnapshotRaw(w, r, ls.KB(), ls.SummaryJSON())
+	})
+	mux.HandleFunc("GET /api/v1/live/percentiles", func(w http.ResponseWriter, r *http.Request) {
+		ls := readSrc.Live()
+		kb.WriteSnapshotRaw(w, r, ls.KB(), ls.PercentilesJSON())
+	})
+	mux.HandleFunc("GET /api/v1/live/regions", func(w http.ResponseWriter, r *http.Request) {
+		ls := readSrc.Live()
+		kb.WriteSnapshotRaw(w, r, ls.KB(), ls.RegionsJSON())
+	})
+	mux.HandleFunc("GET /api/v1/live/profiles", func(w http.ResponseWriter, r *http.Request) {
+		q, pg, err := kb.ParseListParams(r)
+		if err != nil {
+			kb.WriteParamError(w, err)
+			return
+		}
+		ls := readSrc.Live()
+		items := ls.Profiles(q)
+		if !pg.Enabled() {
+			kb.WriteSnapshotJSON(w, r, ls.KB(), items)
+			return
+		}
+		page, err := kb.Paginate(items, func(p cloudlens.LiveProfile) string { return string(p.Subscription) }, pg)
+		if err != nil {
+			kb.WriteParamError(w, err)
+			return
+		}
+		kb.WriteSnapshotJSON(w, r, ls.KB(), page)
+	})
+	mux.HandleFunc("GET /api/v1/live/profiles/{id}", func(w http.ResponseWriter, r *http.Request) {
+		ls := readSrc.Live()
+		p, ok := ls.Profile(core.SubscriptionID(r.PathValue("id")))
+		if !ok {
+			kb.WriteError(w, http.StatusNotFound, "not_found", "profile not found")
+			return
+		}
+		kb.WriteSnapshotJSON(w, r, ls.KB(), p)
+	})
+
+	srv := httptest.NewServer(kb.WithJSONErrors(mux))
+	return pipe, readSrc, srv
+}
+
+// waitDuration adapts a fixed run length to drive's stop-channel contract.
+func waitDuration(d time.Duration) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		time.Sleep(d)
+		close(ch)
+	}()
+	return ch
+}
+
+// drive runs the reader fleet until stop closes and merges their stats.
+func drive(base string, client *http.Client, readers int, mix []op, seed uint64, stop <-chan struct{}) *fleetStats {
+	workers := make([]*workerStats, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		ws := newWorkerStats()
+		workers[i] = ws
+		wg.Add(1)
+		go func(i int, ws *workerStats) {
+			defer wg.Done()
+			// Each worker draws from its own seeded stream, so the mix is
+			// reproducible and no global rand lock is contended.
+			rng := rand.New(rand.NewSource(int64(seed) + int64(i)*2654435761))
+			w := &worker{base: base, client: client, mix: mix, rng: rng, stats: ws}
+			// One unmeasured request warms the connection and primes the
+			// snapshot caches, so cold-start cost doesn't masquerade as
+			// read tail latency.
+			w.warm()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.step()
+			}
+		}(i, ws)
+	}
+	wg.Wait()
+	total := newWorkerStats()
+	for _, ws := range workers {
+		total.merge(ws)
+	}
+	return &fleetStats{workerStats: total, readers: readers}
+}
+
+// op is one weighted reader operation.
+type op struct {
+	name   string
+	weight int
+}
+
+var opNames = map[string]bool{
+	"summary": true, "percentiles": true, "regions": true,
+	"profiles": true, "profile": true, "conditional": true,
+}
+
+func parseMix(spec string) ([]op, error) {
+	var mix []op
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix: %q is not name=weight", part)
+		}
+		if !opNames[name] {
+			return nil, fmt.Errorf("-mix: unknown operation %q", name)
+		}
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("-mix: %q needs a positive integer weight", part)
+		}
+		mix = append(mix, op{name: name, weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-mix: empty")
+	}
+	return mix, nil
+}
+
+// worker drives one reader goroutine's requests.
+type worker struct {
+	base   string
+	client *http.Client
+	mix    []op
+	rng    *rand.Rand
+	stats  *workerStats
+
+	etag      string // conditional op: last summary validator
+	profileID string // profile op: a known subscription id
+}
+
+// warm issues one request that is not recorded in the stats.
+func (w *worker) warm() {
+	resp, err := w.client.Get(w.base + "/api/v1/live/summary")
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func (w *worker) step() {
+	total := 0
+	for _, o := range w.mix {
+		total += o.weight
+	}
+	n := w.rng.Intn(total)
+	var chosen string
+	for _, o := range w.mix {
+		if n < o.weight {
+			chosen = o.name
+			break
+		}
+		n -= o.weight
+	}
+	switch chosen {
+	case "summary":
+		w.get("/api/v1/live/summary", "summary", "")
+	case "percentiles":
+		w.get("/api/v1/live/percentiles", "percentiles", "")
+	case "regions":
+		w.get("/api/v1/live/regions", "regions", "")
+	case "profiles":
+		w.listProfiles()
+	case "profile":
+		if w.profileID == "" {
+			w.listProfiles() // warm the id cache first
+			return
+		}
+		w.get("/api/v1/live/profiles/"+w.profileID, "profile", "")
+	case "conditional":
+		w.etag = w.get("/api/v1/live/summary", "conditional", w.etag)
+	}
+}
+
+// listProfiles fetches one page; when the worker has no profile id cached
+// yet it decodes the page to learn one, otherwise the body is drained raw.
+func (w *worker) listProfiles() {
+	path := "/api/v1/live/profiles?limit=25"
+	if w.profileID != "" {
+		w.get(path, "profiles", "")
+		return
+	}
+	start := time.Now()
+	resp, err := w.client.Get(w.base + path)
+	if err != nil {
+		w.stats.transportErrors++
+		return
+	}
+	var page struct {
+		Items []struct {
+			Subscription string `json:"subscription"`
+		} `json:"items"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	w.stats.observe("profiles", resp.StatusCode, time.Since(start))
+	if len(page.Items) > 0 {
+		w.profileID = page.Items[0].Subscription
+	}
+}
+
+// get issues one GET (optionally conditional) and returns the response
+// ETag for the caller's validator cache.
+func (w *worker) get(path, route, ifNoneMatch string) string {
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodGet, w.base+path, nil)
+	if err != nil {
+		w.stats.transportErrors++
+		return ifNoneMatch
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.stats.transportErrors++
+		return ifNoneMatch
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.stats.observe(route, resp.StatusCode, time.Since(start))
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		return tag
+	}
+	return ifNoneMatch
+}
+
+// latency histogram: log-spaced bounds from 1µs to ~10s.
+const (
+	latBuckets = 64
+	latStart   = 1e-6
+	latFactor  = 1.29
+)
+
+var latBounds = func() []float64 {
+	out := make([]float64, latBuckets)
+	b := latStart
+	for i := range out {
+		out[i] = b
+		b *= latFactor
+	}
+	return out
+}()
+
+type workerStats struct {
+	counts          []int64 // len(latBounds)+1
+	reads           int64
+	sumSec          float64
+	notModified     int64
+	clientErrors    int64 // 4xx
+	serverErrors    int64 // 5xx
+	transportErrors int64
+	perRoute        map[string]int64
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{
+		counts:   make([]int64, latBuckets+1),
+		perRoute: make(map[string]int64),
+	}
+}
+
+func (s *workerStats) observe(route string, status int, d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latBounds, sec)
+	s.counts[i]++
+	s.reads++
+	s.sumSec += sec
+	s.perRoute[route]++
+	switch {
+	case status == http.StatusNotModified:
+		s.notModified++
+	case status >= 500:
+		s.serverErrors++
+	case status >= 400:
+		s.clientErrors++
+	}
+}
+
+func (s *workerStats) merge(o *workerStats) {
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	s.reads += o.reads
+	s.sumSec += o.sumSec
+	s.notModified += o.notModified
+	s.clientErrors += o.clientErrors
+	s.serverErrors += o.serverErrors
+	s.transportErrors += o.transportErrors
+	for r, c := range o.perRoute {
+		s.perRoute[r] += c
+	}
+}
+
+// quantile interpolates within the bucket holding the q-th observation.
+func (s *workerStats) quantile(q float64) float64 {
+	if s.reads == 0 {
+		return 0
+	}
+	target := q * float64(s.reads)
+	var cum float64
+	for i, c := range s.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := latStart / latFactor
+			if i > 0 {
+				lo = latBounds[i-1]
+			}
+			hi := lo * latFactor
+			if i < len(latBounds) {
+				hi = latBounds[i]
+			}
+			frac := (target - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return latBounds[len(latBounds)-1]
+}
+
+type fleetStats struct {
+	*workerStats
+	readers int
+}
+
+// PhaseStats is one phase's merged reader-fleet result.
+type PhaseStats struct {
+	Reads           int64            `json:"reads"`
+	ReadsPerSec     float64          `json:"readsPerSec,omitempty"`
+	MeanMs          float64          `json:"meanMs"`
+	P50Ms           float64          `json:"p50Ms"`
+	P95Ms           float64          `json:"p95Ms"`
+	P99Ms           float64          `json:"p99Ms"`
+	NotModified     int64            `json:"notModified"`
+	ClientErrors    int64            `json:"clientErrors"`
+	ServerErrors    int64            `json:"serverErrors"`
+	TransportErrors int64            `json:"transportErrors"`
+	PerRoute        map[string]int64 `json:"perRoute"`
+}
+
+func (f *fleetStats) summarize() PhaseStats {
+	ps := PhaseStats{
+		Reads:           f.reads,
+		P50Ms:           f.quantile(0.50) * 1e3,
+		P95Ms:           f.quantile(0.95) * 1e3,
+		P99Ms:           f.quantile(0.99) * 1e3,
+		NotModified:     f.notModified,
+		ClientErrors:    f.clientErrors,
+		ServerErrors:    f.serverErrors,
+		TransportErrors: f.transportErrors,
+		PerRoute:        f.perRoute,
+	}
+	if f.reads > 0 {
+		ps.MeanMs = f.sumSec / float64(f.reads) * 1e3
+	}
+	if f.sumSec > 0 && f.readers > 0 {
+		// Aggregate throughput: total reads over per-reader wall time.
+		ps.ReadsPerSec = float64(f.reads) / (f.sumSec / float64(f.readers))
+	}
+	return ps
+}
+
+// RunConfig echoes the harness configuration into the report.
+type RunConfig struct {
+	Readers     int     `json:"readers"`
+	DurationSec float64 `json:"durationSec"`
+	Seed        uint64  `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Shards      int     `json:"shards"`
+	FoldEvery   int     `json:"foldEvery,omitempty"`
+	ReplayWall  float64 `json:"replayWallSec,omitempty"`
+	Speedup     float64 `json:"speedup"`
+	Mix         string  `json:"mix"`
+	Server      string  `json:"server,omitempty"`
+}
+
+// IngestStats compares ingestion throughput with and without readers.
+type IngestStats struct {
+	Samples               int64   `json:"samples"`
+	BaselineElapsedSec    float64 `json:"baselineElapsedSec"`
+	LoadedElapsedSec      float64 `json:"loadedElapsedSec"`
+	BaselineSamplesPerSec float64 `json:"baselineSamplesPerSec"`
+	LoadedSamplesPerSec   float64 `json:"loadedSamplesPerSec"`
+	// Ratio is loaded/baseline: 1.0 means the reader fleet cost
+	// ingestion nothing.
+	Ratio float64 `json:"ratio"`
+}
+
+// Report is the BENCH_http.json shape.
+type Report struct {
+	Config    RunConfig   `json:"config"`
+	Ingest    IngestStats `json:"ingest"`
+	Ingesting PhaseStats  `json:"ingesting"`
+	Idle      PhaseStats  `json:"idle"`
+	// P99Ratio is ingesting-p99 over idle-p99: how much a full-speed
+	// writer costs the readers' tail.
+	P99Ratio float64 `json:"p99RatioIngestingVsIdle"`
+}

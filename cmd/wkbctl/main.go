@@ -7,6 +7,8 @@
 //	wkbctl -server http://localhost:8080 summary
 //	wkbctl -server http://localhost:8080 profiles -cloud private -min-agnostic 0.8 [-pattern diurnal] [-min-short-lived 0.5]
 //	wkbctl -server http://localhost:8080 profile <subscription-id>
+//	wkbctl -server http://localhost:8080 percentiles
+//	wkbctl -server http://localhost:8080 regions
 //	wkbctl -server http://localhost:8080 watch [-interval 2s] [-count 0]
 //	wkbctl -server http://localhost:8080 routes
 //	wkbctl -server http://localhost:8080 version
@@ -14,9 +16,14 @@
 //	wkbctl -server http://localhost:8080 decisions [-policy oversub] [-limit 100] [-cursor ...]
 //	wkbctl -server http://localhost:8080 counterfactual <decision-id>
 //
+// percentiles and regions read the live aggregation endpoints (wkbserver
+// -replay): per-pattern utilization bands and per-region rollups.
+//
 // watch follows a live replay (wkbserver -replay), printing one progress
 // line per poll until the replay finishes; -count bounds the number of
-// polls (0 means until done).
+// polls (0 means until done). Summary polls are conditional requests: the
+// client replays the last ETag via If-None-Match, and a 304 reuses the
+// previous payload instead of re-fetching an unchanged snapshot.
 //
 // decide, decisions, and counterfactual talk to the online policy engine
 // (wkbserver -policies): decide posts one placement/admission request,
@@ -83,6 +90,10 @@ func run() error {
 			return fmt.Errorf("profile requires a subscription id")
 		}
 		return showProfile(client, *server, flag.Arg(1))
+	case "percentiles":
+		return showPercentiles(client, *server, os.Stdout)
+	case "regions":
+		return showRegions(client, *server, os.Stdout)
 	case "watch":
 		fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 		var (
@@ -129,7 +140,7 @@ func run() error {
 		}
 		return showCounterfactual(client, *server, flag.Arg(1), os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want summary | profiles | profile | watch | routes | version | decide | decisions | counterfactual)", flag.Arg(0))
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile | percentiles | regions | watch | routes | version | decide | decisions | counterfactual)", flag.Arg(0))
 	}
 }
 
@@ -166,6 +177,89 @@ func getJSON(client *http.Client, rawURL string, out interface{}) error {
 		return fmt.Errorf("GET %s: unexpected status %s", rawURL, resp.Status)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// getJSONCond is getJSON with cache validation: a non-empty etag is sent
+// as If-None-Match, and a 304 answer reports notModified without decoding
+// (the caller reuses its previous payload). The returned tag is whatever
+// validator the response carried — replay it on the next call.
+func getJSONCond(client *http.Client, rawURL, etag string, out interface{}) (newTag string, notModified bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	newTag = resp.Header.Get("ETag")
+	if resp.StatusCode == http.StatusNotModified {
+		return newTag, true, nil
+	}
+	if resp.StatusCode >= 400 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		var env kb.ErrorBody
+		if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+			return "", false, fmt.Errorf("%s (%s, HTTP %d)", env.Error.Message, env.Error.Code, resp.StatusCode)
+		}
+		return "", false, fmt.Errorf("GET %s: %s: %s", rawURL, resp.Status, bytes.TrimSpace(body))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("GET %s: unexpected status %s", rawURL, resp.Status)
+	}
+	return newTag, false, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// showPercentiles prints the live per-pattern utilization bands.
+func showPercentiles(client *http.Client, server string, w io.Writer) error {
+	var rep cloudlens.LivePercentiles
+	if err := getJSON(client, server+"/api/v1/live/percentiles", &rep); err != nil {
+		return err
+	}
+	t := report.NewTable("pattern", "subscriptions", "samples",
+		"p10", "p25", "p50", "p75", "p90", "p95", "p99")
+	for _, b := range rep.Patterns {
+		t.AddRow(b.Pattern.String(),
+			strconv.Itoa(b.Subscriptions),
+			strconv.FormatInt(b.Samples, 10),
+			report.Pct(b.P10), report.Pct(b.P25), report.Pct(b.P50),
+			report.Pct(b.P75), report.Pct(b.P90), report.Pct(b.P95),
+			report.Pct(b.P99))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "step %d\n", rep.Step)
+	return nil
+}
+
+// showRegions prints the live per-region rollups.
+func showRegions(client *http.Client, server string, w io.Writer) error {
+	var rolls []cloudlens.RegionRollup
+	if err := getJSON(client, server+"/api/v1/live/regions", &rolls); err != nil {
+		return err
+	}
+	t := report.NewTable("region", "subscriptions", "multi-region", "agnostic",
+		"VMs observed", "snapshot cores", "mean util", "dominant pattern")
+	for _, rr := range rolls {
+		t.AddRow(rr.Region,
+			strconv.Itoa(rr.Subscriptions),
+			strconv.Itoa(rr.MultiRegionSubs),
+			strconv.Itoa(rr.RegionAgnosticSubs),
+			strconv.Itoa(rr.VMsObserved),
+			strconv.Itoa(rr.SnapshotCores),
+			report.Pct(rr.MeanUtilization),
+			rr.DominantPattern.String())
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d regions\n", len(rolls))
+	return nil
 }
 
 // showVersion prints the server build info from /api/v1/version.

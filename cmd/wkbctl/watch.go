@@ -13,15 +13,28 @@ import (
 // watch polls a live replay's status and summary endpoints, printing one
 // progress line per poll. It returns once the replay reports done, after
 // count polls (when count > 0), or on the first transport error.
+//
+// The status poll is always unconditional (progress counters move every
+// tick), but the summary poll replays the last snapshot ETag via
+// If-None-Match: between fold boundaries the server answers 304 with no
+// body and the cached summary is reused, so a tight -interval costs the
+// server a header check rather than a re-aggregation.
 func watch(client *http.Client, server string, interval time.Duration, count int, w io.Writer) error {
+	var (
+		etag string
+		sum  cloudlens.LiveSummary
+	)
 	for polls := 0; ; {
 		var st cloudlens.StreamStatus
 		if err := getJSON(client, server+"/api/v1/live/status", &st); err != nil {
 			return err
 		}
-		var sum cloudlens.LiveSummary
-		if err := getJSON(client, server+"/api/v1/live/summary", &sum); err != nil {
+		newTag, notModified, err := getJSONCond(client, server+"/api/v1/live/summary", etag, &sum)
+		if err != nil {
 			return err
+		}
+		if !notModified || newTag != "" {
+			etag = newTag
 		}
 
 		line := fmt.Sprintf("step %d/%d", st.Step, st.Steps)

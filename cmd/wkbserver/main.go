@@ -13,6 +13,8 @@
 //	GET /api/v1/                         machine-readable route index
 //	GET /api/v1/live/status              (with -replay)
 //	GET /api/v1/live/summary             (with -replay)
+//	GET /api/v1/live/percentiles         (with -replay)
+//	GET /api/v1/live/regions             (with -replay)
 //	GET /api/v1/live/profiles[?filters]  (with -replay)
 //	GET /api/v1/live/profiles/{id}       (with -replay)
 //	GET /api/v1/live/faults              (with -replay)
@@ -172,7 +174,7 @@ func run() error {
 		pipe    *cloudlens.StreamPipeline
 		inj     *cloudlens.FaultInjector
 		peng    *cloudlens.PolicyEngine
-		foldSrc *cloudlens.PolicyFoldSource
+		readSrc *cloudlens.StreamReadSource
 	)
 	if *replay {
 		gp, err := cloudlens.ParseGapPolicy(*gapPolicy)
@@ -186,28 +188,34 @@ func run() error {
 		if *shards < 1 {
 			return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
 		}
+		// The read source must be in the options before the pipeline is
+		// built (ingestors copy them) and bound to the engine before
+		// Start, so no fold can race the binding. It backs every
+		// snapshot-served GET and, with -policies, the policy engine.
+		readSrc = cloudlens.NewStreamReadSource(time.Now)
 		opts := cloudlens.StreamOptions{
 			Speedup:          *speedup,
 			MaxLatenessSteps: *lateness,
 			GapPolicy:        gp,
 			Shards:           *shards,
 			WrapSource:       spec.Wrap(tr.Grid.N, &inj),
-		}
-		if len(pols) > 0 {
-			// The fold source must be in the options before the pipeline
-			// is built (ingestors copy them) and bound to the published
-			// store before Start, so no fold can race the binding.
-			foldSrc = cloudlens.NewPolicyFoldSource()
-			opts.FoldObserver = foldSrc
+			FoldObserver:     readSrc,
 		}
 		ckptPath := checkpointPath(*ckptDir)
 		pipe, err = startPipeline(tr, opts, ckptPath, *resume, logger)
 		if err != nil {
 			return err
 		}
-		if foldSrc != nil {
-			foldSrc.Bind(pipe.KB())
-		}
+		readSrc.Bind(pipe.Engine())
+		obs.Default.GaugeFunc("cloudlens_read_snapshot_age_seconds",
+			"Age of the live snapshot currently served to readers.",
+			func() float64 {
+				at := readSrc.Live().KB().PublishedAt()
+				if at.IsZero() {
+					return 0
+				}
+				return time.Since(at).Seconds()
+			})
 		pipe.Start(ctx)
 		store = pipe.KB()
 		logger.Info("replay started",
@@ -229,8 +237,8 @@ func run() error {
 	}
 
 	if len(pols) > 0 {
-		var src cloudlens.PolicySnapshotSource = foldSrc
-		if foldSrc == nil {
+		var src cloudlens.PolicySnapshotSource = readSrc
+		if readSrc == nil {
 			src = cloudlens.NewPolicyStoreSource(store, tr.Grid.N)
 		}
 		peng, err = cloudlens.NewPolicyEngine(src, pols, cloudlens.PolicyEngineOptions{
@@ -251,7 +259,7 @@ func run() error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           buildHandler(store, pipe, inj, peng, reqLog),
+		Handler:           buildHandler(store, pipe, readSrc, inj, peng, reqLog),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cloudlens"
 	"cloudlens/internal/core"
@@ -49,6 +50,17 @@ func testTrace() *cloudlens.Trace {
 			mk(4, "sub-b", core.Public, "r1", 500, 900, usage.Irregular(0.4, 5)),
 		},
 	}
+}
+
+// livePipeline mirrors run()'s replay wiring: the read source observes
+// folds from before the first batch and is bound to the engine before the
+// pipeline starts, so no fold can race the binding.
+func livePipeline(tr *cloudlens.Trace, opts cloudlens.StreamOptions) (*cloudlens.StreamPipeline, *cloudlens.StreamReadSource) {
+	readSrc := cloudlens.NewStreamReadSource(time.Now)
+	opts.FoldObserver = readSrc
+	pipe := cloudlens.NewStreamPipeline(tr, opts)
+	readSrc.Bind(pipe.Engine())
+	return pipe, readSrc
 }
 
 func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
@@ -109,7 +121,7 @@ func assertEnvelope(t *testing.T, path string, body []byte, status int) {
 func TestBatchHandlerRoutes(t *testing.T) {
 	tr := testTrace()
 	store := cloudlens.ExtractKnowledgeBase(tr)
-	srv := httptest.NewServer(buildHandler(store, nil, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(store, nil, nil, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/healthz", http.StatusOK)
@@ -181,12 +193,12 @@ func TestBatchHandlerRoutes(t *testing.T) {
 
 func TestLiveHandlerRoutes(t *testing.T) {
 	tr := testTrace()
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{})
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{})
 	pipe.Start(context.Background())
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/live/status", http.StatusOK)
@@ -248,12 +260,12 @@ func TestLiveHandlerRoutes(t *testing.T) {
 // pool, cache, and knowledge-base subsystems.
 func TestMetricsExposition(t *testing.T) {
 	tr := testTrace()
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{})
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{})
 	pipe.Start(context.Background())
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 
 	// One API request first so the middleware series have data.
@@ -337,8 +349,8 @@ func TestMetricsExposition(t *testing.T) {
 // snapshot and exposition paths are free of data races with ingestion.
 func TestLiveEndpointsDuringIngestion(t *testing.T) {
 	tr := testTrace()
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 	pipe.Start(context.Background())
 
@@ -418,8 +430,8 @@ func TestLivePaginationDuringIngestion(t *testing.T) {
 		})
 	}
 	tr := &cloudlens.Trace{Grid: g, VMs: vms}
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 12})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 	pipe.Start(context.Background())
 
@@ -486,14 +498,14 @@ func TestLiveFaultsEndpoint(t *testing.T) {
 		t.Fatalf("spec: %v", err)
 	}
 	var inj *cloudlens.FaultInjector
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{
 		WrapSource: spec.Wrap(tr.Grid.N, &inj),
 	})
 	pipe.Start(context.Background())
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, inj, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, inj, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/live/faults", http.StatusOK)
@@ -527,7 +539,7 @@ func TestLiveFaultsEndpoint(t *testing.T) {
 	}
 
 	// Batch mode has no fault surface: enveloped 404, like every live route.
-	batch := httptest.NewServer(buildHandler(pipe.KB(), nil, nil, nil, nil))
+	batch := httptest.NewServer(buildHandler(pipe.KB(), nil, nil, nil, nil, nil))
 	defer batch.Close()
 	wantStatus(t, batch, "/api/v1/live/faults", http.StatusNotFound)
 }
@@ -536,12 +548,12 @@ func TestLiveFaultsEndpoint(t *testing.T) {
 // at /api/v1/ documents the whole unified surface, batch and live.
 func TestRouteIndexCoversLiveSurface(t *testing.T) {
 	tr := testTrace()
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{})
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{})
 	pipe.Start(context.Background())
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/api/v1/", http.StatusOK)
@@ -556,7 +568,8 @@ func TestRouteIndexCoversLiveSurface(t *testing.T) {
 	for _, want := range []string{
 		"/healthz", "/metrics", "/api/v1/", "/api/v1/version", "/api/v1/summary",
 		"/api/v1/profiles", "/api/v1/profiles/{id}",
-		"/api/v1/live/status", "/api/v1/live/summary", "/api/v1/live/profiles",
+		"/api/v1/live/status", "/api/v1/live/summary", "/api/v1/live/percentiles",
+		"/api/v1/live/regions", "/api/v1/live/profiles",
 		"/api/v1/live/profiles/{id}", "/api/v1/live/faults",
 	} {
 		if !have[want] {
@@ -638,8 +651,8 @@ func TestCheckpointResumeFlow(t *testing.T) {
 func TestHealthzReportsIngesting(t *testing.T) {
 	tr := testTrace()
 	// A paced replay (tiny speedup) stays mid-flight long enough to observe.
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Speedup: 1})
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{Speedup: 1})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -665,12 +678,12 @@ func TestHealthzReportsIngesting(t *testing.T) {
 // /api/v1/live/faults carries the matching per-shard ledgers.
 func TestShardedHealthAndFaults(t *testing.T) {
 	tr := testTrace()
-	pipe := cloudlens.NewStreamPipeline(tr, cloudlens.StreamOptions{Shards: 2})
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{Shards: 2})
 	pipe.Start(context.Background())
 	if err := pipe.Wait(); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
 	defer srv.Close()
 
 	body := wantStatus(t, srv, "/healthz", http.StatusOK)
@@ -709,5 +722,199 @@ func TestShardedHealthAndFaults(t *testing.T) {
 	}
 	if dups != rep.Stream.DuplicatesDropped {
 		t.Errorf("per-shard duplicates sum to %d, aggregate reports %d", dups, rep.Stream.DuplicatesDropped)
+	}
+}
+
+// TestReadHammerDuringIngestion drives the whole snapshot read surface
+// concurrently against a full-speed replay: paginated walks that restart
+// when the snapshot flips underneath them, conditional GETs replaying
+// cached validators, and aggregation reads. The invariants: no request
+// ever sees a 5xx, a walk completed under one ETag is duplicate-free and
+// ordered, and a 200 to a conditional GET always carries a different
+// validator than the one it was conditioned on.
+func TestReadHammerDuringIngestion(t *testing.T) {
+	g := sim.WeekGrid()
+	var vms []cloudlens.VM
+	for i := 0; i < 18; i++ {
+		vms = append(vms, cloudlens.VM{
+			ID:           core.VMID(i),
+			Subscription: core.SubscriptionID("sub-" + string(rune('a'+i))),
+			Service:      "svc",
+			Cloud:        core.Private,
+			Region:       "r" + strconv.Itoa(i%3+1),
+			Size:         core.VMSize{Cores: 2, MemoryGB: 8},
+			CreatedStep:  0,
+			DeletedStep:  g.N,
+			Usage:        usage.Stable(0.5, uint64(i+1)),
+		})
+	}
+	tr := &cloudlens.Trace{Grid: g, VMs: vms}
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{FoldEverySteps: 6})
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
+	defer srv.Close()
+	client := srv.Client()
+
+	fetch := func(path, inm string) (*http.Response, []byte, error) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp, body, err
+	}
+
+	pipe.Start(context.Background())
+	replayDone := make(chan struct{})
+	go func() {
+		if err := pipe.Wait(); err != nil {
+			t.Errorf("replay: %v", err)
+		}
+		close(replayDone)
+	}()
+
+	stopped := func() bool {
+		select {
+		case <-replayDone:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Conditional readers: replay the last validator; 304 means current,
+	// 200 must re-validate under a new ETag.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			etag := ""
+			for !stopped() {
+				resp, _, err := fetch("/api/v1/live/summary", etag)
+				if err != nil {
+					t.Errorf("conditional GET: %v", err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					next := resp.Header.Get("ETag")
+					if next == "" {
+						t.Error("200 without an ETag")
+						return
+					}
+					if etag != "" && next == etag {
+						t.Errorf("200 re-served the validator it was conditioned on: %s", etag)
+						return
+					}
+					etag = next
+				case http.StatusNotModified:
+					// Current; keep the validator.
+				default:
+					t.Errorf("conditional GET = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	// Paginated walkers: a walk is only judged if every page carried the
+	// same ETag (one snapshot); flips mid-walk restart it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped() {
+			var subs []core.SubscriptionID
+			etag, cursor, ok := "", "", true
+			for {
+				u := "/api/v1/live/profiles?limit=3"
+				if cursor != "" {
+					u += "&cursor=" + cursor
+				}
+				resp, body, err := fetch(u, "")
+				if err != nil {
+					t.Errorf("walk GET: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("walk GET %s = %d (%s)", u, resp.StatusCode, body)
+					return
+				}
+				tag := resp.Header.Get("ETag")
+				if etag == "" {
+					etag = tag
+				} else if tag != etag {
+					ok = false // snapshot flipped mid-walk; try again
+					break
+				}
+				var page pageEnvelope
+				if err := json.Unmarshal(body, &page); err != nil {
+					t.Errorf("walk decode: %v (%s)", err, body)
+					return
+				}
+				for _, p := range page.Items {
+					subs = append(subs, p.Subscription)
+				}
+				if page.NextCursor == "" {
+					break
+				}
+				cursor = page.NextCursor
+			}
+			if !ok {
+				continue
+			}
+			for i := 1; i < len(subs); i++ {
+				if subs[i] <= subs[i-1] {
+					t.Errorf("single-snapshot walk out of order or duplicated: %s then %s", subs[i-1], subs[i])
+					return
+				}
+			}
+		}
+	}()
+
+	// Aggregation readers: every payload decodes and no read ever errors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		paths := []string{"/api/v1/live/summary", "/api/v1/live/percentiles", "/api/v1/live/regions", "/api/v1/summary"}
+		for i := 0; !stopped(); i++ {
+			path := paths[i%len(paths)]
+			resp, body, err := fetch(path, "")
+			if err != nil {
+				t.Errorf("GET %s: %v", path, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s = %d (%s)", path, resp.StatusCode, body)
+				return
+			}
+			if !json.Valid(body) {
+				t.Errorf("GET %s: invalid JSON (%s)", path, body)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Settled: the validator flow must converge — a fresh GET's ETag
+	// answers 304 on replay and a stale one refetches in full.
+	resp, _, err := fetch("/api/v1/live/summary", "")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("final GET = %v %v", resp, err)
+	}
+	etag := resp.Header.Get("ETag")
+	if resp, _, err = fetch("/api/v1/live/summary", etag); err != nil || resp.StatusCode != http.StatusNotModified {
+		t.Errorf("replayed validator: %v %v, want 304", resp.StatusCode, err)
+	}
+	if resp, _, err = fetch("/api/v1/live/summary", `"fnv1a:0000000000000000"`); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("stale validator: %v %v, want 200", resp.StatusCode, err)
 	}
 }

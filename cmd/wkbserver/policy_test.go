@@ -32,7 +32,7 @@ func policyServer(t *testing.T) (*httptest.Server, *cloudlens.PolicyEngine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(buildHandler(store, nil, nil, peng, nil))
+	srv := httptest.NewServer(buildHandler(store, nil, nil, nil, peng, nil))
 	t.Cleanup(srv.Close)
 	return srv, peng
 }
@@ -273,7 +273,7 @@ func TestPolicyCounterfactualEndpoint(t *testing.T) {
 // clients can tell "no -policies" apart from transport errors.
 func TestPolicyRoutesWithoutEngine(t *testing.T) {
 	store := cloudlens.ExtractKnowledgeBase(testTrace())
-	srv := httptest.NewServer(buildHandler(store, nil, nil, nil, nil))
+	srv := httptest.NewServer(buildHandler(store, nil, nil, nil, nil, nil))
 	defer srv.Close()
 
 	for _, path := range []string{
@@ -301,7 +301,7 @@ func TestRouteIndexCoversPolicySurface(t *testing.T) {
 				srv, _ = policyServer(t)
 			} else {
 				store := cloudlens.ExtractKnowledgeBase(testTrace())
-				srv = httptest.NewServer(buildHandler(store, nil, nil, nil, nil))
+				srv = httptest.NewServer(buildHandler(store, nil, nil, nil, nil, nil))
 				defer srv.Close()
 			}
 			body := wantStatus(t, srv, "/api/v1/", http.StatusOK)

@@ -26,6 +26,8 @@ import (
 //	GET /api/v1/profiles/{id}        one batch profile
 //	GET /api/v1/live/status          replay progress counters
 //	GET /api/v1/live/summary         incremental per-cloud characterization
+//	GET /api/v1/live/percentiles     per-pattern utilization bands
+//	GET /api/v1/live/regions         per-region rollups
 //	GET /api/v1/live/profiles        live profiles; same filter+paging grammar
 //	GET /api/v1/live/profiles/{id}   one live profile
 //	GET /api/v1/live/faults          ingestion fault ledger, injector ledger, checkpoint age
@@ -40,15 +42,26 @@ import (
 //	GET  /api/v1/policy/decisions[?policy&limit&cursor]  decision ledger
 //	GET  /api/v1/policy/decisions/{id}/counterfactual    regret replay
 //
+// Reads are snapshot-backed: every GET that reflects knowledge-base state
+// is served from an immutable snapshot (readSrc on a replaying server,
+// a version-gated StoreSource in batch mode), carries the snapshot's
+// ETag/Last-Modified, and honors If-None-Match / If-Modified-Since with
+// 304. Only the volatile routes — status, faults, healthz, metrics,
+// policy — bypass validation.
+//
 // Without a replay the live routes answer 404 so clients can distinguish
 // "server runs in batch mode" from transport errors; the policy routes do
-// the same without -policies. inj is non-nil only when -faults injection
-// is active; peng is nil without -policies; reqLog may be nil to disable
-// per-request logging.
-func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector, peng *cloudlens.PolicyEngine, reqLog *slog.Logger) http.Handler {
+// the same without -policies. readSrc must be non-nil exactly when pipe
+// is; inj is non-nil only when -faults injection is active; peng is nil
+// without -policies; reqLog may be nil to disable per-request logging.
+func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline, readSrc *cloudlens.StreamReadSource, inj *cloudlens.FaultInjector, peng *cloudlens.PolicyEngine, reqLog *slog.Logger) http.Handler {
 	metrics := obs.NewHTTPMetrics(obs.Default, reqLog)
 	mux := http.NewServeMux()
-	table := kb.Register(mux, store, kb.RouteOptions{
+	var src kb.SnapshotSource = readSrc
+	if readSrc == nil {
+		src = kb.NewStoreSource(store, 0, time.Now)
+	}
+	table := kb.Register(mux, src, kb.RouteOptions{
 		Health: healthFn(pipe, peng),
 		Wrap:   metrics.Wrap,
 	})
@@ -56,7 +69,7 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 
 	// live wires one replay-backed route: the handler runs only when a
 	// pipeline is attached, and only for GET (the mux enforces the method).
-	live := func(pattern, route, doc string, params []kb.ParamInfo, h func(w http.ResponseWriter, r *http.Request)) {
+	live := func(pattern, route, doc, cache string, params []kb.ParamInfo, h func(w http.ResponseWriter, r *http.Request)) {
 		mux.Handle(pattern, metrics.Wrap(route, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if pipe == nil {
 				kb.WriteError(w, http.StatusNotFound, "not_found",
@@ -65,20 +78,33 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 			}
 			h(w, r)
 		})))
-		table.Add(kb.RouteInfo{Method: "GET", Pattern: route, Doc: doc + " (requires -replay)", Params: params})
+		table.Add(kb.RouteInfo{Method: "GET", Pattern: route, Doc: doc + " (requires -replay)", Params: params, Cache: cache})
 	}
 	live("GET /api/v1/live/status", "/api/v1/live/status",
-		"replay progress counters", nil,
+		"replay progress counters", kb.CacheNone, nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			kb.WriteJSON(w, http.StatusOK, pipe.Status())
 		})
 	live("GET /api/v1/live/summary", "/api/v1/live/summary",
-		"incremental per-cloud characterization", nil,
+		"incremental per-cloud characterization", kb.CacheSnapshot, nil,
 		func(w http.ResponseWriter, r *http.Request) {
-			kb.WriteJSON(w, http.StatusOK, pipe.Summary())
+			ls := readSrc.Live()
+			kb.WriteSnapshotRaw(w, r, ls.KB(), ls.SummaryJSON())
+		})
+	live("GET /api/v1/live/percentiles", "/api/v1/live/percentiles",
+		"per-pattern utilization bands from merged sketches", kb.CacheSnapshot, nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			ls := readSrc.Live()
+			kb.WriteSnapshotRaw(w, r, ls.KB(), ls.PercentilesJSON())
+		})
+	live("GET /api/v1/live/regions", "/api/v1/live/regions",
+		"per-region rollups of the live knowledge base", kb.CacheSnapshot, nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			ls := readSrc.Live()
+			kb.WriteSnapshotRaw(w, r, ls.KB(), ls.RegionsJSON())
 		})
 	live("GET /api/v1/live/profiles", "/api/v1/live/profiles",
-		"live profile list; bare array, or the paginated envelope with limit/cursor",
+		"live profile list; bare array, or the paginated envelope with limit/cursor", kb.CacheSnapshot,
 		append(kb.FilterParamInfo(), kb.PageParamInfo()...),
 		func(w http.ResponseWriter, r *http.Request) {
 			q, pg, err := kb.ParseListParams(r)
@@ -86,9 +112,10 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 				kb.WriteParamError(w, err)
 				return
 			}
-			items := pipe.Profiles(q)
+			ls := readSrc.Live()
+			items := ls.Profiles(q)
 			if !pg.Enabled() {
-				kb.WriteJSON(w, http.StatusOK, items)
+				kb.WriteSnapshotJSON(w, r, ls.KB(), items)
 				return
 			}
 			page, err := kb.Paginate(items, func(p cloudlens.LiveProfile) string { return string(p.Subscription) }, pg)
@@ -96,27 +123,28 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 				kb.WriteParamError(w, err)
 				return
 			}
-			kb.WriteJSON(w, http.StatusOK, page)
+			kb.WriteSnapshotJSON(w, r, ls.KB(), page)
 		})
 	live("GET /api/v1/live/profiles/{id}", "/api/v1/live/profiles/{id}",
-		"one live profile by subscription id",
+		"one live profile by subscription id", kb.CacheSnapshot,
 		[]kb.ParamInfo{{Name: "id", Type: "path", Doc: "subscription id"}},
 		func(w http.ResponseWriter, r *http.Request) {
-			p, ok := pipe.Profile(core.SubscriptionID(r.PathValue("id")))
+			ls := readSrc.Live()
+			p, ok := ls.Profile(core.SubscriptionID(r.PathValue("id")))
 			if !ok {
 				kb.WriteError(w, http.StatusNotFound, "not_found", "profile not found")
 				return
 			}
-			kb.WriteJSON(w, http.StatusOK, p)
+			kb.WriteSnapshotJSON(w, r, ls.KB(), p)
 		})
 	live("GET /api/v1/live/faults", "/api/v1/live/faults",
-		"ingestion fault ledger: quarantined/deduplicated samples, watermark lag, per-shard vitals, injector counts, checkpoint age", nil,
+		"ingestion fault ledger: quarantined/deduplicated samples, watermark lag, per-shard vitals, injector counts, checkpoint age", kb.CacheNone, nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			kb.WriteJSON(w, http.StatusOK, faultsPayload(pipe, inj))
 		})
 
 	mux.Handle("GET /metrics", metrics.Wrap("/metrics", obs.Default))
-	table.Add(kb.RouteInfo{Method: "GET", Pattern: "/metrics", Doc: "Prometheus text exposition"})
+	table.Add(kb.RouteInfo{Method: "GET", Pattern: "/metrics", Doc: "Prometheus text exposition", Cache: kb.CacheNone})
 	return kb.WithJSONErrors(mux)
 }
 

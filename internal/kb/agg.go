@@ -1,0 +1,100 @@
+package kb
+
+import (
+	"sort"
+
+	"cloudlens/internal/core"
+)
+
+// RegionRollup is one region's slice of the knowledge base, served by
+// GET /api/v1/live/regions. A subscription contributes to every region it
+// spans (the paper's multi-region deployments are exactly the interesting
+// case), so the per-region subscription counts sum to more than the
+// snapshot's profile count whenever multi-region workloads exist.
+type RegionRollup struct {
+	Region string `json:"region"`
+	// Subscriptions spanning the region, and how many of those span more
+	// than one region (the candidates region balancing can move).
+	Subscriptions   int `json:"subscriptions"`
+	MultiRegionSubs int `json:"multiRegionSubs"`
+	// RegionAgnosticSubs counts multi-region subscriptions here whose
+	// cross-region correlation clears RegionAgnosticThreshold.
+	RegionAgnosticSubs int `json:"regionAgnosticSubs"`
+	VMsObserved        int `json:"vmsObserved"`
+	SnapshotCores      int `json:"snapshotCores"`
+	// MeanUtilization averages the classified subscriptions' mean
+	// utilizations; 0 when none are classified yet.
+	MeanUtilization float64 `json:"meanUtilization"`
+	// DominantPattern is the most common dominant pattern among the
+	// region's classified subscriptions (ties break in taxonomy order).
+	DominantPattern core.Pattern `json:"dominantPattern"`
+}
+
+// regionAcc accumulates one region's rollup while profiles are walked.
+type regionAcc struct {
+	roll     RegionRollup
+	utilSum  float64
+	utilN    int
+	patterns map[core.Pattern]int
+}
+
+// Regions aggregates the snapshot per region, sorted by region name, and
+// memoizes the result on the snapshot — computed once per fold, never per
+// request. Profiles are walked in subscription order and regions rendered
+// in name order, so the rollup is a pure function of the profile set.
+func (s *Snapshot) Regions() []RegionRollup {
+	return s.Memo("kb.regions", func() interface{} {
+		return regionRollups(s.profiles)
+	}).([]RegionRollup)
+}
+
+func regionRollups(profiles []*Profile) []RegionRollup {
+	accs := make(map[string]*regionAcc)
+	for _, p := range profiles {
+		for _, region := range p.Regions {
+			acc := accs[region]
+			if acc == nil {
+				acc = &regionAcc{roll: RegionRollup{Region: region}, patterns: make(map[core.Pattern]int)}
+				accs[region] = acc
+			}
+			acc.roll.Subscriptions++
+			acc.roll.VMsObserved += p.VMsObserved
+			acc.roll.SnapshotCores += p.SnapshotCores
+			if len(p.Regions) > 1 {
+				acc.roll.MultiRegionSubs++
+				if p.RegionAgnosticScore >= RegionAgnosticThreshold {
+					acc.roll.RegionAgnosticSubs++
+				}
+			}
+			if p.MeanUtilization > 0 {
+				acc.utilSum += p.MeanUtilization
+				acc.utilN++
+			}
+			if p.DominantPattern != core.PatternUnknown {
+				acc.patterns[p.DominantPattern]++
+			}
+		}
+	}
+	names := make([]string, 0, len(accs))
+	for name := range accs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]RegionRollup, 0, len(names))
+	for _, name := range names {
+		acc := accs[name]
+		if acc.utilN > 0 {
+			acc.roll.MeanUtilization = acc.utilSum / float64(acc.utilN)
+		}
+		// Walk the taxonomy in its canonical order so ties are stable.
+		best, bestN := core.PatternUnknown, 0
+		for _, pat := range core.Patterns() {
+			if n := acc.patterns[pat]; n > bestN {
+				best, bestN = pat, n
+			}
+		}
+		acc.roll.DominantPattern = best
+		out = append(out, acc.roll)
+	}
+	return out
+}

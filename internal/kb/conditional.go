@@ -1,0 +1,110 @@
+package kb
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"cloudlens/internal/obs"
+)
+
+// notModified counts conditional GETs answered 304 — the reads the
+// snapshot identity let the server skip entirely.
+var notModified = obs.Default.Counter("cloudlens_http_not_modified_total",
+	"Conditional requests answered 304 Not Modified from snapshot validators.")
+
+// etagMatches implements the If-None-Match comparison of RFC 9110 §13.1.2:
+// a "*" matches any current representation, and listed tags compare weakly
+// (a W/ prefix on either side is ignored) — the correct semantics for a
+// cache-validation GET.
+func etagMatches(header, etag string) bool {
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		if candidate == "*" {
+			return true
+		}
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConditional applies the request's validators against the response's
+// ETag and modification time, answering 304 (empty body, validators
+// attached) when the client's copy is current. It returns true when the
+// response is complete and the handler must not write a body. etag must be
+// a quoted entity tag; modified may be zero to disable If-Modified-Since.
+//
+// Precedence follows RFC 9110: when If-None-Match is present it decides
+// alone and If-Modified-Since is ignored.
+func checkConditional(w http.ResponseWriter, r *http.Request, etag string, modified time.Time) bool {
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	if !modified.IsZero() {
+		w.Header().Set("Last-Modified", modified.UTC().Format(http.TimeFormat))
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return false
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if etag != "" && etagMatches(inm, etag) {
+			writeNotModified(w)
+			return true
+		}
+		return false
+	}
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" && !modified.IsZero() {
+		if since, err := http.ParseTime(ims); err == nil {
+			// The header carries second resolution; truncate before
+			// comparing or every response within the same second misses.
+			if !modified.Truncate(time.Second).After(since) {
+				writeNotModified(w)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func writeNotModified(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNotModified)
+	notModified.Inc()
+}
+
+// WriteSnapshotJSON writes v as the snapshot's representation: the
+// snapshot fingerprint becomes the ETag, its publish time Last-Modified,
+// and a request whose If-None-Match / If-Modified-Since validators still
+// hold is answered 304 with no body. Every snapshot-backed v1 GET funnels
+// through here (or WriteSnapshotRaw), which is what makes "same snapshot ⇒
+// same ETag ⇒ byte-identical body" a route-table-wide invariant.
+func WriteSnapshotJSON(w http.ResponseWriter, r *http.Request, sn *Snapshot, v interface{}) {
+	if checkConditional(w, r, sn.ETag(), sn.PublishedAt()) {
+		return
+	}
+	WriteJSON(w, http.StatusOK, v)
+}
+
+// WriteSnapshotRaw is WriteSnapshotJSON for payloads already encoded (and
+// memoized) on the snapshot: aggregation endpoints serve their bytes with
+// zero per-request encoding work.
+func WriteSnapshotRaw(w http.ResponseWriter, r *http.Request, sn *Snapshot, body []byte) {
+	if checkConditional(w, r, sn.ETag(), sn.PublishedAt()) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// WriteContentJSON writes v under a content-derived ETag (no modification
+// time) — the validator form for payloads that are not snapshot-backed but
+// still stable, like /api/v1/version and the route index.
+func WriteContentJSON(w http.ResponseWriter, r *http.Request, etag string, v interface{}) {
+	if checkConditional(w, r, etag, time.Time{}) {
+		return
+	}
+	WriteJSON(w, http.StatusOK, v)
+}

@@ -2,6 +2,8 @@ package kb
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -136,6 +138,21 @@ type ParamInfo struct {
 	Doc  string `json:"doc"`
 }
 
+// Cache-validation classes advertised per route in the index, so clients
+// know which routes reward conditional requests.
+const (
+	// CacheSnapshot: the response carries the knowledge-base snapshot's
+	// ETag and Last-Modified; If-None-Match answers 304 until the next
+	// fold publishes a different profile set.
+	CacheSnapshot = "snapshot"
+	// CacheContent: the ETag derives from the payload itself (build info,
+	// route index) rather than a snapshot.
+	CacheContent = "content"
+	// CacheNone: the payload is volatile (progress counters, fault
+	// ledgers, metrics) and never answers 304.
+	CacheNone = "none"
+)
+
 // RouteInfo is one row of the machine-readable route index served at
 // GET /api/v1/.
 type RouteInfo struct {
@@ -143,6 +160,9 @@ type RouteInfo struct {
 	Pattern string      `json:"pattern"`
 	Doc     string      `json:"doc"`
 	Params  []ParamInfo `json:"params,omitempty"`
+	// Cache names the route's cache-validation class: snapshot, content,
+	// or none.
+	Cache string `json:"cache,omitempty"`
 }
 
 // RouteTable is the registry behind GET /api/v1/: every route mounted
@@ -203,24 +223,39 @@ func PageParamInfo() []ParamInfo {
 
 func listParamInfo() []ParamInfo { return append(FilterParamInfo(), PageParamInfo()...) }
 
+// contentETag renders a content-derived entity tag: quoted FNV-1a 64 over
+// the value's JSON encoding.
+func contentETag(v interface{}) string {
+	h := fnv.New64a()
+	_ = json.NewEncoder(h).Encode(v)
+	return fmt.Sprintf("\"fnv1a:%016x\"", h.Sum64())
+}
+
+// versionETag is fixed for the process lifetime, like the payload.
+var versionETag = sync.OnceValue(func() string { return contentETag(readVersion()) })
+
 // Register installs the batch knowledge-base routes onto mux using
 // method-qualified patterns, so the mux itself enforces GET-only access
 // and WithJSONErrors turns its 404/405 verdicts into the shared envelope.
-// It returns the route table backing GET /api/v1/; the embedding server
-// documents any additional routes it mounts via RouteTable.Add.
-func Register(mux *http.ServeMux, store *Store, opts RouteOptions) *RouteTable {
+// Every read is served from src's immutable snapshot — one consistent
+// point-in-time view per request, with the snapshot fingerprint as ETag —
+// so writers never block readers and repeated GETs between publications
+// are byte-identical. It returns the route table backing GET /api/v1/;
+// the embedding server documents any additional routes it mounts via
+// RouteTable.Add.
+func Register(mux *http.ServeMux, src SnapshotSource, opts RouteOptions) *RouteTable {
 	wrap := opts.Wrap
 	if wrap == nil {
 		wrap = func(_ string, h http.Handler) http.Handler { return h }
 	}
 	table := &RouteTable{}
-	handle := func(pattern, route, doc string, params []ParamInfo, h http.HandlerFunc) {
+	handle := func(pattern, route, doc, cache string, params []ParamInfo, h http.HandlerFunc) {
 		mux.Handle(pattern, wrap(route, h))
-		table.Add(RouteInfo{Method: "GET", Pattern: route, Doc: doc, Params: params})
+		table.Add(RouteInfo{Method: "GET", Pattern: route, Doc: doc, Params: params, Cache: cache})
 	}
 
 	handle("GET /healthz", "/healthz",
-		"readiness: ok once the knowledge base is complete, ingesting during a live replay", nil,
+		"readiness: ok once the knowledge base is complete, ingesting during a live replay", CacheNone, nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			h := Health{Status: "ok"}
 			if opts.Health != nil {
@@ -231,35 +266,44 @@ func Register(mux *http.ServeMux, store *Store, opts RouteOptions) *RouteTable {
 	// {$} pins the exact path: /api/v1/ serves the index while deeper
 	// unknown paths still fall through to the enveloped 404.
 	handle("GET /api/v1/{$}", "/api/v1/",
-		"this route index", nil,
+		"this route index", CacheContent, nil,
 		func(w http.ResponseWriter, r *http.Request) {
-			WriteJSON(w, http.StatusOK, RouteIndex{Routes: table.Routes()})
+			idx := RouteIndex{Routes: table.Routes()}
+			WriteContentJSON(w, r, contentETag(idx), idx)
 		})
 	handle("GET /api/v1/version", "/api/v1/version",
-		"build info: module, version, VCS revision, Go toolchain", nil,
+		"build info: module, version, VCS revision, Go toolchain", CacheContent, nil,
 		func(w http.ResponseWriter, r *http.Request) {
-			WriteJSON(w, http.StatusOK, readVersion())
+			WriteContentJSON(w, r, versionETag(), readVersion())
 		})
 	handle("GET /api/v1/summary", "/api/v1/summary",
-		"per-platform aggregates keyed by cloud name", nil,
+		"per-platform aggregates keyed by cloud name", CacheSnapshot, nil,
 		func(w http.ResponseWriter, r *http.Request) {
-			out := map[string]Summary{
-				core.Private.String(): store.Summarize(core.Private),
-				core.Public.String():  store.Summarize(core.Public),
-			}
-			WriteJSON(w, http.StatusOK, out)
+			sn := src.Snapshot()
+			// Aggregated once per snapshot, encoded once per snapshot:
+			// a burst of summary reads between folds is a header check
+			// plus one buffer write each.
+			body := sn.Memo("kb.summary.json", func() interface{} {
+				out := map[string]Summary{
+					core.Private.String(): sn.Summarize(core.Private),
+					core.Public.String():  sn.Summarize(core.Public),
+				}
+				return encodeJSON(out)
+			}).([]byte)
+			WriteSnapshotRaw(w, r, sn, body)
 		})
 	handle("GET /api/v1/profiles", "/api/v1/profiles",
-		"batch profile list; bare array, or the paginated envelope with limit/cursor", listParamInfo(),
+		"batch profile list; bare array, or the paginated envelope with limit/cursor", CacheSnapshot, listParamInfo(),
 		func(w http.ResponseWriter, r *http.Request) {
 			q, pg, err := ParseListParams(r)
 			if err != nil {
 				WriteParamError(w, err)
 				return
 			}
-			items := store.List(q)
+			sn := src.Snapshot()
+			items := sn.List(q)
 			if !pg.Enabled() {
-				WriteJSON(w, http.StatusOK, items)
+				WriteSnapshotJSON(w, r, sn, items)
 				return
 			}
 			page, err := Paginate(items, func(p *Profile) string { return string(p.Subscription) }, pg)
@@ -267,27 +311,43 @@ func Register(mux *http.ServeMux, store *Store, opts RouteOptions) *RouteTable {
 				WriteParamError(w, err)
 				return
 			}
-			WriteJSON(w, http.StatusOK, page)
+			WriteSnapshotJSON(w, r, sn, page)
 		})
 	handle("GET /api/v1/profiles/{id}", "/api/v1/profiles/{id}",
-		"one batch profile by subscription id",
+		"one batch profile by subscription id", CacheSnapshot,
 		[]ParamInfo{{Name: "id", Type: "path", Doc: "subscription id"}},
 		func(w http.ResponseWriter, r *http.Request) {
-			p, ok := store.Get(core.SubscriptionID(r.PathValue("id")))
+			sn := src.Snapshot()
+			p, ok := sn.Get(core.SubscriptionID(r.PathValue("id")))
 			if !ok {
 				WriteError(w, http.StatusNotFound, "not_found", "profile not found")
 				return
 			}
-			WriteJSON(w, http.StatusOK, p)
+			WriteSnapshotJSON(w, r, sn, p)
 		})
 	return table
 }
 
+// encodeJSON marshals v exactly like WriteJSON's streaming encoder
+// (trailing newline included), for payloads memoized as bytes.
+func encodeJSON(v interface{}) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Mirror WriteJSON: encoding errors on these payload types cannot
+		// happen; an empty body is the deterministic fallback.
+		return []byte("\n")
+	}
+	return append(data, '\n')
+}
+
 // NewHandler exposes a knowledge-base store over HTTP with the shared
 // error envelope — the standalone (uninstrumented) form of the v1 surface.
+// Reads go through a version-gated StoreSource, so a store that is still
+// being written serves each request from a consistent immutable snapshot
+// and a finished store costs one snapshot total.
 func NewHandler(store *Store) http.Handler {
 	mux := http.NewServeMux()
-	Register(mux, store, RouteOptions{})
+	Register(mux, NewStoreSource(store, 0, nil), RouteOptions{})
 	return WithJSONErrors(mux)
 }
 

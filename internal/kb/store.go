@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cloudlens/internal/core"
 	"cloudlens/internal/obs"
@@ -27,6 +28,9 @@ var (
 type Store struct {
 	mu       sync.RWMutex
 	profiles map[core.SubscriptionID]*Profile
+	// version counts writes; snapshot caches (StoreSource) compare it to
+	// decide whether a cached immutable view is still current.
+	version atomic.Uint64
 }
 
 // NewStore returns an empty knowledge base.
@@ -40,9 +44,14 @@ func (s *Store) Put(p *Profile) {
 	s.profiles[p.Subscription] = p
 	n := len(s.profiles)
 	s.mu.Unlock()
+	s.version.Add(1)
 	storePuts.Inc()
 	storeProfiles.SetInt(n)
 }
+
+// Version returns the store's write counter. Two equal readings with no
+// writes in between guarantee List/Get observed the same profile set.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Get returns the profile of one subscription.
 func (s *Store) Get(id core.SubscriptionID) (*Profile, bool) {
@@ -77,25 +86,29 @@ type Query struct {
 // disabledScore marks MinRegionAgnosticScore as "no filter".
 const disabledScore = -2
 
+// Match reports whether one profile satisfies the query.
+func (q Query) Match(p *Profile) bool {
+	if q.Cloud.Valid() && p.Cloud != q.Cloud {
+		return false
+	}
+	if q.MinRegionAgnosticScore > disabledScore && p.RegionAgnosticScore < q.MinRegionAgnosticScore {
+		return false
+	}
+	if q.Pattern != core.PatternUnknown && p.DominantPattern != q.Pattern {
+		return false
+	}
+	return p.ShortLivedShare >= q.MinShortLivedShare
+}
+
 // List returns all profiles matching the query, sorted by subscription ID.
 func (s *Store) List(q Query) []*Profile {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*Profile
 	for _, p := range s.profiles {
-		if q.Cloud.Valid() && p.Cloud != q.Cloud {
-			continue
+		if q.Match(p) {
+			out = append(out, p)
 		}
-		if q.MinRegionAgnosticScore > disabledScore && p.RegionAgnosticScore < q.MinRegionAgnosticScore {
-			continue
-		}
-		if q.Pattern != core.PatternUnknown && p.DominantPattern != q.Pattern {
-			continue
-		}
-		if p.ShortLivedShare < q.MinShortLivedShare {
-			continue
-		}
-		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Subscription < out[j].Subscription })
 	return out
@@ -124,21 +137,28 @@ const RegionAgnosticThreshold = 0.8
 // profiles, never of map iteration or insertion order.
 func (s *Store) Summarize(cloud core.Cloud) Summary {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	list := make([]*Profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		list = append(list, p)
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Subscription < list[j].Subscription })
+	return summarizeSorted(cloud, list)
+}
+
+// summarizeSorted aggregates one platform's slice of an already
+// subscription-sorted profile list — the shared core of Store.Summarize and
+// Snapshot.Summarize. The input order fixes the floating-point accumulation
+// order, keeping the summary bit-deterministic.
+func summarizeSorted(cloud core.Cloud, profiles []*Profile) Summary {
 	sum := Summary{
 		Cloud:         cloud,
 		PatternShares: make(map[core.Pattern]float64),
 	}
-	ids := make([]core.SubscriptionID, 0, len(s.profiles))
-	for id := range s.profiles {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var utilSum float64
 	var lifetimes []float64
 	classifiedSubs := 0
-	for _, id := range ids {
-		p := s.profiles[id]
+	for _, p := range profiles {
 		if p.Cloud != cloud {
 			continue
 		}

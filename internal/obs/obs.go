@@ -148,6 +148,7 @@ type instrument struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fn     func() float64 // callback gauges: evaluated at exposition
 }
 
 // family groups all instruments sharing a metric name; HELP/TYPE are
@@ -189,6 +190,19 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	inst := r.instrument(name, help, gaugeKind, nil, labels)
 	return inst.g
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at exposition
+// time instead of pushing values through Set, the right shape for metrics
+// that are derived state (snapshot age, queue depth read from elsewhere).
+// fn must be safe for concurrent use. Re-registering the same (name,
+// labels) replaces the callback — last one wins — so test servers that
+// rebuild their handler keep the series pointed at the live source.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	inst := r.instrument(name, help, gaugeKind, nil, labels)
+	r.mu.Lock()
+	inst.fn = fn
+	r.mu.Unlock()
 }
 
 // Histogram returns the histogram registered under name and labels,
@@ -297,7 +311,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case counterKind:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, inst.labels, inst.c.Value())
 			case gaugeKind:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, inst.labels, formatFloat(inst.g.Value()))
+				r.mu.Lock()
+				fn := inst.fn
+				r.mu.Unlock()
+				v := inst.g.Value()
+				if fn != nil {
+					v = fn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, inst.labels, formatFloat(v))
 			case histogramKind:
 				var cum int64
 				for i, bound := range f.bounds {

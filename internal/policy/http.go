@@ -22,7 +22,9 @@ func RegisterRoutes(mux *http.ServeMux, table *kb.RouteTable, eng *Engine, wrap 
 	}
 	handle := func(method, route, doc string, params []kb.ParamInfo, h http.HandlerFunc) {
 		mux.Handle(method+" "+route, wrap(route, h))
-		table.Add(kb.RouteInfo{Method: method, Pattern: route, Doc: doc, Params: params})
+		// Decisions mutate the ledger and reads follow it live, so no
+		// policy response is cache-validatable.
+		table.Add(kb.RouteInfo{Method: method, Pattern: route, Doc: doc, Params: params, Cache: kb.CacheNone})
 	}
 	guard := func(h http.HandlerFunc) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,9 @@ type Engine interface {
 	Profiles(q kb.Query) []LiveProfile
 	// Profile returns one subscription's live profile.
 	Profile(id core.SubscriptionID) (LiveProfile, bool)
+	// CaptureLive returns one consistent capture of the published store
+	// and the streaming state — the input to a LiveSnapshot.
+	CaptureLive() LiveCapture
 	// FaultStats returns the ledger of input imperfections.
 	FaultStats() FaultStats
 	// WriteCheckpoint serializes a resumable snapshot of the engine.

@@ -347,10 +347,18 @@ func (r *Replayer) Run(ctx context.Context) error {
 	}
 	next := 0
 
+	// Pacing follows an absolute schedule: step s+1 is released at
+	// wallStart + (s+1-start)*interval rather than interval after the
+	// previous step finished. Per-step relative sleeps accumulate timer
+	// wake-up latency (hundreds of µs each on an idle runtime), which
+	// over a few thousand steps stretches the replay well past its
+	// nominal rate; anchoring to the start keeps the emitted rate exact
+	// as long as the consumer keeps up.
 	var interval time.Duration
 	if r.opts.Speedup > 0 {
 		interval = time.Duration(float64(g.Step) / r.opts.Speedup)
 	}
+	wallStart := time.Now()
 
 	for s := start; s < g.N; s++ {
 		for _, idx := range deletedAt[s] {
@@ -387,8 +395,11 @@ func (r *Replayer) Run(ctx context.Context) error {
 		r.samplesEmitted.Add(int64(len(samples)))
 
 		if interval > 0 && s+1 < g.N {
-			if err := sleepCtx(ctx, interval); err != nil {
-				return err
+			due := wallStart.Add(time.Duration(s+1-start) * interval)
+			if d := time.Until(due); d > 0 {
+				if err := sleepCtx(ctx, d); err != nil {
+					return err
+				}
 			}
 		}
 	}
