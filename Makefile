@@ -11,6 +11,10 @@
 #                      so instrumented hot paths stay compile- and run-clean
 #   make bench-shards— streaming-ingestion throughput swept over shard
 #                      counts 1/2/4/8 (the BENCH_stream.json scaling table)
+#   make bench-stream-gate — allocation-rate gate on the columnar ingestion
+#                      hot path: one full default-week replay, failing if it
+#                      allocates more than ALLOCS_PER_SAMPLE_MAX (0.159, the
+#                      BENCH_stream.json pin) per sample
 #   make bench-http  — HTTP read-path load harness smoke: a small reader
 #                      fleet against a live-ingesting server; fails on any
 #                      5xx or if readers slow ingestion below 80% of its
@@ -32,7 +36,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify test-faults test-policy bench bench-smoke bench-shards bench-http diffcheck fuzz-smoke lint
+.PHONY: all build test verify test-faults test-policy bench bench-smoke bench-shards bench-stream-gate bench-http diffcheck fuzz-smoke lint
 
 all: build
 
@@ -58,6 +62,19 @@ bench-smoke:
 
 bench-shards:
 	$(GO) test -run=NONE -bench=StreamIngestShards -benchmem .
+
+# The columnar hot path must stay allocation-free in steady state: the
+# replay's per-sample allocation rate (runtime mallocs over samples
+# ingested, reported by BenchmarkStreamIngest) is pinned at the
+# BENCH_stream.json value and any regression past it fails the build.
+ALLOCS_PER_SAMPLE_MAX ?= 0.159
+bench-stream-gate: build
+	@out=$$($(GO) test -run=NONE -bench='^BenchmarkStreamIngest$$' -benchtime=1x -benchmem . | tee /dev/stderr); \
+	rate=$$(echo "$$out" | awk '{for (i=1; i<NF; i++) if ($$(i+1) == "allocs/sample") print $$i}'); \
+	if [ -z "$$rate" ]; then echo "bench-stream-gate: no allocs/sample metric in benchmark output" >&2; exit 1; fi; \
+	awk -v r="$$rate" -v max="$(ALLOCS_PER_SAMPLE_MAX)" 'BEGIN { \
+		if (r + 0 > max + 0) { printf "bench-stream-gate: FAIL %s allocs/sample > %s\n", r, max; exit 1 } \
+		printf "bench-stream-gate: ok %s allocs/sample <= %s\n", r, max }'
 
 # Small-fleet smoke sized for a one-core CI box: short phases, lenient
 # latency gate, hard gates on 5xx and on readers starving ingestion.

@@ -87,6 +87,10 @@ type (
 	// StreamShardVital is one ingestion shard's progress and fault ledger
 	// on a sharded pipeline (StreamOptions.Shards > 1).
 	StreamShardVital = stream.ShardVital
+	// StreamIngestVital is one ingestion shard's columnar hot-path vitals:
+	// folded column batches, fill ratio, reorder-ring occupancy, and the
+	// column free-list ledger.
+	StreamIngestVital = stream.IngestVital
 	// GapPolicy selects how per-VM sample gaps are repaired (carry, skip,
 	// interpolate).
 	GapPolicy = stream.GapPolicy

@@ -228,15 +228,15 @@ func newServer(tr *cloudlens.Trace, shards, foldEvery int, speedup float64) (*cl
 	})
 	mux.HandleFunc("GET /api/v1/live/summary", func(w http.ResponseWriter, r *http.Request) {
 		ls := readSrc.Live()
-		kb.WriteSnapshotRaw(w, r, ls.KB(), ls.SummaryJSON())
+		kb.WriteSnapshotRaw(w, r, ls.KB(), "live.summary.json", ls.SummaryJSON())
 	})
 	mux.HandleFunc("GET /api/v1/live/percentiles", func(w http.ResponseWriter, r *http.Request) {
 		ls := readSrc.Live()
-		kb.WriteSnapshotRaw(w, r, ls.KB(), ls.PercentilesJSON())
+		kb.WriteSnapshotRaw(w, r, ls.KB(), "live.percentiles.json", ls.PercentilesJSON())
 	})
 	mux.HandleFunc("GET /api/v1/live/regions", func(w http.ResponseWriter, r *http.Request) {
 		ls := readSrc.Live()
-		kb.WriteSnapshotRaw(w, r, ls.KB(), ls.RegionsJSON())
+		kb.WriteSnapshotRaw(w, r, ls.KB(), "live.regions.json", ls.RegionsJSON())
 	})
 	mux.HandleFunc("GET /api/v1/live/profiles", func(w http.ResponseWriter, r *http.Request) {
 		q, pg, err := kb.ParseListParams(r)

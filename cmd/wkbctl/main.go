@@ -10,6 +10,7 @@
 //	wkbctl -server http://localhost:8080 percentiles
 //	wkbctl -server http://localhost:8080 regions
 //	wkbctl -server http://localhost:8080 watch [-interval 2s] [-count 0]
+//	wkbctl -server http://localhost:8080 ingest
 //	wkbctl -server http://localhost:8080 routes
 //	wkbctl -server http://localhost:8080 version
 //	wkbctl -server http://localhost:8080 decide -policy oversub -subscription sub-001 [-cores 4] [-regions r1,r2]
@@ -24,6 +25,11 @@
 // polls (0 means until done). Summary polls are conditional requests: the
 // client replays the last ETag via If-None-Match, and a 304 reuses the
 // previous payload instead of re-fetching an unchanged snapshot.
+//
+// ingest prints the columnar hot-path vitals of a live replay: per shard,
+// the column batches folded, the free-list ledger (columns reused versus
+// freshly allocated), the mean column fill ratio, and the reorder-ring
+// occupancy.
 //
 // decide, decisions, and counterfactual talk to the online policy engine
 // (wkbserver -policies): decide posts one placement/admission request,
@@ -104,6 +110,8 @@ func run() error {
 			return helpErr(err)
 		}
 		return watch(client, *server, *interval, *count, os.Stdout)
+	case "ingest":
+		return showIngest(client, *server, os.Stdout)
 	case "routes":
 		return showRoutes(client, *server, os.Stdout)
 	case "version":
@@ -140,7 +148,7 @@ func run() error {
 		}
 		return showCounterfactual(client, *server, flag.Arg(1), os.Stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want summary | profiles | profile | percentiles | regions | watch | routes | version | decide | decisions | counterfactual)", flag.Arg(0))
+		return fmt.Errorf("unknown command %q (want summary | profiles | profile | percentiles | regions | watch | ingest | routes | version | decide | decisions | counterfactual)", flag.Arg(0))
 	}
 }
 
@@ -259,6 +267,44 @@ func showRegions(client *http.Client, server string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "%d regions\n", len(rolls))
+	return nil
+}
+
+// ingestReport mirrors the /api/v1/live/ingest payload.
+type ingestReport struct {
+	Shards []cloudlens.StreamIngestVital `json:"shards"`
+}
+
+// showIngest prints the columnar hot-path vitals, one row per ingestion
+// shard. The reuse column is the free-list hit rate — on a healthy
+// steady-state replay it approaches 100% while "allocated" stays frozen
+// at the warm-up count (see DESIGN.md §14).
+func showIngest(client *http.Client, server string, w io.Writer) error {
+	var rep ingestReport
+	if err := getJSON(client, server+"/api/v1/live/ingest", &rep); err != nil {
+		return err
+	}
+	t := report.NewTable("shard", "batches folded", "column samples", "fill",
+		"ring", "allocated", "reused", "dropped", "watermark")
+	var folded, samples int64
+	for _, v := range rep.Shards {
+		t.AddRow(strconv.Itoa(v.Shard),
+			strconv.FormatInt(v.BatchesFolded, 10),
+			strconv.FormatInt(v.ColumnSamples, 10),
+			report.Pct(v.FillRatio),
+			fmt.Sprintf("%d/%d", v.RingOccupancy, v.RingSlots),
+			strconv.FormatInt(v.Pool.Allocated, 10),
+			strconv.FormatInt(v.Pool.Reused, 10),
+			strconv.FormatInt(v.Pool.Dropped, 10),
+			strconv.Itoa(v.Watermark))
+		folded += v.BatchesFolded
+		samples += v.ColumnSamples
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d shards, %d column batches folded, %d samples\n",
+		len(rep.Shards), folded, samples)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"io"
@@ -916,5 +918,160 @@ func TestReadHammerDuringIngestion(t *testing.T) {
 	}
 	if resp, _, err = fetch("/api/v1/live/summary", `"fnv1a:0000000000000000"`); err != nil || resp.StatusCode != http.StatusOK {
 		t.Errorf("stale validator: %v %v, want 200", resp.StatusCode, err)
+	}
+}
+
+// TestLiveGzipGoldens pins content negotiation on the live snapshot-class
+// reads: for each pre-encoded aggregation endpoint, the gzip entity is
+// byte-identical across repeats (compressed once per snapshot, memoized),
+// decompresses to exactly the identity body, and shares the identity
+// representation's validator — so conditional requests answer 304 for
+// either coding, Vary: Accept-Encoding attached throughout.
+func TestLiveGzipGoldens(t *testing.T) {
+	tr := testTrace()
+	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{})
+	pipe.Start(context.Background())
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
+	defer srv.Close()
+
+	fetch := func(path, acceptEncoding, inm string) (*http.Response, []byte) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		// Explicit Accept-Encoding disables the transport's transparent
+		// decompression, so the test observes the wire bytes.
+		req.Header.Set("Accept-Encoding", acceptEncoding)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	for _, path := range []string{
+		"/api/v1/live/summary",
+		"/api/v1/live/percentiles",
+		"/api/v1/live/regions",
+		"/api/v1/summary",
+	} {
+		respID, plain := fetch(path, "identity", "")
+		if respID.StatusCode != http.StatusOK || respID.Header.Get("Content-Encoding") != "" {
+			t.Fatalf("%s identity: %d, Content-Encoding %q", path, respID.StatusCode, respID.Header.Get("Content-Encoding"))
+		}
+		resp1, gz1 := fetch(path, "gzip", "")
+		_, gz2 := fetch(path, "gzip", "")
+		if resp1.StatusCode != http.StatusOK || resp1.Header.Get("Content-Encoding") != "gzip" {
+			t.Fatalf("%s gzip: %d, Content-Encoding %q", path, resp1.StatusCode, resp1.Header.Get("Content-Encoding"))
+		}
+		if !bytes.Equal(gz1, gz2) {
+			t.Errorf("%s: repeated gzip GETs differ", path)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(gz1))
+		if err != nil {
+			t.Fatalf("%s: gzip body does not decode: %v", path, err)
+		}
+		inflated, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: gzip body truncated: %v", path, err)
+		}
+		if !bytes.Equal(inflated, plain) {
+			t.Errorf("%s: gzip entity does not decompress to the identity body", path)
+		}
+		etag := respID.Header.Get("ETag")
+		if etag == "" || resp1.Header.Get("ETag") != etag {
+			t.Fatalf("%s: ETags differ across codings: %q vs %q", path, etag, resp1.Header.Get("ETag"))
+		}
+		for _, enc := range []string{"identity", "gzip"} {
+			resp, body := fetch(path, enc, etag)
+			if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+				t.Errorf("%s: %s conditional GET = %d (%d bytes), want empty 304", path, enc, resp.StatusCode, len(body))
+			}
+			if resp.Header.Get("Vary") != "Accept-Encoding" {
+				t.Errorf("%s: %s 304 lost Vary", path, enc)
+			}
+		}
+	}
+}
+
+// TestLiveIngestVitals exercises /api/v1/live/ingest after replays with
+// and without sharding: one vitals entry per shard, the columnar fold
+// counters populated, and the free-list ledger conserving its buffers
+// (returned ≤ allocated + reused, nothing dropped on a well-sized pool).
+func TestLiveIngestVitals(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		tr := testTrace()
+		pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{Shards: shards})
+		pipe.Start(context.Background())
+		if err := pipe.Wait(); err != nil {
+			t.Fatalf("shards=%d replay: %v", shards, err)
+		}
+		srv := httptest.NewServer(buildHandler(pipe.KB(), pipe, readSrc, nil, nil, nil))
+
+		body := wantStatus(t, srv, "/api/v1/live/ingest", http.StatusOK)
+		var rep IngestReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("shards=%d ingest decode: %v", shards, err)
+		}
+		want := shards
+		if want == 0 {
+			want = 1
+		}
+		if len(rep.Shards) != want {
+			t.Fatalf("shards=%d: %d vitals entries, want %d", shards, len(rep.Shards), want)
+		}
+		for i, v := range rep.Shards {
+			if v.Shard != i {
+				t.Errorf("shards=%d: entry %d reports shard %d", shards, i, v.Shard)
+			}
+			if v.BatchesFolded == 0 || v.ColumnSamples == 0 {
+				t.Errorf("shards=%d shard %d: no columnar folds recorded: %+v", shards, i, v)
+			}
+			if v.FillRatio <= 0 || v.FillRatio > 1 {
+				t.Errorf("shards=%d shard %d: fill ratio %v out of (0,1]", shards, i, v.FillRatio)
+			}
+			if v.Watermark < tr.Grid.N {
+				t.Errorf("shards=%d shard %d: watermark %d behind a drained replay (N=%d)", shards, i, v.Watermark, tr.Grid.N)
+			}
+			p := v.Pool
+			if p.Allocated+p.Reused == 0 {
+				t.Errorf("shards=%d shard %d: pool ledger empty: %+v", shards, i, p)
+			}
+			if p.Returned > p.Allocated+p.Reused {
+				t.Errorf("shards=%d shard %d: pool returned more than it served: %+v", shards, i, p)
+			}
+			// Drops are legitimate only while the active set grows (an
+			// under-sized pooled buffer is discarded for a larger one);
+			// this trace grows twice, so drops stay far below the reuse
+			// count on any healthy pool.
+			if p.Dropped > p.Reused/10 {
+				t.Errorf("shards=%d shard %d: pool churning: %+v", shards, i, p)
+			}
+		}
+
+		// The route self-registers in the index under cache class "none".
+		idxBody := wantStatus(t, srv, "/api/v1/", http.StatusOK)
+		var idx kb.RouteIndex
+		if err := json.Unmarshal(idxBody, &idx); err != nil {
+			t.Fatalf("route index decode: %v", err)
+		}
+		found := false
+		for _, ri := range idx.Routes {
+			if ri.Pattern == "/api/v1/live/ingest" {
+				found = true
+				if ri.Cache != kb.CacheNone {
+					t.Errorf("ingest route cache class %q, want %q", ri.Cache, kb.CacheNone)
+				}
+			}
+		}
+		if !found {
+			t.Error("route index does not list /api/v1/live/ingest")
+		}
+		srv.Close()
 	}
 }

@@ -89,19 +89,19 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 		"incremental per-cloud characterization", kb.CacheSnapshot, nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			ls := readSrc.Live()
-			kb.WriteSnapshotRaw(w, r, ls.KB(), ls.SummaryJSON())
+			kb.WriteSnapshotRaw(w, r, ls.KB(), "live.summary.json", ls.SummaryJSON())
 		})
 	live("GET /api/v1/live/percentiles", "/api/v1/live/percentiles",
 		"per-pattern utilization bands from merged sketches", kb.CacheSnapshot, nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			ls := readSrc.Live()
-			kb.WriteSnapshotRaw(w, r, ls.KB(), ls.PercentilesJSON())
+			kb.WriteSnapshotRaw(w, r, ls.KB(), "live.percentiles.json", ls.PercentilesJSON())
 		})
 	live("GET /api/v1/live/regions", "/api/v1/live/regions",
 		"per-region rollups of the live knowledge base", kb.CacheSnapshot, nil,
 		func(w http.ResponseWriter, r *http.Request) {
 			ls := readSrc.Live()
-			kb.WriteSnapshotRaw(w, r, ls.KB(), ls.RegionsJSON())
+			kb.WriteSnapshotRaw(w, r, ls.KB(), "live.regions.json", ls.RegionsJSON())
 		})
 	live("GET /api/v1/live/profiles", "/api/v1/live/profiles",
 		"live profile list; bare array, or the paginated envelope with limit/cursor", kb.CacheSnapshot,
@@ -142,6 +142,11 @@ func buildHandler(store *cloudlens.KnowledgeBase, pipe *cloudlens.StreamPipeline
 		func(w http.ResponseWriter, r *http.Request) {
 			kb.WriteJSON(w, http.StatusOK, faultsPayload(pipe, inj))
 		})
+	live("GET /api/v1/live/ingest", "/api/v1/live/ingest",
+		"columnar hot-path vitals per shard: folded column batches, fill ratio, reorder-ring occupancy, column-pool ledger", kb.CacheNone, nil,
+		func(w http.ResponseWriter, r *http.Request) {
+			kb.WriteJSON(w, http.StatusOK, IngestReport{Shards: pipe.IngestVitals()})
+		})
 
 	mux.Handle("GET /metrics", metrics.Wrap("/metrics", obs.Default))
 	table.Add(kb.RouteInfo{Method: "GET", Pattern: "/metrics", Doc: "Prometheus text exposition", Cache: kb.CacheNone})
@@ -165,6 +170,13 @@ type FaultsReport struct {
 	// Shards breaks the stream ledger out per ingestion shard; absent on a
 	// single-ingestor replay. Stream remains the cross-shard aggregate.
 	Shards []cloudlens.StreamShardVital `json:"shards,omitempty"`
+}
+
+// IngestReport is the /api/v1/live/ingest payload: one columnar hot-path
+// vitals entry per ingestion shard (a single entry for an unsharded
+// replay).
+type IngestReport struct {
+	Shards []cloudlens.StreamIngestVital `json:"shards"`
 }
 
 func faultsPayload(pipe *cloudlens.StreamPipeline, inj *cloudlens.FaultInjector) FaultsReport {

@@ -260,8 +260,7 @@ func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error
 		src = wrap(src)
 	}
 	eng := stream.NewEngine(tr, opts)
-	recycle := func(buf []stream.Sample) { src.Recycle(stream.StepBatch{Samples: buf}) }
-	eng.SetRecycler(recycle)
+	eng.SetRecycler(src.Recycle)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- src.Run(context.Background()) }()
@@ -284,7 +283,7 @@ func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error
 				return nil, fmt.Errorf("restore at step %d: %w", step, err)
 			}
 			eng.Abort()
-			resumed.SetRecycler(recycle)
+			resumed.SetRecycler(src.Recycle)
 			eng = resumed
 		}
 	}

@@ -178,7 +178,7 @@ func policyLedgerRun(tr *trace.Trace, cfg PolicyConfig, seed uint64, shards int)
 	replayer := stream.NewReplayer(tr, opts)
 	eng := stream.NewEngine(tr, opts)
 	src.Bind(eng.KB())
-	eng.SetRecycler(func(buf []stream.Sample) { replayer.Recycle(stream.StepBatch{Samples: buf}) })
+	eng.SetRecycler(replayer.Recycle)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- replayer.Run(context.Background()) }()

@@ -12,13 +12,14 @@
 // perturbed stream. The mechanics mirror how each fault class surfaces in
 // real pipelines, and how the ingestor is expected to book it:
 //
-//   - dropped samples vanish from their batch → repaired later as gap
-//     fills (or counted as skips, per the gap policy);
-//   - duplicated samples are appended to the same batch → exactly one
-//     DuplicatesDropped each;
-//   - delayed samples keep their true Step but ride a batch up to
-//     MaxDelaySteps later → exactly one Reordered each, and none are lost
-//     as long as the ingestor's MaxLatenessSteps >= MaxDelaySteps;
+//   - dropped samples vanish from their batch's columns → repaired later
+//     as gap fills (or counted as skips, per the gap policy);
+//   - duplicated samples are appended to their batch's columns → exactly
+//     one DuplicatesDropped each;
+//   - delayed samples leave the columns and ride the Late rows of a batch
+//     up to MaxDelaySteps later, keeping their true Step → exactly one
+//     Reordered each, and none are lost as long as the ingestor's
+//     MaxLatenessSteps >= MaxDelaySteps;
 //   - corrupted samples stay in place with an out-of-domain CPU value →
 //     exactly one QuarantinedCorrupt each.
 package faultgen
@@ -263,9 +264,16 @@ type Injector struct {
 
 	// pend ring-buffers delayed samples keyed by delivery step; slot
 	// step%len(pend). MaxDelaySteps+1 slots guarantee a delivery step
-	// never collides with a pending later one.
-	pend [][]stream.Sample
-	dups []stream.Sample
+	// never collides with a pending later one. A due slot is handed to the
+	// consumer whole (as StepBatch.Late) and reclaimed through Recycle via
+	// lateFree.
+	pend     [][]stream.Sample
+	lateFree chan []stream.Sample
+	// dupVM/dupCPU stage duplicated samples so they append after the kept
+	// run of the columns, mirroring the delivery order of a real collector
+	// that re-sends at the end of its flush.
+	dupVM  []int32
+	dupCPU []float32
 
 	// runErr is only set by Wrap when the spec failed validation; Run
 	// returns it immediately.
@@ -283,6 +291,10 @@ func New(src stream.Source, spec Spec, finalStep int) (*Injector, error) {
 		return nil, err
 	}
 	spec = spec.withDefaults()
+	lateSlots := spec.MaxDelaySteps + 9
+	if lateSlots > 64 {
+		lateSlots = 64
+	}
 	inj := &Injector{
 		src:       src,
 		spec:      spec,
@@ -290,6 +302,7 @@ func New(src stream.Source, spec Spec, finalStep int) (*Injector, error) {
 		rng:       rand.New(rand.NewSource(int64(spec.Seed))),
 		out:       make(chan stream.StepBatch, 1),
 		pend:      make([][]stream.Sample, spec.MaxDelaySteps+1),
+		lateFree:  make(chan []stream.Sample, lateSlots),
 	}
 	inj.dropHi = spec.Drop
 	inj.dupHi = inj.dropHi + spec.Dup
@@ -336,8 +349,27 @@ func (inj *Injector) Spec() Spec { return inj.spec }
 // Events returns the perturbed batch channel.
 func (inj *Injector) Events() <-chan stream.StepBatch { return inj.out }
 
-// Recycle forwards a consumed buffer to the inner source's free list.
-func (inj *Injector) Recycle(b stream.StepBatch) { inj.src.Recycle(b) }
+// Recycle reclaims the Late buffers the injector synthesized and forwards
+// everything else to the inner source's free lists.
+func (inj *Injector) Recycle(b stream.StepBatch) {
+	if b.Late != nil {
+		select {
+		case inj.lateFree <- b.Late[:0]:
+		default:
+		}
+		b.Late = nil
+	}
+	inj.src.Recycle(b)
+}
+
+// PoolStats forwards the inner source's column-pool ledger so a pipeline
+// running with fault injection still reports its hot-path vitals.
+func (inj *Injector) PoolStats() stream.ColPoolStats {
+	if ps, ok := inj.src.(stream.PoolStatser); ok {
+		return ps.PoolStats()
+	}
+	return stream.ColPoolStats{}
+}
 
 // Run drives the inner source, perturbing every batch in flight. It
 // returns the inner source's error.
@@ -374,25 +406,32 @@ func (inj *Injector) Run(ctx context.Context) error {
 	return <-errCh
 }
 
-// perturb applies the per-sample fault mix in place and attaches any
-// delayed samples due on this batch's step. The batch buffer is compacted
-// rather than reallocated, preserving the zero-copy recycling contract
-// between replayer and ingestor.
+// perturb applies the per-sample fault mix in place over the batch's
+// columns and attaches any delayed samples due on this batch's step as
+// row-form Late samples. The columns are compacted rather than
+// reallocated, preserving the zero-copy recycling contract between
+// replayer and ingestor; the PRNG draws in column order, one draw per
+// sample, exactly as the row layout drew them.
 func (inj *Injector) perturb(b stream.StepBatch) stream.StepBatch {
-	if inj.corruptHi > 0 && len(b.Samples) > 0 {
-		kept := b.Samples[:0]
-		inj.dups = inj.dups[:0]
-		for _, s := range b.Samples {
+	if inj.corruptHi > 0 && len(b.VM) > 0 {
+		vm := b.VM
+		cpu := b.CPU[:len(vm)]
+		inj.dupVM = inj.dupVM[:0]
+		inj.dupCPU = inj.dupCPU[:0]
+		w := 0
+		for i := range vm {
 			x := inj.rng.Float64()
 			switch {
 			case x < inj.dropHi:
 				inj.dropped.Add(1)
 				continue
 			case x < inj.dupHi:
-				// Same batch, same Step: the ingestor folds the first
+				// Same batch, same step: the ingestor folds the first
 				// copy and books the second as a duplicate.
-				kept = append(kept, s)
-				inj.dups = append(inj.dups, s)
+				vm[w], cpu[w] = vm[i], cpu[i]
+				inj.dupVM = append(inj.dupVM, vm[w])
+				inj.dupCPU = append(inj.dupCPU, cpu[w])
+				w++
 				inj.duplicated.Add(1)
 			case x < inj.delayHi:
 				at := b.Step + 1 + inj.rng.Intn(inj.spec.MaxDelaySteps)
@@ -401,29 +440,60 @@ func (inj *Injector) perturb(b stream.StepBatch) stream.StepBatch {
 				}
 				if at <= b.Step {
 					// No later batch exists to carry it; deliver on time.
-					kept = append(kept, s)
+					vm[w], cpu[w] = vm[i], cpu[i]
+					w++
 					continue
 				}
 				slot := &inj.pend[at%len(inj.pend)]
-				*slot = append(*slot, s)
+				if *slot == nil {
+					*slot = inj.lateBuf()
+				}
+				*slot = append(*slot, stream.Sample{VM: vm[i], Step: int32(b.Step), CPU: float64(cpu[i])})
 				inj.delayed.Add(1)
 			case x < inj.corruptHi:
+				c := cpu[i]
 				if inj.rng.Intn(2) == 0 {
-					s.CPU = math.NaN()
+					c = float32(math.NaN())
 				} else {
-					s.CPU += 1 + inj.rng.Float64() // impossible spike, always > 1
+					// Impossible spike: compute in float64 like the row
+					// layout did, then guard the float32 rounding so the
+					// result stays strictly above the [0,1] domain.
+					c = float32(float64(c) + 1 + inj.rng.Float64())
+					if !(c > 1) {
+						c = 1.5
+					}
 				}
-				kept = append(kept, s)
+				vm[w], cpu[w] = vm[i], c
+				w++
 				inj.corrupted.Add(1)
 			default:
-				kept = append(kept, s)
+				vm[w], cpu[w] = vm[i], cpu[i]
+				w++
 			}
 		}
-		b.Samples = append(kept, inj.dups...)
+		b.VM = append(vm[:w], inj.dupVM...)
+		b.CPU = append(cpu[:w], inj.dupCPU...)
 	}
 	if slot := &inj.pend[b.Step%len(inj.pend)]; len(*slot) > 0 {
-		b.Samples = append(b.Samples, *slot...)
-		*slot = (*slot)[:0]
+		if b.Late == nil {
+			// Hand the pending buffer off whole; the consumer returns it
+			// through Recycle, which feeds lateFree.
+			b.Late = *slot
+		} else {
+			b.Late = append(b.Late, *slot...)
+		}
+		*slot = nil
 	}
 	return b
+}
+
+// lateBuf returns an empty delayed-sample buffer, reusing a recycled one
+// when available.
+func (inj *Injector) lateBuf() []stream.Sample {
+	select {
+	case buf := <-inj.lateFree:
+		return buf
+	default:
+	}
+	return make([]stream.Sample, 0, 8)
 }

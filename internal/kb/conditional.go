@@ -1,7 +1,10 @@
 package kb
 
 import (
+	"bytes"
+	"compress/gzip"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -87,14 +90,69 @@ func WriteSnapshotJSON(w http.ResponseWriter, r *http.Request, sn *Snapshot, v i
 	WriteJSON(w, http.StatusOK, v)
 }
 
+// acceptsGzip reports whether the request's Accept-Encoding explicitly
+// lists gzip (or its x-gzip alias) with a nonzero q-value, per RFC 9110
+// §12.5.3. The absence of the header, a wildcard, and malformed members
+// all answer false: identity is always an acceptable default, so the
+// conservative reading never produces an unreadable response.
+func acceptsGzip(r *http.Request) bool {
+	for _, member := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(member, ";")
+		coding = strings.ToLower(strings.TrimSpace(coding))
+		if coding != "gzip" && coding != "x-gzip" {
+			continue
+		}
+		params = strings.TrimSpace(params)
+		if q, ok := strings.CutPrefix(params, "q="); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err != nil || f <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gzipMemo returns body gzip-compressed, computing (and memoizing) the
+// encoded form once per snapshot under "gzip:"+key. compress/gzip with a
+// zero-valued header is deterministic for a given input, so repeated
+// requests — and separate servers publishing identical snapshots — serve
+// byte-identical gzip entities, preserving the fingerprint⇒bytes
+// invariant the strong ETag relies on.
+func gzipMemo(sn *Snapshot, key string, body []byte) []byte {
+	return sn.Memo("gzip:"+key, func() interface{} {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		_, _ = zw.Write(body)
+		_ = zw.Close()
+		return buf.Bytes()
+	}).([]byte)
+}
+
 // WriteSnapshotRaw is WriteSnapshotJSON for payloads already encoded (and
 // memoized) on the snapshot: aggregation endpoints serve their bytes with
-// zero per-request encoding work.
-func WriteSnapshotRaw(w http.ResponseWriter, r *http.Request, sn *Snapshot, body []byte) {
+// zero per-request encoding work. key names the payload on the snapshot's
+// memo space; a request accepting gzip is answered with the gzip entity,
+// compressed once per snapshot and memoized under "gzip:"+key. Both
+// encodings share the snapshot's validators — the ETag identifies the
+// snapshot content and Vary: Accept-Encoding keys caches per coding — so
+// conditional requests short-circuit to 304 identically either way.
+func WriteSnapshotRaw(w http.ResponseWriter, r *http.Request, sn *Snapshot, key string, body []byte) {
+	// Vary must accompany every response on this resource, 304s included,
+	// so caches key the stored representation by requested coding.
+	w.Header().Add("Vary", "Accept-Encoding")
 	if checkConditional(w, r, sn.ETag(), sn.PublishedAt()) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if acceptsGzip(r) {
+		gz := gzipMemo(sn, key, body)
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(gz)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(gz)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }

@@ -2,10 +2,12 @@ package kb
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -176,6 +178,144 @@ func TestHandlerConditionalRequests(t *testing.T) {
 		if code, _, _ := get(path, tag); code != http.StatusNotModified {
 			t.Errorf("%s: conditional GET = %d, want 304", path, code)
 		}
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},             // absent: identity default
+		{"gzip", true},
+		{"x-gzip", true},        // historical alias, RFC 9110 §8.4.1.3
+		{"GZIP", true},          // codings compare case-insensitively
+		{" gzip ", true},
+		{"br, gzip", true},
+		{"gzip;q=1.0", true},
+		{"gzip;q=0.5", true},
+		{"gzip;q=0", false},     // explicitly refused
+		{"gzip;q=0.000", false},
+		{"gzip;q=banana", false}, // malformed q: stay conservative
+		{"*", false},            // wildcard: identity is always acceptable
+		{"br", false},
+		{"identity", false},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(http.MethodGet, "/x", nil)
+		if c.header != "" {
+			r.Header.Set("Accept-Encoding", c.header)
+		}
+		if got := acceptsGzip(r); got != c.want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestGzipContentNegotiation pins the pre-encoded read contract of
+// WriteSnapshotRaw on /api/v1/summary: a request accepting gzip receives a
+// gzip entity that is byte-identical across repeats (one compression per
+// snapshot, memoized), decompresses to exactly the identity body, shares
+// the identity representation's ETag, and collapses to 304 under the same
+// validator. Vary: Accept-Encoding accompanies every response, 304s
+// included.
+func TestGzipContentNegotiation(t *testing.T) {
+	store := snapStore()
+	srv := httptest.NewServer(NewHandler(store))
+	defer srv.Close()
+
+	get := func(acceptEncoding, inm string) (*http.Response, []byte) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/summary", nil)
+		if acceptEncoding != "" {
+			// An explicit Accept-Encoding disables the transport's
+			// transparent decompression: the test sees the wire bytes.
+			req.Header.Set("Accept-Encoding", acceptEncoding)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	respID, plain := get("identity", "")
+	if respID.StatusCode != http.StatusOK || respID.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("identity GET: %d, Content-Encoding %q", respID.StatusCode, respID.Header.Get("Content-Encoding"))
+	}
+	if respID.Header.Get("Vary") != "Accept-Encoding" {
+		t.Errorf("identity Vary = %q, want Accept-Encoding", respID.Header.Get("Vary"))
+	}
+
+	resp1, gz1 := get("gzip", "")
+	_, gz2 := get("gzip", "")
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("gzip GET: %d, Content-Encoding %q", resp1.StatusCode, resp1.Header.Get("Content-Encoding"))
+	}
+	if resp1.Header.Get("Vary") != "Accept-Encoding" {
+		t.Errorf("gzip Vary = %q, want Accept-Encoding", resp1.Header.Get("Vary"))
+	}
+	if !bytes.Equal(gz1, gz2) {
+		t.Error("repeated gzip GETs are not byte-identical")
+	}
+	if cl := resp1.Header.Get("Content-Length"); cl != strconv.Itoa(len(gz1)) {
+		t.Errorf("gzip Content-Length = %q, body is %d bytes", cl, len(gz1))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz1))
+	if err != nil {
+		t.Fatalf("gzip body does not decode: %v", err)
+	}
+	inflated, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gzip body truncated: %v", err)
+	}
+	if !bytes.Equal(inflated, plain) {
+		t.Error("gzip entity does not decompress to the identity body")
+	}
+
+	// One snapshot, one validator: both codings carry the same strong ETag,
+	// and it answers 304 for either encoding.
+	etag := respID.Header.Get("ETag")
+	if etag == "" || resp1.Header.Get("ETag") != etag {
+		t.Fatalf("ETags differ across codings: %q vs %q", etag, resp1.Header.Get("ETag"))
+	}
+	for _, enc := range []string{"identity", "gzip"} {
+		resp, body := get(enc, etag)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("%s conditional GET = %d, want 304", enc, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("%s 304 carried a body", enc)
+		}
+		if resp.Header.Get("Vary") != "Accept-Encoding" {
+			t.Errorf("%s 304 lost Vary", enc)
+		}
+	}
+
+	// q=0 refuses gzip; the wildcard alone does not opt in.
+	for _, refuse := range []string{"gzip;q=0", "*"} {
+		if resp, _ := get(refuse, ""); resp.Header.Get("Content-Encoding") != "" {
+			t.Errorf("Accept-Encoding %q got Content-Encoding %q, want identity",
+				refuse, resp.Header.Get("Content-Encoding"))
+		}
+	}
+
+	// A write flips the snapshot: the validator stops matching and the new
+	// gzip entity differs.
+	store.Put(&Profile{Subscription: "z", Cloud: core.Public, MeanUtilization: 0.9, RegionAgnosticScore: -1})
+	resp3, gz3 := get("gzip", etag)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-write conditional gzip GET = %d, want 200", resp3.StatusCode)
+	}
+	if resp3.Header.Get("ETag") == etag {
+		t.Error("ETag unchanged across a write")
+	}
+	if bytes.Equal(gz3, gz1) {
+		t.Error("gzip entity unchanged across a write")
 	}
 }
 

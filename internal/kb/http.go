@@ -290,7 +290,7 @@ func Register(mux *http.ServeMux, src SnapshotSource, opts RouteOptions) *RouteT
 				}
 				return encodeJSON(out)
 			}).([]byte)
-			WriteSnapshotRaw(w, r, sn, body)
+			WriteSnapshotRaw(w, r, sn, "kb.summary.json", body)
 		})
 	handle("GET /api/v1/profiles", "/api/v1/profiles",
 		"batch profile list; bare array, or the paginated envelope with limit/cursor", CacheSnapshot, listParamInfo(),

@@ -112,6 +112,30 @@ func (h *Histogram) Add(x float64) {
 	h.n++
 }
 
+// ObserveAll counts a whole float32 column in one bulk pass — the
+// columnar fold entry point. Each element lands in exactly the bin Add
+// would have chosen for its float64 widening (the conversion is exact), so
+// a bulk fold is bit-identical to sample-at-a-time adds; only the loop
+// overhead and the per-call bounds checks are amortized.
+func (h *Histogram) ObserveAll(xs []float32) {
+	counts := h.counts
+	// The bin expression must stay exactly Add's — a pre-divided scale
+	// factor rounds differently in the last ulp and can flip a boundary
+	// sample into the neighboring bin, breaking bit-exactness.
+	bins, lo, hi := float64(len(counts)), h.Lo, h.Hi
+	for _, x := range xs {
+		i := int(bins * (float64(x) - lo) / (hi - lo))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(counts) {
+			i = len(counts) - 1
+		}
+		counts[i]++
+	}
+	h.n += int64(len(xs))
+}
+
 // Count returns the number of samples observed.
 func (h *Histogram) Count() int64 { return h.n }
 
@@ -309,6 +333,22 @@ func (a *AutoCorr) Retained(buf []float64) []float64 {
 	}
 	for i := n - a.maxLag; i < n; i++ {
 		buf = append(buf, float64(a.ring[i%a.maxLag]))
+	}
+	return buf
+}
+
+// RetainedRaw is Retained without the float64 widening: the most recent
+// min(N, maxLag) samples, oldest first, appended to buf in the ring's
+// native float32. The columnar fold path hands the result straight to
+// Histogram.ObserveAll; a caller needing the float64 view converts per
+// element, which is exact.
+func (a *AutoCorr) RetainedRaw(buf []float32) []float32 {
+	n := int(a.w.Count())
+	if n <= len(a.ring) {
+		return append(buf, a.ring[:n]...)
+	}
+	for i := n - a.maxLag; i < n; i++ {
+		buf = append(buf, a.ring[i%a.maxLag])
 	}
 	return buf
 }

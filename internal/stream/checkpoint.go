@@ -32,8 +32,10 @@ const (
 	// payload. v2 added per-accumulator GapSteps, which a resumed GapSkip
 	// run needs to flush qualification aggregates at the right steps; v3
 	// records the shard count and one snapshot per shard, so a sharded
-	// pipeline resumes each shard's ring and accumulators independently.
-	CheckpointVersion = 3
+	// pipeline resumes each shard's ring and accumulators independently;
+	// v4 stores pending reorder slots in the columnar layout the hot path
+	// carries them in (VM/CPU columns plus row-form extras).
+	CheckpointVersion = 4
 )
 
 // preamble is decoded alone before the payload so mismatches fail fast and
@@ -107,10 +109,15 @@ type cloudStateState struct {
 	VMsSeen int64
 }
 
-// slotState is one pending reorder slot (delivered but not yet folded).
+// slotState is one pending reorder slot (delivered but not yet folded),
+// serialized in the hot path's columnar layout: VM[i]'s reading at the
+// slot's step is CPU[i], and Extras carries the row-form samples folded
+// after the columns (strays re-ordered into the slot).
 type slotState struct {
 	Step    int
-	Samples []Sample
+	VM      []int32
+	CPU     []float32
+	Extras  []Sample
 	Deleted []int32
 }
 
@@ -255,7 +262,9 @@ func (ing *Ingestor) checkpointLocked() *ShardCheckpoint {
 		}
 		ck.Slots = append(ck.Slots, slotState{
 			Step:    slot.step,
-			Samples: append([]Sample(nil), slot.samples...),
+			VM:      append([]int32(nil), slot.vm...),
+			CPU:     append([]float32(nil), slot.cpu...),
+			Extras:  append([]Sample(nil), slot.extras...),
 			Deleted: append([]int32(nil), slot.deleted...),
 		})
 	}
@@ -435,7 +444,18 @@ func (ck *ShardCheckpoint) validate(tr *trace.Trace) error {
 		if st.Step <= ck.Watermark || st.Step > ck.Watermark+ringLen {
 			return fmt.Errorf("stream: checkpoint slot step %d outside (%d, %d]", st.Step, ck.Watermark, ck.Watermark+ringLen)
 		}
-		for _, s := range st.Samples {
+		if len(st.VM) != len(st.CPU) {
+			return fmt.Errorf("stream: checkpoint slot %d carries %d VM ids against %d readings", st.Step, len(st.VM), len(st.CPU))
+		}
+		for i, vm := range st.VM {
+			if int(vm) < 0 || int(vm) >= len(tr.VMs) {
+				return fmt.Errorf("stream: checkpoint slot %d buffers sample for VM %d outside trace", st.Step, vm)
+			}
+			if c := st.CPU[i]; !(c >= 0 && c <= 1) { // also rejects NaN
+				return fmt.Errorf("stream: checkpoint slot %d buffers out-of-domain reading %v for VM %d", st.Step, c, vm)
+			}
+		}
+		for _, s := range st.Extras {
 			if int(s.VM) < 0 || int(s.VM) >= len(tr.VMs) {
 				return fmt.Errorf("stream: checkpoint slot %d buffers sample for VM %d outside trace", st.Step, s.VM)
 			}
@@ -580,7 +600,12 @@ func restoreShard(tr *trace.Trace, opts Options, ck *ShardCheckpoint, met *inges
 		slot := &ing.slots[st.Step%len(ing.slots)]
 		slot.valid = true
 		slot.step = st.Step
-		slot.samples = st.Samples
+		// Restored columns did not come from a pool; owned stays false so
+		// the fold lets them go to the garbage collector.
+		slot.owned = false
+		slot.vm = st.VM
+		slot.cpu = st.CPU
+		slot.extras = st.Extras
 		slot.deleted = st.Deleted
 	}
 	for _, st := range ck.Subs {

@@ -140,7 +140,7 @@ func TestRestoreRejectsOutOfRangeSlotVM(t *testing.T) {
 	if len(sc.Slots) == 0 {
 		t.Fatal("fixture checkpoint has no pending slots")
 	}
-	sc.Slots[0].Samples = append(sc.Slots[0].Samples, sampleAt(99, sc.Slots[0].Step, 0.5))
+	sc.Slots[0].Extras = append(sc.Slots[0].Extras, sampleAt(99, sc.Slots[0].Step, 0.5))
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted a slot sample for VM 99 of 2")
 	}
@@ -155,7 +155,7 @@ func TestRestoreRejectsPoisonedSlotReading(t *testing.T) {
 	if len(sc.Slots) == 0 {
 		t.Fatal("fixture checkpoint has no pending slots")
 	}
-	sc.Slots[0].Samples = append(sc.Slots[0].Samples, sampleAt(0, sc.Slots[0].Step, math.NaN()))
+	sc.Slots[0].Extras = append(sc.Slots[0].Extras, sampleAt(0, sc.Slots[0].Step, math.NaN()))
 	if _, err := RestoreIngestor(microTrace(), Options{}, ck); err == nil {
 		t.Fatal("RestoreIngestor accepted a NaN reading in a pending slot")
 	}

@@ -19,7 +19,7 @@ func ringScript() []StepBatch {
 		batchOf(2),                      // empty batch only advances the watermark
 		// Steps 2's readings surface late (lateness 1 <= 2) together with
 		// step 3's, and VM 1 dies at step 3 — all of it in flight at once.
-		{Step: 3, Samples: []Sample{
+		{Step: 3, Late: []Sample{
 			sampleAt(0, 2, 0.6), sampleAt(1, 2, 0.4), sampleAt(0, 3, 0.7),
 		}, Deleted: []int32{1}},
 		batchOf(4, sampleAt(0, 4, 0.8), sampleAt(0, 4, 0.8)), // exact duplicate
@@ -118,9 +118,14 @@ func TestKillResumeMidFlightRingAllPolicies(t *testing.T) {
 				}
 				// Folded slots keep empty (non-nil) buffers for reuse while a
 				// decoded checkpoint yields nil ones; only the contents matter.
-				samplesEq := len(ks.samples) == len(rs.samples) && (len(ks.samples) == 0 || reflect.DeepEqual(ks.samples, rs.samples))
-				deletedEq := len(ks.deleted) == len(rs.deleted) && (len(ks.deleted) == 0 || reflect.DeepEqual(ks.deleted, rs.deleted))
-				if ks.valid && (!samplesEq || !deletedEq) {
+				eqSlice := func(a, b interface{}, la, lb int) bool {
+					return la == lb && (la == 0 || reflect.DeepEqual(a, b))
+				}
+				colsEq := eqSlice(ks.vm, rs.vm, len(ks.vm), len(rs.vm)) &&
+					eqSlice(ks.cpu, rs.cpu, len(ks.cpu), len(rs.cpu))
+				extrasEq := eqSlice(ks.extras, rs.extras, len(ks.extras), len(rs.extras))
+				deletedEq := eqSlice(ks.deleted, rs.deleted, len(ks.deleted), len(rs.deleted))
+				if ks.valid && (!colsEq || !extrasEq || !deletedEq) {
 					t.Errorf("%v kill %d: ring slot %d contents diverged", policy, kill, i)
 				}
 			}

@@ -35,8 +35,12 @@ func sampleAt(vm, step int, cpu float64) Sample {
 	return Sample{VM: int32(vm), Step: int32(step), CPU: cpu}
 }
 
+// batchOf hand-feeds row-form samples through the Late rows: each sample
+// carries its own step (on-time or delayed), keeping the exact float64
+// readings these semantic tests assert on. The columnar fast path is
+// covered by the replayer-driven tests and TestColumnarBatchPath.
 func batchOf(step int, samples ...Sample) StepBatch {
-	return StepBatch{Step: step, Samples: samples}
+	return StepBatch{Step: step, Late: samples}
 }
 
 // TestIngestorFaultLedger walks every quarantine and repair path through
@@ -92,7 +96,7 @@ func TestIngestorRefusesPostRetirementSamples(t *testing.T) {
 	for s := 0; s < 3; s++ {
 		ing.ObserveBatch(batchOf(s, sampleAt(0, s, 0.5), sampleAt(1, s, 0.5)))
 	}
-	ing.ObserveBatch(StepBatch{Step: 3, Samples: []Sample{sampleAt(0, 3, 0.5)}, Deleted: []int32{1}})
+	ing.ObserveBatch(StepBatch{Step: 3, Late: []Sample{sampleAt(0, 3, 0.5)}, Deleted: []int32{1}})
 	// VM 1 is retired once slot 3 folds; a step-4 reading for it afterwards
 	// must be refused, not re-tracked.
 	for s := 4; s < 8; s++ {

@@ -148,17 +148,25 @@ type cloudState struct {
 }
 
 // reorderSlot buffers one grid step's telemetry until the watermark proves
-// no more samples for the step can arrive. Samples land here at delivery
-// (copied out of the recyclable batch buffer) and fold in step order; the
-// step's lifecycle deletions queue behind its samples so a delayed reading
-// is never discarded by its own VM's retirement.
+// no more samples for the step can arrive. The common all-on-time batch
+// parks here zero-copy — its columns are stolen from the delivered batch
+// and recycled at fold — and folds in step order; the step's lifecycle
+// deletions queue behind its samples so a delayed reading is never
+// discarded by its own VM's retirement.
 type reorderSlot struct {
 	step  int
 	valid bool
-	// owned marks a samples buffer stolen from a delivered batch; fold
-	// recycles it back to the source instead of letting it escape.
-	owned   bool
-	samples []Sample
+	// owned marks columns stolen from a delivered batch; fold recycles
+	// them back to the source instead of letting them escape.
+	owned bool
+	// vm and cpu are the step's sample columns (cpu parallel to vm).
+	vm  []int32
+	cpu []float32
+	// extras holds row-form samples that joined the step out of band:
+	// reordered strays delivered in later batches, plus — defensively —
+	// the columns of a duplicate batch step, materialized as rows behind
+	// whatever already waits so fold order always equals arrival order.
+	extras  []Sample
 	deleted []int32
 }
 
@@ -222,8 +230,8 @@ type Ingestor struct {
 	accs     []*vmAcc
 	retired  []bool
 	clouds   map[core.Cloud]*cloudState
-	flushBuf []float64
-	recycle  func([]Sample)
+	flushBuf []float32
+	recycle  func(StepBatch)
 
 	// watermark is the newest step already folded; slots hold the steps
 	// still in flight, indexed by step modulo len(slots).
@@ -236,6 +244,16 @@ type Ingestor struct {
 	stepsIngested   atomic.Int64
 	foldCount       atomic.Int64
 	done            atomic.Bool
+
+	// Columnar-batch vitals (GET /api/v1/live/ingest): how many owned
+	// column sets folded, how many samples they carried, and the fill
+	// ratio of their backing arrays (len over cap at fold — low fill means
+	// the pool's buffers are sized for a larger active set than the
+	// current one).
+	colBatchesFolded atomic.Int64
+	colSamplesFolded atomic.Int64
+	colLenSum        atomic.Int64
+	colCapSum        atomic.Int64
 }
 
 // NewIngestor returns an empty ingestor for the trace's universe.
@@ -282,48 +300,83 @@ func newIngestorWith(tr *trace.Trace, opts Options, met *ingestMetrics, selfFold
 // profiles are refreshed in place at every fold.
 func (ing *Ingestor) KB() *kb.Store { return ing.store }
 
-// ObserveBatch accepts one delivered batch: every sample is validated and
-// buffered in the reorder ring under its own Step, the batch's lifecycle
-// deletions queue behind that step's samples, and the watermark advances to
-// b.Step - MaxLatenessSteps, folding every step it passes in order. Batch
-// Steps must be non-decreasing; sample Steps may lag within the lateness
-// bound.
+// ObserveBatch accepts one delivered batch: the sample columns are
+// corrupt-filtered in place with one branch-light pass over the contiguous
+// float32 column and parked in the reorder ring under the batch's step
+// (zero-copy — the columns are stolen), row-form Late samples are buffered
+// under their own Step, the batch's lifecycle deletions queue behind that
+// step's samples, and the watermark advances to b.Step - MaxLatenessSteps,
+// folding every step it passes in order. Batch Steps must be
+// non-decreasing; Late sample Steps may lag within the lateness bound.
 //
-// The ingestor takes ownership of b.Samples (the common all-on-time batch
-// is buffered zero-copy by stealing it) and hands it back through the
-// recycler once folded; the caller must not Recycle or retain it.
+// The ingestor takes ownership of b.VM and b.CPU and hands them back
+// through the recycler once their slot folds; b.Late is consumed
+// synchronously and recycled before ObserveBatch returns. The caller must
+// not Recycle or retain any of them.
 func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	ing.mu.Lock()
 	// A batch-step jump (or a source that skips steps entirely) may leave
 	// slots the ring is about to need; retire them first so every slot in
 	// (b.Step - len(slots), b.Step] is free or current.
 	ing.advanceLocked(b.Step - len(ing.slots))
-	nSamples := len(b.Samples)
-	kept := b.Samples[:0]
-	for _, s := range b.Samples {
-		if !(s.CPU >= 0 && s.CPU <= 1) { // comparisons are false for NaN
+	nSamples := b.NumSamples()
+	// Compact the columns over the quarantine filter in place: the
+	// re-slicing below lets the compiler hoist both bounds checks, so the
+	// clean-path cost is one float32 compare per sample on a contiguous
+	// column.
+	vm := b.VM
+	cpu := b.CPU[:len(vm)]
+	w := 0
+	for i, c := range cpu {
+		if !(c >= 0 && c <= 1) { // comparisons are false for NaN
+			ing.faults.QuarantinedCorrupt++
+			ing.met.quarantinedCorrupt.Inc()
+			continue
+		}
+		vm[w] = vm[i]
+		cpu[w] = c
+		w++
+	}
+	if len(b.VM) > 0 {
+		slot := ing.slotFor(b.Step)
+		switch {
+		case len(slot.extras) > 0:
+			// Strays (or a previous duplicate batch) already wait in row
+			// form; materialize these columns behind them so fold order
+			// stays arrival order, and free the delivered columns.
+			for i := 0; i < w; i++ {
+				slot.extras = append(slot.extras, Sample{VM: vm[i], Step: int32(b.Step), CPU: float64(cpu[i])})
+			}
+			ing.recycleBatch(StepBatch{VM: b.VM, CPU: b.CPU})
+		case slot.vm != nil:
+			// A duplicate batch step with columns already parked: append
+			// and free the delivered columns.
+			slot.vm = append(slot.vm, vm[:w]...)
+			slot.cpu = append(slot.cpu, cpu[:w]...)
+			ing.recycleBatch(StepBatch{VM: b.VM, CPU: b.CPU})
+		default:
+			// The common case: steal the delivered columns zero-copy. The
+			// full backing arrays are retained (not the compacted prefix)
+			// so fold recycles the source's original buffers.
+			slot.vm = b.VM[:w]
+			slot.cpu = b.CPU[:w]
+			slot.owned = true
+		}
+	}
+	for _, s := range b.Late {
+		if !(s.CPU >= 0 && s.CPU <= 1) {
 			ing.faults.QuarantinedCorrupt++
 			ing.met.quarantinedCorrupt.Inc()
 			continue
 		}
 		if int(s.Step) == b.Step {
-			kept = append(kept, s)
+			// Row-form but on time; join the batch step's slot behind its
+			// columns — still arrival order — without counting as
+			// reordered.
+			ing.slotFor(b.Step).extras = append(ing.slotFor(b.Step).extras, s)
 			continue
 		}
 		ing.placeLocked(b.Step, s)
-	}
-	if nSamples > 0 {
-		slot := ing.slotFor(b.Step)
-		if slot.samples == nil {
-			slot.samples = kept
-			slot.owned = true
-		} else {
-			// The slot already buffers delayed strays for this step (a
-			// source replaying a duplicate batch step); keep its buffer
-			// and free the delivered one.
-			slot.samples = append(slot.samples, kept...)
-			ing.recycleBuf(b.Samples)
-		}
 	}
 	if len(b.Deleted) > 0 {
 		slot := ing.slotFor(b.Step)
@@ -333,6 +386,9 @@ func (ing *Ingestor) ObserveBatch(b StepBatch) {
 	lag := b.Step - ing.watermark
 	ing.mu.Unlock()
 
+	if len(b.Late) > 0 {
+		ing.recycleBatch(StepBatch{Late: b.Late})
+	}
 	ing.lastStep.Store(int64(b.Step))
 	ing.met.watermarkLag.SetInt(lag)
 	if b.Step < ing.tr.Grid.N {
@@ -357,20 +413,20 @@ func (ing *Ingestor) placeLocked(batchStep int, s Sample) {
 	ing.faults.Reordered++
 	ing.met.reordered.Inc()
 	slot := ing.slotFor(step)
-	slot.samples = append(slot.samples, s)
+	slot.extras = append(slot.extras, s)
 }
 
-// recycleBuf returns a spent sample buffer to the source's free list.
-func (ing *Ingestor) recycleBuf(buf []Sample) {
-	if ing.recycle != nil && buf != nil {
-		ing.recycle(buf)
+// recycleBatch returns spent batch buffers to the source's free lists.
+func (ing *Ingestor) recycleBatch(b StepBatch) {
+	if ing.recycle != nil {
+		ing.recycle(b)
 	}
 }
 
-// SetRecycler registers the function spent sample buffers are handed back
+// SetRecycler registers the function spent batch buffers are handed back
 // through once their slot folds (the pipeline points it at the source's
-// free list). It must be called before ingestion starts.
-func (ing *Ingestor) SetRecycler(f func([]Sample)) { ing.recycle = f }
+// free lists). It must be called before ingestion starts.
+func (ing *Ingestor) SetRecycler(f func(StepBatch)) { ing.recycle = f }
 
 // slotFor returns the ring slot owning a step in (watermark, watermark +
 // len(slots)], initializing it on first touch. Callers guarantee the range
@@ -403,21 +459,35 @@ func (ing *Ingestor) advanceLocked(target int) {
 	}
 }
 
-// foldSlotLocked folds one ready slot: its samples in delivery order, then
-// its lifecycle deletions, then the slot resets for reuse (buffers kept).
+// foldSlotLocked folds one ready slot: its sample columns in delivery
+// order (one pass over the contiguous float32 column, bounds checks
+// hoisted by the re-slice), then its row-form extras, then its lifecycle
+// deletions, then the slot resets for reuse (buffers kept, stolen columns
+// recycled to the source).
 func (ing *Ingestor) foldSlotLocked(slot *reorderSlot) {
-	for _, s := range slot.samples {
+	vm := slot.vm
+	cpu := slot.cpu[:len(vm)]
+	for i, idx := range vm {
+		ing.ingestLocked(idx, slot.step, float64(cpu[i]))
+	}
+	for _, s := range slot.extras {
 		ing.ingestLocked(s.VM, slot.step, s.CPU)
 	}
 	for _, idx := range slot.deleted {
 		ing.retire(idx)
 	}
 	if slot.owned {
-		ing.recycleBuf(slot.samples)
+		ing.colBatchesFolded.Add(1)
+		ing.colSamplesFolded.Add(int64(len(slot.vm)))
+		ing.colLenSum.Add(int64(len(slot.vm)))
+		ing.colCapSum.Add(int64(cap(slot.vm)))
+		ing.recycleBatch(StepBatch{VM: slot.vm, CPU: slot.cpu})
 	}
 	slot.valid = false
 	slot.owned = false
-	slot.samples = nil
+	slot.vm = nil
+	slot.cpu = nil
+	slot.extras = slot.extras[:0]
 	slot.deleted = slot.deleted[:0]
 }
 
@@ -481,6 +551,62 @@ func (ing *Ingestor) applySample(acc *vmAcc, step int, cpu float64) {
 		acc.sub.snapshotVMs++
 		acc.sub.snapshotCores += acc.v.Size.Cores
 	}
+}
+
+// IngestVital is one ingestion shard's columnar-batch vitals, served by
+// GET /api/v1/live/ingest: how many owned column sets folded and how many
+// samples they carried, the mean fill ratio of their backing arrays, the
+// reorder ring's occupancy, and — filled in by the pipeline or shard
+// router — the column pool's allocation ledger.
+type IngestVital struct {
+	Shard int `json:"shard"`
+	// BatchesFolded counts owned column sets recycled at fold.
+	BatchesFolded int64 `json:"batchesFolded"`
+	// ColumnSamples counts the samples those columns carried.
+	ColumnSamples int64 `json:"columnSamples"`
+	// FillRatio is mean(len/cap) of folded columns: low fill means the
+	// pool's buffers are sized for a larger active set than the current
+	// one.
+	FillRatio float64 `json:"fillRatio"`
+	// RingOccupancy and RingSlots describe the reorder ring: slots holding
+	// buffered steps versus its capacity (MaxLatenessSteps + 1).
+	RingOccupancy int `json:"ringOccupancy"`
+	RingSlots     int `json:"ringSlots"`
+	// Watermark is the newest step already folded.
+	Watermark int `json:"watermark"`
+	// Pool is the column free-list ledger of this shard's feed.
+	Pool ColPoolStats `json:"pool"`
+}
+
+// ingestVital assembles this ingestor's vitals; the pool ledger is the
+// caller's to attach (it lives with whoever owns the free list).
+func (ing *Ingestor) ingestVital() IngestVital {
+	ing.mu.RLock()
+	occ := 0
+	for i := range ing.slots {
+		if ing.slots[i].valid {
+			occ++
+		}
+	}
+	wm := ing.watermark
+	ing.mu.RUnlock()
+	v := IngestVital{
+		Shard:         ing.shard,
+		BatchesFolded: ing.colBatchesFolded.Load(),
+		ColumnSamples: ing.colSamplesFolded.Load(),
+		RingOccupancy: occ,
+		RingSlots:     len(ing.slots),
+		Watermark:     wm,
+	}
+	if capSum := ing.colCapSum.Load(); capSum > 0 {
+		v.FillRatio = float64(ing.colLenSum.Load()) / float64(capSum)
+	}
+	return v
+}
+
+// IngestVitals implements Engine: a single-ingestor pipeline is one shard.
+func (ing *Ingestor) IngestVitals() []IngestVital {
+	return []IngestVital{ing.ingestVital()}
 }
 
 // FaultStats returns the ledger of input imperfections observed so far.
@@ -604,7 +730,7 @@ func (ing *Ingestor) observe(acc *vmAcc, step int, cpu float64) {
 // that only profiled VMs contribute to.
 func (ing *Ingestor) qualify(acc *vmAcc) {
 	acc.qualified = true
-	vals := acc.ac.Retained(ing.flushBuf[:0])
+	vals := acc.ac.RetainedRaw(ing.flushBuf[:0])
 	g := ing.tr.Grid
 	cs := ing.clouds[acc.v.Cloud]
 	// Under GapSkip the ring is compacted: the i-th retained sample is not
@@ -615,21 +741,25 @@ func (ing *Ingestor) qualify(acc *vmAcc) {
 	// region-agnosticism drift on drop+skip trials).
 	step := acc.from
 	gi := 0
-	for _, x := range vals {
+	for _, raw := range vals {
 		for gi < len(acc.gapSteps) && int(acc.gapSteps[gi]) == step {
 			step++
 			gi++
 		}
+		x := float64(raw)
 		h := g.HourOf(step) % 24
 		acc.hourly[h] += x
 		acc.hourlyN[h]++
-		acc.sub.util.Add(x)
-		cs.util.Add(x)
 		if step%ing.stepsPerHour == 0 {
 			acc.sub.addRegionHour(ing.keys.RegionOf[acc.idx], g.HourOf(step), x, g.Hours())
 		}
 		step++
 	}
+	// Histogram folds are pure bin counts, so the whole retained series
+	// lands in the subscription and cloud sketches as two bulk column
+	// passes — bit-identical to sample-at-a-time adds, order-free.
+	acc.sub.util.ObserveAll(vals)
+	cs.util.ObserveAll(vals)
 	acc.gapSteps = nil
 	ing.flushBuf = vals[:0]
 }

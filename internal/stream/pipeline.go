@@ -17,11 +17,13 @@ import (
 // pipeline, the HTTP server, and the differential gauntlet drive either
 // interchangeably.
 type Engine interface {
-	// SetRecycler registers where spent sample buffers are returned once
-	// folded. It must be called before ingestion starts.
-	SetRecycler(func([]Sample))
+	// SetRecycler registers where spent batch buffers (sample columns,
+	// Late rows) are returned once folded. It must be called before
+	// ingestion starts. The engine may recycle one delivered batch's
+	// buffers across several calls with the unrelated fields zeroed.
+	SetRecycler(func(StepBatch))
 	// ObserveBatch accepts one delivered batch; the engine takes ownership
-	// of b.Samples.
+	// of its VM/CPU columns and Late rows.
 	ObserveBatch(b StepBatch)
 	// Finish drains in-flight state and publishes the final fold.
 	Finish()
@@ -47,6 +49,11 @@ type Engine interface {
 	Progress() Progress
 	// ShardVitals reports per-shard progress, nil for a single ingestor.
 	ShardVitals() []ShardVital
+	// IngestVitals reports per-shard columnar-batch vitals (one entry for
+	// a single ingestor). Pool ledgers are attached by whoever owns the
+	// column free lists: the shard router for sharded engines, the
+	// pipeline for a lone ingestor fed straight from a source.
+	IngestVitals() []IngestVital
 }
 
 // NewEngine builds the ingestion engine the options call for: a lone
@@ -150,9 +157,9 @@ func (p *Pipeline) Start(ctx context.Context) {
 	p.startedAt = time.Now()
 	ctx, p.cancel = context.WithCancel(ctx)
 
-	// The engine owns delivered sample buffers until their reorder slot
-	// folds, then hands them back to the source's free list.
-	p.eng.SetRecycler(func(buf []Sample) { p.src.Recycle(StepBatch{Samples: buf}) })
+	// The engine owns delivered batch buffers until their reorder slot
+	// folds, then hands them back to the source's free lists.
+	p.eng.SetRecycler(p.src.Recycle)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- p.src.Run(ctx) }()
@@ -263,6 +270,28 @@ func (p *Pipeline) KB() *kb.Store { return p.eng.KB() }
 // ShardVitals reports per-shard progress and fault ledgers; nil when the
 // pipeline runs a single ingestor.
 func (p *Pipeline) ShardVitals() []ShardVital { return p.eng.ShardVitals() }
+
+// PoolStatser is a source that can report its column free-list ledger.
+// The Replayer implements it; decorators (the fault injector) forward it.
+type PoolStatser interface {
+	PoolStats() ColPoolStats
+}
+
+// IngestVitals reports per-shard columnar-batch vitals. A sharded engine
+// attaches its per-shard pool ledgers itself; for a lone ingestor the
+// column pool lives with the source, so the pipeline attaches the
+// source's ledger here when the source exposes one.
+func (p *Pipeline) IngestVitals() []IngestVital {
+	vitals := p.eng.IngestVitals()
+	if p.opts.Shards <= 1 {
+		if ps, ok := p.src.(PoolStatser); ok {
+			for i := range vitals {
+				vitals[i].Pool = ps.PoolStats()
+			}
+		}
+	}
+	return vitals
+}
 
 // Engine exposes the underlying ingestion engine.
 func (p *Pipeline) Engine() Engine { return p.eng }

@@ -13,6 +13,11 @@
 // with per-step sample synthesis fanned out over the internal/parallel
 // worker pool. Pipeline wires both ends together and exposes race-free
 // status, summary, and live-profile snapshots while ingestion runs.
+//
+// Batches are columnar (DESIGN.md §14): one dense int32 slice of VM ids
+// and one dense float32 slice of utilization readings per step, with the
+// step implied by the batch, so the ingestion inner loops walk contiguous
+// cache lines instead of per-sample structs.
 package stream
 
 import (
@@ -26,15 +31,18 @@ import (
 	"cloudlens/internal/trace"
 )
 
-// Sample is one VM's five-minute CPU-utilization report.
+// Sample is one VM's five-minute CPU-utilization report in row form. The
+// hot path carries samples as columns (StepBatch.VM / StepBatch.CPU, step
+// implied); the row form survives for the rare out-of-band cases — delayed
+// samples re-emitted by a faulty collector (StepBatch.Late) and reorder-
+// ring strays — where a sample needs to carry its own step.
 type Sample struct {
 	// VM indexes the trace's VMs slice; the ingestor resolves metadata
 	// (subscription, cloud, region, size) through it.
 	VM int32
-	// Step is the grid step the reading was taken at. In a clean replay it
-	// equals the carrying batch's Step; a faulty collector may deliver the
-	// sample late, in a batch whose Step is larger. The ingestor orders
-	// samples by this field, not by arrival.
+	// Step is the grid step the reading was taken at. A faulty collector
+	// may deliver the sample late, in a batch whose Step is larger. The
+	// ingestor orders samples by this field, not by arrival.
 	Step int32
 	// CPU is the utilization fraction at the step.
 	CPU float64
@@ -43,8 +51,8 @@ type Sample struct {
 // Source is anything that produces the ordered StepBatch feed the ingestor
 // consumes: the trace Replayer, or a wrapper around it (such as the fault
 // injector in internal/faultgen) that perturbs the batches in flight. Batch
-// Steps must be non-decreasing; individual samples inside a batch may carry
-// earlier Steps, bounded by Options.MaxLatenessSteps.
+// Steps must be non-decreasing; samples in the Late rows may carry earlier
+// Steps, bounded by Options.MaxLatenessSteps.
 type Source interface {
 	// Run produces batches until the window is exhausted or ctx is
 	// cancelled, then closes the Events channel. It must be called at most
@@ -53,27 +61,44 @@ type Source interface {
 	// Events returns the batch channel consumers range over.
 	Events() <-chan StepBatch
 	// Recycle hands a delivered batch's buffers back to the source. The
-	// caller must not retain the batch's slices afterwards.
+	// caller must not retain any of the batch's slices afterwards. Partial
+	// recycling is allowed: a consumer may return the columns of one batch
+	// and the Late rows of another in separate calls, zero-valued fields
+	// meaning "nothing of that kind".
 	Recycle(StepBatch)
 }
 
-// StepBatch carries everything the platform emits for one grid step: a
-// utilization sample for every running VM plus the control-plane lifecycle
-// events (creations and deletions) that fell on the step. The paper's
-// dataset pairs exactly these two feeds — a utilization reading table and a
-// VM event table. After the final sampling step the replayer emits one
+// StepBatch carries everything the platform emits for one grid step in
+// columnar (SoA) layout: a utilization sample for every running VM — split
+// into a dense VM-id column and a dense float32 CPU column, the step
+// implied by the batch — plus the control-plane lifecycle events
+// (creations and deletions) that fell on the step. The paper's dataset
+// pairs exactly these two feeds — a utilization reading table and a VM
+// event table. After the final sampling step the replayer emits one
 // trailing batch at Step == Grid.N carrying the deletions that close the
 // observation window.
 type StepBatch struct {
-	Step    int
-	Samples []Sample
+	Step int
+	// VM and CPU are the sample columns: VM[i]'s utilization at this
+	// batch's step is CPU[i]. len(VM) == len(CPU) always.
+	VM  []int32
+	CPU []float32
+	// Late carries row-form samples whose Step differs from the batch's —
+	// a faulty collector re-delivering delayed readings. Empty on a clean
+	// replay.
+	Late []Sample
 	// Created lists VMs whose creation event falls on this step. VMs that
-	// predate the observation window appear in Samples from step 0 without
-	// a creation event, mirroring the paper's unknown-start records.
+	// predate the observation window appear in the columns from step 0
+	// without a creation event, mirroring the paper's unknown-start
+	// records.
 	Created []int32
 	// Deleted lists VMs whose exclusive end step is this step.
 	Deleted []int32
 }
+
+// NumSamples returns the number of utilization readings the batch carries
+// across both the columns and the Late rows.
+func (b StepBatch) NumSamples() int { return len(b.VM) + len(b.Late) }
 
 // Options tunes the streaming pipeline.
 type Options struct {
@@ -240,17 +265,119 @@ func ParseGapPolicy(s string) (GapPolicy, error) {
 	return GapCarry, fmt.Errorf("stream: unknown gap policy %q (want carry, skip, or interpolate)", s)
 }
 
-// Replayer walks a trace in simulated time and emits one StepBatch per grid
-// step through a bounded channel. Sample synthesis for a step fans out over
-// the worker pool; pacing (when Speedup > 0) sleeps between steps so the
-// emission rate matches the configured time compression.
+// ColPoolStats is a column pool's allocation ledger, surfaced per shard at
+// GET /api/v1/live/ingest. Steady state on a healthy replay is Allocated
+// frozen at warm-up while Reused and Returned climb — a growing Allocated
+// means the pool is being outsized (active set still growing) and a
+// growing Dropped means buffers are leaking past the pool's bound.
+type ColPoolStats struct {
+	// Allocated counts fresh column pairs created because the free list
+	// was empty or its buffers were too small.
+	Allocated int64 `json:"allocated"`
+	// Reused counts column pairs served from the free list.
+	Reused int64 `json:"reused"`
+	// Returned counts column pairs accepted back into the free list.
+	Returned int64 `json:"returned"`
+	// Dropped counts column pairs discarded because the free list was
+	// full (bounded, so a slow consumer cannot grow it) or under-sized
+	// buffers evicted to make room for right-sized ones.
+	Dropped int64 `json:"dropped"`
+}
+
+// colPair is one recyclable column set: parallel VM-id and CPU slices.
+type colPair struct {
+	vm  []int32
+	cpu []float32
+}
+
+// colPool recycles column pairs through a bounded free list with an
+// allocation ledger. The bound covers every buffer that can be in flight
+// at once between a producer and the ingestor: the event channel (Buffer
+// batches), the consumer's reorder ring (which holds each stolen column
+// pair for up to MaxLatenessSteps+1 steps before the fold recycles it),
+// and one batch being synthesized — Buffer + MaxLatenessSteps + 2 total.
+// get and put are safe for concurrent use.
+type colPool struct {
+	free chan colPair
+
+	allocated atomic.Int64
+	reused    atomic.Int64
+	returned  atomic.Int64
+	dropped   atomic.Int64
+}
+
+func newColPool(slots int) *colPool {
+	return &colPool{free: make(chan colPair, slots)}
+}
+
+// get returns a column pair of length n, reusing a recycled pair when one
+// with enough capacity is available. An under-sized pooled pair is
+// discarded (counted as Dropped) so the pool converges on the high-water
+// active-set size instead of cycling too-small buffers forever.
+func (p *colPool) get(n int) ([]int32, []float32) {
+	select {
+	case c := <-p.free:
+		if cap(c.vm) >= n && cap(c.cpu) >= n {
+			p.reused.Add(1)
+			return c.vm[:n], c.cpu[:n]
+		}
+		p.dropped.Add(1)
+	default:
+	}
+	p.allocated.Add(1)
+	return make([]int32, n), make([]float32, n)
+}
+
+// getEmpty returns a length-zero column pair for append-style filling (the
+// shard router's partitioning path), reusing a recycled pair when one is
+// available. Capacity is not checked: append regrows an under-sized pair
+// once, and the grown pair re-enters the pool, so the free list converges
+// on the partition high-water mark.
+func (p *colPool) getEmpty(hint int) ([]int32, []float32) {
+	select {
+	case c := <-p.free:
+		p.reused.Add(1)
+		return c.vm[:0], c.cpu[:0]
+	default:
+	}
+	p.allocated.Add(1)
+	return make([]int32, 0, hint), make([]float32, 0, hint)
+}
+
+// put accepts a column pair back. Pairs beyond the pool's bound are
+// dropped, keeping memory bounded regardless of consumer behavior.
+func (p *colPool) put(vm []int32, cpu []float32) {
+	if vm == nil && cpu == nil {
+		return
+	}
+	select {
+	case p.free <- colPair{vm: vm[:0], cpu: cpu[:0]}:
+		p.returned.Add(1)
+	default:
+		p.dropped.Add(1)
+	}
+}
+
+func (p *colPool) stats() ColPoolStats {
+	return ColPoolStats{
+		Allocated: p.allocated.Load(),
+		Reused:    p.reused.Load(),
+		Returned:  p.returned.Load(),
+		Dropped:   p.dropped.Load(),
+	}
+}
+
+// Replayer walks a trace in simulated time and emits one columnar StepBatch
+// per grid step through a bounded channel. Sample synthesis for a step fans
+// out over the worker pool; pacing (when Speedup > 0) sleeps between steps
+// so the emission rate matches the configured time compression.
 type Replayer struct {
 	tr   *trace.Trace
 	opts Options
 	ch   chan StepBatch
-	// free recycles delivered sample buffers back to the emitter so the
+	// pool recycles delivered column pairs back to the emitter so the
 	// steady-state hot path allocates nothing per step.
-	free chan []Sample
+	pool *colPool
 
 	stepsEmitted   atomic.Int64
 	samplesEmitted atomic.Int64
@@ -263,11 +390,12 @@ func NewReplayer(tr *trace.Trace, opts Options) *Replayer {
 	return &Replayer{
 		tr:   tr,
 		opts: opts,
-		// The free list covers every buffer that can be in flight at once:
-		// the channel, plus the consumer's reorder ring (which holds each
-		// buffer for MaxLatenessSteps extra steps before recycling).
 		ch:   make(chan StepBatch, opts.Buffer),
-		free: make(chan []Sample, opts.Buffer+opts.MaxLatenessSteps+2),
+		// The pool covers every column pair that can be in flight at once:
+		// the channel, plus the consumer's reorder ring (which holds each
+		// pair for up to MaxLatenessSteps extra steps before recycling),
+		// plus the pair being synthesized.
+		pool: newColPool(opts.Buffer + opts.MaxLatenessSteps + 2),
 	}
 }
 
@@ -275,17 +403,17 @@ func NewReplayer(tr *trace.Trace, opts Options) *Replayer {
 // or the context passed to Run is cancelled.
 func (r *Replayer) Events() <-chan StepBatch { return r.ch }
 
-// Recycle hands a delivered batch's sample buffer back to the replayer.
-// The caller must not retain the slice afterwards.
+// Recycle hands a delivered batch's columns back to the replayer. The
+// caller must not retain the batch's slices afterwards. Late rows never
+// originate here, so they are ignored; a decorator that synthesized them
+// (internal/faultgen) intercepts Recycle to reclaim them first.
 func (r *Replayer) Recycle(b StepBatch) {
-	if b.Samples == nil {
-		return
-	}
-	select {
-	case r.free <- b.Samples[:0]:
-	default:
-	}
+	r.pool.put(b.VM, b.CPU)
 }
+
+// PoolStats reports the column pool's allocation ledger — the vitals
+// behind the zero-steady-state-allocation contract of the hot path.
+func (r *Replayer) PoolStats() ColPoolStats { return r.pool.stats() }
 
 // StepsEmitted returns the number of sampling steps emitted so far.
 func (r *Replayer) StepsEmitted() int64 { return r.stepsEmitted.Load() }
@@ -379,20 +507,23 @@ func (r *Replayer) Run(ctx context.Context) error {
 			next++
 		}
 
-		samples := r.buffer(len(active))
+		// Synthesize the step's columns: the VM column is a straight copy
+		// of the active set, the CPU column a parallel float32 pass over
+		// the per-VM usage models.
+		vmCol, cpuCol := r.pool.get(len(active))
+		copy(vmCol, active)
 		parallel.ForEachChunk(len(active), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				idx := active[i]
-				samples[i] = Sample{VM: idx, Step: int32(s), CPU: vms[idx].Usage.At(g, s)}
+				cpuCol[i] = float32(vms[active[i]].Usage.At(g, s))
 			}
 		})
 
-		b := StepBatch{Step: s, Samples: samples, Created: createdAt[s], Deleted: deletedAt[s]}
+		b := StepBatch{Step: s, VM: vmCol, CPU: cpuCol, Created: createdAt[s], Deleted: deletedAt[s]}
 		if err := r.send(ctx, b); err != nil {
 			return err
 		}
 		r.stepsEmitted.Add(1)
-		r.samplesEmitted.Add(int64(len(samples)))
+		r.samplesEmitted.Add(int64(len(vmCol)))
 
 		if interval > 0 && s+1 < g.N {
 			due := wallStart.Add(time.Duration(s+1-start) * interval)
@@ -426,19 +557,6 @@ func (r *Replayer) send(ctx context.Context, b StepBatch) error {
 	}
 	mOccupancy.SetInt(len(r.ch))
 	return nil
-}
-
-// buffer returns a sample slice of length n, reusing a recycled buffer when
-// one is available.
-func (r *Replayer) buffer(n int) []Sample {
-	select {
-	case buf := <-r.free:
-		if cap(buf) >= n {
-			return buf[:n]
-		}
-	default:
-	}
-	return make([]Sample, n)
 }
 
 // sleepCtx sleeps for d or until the context is cancelled.

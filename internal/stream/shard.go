@@ -43,19 +43,24 @@ type shardGroup struct {
 	// FNV-1a(subscription) mod len(shards).
 	shardOfSub []int32
 
-	shards   []*Ingestor
-	chs      []chan shardMsg
-	frees    []chan []Sample
-	delFrees []chan []int32
-	wg       sync.WaitGroup
+	shards []*Ingestor
+	chs    []chan shardMsg
+	// pools recycle each shard's column pairs; lateFrees and delFrees do
+	// the same for the rare row-form Late and deletion buffers.
+	pools     []*colPool
+	lateFrees []chan []Sample
+	delFrees  []chan []int32
+	wg        sync.WaitGroup
 
 	// mu serializes the router-facing surface (ObserveBatch, merges,
 	// checkpoints, lifecycle); shard goroutines never take it.
 	mu      sync.Mutex
 	closed  bool
 	wm      int // fold-cadence watermark, mirroring the shards'
-	recycle func([]Sample)
-	bufs    [][]Sample
+	recycle func(StepBatch)
+	colVM   [][]int32
+	colCPU  [][]float32
+	lates   [][]Sample
 	dels    [][]int32
 
 	lastStep  atomic.Int64
@@ -105,13 +110,16 @@ func startShardGroup(tr *trace.Trace, opts Options, shards []*Ingestor, foldCoun
 		shardOfSub: make([]int32, len(keys.Subs)),
 		shards:     shards,
 		chs:        make([]chan shardMsg, n),
-		frees:      make([]chan []Sample, n),
+		pools:      make([]*colPool, n),
+		lateFrees:  make([]chan []Sample, n),
 		delFrees:   make([]chan []int32, n),
 		// Mirror the shards' fold watermark: StartStep-1 when fresh, the
 		// checkpointed watermark when restored — so post-resume merges land
 		// on exactly the boundaries the single ingestor would fold.
 		wm:         shards[0].watermark,
-		bufs:       make([][]Sample, n),
+		colVM:      make([][]int32, n),
+		colCPU:     make([][]float32, n),
+		lates:      make([][]Sample, n),
 		dels:       make([][]int32, n),
 		mShardStalls: make([]*obs.Counter, n),
 		mShardOcc:    make([]*obs.Gauge, n),
@@ -126,12 +134,17 @@ func startShardGroup(tr *trace.Trace, opts Options, shards []*Ingestor, foldCoun
 		g.chs[i] = make(chan shardMsg, opts.Buffer)
 		// Cover every buffer that can be in flight per shard: the channel
 		// plus the reorder ring's extra hold, mirroring the replayer pool.
-		g.frees[i] = make(chan []Sample, opts.Buffer+opts.MaxLatenessSteps+2)
-		g.delFrees[i] = make(chan []int32, opts.Buffer+opts.MaxLatenessSteps+2)
-		g.shards[i].SetRecycler(func(buf []Sample) {
-			select {
-			case g.frees[i] <- buf[:0]:
-			default:
+		slots := opts.Buffer + opts.MaxLatenessSteps + 2
+		g.pools[i] = newColPool(slots)
+		g.lateFrees[i] = make(chan []Sample, slots)
+		g.delFrees[i] = make(chan []int32, slots)
+		g.shards[i].SetRecycler(func(b StepBatch) {
+			g.pools[i].put(b.VM, b.CPU)
+			if b.Late != nil {
+				select {
+				case g.lateFrees[i] <- b.Late[:0]:
+				default:
+				}
 			}
 		})
 		g.mShardStalls[i] = obs.Default.Counter("cloudlens_stream_shard_stalls_total",
@@ -169,7 +182,7 @@ func (g *shardGroup) runShard(i int) {
 
 // SetRecycler implements Engine: routed source buffers are handed back as
 // soon as they are partitioned.
-func (g *shardGroup) SetRecycler(f func([]Sample)) {
+func (g *shardGroup) SetRecycler(f func(StepBatch)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.recycle = f
@@ -193,35 +206,48 @@ func (g *shardGroup) ObserveBatch(b StepBatch) {
 		return
 	}
 	n := len(g.shards)
-	if len(b.Samples) > 0 {
-		hint := len(b.Samples)/n + 8
-		for i := range g.bufs {
-			g.bufs[i] = g.sampleBuf(i, hint)
+	if len(b.VM) > 0 {
+		hint := len(b.VM)/n + 8
+		for i := 0; i < n; i++ {
+			g.colVM[i], g.colCPU[i] = g.pools[i].getEmpty(hint)
 		}
-		for _, s := range b.Samples {
-			sh := g.shardOfVM(s.VM)
-			g.bufs[sh] = append(g.bufs[sh], s)
-		}
-		// The source's buffer is fully copied out; recycle it immediately.
-		if g.recycle != nil {
-			g.recycle(b.Samples)
+		vm := b.VM
+		cpu := b.CPU[:len(vm)]
+		for i, v := range vm {
+			sh := g.shardOfVM(v)
+			g.colVM[sh] = append(g.colVM[sh], v)
+			g.colCPU[sh] = append(g.colCPU[sh], cpu[i])
 		}
 		// A shard whose partition came up empty still receives the batch
-		// step (for watermark lockstep) but no buffer; return its scratch
+		// step (for watermark lockstep) but no columns; return its scratch
 		// to the pool instead of letting it escape.
-		for i, buf := range g.bufs {
-			if len(buf) == 0 {
-				g.bufs[i] = nil
-				select {
-				case g.frees[i] <- buf[:0]:
-				default:
-				}
+		for i, col := range g.colVM {
+			if len(col) == 0 {
+				g.pools[i].put(col, g.colCPU[i])
+				g.colVM[i] = nil
+				g.colCPU[i] = nil
 			}
 		}
 	} else {
-		for i := range g.bufs {
-			g.bufs[i] = nil
+		for i := range g.colVM {
+			g.colVM[i] = nil
+			g.colCPU[i] = nil
 		}
+	}
+	for i := range g.lates {
+		g.lates[i] = nil
+	}
+	for _, s := range b.Late {
+		sh := g.shardOfVM(s.VM)
+		if g.lates[sh] == nil {
+			g.lates[sh] = g.lateBuf(int(sh))
+		}
+		g.lates[sh] = append(g.lates[sh], s)
+	}
+	// The source's columns and Late rows are fully copied out; recycle
+	// them in one call before routing.
+	if g.recycle != nil && (b.VM != nil || b.Late != nil) {
+		g.recycle(StepBatch{VM: b.VM, CPU: b.CPU, Late: b.Late})
 	}
 	for i := range g.dels {
 		g.dels[i] = nil
@@ -234,7 +260,7 @@ func (g *shardGroup) ObserveBatch(b StepBatch) {
 		g.dels[sh] = append(g.dels[sh], idx)
 	}
 	for i := range g.shards {
-		sb := StepBatch{Step: b.Step, Samples: g.bufs[i], Deleted: g.dels[i]}
+		sb := StepBatch{Step: b.Step, VM: g.colVM[i], CPU: g.colCPU[i], Late: g.lates[i], Deleted: g.dels[i]}
 		g.send(i, shardMsg{deliver: true, b: sb})
 	}
 	g.lastStep.Store(int64(b.Step))
@@ -264,15 +290,15 @@ func (g *shardGroup) send(i int, msg shardMsg) {
 	g.mShardOcc[i].SetInt(len(g.chs[i]))
 }
 
-// sampleBuf returns an empty per-shard sample buffer, reusing a recycled
+// lateBuf returns an empty per-shard Late-row buffer, reusing a recycled
 // one when available.
-func (g *shardGroup) sampleBuf(i, hint int) []Sample {
+func (g *shardGroup) lateBuf(i int) []Sample {
 	select {
-	case buf := <-g.frees[i]:
+	case buf := <-g.lateFrees[i]:
 		return buf[:0]
 	default:
 	}
-	return make([]Sample, 0, hint)
+	return make([]Sample, 0, 8)
 }
 
 // deletedBuf returns an empty per-shard deletion buffer.
@@ -419,6 +445,18 @@ func (g *shardGroup) ShardVitals() []ShardVital {
 	return out
 }
 
+// IngestVitals reports each shard's columnar-batch vitals, attaching the
+// router's per-shard column pool ledger.
+func (g *shardGroup) IngestVitals() []IngestVital {
+	out := make([]IngestVital, len(g.shards))
+	for i, ing := range g.shards {
+		out[i] = ing.ingestVital()
+		out[i].Shard = i
+		out[i].Pool = g.pools[i].stats()
+	}
+	return out
+}
+
 // Summary merges the per-shard cloud aggregates over the published store's
 // summaries. Histogram counts are integer-valued float64s, so the merge is
 // exact and order-independent; shards are still walked in ID order.
@@ -488,7 +526,7 @@ func (g *shardGroup) Profile(id core.SubscriptionID) (LiveProfile, bool) {
 }
 
 // WriteCheckpoint implements Engine: quiesce the shards, deep-copy each
-// shard's snapshot at a common step boundary, and serialize the v3
+// shard's snapshot at a common step boundary, and serialize the v4
 // multi-shard checkpoint.
 func (g *shardGroup) WriteCheckpoint(w io.Writer) error {
 	g.mu.Lock()

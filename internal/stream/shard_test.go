@@ -151,7 +151,7 @@ func killEngineAt(t *testing.T, tr *trace.Trace, opts Options, stopStep int) *by
 	t.Helper()
 	rep := NewReplayer(tr, opts)
 	eng := NewEngine(tr, opts)
-	eng.SetRecycler(func(buf []Sample) { rep.Recycle(StepBatch{Samples: buf}) })
+	eng.SetRecycler(rep.Recycle)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	errCh := make(chan error, 1)

@@ -80,18 +80,24 @@ func TestReplayerDeliversExactWindow(t *testing.T) {
 		}
 		if b.Step == g.N {
 			sawTrailing = true
-			if len(b.Samples) != 0 {
-				t.Fatalf("trailing batch carries %d samples", len(b.Samples))
+			if b.NumSamples() != 0 {
+				t.Fatalf("trailing batch carries %d samples", b.NumSamples())
 			}
 			continue
 		}
-		seen := make(map[int32]float64, len(b.Samples))
-		for _, s := range b.Samples {
-			if _, dup := seen[s.VM]; dup {
-				t.Fatalf("step %d: duplicate sample for VM %d", b.Step, s.VM)
+		if len(b.VM) != len(b.CPU) {
+			t.Fatalf("step %d: %d VM ids against %d readings", b.Step, len(b.VM), len(b.CPU))
+		}
+		if len(b.Late) != 0 {
+			t.Fatalf("step %d: clean replay emitted %d Late rows", b.Step, len(b.Late))
+		}
+		seen := make(map[int32]float32, len(b.VM))
+		for i, vm := range b.VM {
+			if _, dup := seen[vm]; dup {
+				t.Fatalf("step %d: duplicate sample for VM %d", b.Step, vm)
 			}
-			seen[s.VM] = s.CPU
-			perVM[s.VM]++
+			seen[vm] = b.CPU[i]
+			perVM[vm]++
 		}
 		for i := range tr.VMs {
 			v := &tr.VMs[i]
@@ -99,8 +105,8 @@ func TestReplayerDeliversExactWindow(t *testing.T) {
 			if alive != v.AliveAt(b.Step) {
 				t.Fatalf("step %d: VM %d sampled=%v alive=%v", b.Step, i, alive, v.AliveAt(b.Step))
 			}
-			if alive && cpu != v.Usage.At(g, b.Step) {
-				t.Fatalf("step %d: VM %d cpu=%v want %v", b.Step, i, cpu, v.Usage.At(g, b.Step))
+			if alive && cpu != float32(v.Usage.At(g, b.Step)) {
+				t.Fatalf("step %d: VM %d cpu=%v want %v", b.Step, i, cpu, float32(v.Usage.At(g, b.Step)))
 			}
 		}
 	}
