@@ -23,12 +23,18 @@
 #   make test-policy — policy-engine suite under -race: decision engine,
 #                      ledger pagination hammer, fold-source seqlock, and the
 #                      policy HTTP surface
+#   make test-workloads — workload-family matrix under -race: serverless
+#                      generator/spec grammar, invocation taxonomy, and the
+#                      batch-vs-stream family equivalence goldens across
+#                      sub-minute and coarse grids
 #   make diffcheck   — differential gauntlet: 25 randomized trials holding the
 #                      batch extractor and the streaming pipeline against each
 #                      other through fault injection, kill/resume, and
 #                      shard-invariance (sharded runs bit-exact to shards=1),
-#                      plus 5 policy-determinism trials (byte-identical
-#                      decision ledgers across runs and shard counts)
+#                      10 serverless-family trials pinning dominant-class
+#                      agreement at 100% on lossless runs, plus 5
+#                      policy-determinism trials (byte-identical decision
+#                      ledgers across runs and shard counts)
 #   make fuzz-smoke  — every fuzz target briefly (seed corpora + 5s of
 #                      generated inputs each) over the untrusted decoders
 #   make lint        — determinism lint: no global math/rand draws, no
@@ -36,7 +42,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify test-faults test-policy bench bench-smoke bench-shards bench-stream-gate bench-http diffcheck fuzz-smoke lint
+.PHONY: all build test verify test-faults test-policy test-workloads bench bench-smoke bench-shards bench-stream-gate bench-http diffcheck fuzz-smoke lint
 
 all: build
 
@@ -85,8 +91,12 @@ bench-http: build
 test-policy:
 	$(GO) test -race ./internal/policy ./internal/kb ./cmd/wkbserver
 
+test-workloads:
+	$(GO) test -race ./internal/workload ./internal/classify
+	$(GO) test -race -run 'Serverless|Family|Invocation' ./internal/stream ./internal/diffcheck
+
 diffcheck: build
-	$(GO) run ./cmd/diffcheck -trials 25 -seed 1 -shards 2,4,8 -policy-trials 5
+	$(GO) run ./cmd/diffcheck -trials 25 -seed 1 -shards 2,4,8 -family-trials 10 -policy-trials 5
 
 # `go test -fuzz` takes one target per invocation, so the smoke runs each
 # untrusted-input decoder in turn: 5 seconds of generated inputs on top of
@@ -100,6 +110,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParseListParams -fuzztime=$(FUZZTIME) ./internal/kb
 	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/policy
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/policy
+	$(GO) test -run=NONE -fuzz=FuzzParseServerlessSpec -fuzztime=$(FUZZTIME) ./internal/workload
 
 lint: build
 	$(GO) run ./cmd/detlint .

@@ -41,6 +41,7 @@ import (
 	"cloudlens/internal/oversub"
 	"cloudlens/internal/policy"
 	"cloudlens/internal/provision"
+	"cloudlens/internal/sim"
 	"cloudlens/internal/spot"
 	"cloudlens/internal/stream"
 	"cloudlens/internal/trace"
@@ -57,6 +58,14 @@ type (
 	VM = trace.VM
 	// Config controls synthetic-trace generation.
 	Config = workload.Config
+	// ServerlessConfig controls generation of the serverless/FaaS
+	// invocation workload family (per-function invocation-count series on
+	// a sub-five-minute grid).
+	ServerlessConfig = workload.ServerlessConfig
+	// WorkloadFamily tags a trace with its workload family (CPU
+	// utilization or serverless invocations); each family carries its own
+	// pattern taxonomy.
+	WorkloadFamily = core.Family
 	// KnowledgeBase is the paper's centralized workload knowledge base
 	// (Section V): per-subscription profiles extracted from telemetry.
 	KnowledgeBase = kb.Store
@@ -237,6 +246,39 @@ func Generate(cfg Config) (*Trace, error) {
 // given seed.
 func GenerateDefault(seed uint64) (*Trace, error) {
 	return workload.Generate(workload.DefaultConfig(seed))
+}
+
+// Workload families.
+const (
+	FamilyCPU        = core.FamilyCPU
+	FamilyServerless = core.FamilyServerless
+)
+
+// DefaultServerlessConfig returns the calibrated serverless-family
+// configuration: two days of one-minute invocation-rate samples.
+func DefaultServerlessConfig(seed uint64) ServerlessConfig {
+	return workload.DefaultServerlessConfig(seed)
+}
+
+// GenerateServerless produces a serverless-family trace: Zipf-skewed
+// function popularity, diurnal burst envelopes, cold-start damping. The
+// resulting trace flows through the same batch and streaming pipelines as
+// the CPU family, classified under the bursty/steady/spiky/diurnal
+// invocation taxonomy.
+func GenerateServerless(cfg ServerlessConfig) (*Trace, error) {
+	return workload.GenerateServerless(cfg)
+}
+
+// ParseServerlessSpec parses the -serverless flag grammar ("" selects the
+// defaults), e.g. "apps=24,fns=8,zipf=1.1,cold=0.35,step=30s,days=2,seed=7".
+func ParseServerlessSpec(spec string) (ServerlessConfig, error) {
+	return workload.ParseServerlessSpec(spec)
+}
+
+// ServerlessGrid returns the serverless family's canonical grid: one-minute
+// steps over the given number of days.
+func ServerlessGrid(days int) sim.Grid {
+	return workload.ServerlessGrid(days)
 }
 
 // LoadTrace reads a trace saved with (*Trace).SaveFile.

@@ -1,12 +1,19 @@
-// Command cloudgen generates a synthetic week-long cloud trace — the
-// substitute for the paper's proprietary Azure dataset — and exports it as
-// a bundle: trace.json.gz (the full dataset, reloadable by the other
-// tools) plus inventory.csv (one row per VM, in the spirit of the public
-// Azure VM traces).
+// Command cloudgen generates a synthetic cloud trace — the substitute for
+// the paper's proprietary Azure dataset — and exports it as a bundle:
+// trace.json.gz (the full dataset, reloadable by the other tools) plus
+// inventory.csv (one row per VM, in the spirit of the public Azure VM
+// traces).
 //
 // Usage:
 //
 //	cloudgen -out ./trace-bundle [-seed 42] [-scale 1.0] [-util-sample 100]
+//	cloudgen -out ./fn-bundle -family serverless [-serverless apps=24,step=30s,days=2]
+//
+// The default is the CPU-utilization family (one week at five-minute
+// resolution). -family serverless switches to the serverless invocation
+// family: per-function invocation-count series on a one-minute grid, with
+// optional overrides in the -serverless key=value grammar (passing
+// -serverless implies -family serverless).
 package main
 
 import (
@@ -14,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"cloudlens"
+	"cloudlens/internal/trace"
 )
 
 func main() {
@@ -29,19 +38,44 @@ func run() error {
 	var (
 		seed       = flag.Uint64("seed", 42, "generation seed (deterministic)")
 		scale      = flag.Float64("scale", 1.0, "universe scale multiplier")
+		family     = flag.String("family", "cpu", "workload family: cpu | serverless")
+		serverless = flag.String("serverless", "", "serverless-family overrides, key=value grammar (implies -family serverless); see cloudlens.ParseServerlessSpec")
 		out        = flag.String("out", "trace-bundle", "output directory")
-		utilSample = flag.Int("util-sample", 0, "also export the 5-minute utilization series of the first N VMs (0 = skip)")
+		utilSample = flag.Int("util-sample", 0, "also export the per-step utilization series of the first N VMs (0 = skip)")
 	)
 	flag.Parse()
 
-	cfg := cloudlens.DefaultConfig(*seed)
-	cfg.Scale = *scale
-	tr, err := cloudlens.Generate(cfg)
+	var tr *trace.Trace
+	var err error
+	effSeed, effScale := *seed, *scale
+	switch {
+	case *serverless != "" || *family == "serverless":
+		var cfg cloudlens.ServerlessConfig
+		cfg, err = cloudlens.ParseServerlessSpec(*serverless)
+		if err != nil {
+			return err
+		}
+		// The -seed and -scale flags are the base; spec keys override.
+		if !specHas(*serverless, "seed") {
+			cfg.Seed = *seed
+		}
+		if !specHas(*serverless, "scale") {
+			cfg.Scale = *scale
+		}
+		effSeed, effScale = cfg.Seed, cfg.Scale
+		tr, err = cloudlens.GenerateServerless(cfg)
+	case *family == "cpu":
+		cfg := cloudlens.DefaultConfig(*seed)
+		cfg.Scale = *scale
+		tr, err = cloudlens.Generate(cfg)
+	default:
+		return fmt.Errorf("unknown -family %q (want cpu or serverless)", *family)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("generated %d VMs (seed=%d scale=%.2f, %d allocation failures)\n",
-		len(tr.VMs), *seed, *scale, tr.Meta.AllocationFailures)
+	fmt.Printf("generated %d %s-family VMs (seed=%d scale=%.2f, %d allocation failures)\n",
+		len(tr.VMs), tr.Family, effSeed, effScale, tr.Meta.AllocationFailures)
 
 	if err := tr.ExportDir(*out); err != nil {
 		return err
@@ -62,4 +96,16 @@ func run() error {
 		fmt.Printf("wrote %s (%d VMs)\n", path, *utilSample)
 	}
 	return nil
+}
+
+// specHas reports whether the serverless spec already sets the given key,
+// so the -seed/-scale flags do not stomp an explicit spec value.
+func specHas(spec, key string) bool {
+	for _, field := range strings.Split(spec, ",") {
+		k, _, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if ok && k == key {
+			return true
+		}
+	}
+	return false
 }

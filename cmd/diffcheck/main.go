@@ -8,7 +8,13 @@
 //
 //	diffcheck [-trials 25] [-seed 1] [-days 3] [-scales 0.05,0.1]
 //	          [-specs 'off;drop=0.01,seed=13'] [-kill-every 2]
-//	          [-shards 2,4,8] [-policy-trials 5] [-json]
+//	          [-shards 2,4,8] [-family-trials 10] [-policy-trials 5] [-json]
+//
+// With -family-trials > 0 the run appends serverless-family trials: the
+// same fault/kill/gap matrix replayed over one-minute invocation traces,
+// with the batch-vs-stream dominant-class agreement held to exactly 100%
+// on lossless runs (both sides share the classification sketch, so any
+// disagreement is a pipeline bug).
 //
 // With -policy-trials > 0 the run appends the policy-determinism oracle:
 // each trial replays one workload into fold-boundary snapshots and feeds
@@ -41,14 +47,18 @@ func main() {
 		specs     = flag.String("specs", "", "semicolon-separated fault specs to cycle, in faultgen grammar (default: clean, repairable, and lossy mixes)")
 		killEvery = flag.Int("kill-every", 2, "checkpoint+resume every n-th trial mid-replay (0 disables)")
 		shards    = flag.String("shards", "", "comma-separated shard counts to cycle; sharded trials are held bit-exact to a single-ingestor reference on lossless fault mixes")
+		famTrials = flag.Int("family-trials", 10, "serverless-family trials to append (0 disables); lossless runs pin dominant-class agreement at 100%")
 		polTrials = flag.Int("policy-trials", 0, "policy-determinism trials to append (0 disables): byte-identical decision ledgers across runs and shard counts")
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
 	)
 	flag.Parse()
 
-	cfg := diffcheck.Config{Trials: *trials, Seed: *seed, Days: *days, KillEvery: *killEvery}
+	cfg := diffcheck.Config{Trials: *trials, Seed: *seed, Days: *days, KillEvery: *killEvery, FamilyTrials: *famTrials}
 	if *killEvery == 0 {
 		cfg.KillEvery = -1
+	}
+	if *famTrials == 0 {
+		cfg.FamilyTrials = -1
 	}
 	if *scales != "" {
 		for _, f := range strings.Split(*scales, ",") {

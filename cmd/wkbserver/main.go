@@ -22,6 +22,11 @@
 //	GET /api/v1/policy/decisions         (with -policies; cursor-paginated)
 //	GET /api/v1/policy/decisions/{id}/counterfactual (with -policies)
 //
+// By default the server generates (or loads, with -trace) a CPU-family
+// trace; -family serverless generates the serverless invocation family
+// instead (one-minute grid, bursty/steady/spiky/diurnal taxonomy), with
+// optional overrides in the -serverless key=value grammar.
+//
 // By default the knowledge base is extracted once, up front, from the full
 // trace. With -replay the server instead streams the trace through the
 // incremental ingestion pipeline in simulated time (-speedup compresses
@@ -82,6 +87,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -105,6 +111,8 @@ func run() error {
 		addr        = flag.String("addr", ":8080", "listen address")
 		seed        = flag.Uint64("seed", 42, "generation seed (ignored with -trace)")
 		scale       = flag.Float64("scale", 1.0, "universe scale (ignored with -trace)")
+		family      = flag.String("family", "cpu", "generated workload family: cpu | serverless (ignored with -trace)")
+		serverless  = flag.String("serverless", "", "serverless-family overrides, key=value grammar (implies -family serverless; ignored with -trace)")
 		tracePath   = flag.String("trace", "", "load a saved trace instead of generating")
 		replay      = flag.Bool("replay", false, "stream the trace through the live ingestion pipeline instead of extracting up front")
 		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "ingestion shards for -replay; subscriptions are hash-partitioned across this many parallel ingestors (1 = single ingestor)")
@@ -131,12 +139,29 @@ func run() error {
 	}
 
 	var tr *cloudlens.Trace
-	if *tracePath != "" {
+	switch {
+	case *tracePath != "":
 		tr, err = cloudlens.LoadTrace(*tracePath)
-	} else {
+	case *serverless != "" || *family == "serverless":
+		var cfg cloudlens.ServerlessConfig
+		cfg, err = cloudlens.ParseServerlessSpec(*serverless)
+		if err != nil {
+			return err
+		}
+		// The -seed and -scale flags are the base; spec keys override.
+		if !specHas(*serverless, "seed") {
+			cfg.Seed = *seed
+		}
+		if !specHas(*serverless, "scale") {
+			cfg.Scale = *scale
+		}
+		tr, err = cloudlens.GenerateServerless(cfg)
+	case *family == "cpu":
 		cfg := cloudlens.DefaultConfig(*seed)
 		cfg.Scale = *scale
 		tr, err = cloudlens.Generate(cfg)
+	default:
+		return fmt.Errorf("unknown -family %q (want cpu or serverless)", *family)
 	}
 	if err != nil {
 		return err
@@ -198,7 +223,7 @@ func run() error {
 			MaxLatenessSteps: *lateness,
 			GapPolicy:        gp,
 			Shards:           *shards,
-			WrapSource:       spec.Wrap(tr.Grid.N, &inj),
+			WrapSource:       spec.Wrap(tr.Grid.N, *speedup, &inj),
 			FoldObserver:     readSrc,
 		}
 		ckptPath := checkpointPath(*ckptDir)
@@ -219,13 +244,14 @@ func run() error {
 		pipe.Start(ctx)
 		store = pipe.KB()
 		logger.Info("replay started",
+			"family", tr.Family.String(),
 			"vms", len(tr.VMs), "steps", tr.Grid.N, "speedup", *speedup,
 			"shards", *shards, "faults", spec.Enabled(), "gapPolicy", gp.String())
 		if ckptPath != "" {
 			go checkpointLoop(ctx, pipe, ckptPath, *ckptEvery, logger)
 		}
 	} else {
-		logger.Info("extracting workload knowledge", "vms", len(tr.VMs))
+		logger.Info("extracting workload knowledge", "family", tr.Family.String(), "vms", len(tr.VMs))
 		store = cloudlens.ExtractKnowledgeBase(tr)
 		logger.Info("knowledge base ready", "profiles", store.Len())
 		if *save != "" {
@@ -323,6 +349,18 @@ func run() error {
 		return err
 	}
 	return shutdownErr
+}
+
+// specHas reports whether the serverless spec already sets the given key,
+// so the -seed/-scale flags do not stomp an explicit spec value.
+func specHas(spec, key string) bool {
+	for _, field := range strings.Split(spec, ",") {
+		k, _, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if ok && k == key {
+			return true
+		}
+	}
+	return false
 }
 
 // checkpointFile is the checkpoint's name inside -checkpoint-dir. Writes

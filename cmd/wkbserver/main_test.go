@@ -501,7 +501,7 @@ func TestLiveFaultsEndpoint(t *testing.T) {
 	}
 	var inj *cloudlens.FaultInjector
 	pipe, readSrc := livePipeline(tr, cloudlens.StreamOptions{
-		WrapSource: spec.Wrap(tr.Grid.N, &inj),
+		WrapSource: spec.Wrap(tr.Grid.N, 0, &inj),
 	})
 	pipe.Start(context.Background())
 	if err := pipe.Wait(); err != nil {
@@ -644,6 +644,123 @@ func TestCheckpointResumeFlow(t *testing.T) {
 			t.Errorf("profile %s diverged after resume:\n%s\n%s",
 				wantProfiles[i].Subscription, g, w)
 		}
+	}
+}
+
+// TestServerlessEndToEnd drives the serverless family down the full
+// operational path the CPU family already owns: generate the preset,
+// replay it on its one-minute grid under a fault mix, kill the replay
+// mid-flight, resume from the checkpoint, and read the finished state
+// back over /api/v1/live/*.
+func TestServerlessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day replay; skipped in -short mode")
+	}
+	cfg := cloudlens.DefaultServerlessConfig(5)
+	cfg.Apps = 8
+	tr, err := cloudlens.GenerateServerless(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	spec, err := cloudlens.ParseFaultSpec("drop=0.01,dup=0.005,delay=0.01:3,corrupt=0.002,seed=5")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	dir := t.TempDir()
+	path := checkpointPath(dir)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// First boot: replay under faults, kill mid-flight, checkpoint.
+	var killedInj *cloudlens.FaultInjector
+	first, err := startPipeline(tr, cloudlens.StreamOptions{
+		WrapSource: spec.Wrap(tr.Grid.N, 0, &killedInj),
+	}, path, true, logger)
+	if err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	first.Start(ctx)
+	for first.Status().Step < 400 {
+	}
+	cancel()
+	first.Stop()
+	if _, err := first.SaveCheckpoint(path); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Second boot resumes past the checkpoint and finishes, with the read
+	// source wired exactly as run() wires it.
+	var inj *cloudlens.FaultInjector
+	readSrc := cloudlens.NewStreamReadSource(time.Now)
+	second, err := startPipeline(tr, cloudlens.StreamOptions{
+		WrapSource:   spec.Wrap(tr.Grid.N, 0, &inj),
+		FoldObserver: readSrc,
+	}, path, true, logger)
+	if err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	readSrc.Bind(second.Engine())
+	second.Start(context.Background())
+	if err := second.Wait(); err != nil {
+		t.Fatalf("resumed replay: %v", err)
+	}
+
+	srv := httptest.NewServer(buildHandler(second.KB(), second, readSrc, inj, nil, nil))
+	defer srv.Close()
+
+	// The live status names the family and shows a completed replay.
+	body := wantStatus(t, srv, "/api/v1/live/status", http.StatusOK)
+	var st struct {
+		Done   bool   `json:"done"`
+		Family string `json:"family"`
+		Step   int    `json:"step"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status decode: %v (%s)", err, body)
+	}
+	if st.Family != "serverless" {
+		t.Errorf("live status family = %q, want serverless", st.Family)
+	}
+	if !st.Done || st.Step != tr.Grid.N {
+		t.Errorf("live status = %+v, want done at step %d", st, tr.Grid.N)
+	}
+
+	// Every live profile carries the family tag, and every classified one
+	// stays inside the serverless taxonomy.
+	body = wantStatus(t, srv, "/api/v1/live/profiles?limit=100", http.StatusOK)
+	var page pageEnvelope
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("profiles decode: %v (%s)", err, body)
+	}
+	if len(page.Items) == 0 {
+		t.Fatal("no live profiles after the serverless replay")
+	}
+	for _, p := range page.Items {
+		if p.Family != core.FamilyServerless {
+			t.Errorf("profile %s family = %s, want serverless", p.Subscription, p.Family)
+		}
+		if p.DominantPattern != core.PatternUnknown && !core.FamilyServerless.Has(p.DominantPattern) {
+			t.Errorf("profile %s pattern %s outside the serverless taxonomy",
+				p.Subscription, p.DominantPattern)
+		}
+	}
+
+	// The fault surface stayed live across the resume. The stream's books
+	// are cumulative (the checkpoint carries the first boot's counters)
+	// while the injector ledger covers only the resumed run, so the stream
+	// side must be at least the resumed injector's ledger.
+	body = wantStatus(t, srv, "/api/v1/live/faults", http.StatusOK)
+	var rep FaultsReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("faults decode: %v (%s)", err, body)
+	}
+	if rep.Injected == nil || rep.Injected.Total() == 0 {
+		t.Fatalf("resumed serverless replay injected no faults: %s", body)
+	}
+	if rep.Stream.DuplicatesDropped < rep.Injected.Duplicated ||
+		rep.Stream.QuarantinedCorrupt < rep.Injected.Corrupted {
+		t.Errorf("checkpointed books lost faults: stream %+v vs resumed injector %+v",
+			rep.Stream, *rep.Injected)
 	}
 }
 

@@ -153,7 +153,7 @@ func Run(t *trace.Trace, opts Options) (Result, error) {
 
 	// Probe deployments: planned at step s, arriving at s+lead.
 	rng := sim.NewRNG(opts.Seed ^ 0x5ca1ab1e)
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	var train, test []sample
 	half := t.Grid.N / 2
 	for _, r := range regions {

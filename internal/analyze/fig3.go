@@ -29,7 +29,7 @@ type Fig3a struct {
 // ComputeFig3a runs the Figure 3(a) analysis.
 func ComputeFig3a(t *trace.Trace) Fig3a {
 	var out Fig3a
-	stepMin := float64(t.Grid.StepMinutes())
+	stepMin := t.Grid.Step.Minutes()
 	for _, cloud := range core.Clouds() {
 		var lifetimes []float64
 		for _, v := range t.CloudVMs(cloud) {

@@ -40,7 +40,7 @@ func ComputeFig5d(t *trace.Trace) Fig5d {
 // scratch buffer reused across its whole chunk.
 func ComputeFig5dWith(t *trace.Trace, c *trace.SeriesCache) Fig5d {
 	out := Fig5d{SnapshotStep: t.SnapshotStep()}
-	opts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
+	opts := classify.Options{StepsPerHour: t.Grid.StepsPerHour()}
 	for _, cloud := range core.Clouds() {
 		// Drop VMs below the classification floor before materializing
 		// anything, so the cache holds only series an analysis consumes.
@@ -106,7 +106,7 @@ func ComputeFig5Samples(t *trace.Trace) Fig5Samples {
 // full-week exemplars cost nothing extra inside Characterize.
 func ComputeFig5SamplesWith(t *trace.Trace, c *trace.SeriesCache) Fig5Samples {
 	var out Fig5Samples
-	opts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
+	opts := classify.Options{StepsPerHour: t.Grid.StepsPerHour()}
 	want := core.Patterns()
 	found := make(map[core.Pattern]bool, len(want))
 	for i := range t.VMs {
@@ -133,7 +133,7 @@ func ComputeFig5SamplesWith(t *trace.Trace, c *trace.SeriesCache) Fig5Samples {
 		found[v.Usage.Pattern] = true
 		if v.Usage.Pattern == core.PatternHourlyPeak {
 			// One day, as in Figure 5(c): Tuesday.
-			day := 24 * 60 / t.Grid.StepMinutes()
+			day := t.Grid.StepsPerDay()
 			if c != nil {
 				series = series[day : 2*day] // from == 0 for full-window VMs
 			} else {

@@ -62,7 +62,7 @@ func ComputeFig6Weekly(t *trace.Trace) Fig6Weekly {
 func ComputeFig6WeeklyWith(t *trace.Trace, c *trace.SeriesCache) Fig6Weekly {
 	hours := t.Grid.Hours()
 	out := Fig6Weekly{Hours: hours}
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	offsets := hourSampleOffsets(stepsPerHour)
 	for _, cloud := range core.Clouds() {
 		spans := spansOf(t, c, t.CloudVMs(cloud))
@@ -126,7 +126,7 @@ func ComputeFig6Daily(t *trace.Trace) Fig6Daily {
 // sweep) and reduces them independently.
 func ComputeFig6DailyWith(t *trace.Trace, c *trace.SeriesCache) Fig6Daily {
 	var out Fig6Daily
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	hours := t.Grid.Hours()
 	offsets := hourSampleOffsets(stepsPerHour)
 	for _, cloud := range core.Clouds() {

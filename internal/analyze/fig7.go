@@ -123,7 +123,7 @@ func ComputeFig7bWith(t *trace.Trace, c *trace.SeriesCache) Fig7b {
 			usRegion[r.Name] = true
 		}
 	}
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	hours := t.Grid.Hours()
 	for _, cloud := range core.Clouds() {
 		bySub := t.BySubscription(cloud)
@@ -239,7 +239,7 @@ func ComputeFig7cWith(t *trace.Trace, c *trace.SeriesCache, service string) Fig7
 		service = workload.ServiceXName
 	}
 	out := Fig7c{Service: service, Day: 1, Series: make(map[string][]float64)}
-	stepsPerDay := 24 * 60 / t.Grid.StepMinutes()
+	stepsPerDay := t.Grid.StepsPerDay()
 	from := out.Day * stepsPerDay
 	to := from + stepsPerDay
 
@@ -300,7 +300,7 @@ func ComputeFig7cWith(t *trace.Trace, c *trace.SeriesCache, service string) Fig7
 				maxP = p
 			}
 		}
-		out.PeakStepSpreadMin = (maxP - minP) * t.Grid.StepMinutes()
+		out.PeakStepSpreadMin = int(float64(maxP-minP) * t.Grid.Step.Minutes())
 	}
 	return out
 }

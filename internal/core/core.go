@@ -43,7 +43,10 @@ func (c Cloud) String() string {
 // Valid reports whether c is one of the two defined platforms.
 func (c Cloud) Valid() bool { return c == Private || c == Public }
 
-// Pattern is the CPU-utilization pattern taxonomy of Section IV-A.
+// Pattern is a workload-behavior class. The first four concrete values are
+// the CPU-utilization taxonomy of Section IV-A; the serverless invocation
+// family adds bursty / steady / spiky over invocation rates (diurnal is
+// shared between the two taxonomies).
 type Pattern int
 
 const (
@@ -60,13 +63,44 @@ const (
 	// PatternHourlyPeak is a special diurnal pattern with sharp peaks at
 	// the hour and half-hour marks (e.g. scheduled-meeting joins).
 	PatternHourlyPeak
+	// PatternBursty is an invocation-rate pattern: clustered bursts of
+	// calls separated by warm-but-quiet stretches, the dominant shape of
+	// request-driven serverless functions.
+	PatternBursty
+	// PatternSteady is an invocation-rate pattern with a near-constant
+	// call rate (hot functions kept warm by continuous traffic).
+	PatternSteady
+	// PatternSpiky is an invocation-rate pattern that is idle almost
+	// always with rare, very tall spikes — the cold-start-dominated tail
+	// of the function popularity distribution.
+	PatternSpiky
 )
 
-// Patterns lists the four concrete patterns in the paper's presentation
-// order.
+// maxPattern is the highest defined pattern value; Valid and the
+// checkpoint decoder domain-check against it.
+const maxPattern = PatternSpiky
+
+// Patterns lists the four concrete CPU patterns in the paper's
+// presentation order. Kept for the CPU-only call sites; family-aware code
+// should use Family.Patterns.
 func Patterns() []Pattern {
 	return []Pattern{PatternDiurnal, PatternStable, PatternIrregular, PatternHourlyPeak}
 }
+
+// AllPatterns lists every concrete pattern across both families in a fixed
+// order: the CPU taxonomy first, then the serverless additions. Use it
+// where patterns from any family may appear (query parsing, cross-family
+// rollups); tie-breaks over it remain deterministic.
+func AllPatterns() []Pattern {
+	return []Pattern{
+		PatternDiurnal, PatternStable, PatternIrregular, PatternHourlyPeak,
+		PatternBursty, PatternSteady, PatternSpiky,
+	}
+}
+
+// Valid reports whether p is inside the defined pattern domain
+// (PatternUnknown included: it is a legal classifier output).
+func (p Pattern) Valid() bool { return p >= PatternUnknown && p <= maxPattern }
 
 // String implements fmt.Stringer.
 func (p Pattern) String() string {
@@ -81,8 +115,83 @@ func (p Pattern) String() string {
 		return "irregular"
 	case PatternHourlyPeak:
 		return "hourly-peak"
+	case PatternBursty:
+		return "bursty"
+	case PatternSteady:
+		return "steady"
+	case PatternSpiky:
+		return "spiky"
 	default:
 		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Family identifies which workload family a trace carries: which generator
+// produced it, which taxonomy classifies it, and what a sample means
+// (CPU utilization vs normalized invocation rate). The zero value is the
+// CPU family, so traces serialized before the family tag existed decode
+// unchanged.
+type Family int
+
+const (
+	// FamilyCPU is the paper's family: average CPU utilization sampled on
+	// a five-minute grid, classified by the Section IV-A taxonomy.
+	FamilyCPU Family = iota
+	// FamilyServerless is the serverless/FaaS invocation family:
+	// per-function invocation counts normalized to [0, 1] of the
+	// function's provisioned peak, on a finer (sub-five-minute) grid,
+	// classified by the invocation-rate taxonomy.
+	FamilyServerless
+)
+
+// Families lists the defined workload families.
+func Families() []Family { return []Family{FamilyCPU, FamilyServerless} }
+
+// Valid reports whether f is a defined family.
+func (f Family) Valid() bool { return f == FamilyCPU || f == FamilyServerless }
+
+// Patterns lists the family's concrete patterns in presentation order;
+// classification tie-breaks follow this order.
+func (f Family) Patterns() []Pattern {
+	switch f {
+	case FamilyServerless:
+		return []Pattern{PatternBursty, PatternSteady, PatternSpiky, PatternDiurnal}
+	default:
+		return Patterns()
+	}
+}
+
+// Has reports whether p belongs to the family's taxonomy.
+func (f Family) Has(p Pattern) bool {
+	for _, q := range f.Patterns() {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyCPU:
+		return "cpu"
+	case FamilyServerless:
+		return "serverless"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// ParseFamily parses a family name as rendered by String.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "cpu", "":
+		return FamilyCPU, nil
+	case "serverless":
+		return FamilyServerless, nil
+	default:
+		return FamilyCPU, fmt.Errorf("core: unknown workload family %q (want cpu or serverless)", s)
 	}
 }
 

@@ -31,15 +31,15 @@ type Options struct {
 	MinJobSteps int
 }
 
-func (o Options) withDefaults(stepMinutes int) Options {
+func (o Options) withDefaults(stepsPerHour int) Options {
 	if !o.Cloud.Valid() {
 		o.Cloud = core.Private
 	}
 	if o.MaxJobSteps == 0 {
-		o.MaxJobSteps = 12 * 60 / stepMinutes
+		o.MaxJobSteps = 12 * stepsPerHour
 	}
 	if o.MinJobSteps == 0 {
-		o.MinJobSteps = 60 / stepMinutes
+		o.MinJobSteps = stepsPerHour
 	}
 	return o
 }
@@ -70,7 +70,7 @@ type Result struct {
 
 // Run evaluates the policy on a trace.
 func Run(t *trace.Trace, opts Options) (Result, error) {
-	opts = opts.withDefaults(t.Grid.StepMinutes())
+	opts = opts.withDefaults(t.Grid.StepsPerHour())
 	res := Result{Cloud: opts.Cloud, Region: opts.Region}
 
 	inScope := func(v *trace.VM) bool {
@@ -102,7 +102,7 @@ func Run(t *trace.Trace, opts Options) (Result, error) {
 	res.PeakToMeanBefore = peakBefore / meanBefore
 
 	// Find the daily valley: the hour-of-day with the lowest mean usage.
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	hourMean := make([]float64, 24)
 	hourN := make([]float64, 24)
 	for s, u := range usage {
@@ -153,7 +153,7 @@ func Run(t *trace.Trace, opts Options) (Result, error) {
 		addUsage(t, v, v.CreatedStep, after, -1)
 		addUsage(t, v, newStart, after, +1)
 		res.DeferrableVMs++
-		res.DeferredCoreHours += float64(v.Size.Cores*life) * float64(t.Grid.StepMinutes()) / 60
+		res.DeferredCoreHours += float64(v.Size.Cores*life) * t.Grid.Step.Hours()
 	}
 
 	meanAfter := stats.Mean(after)

@@ -73,8 +73,8 @@ func (d Divergence) String() string {
 
 // TrialResult is one trial's comparison outcome.
 type TrialResult struct {
-	Trial         Trial        `json:"trial"`
-	Subscriptions int          `json:"subscriptions"`
+	Trial         Trial `json:"trial"`
+	Subscriptions int   `json:"subscriptions"`
 	// PatternAgreement is the dominant-pattern match fraction over
 	// batch-classified subscriptions (1 when none were classified).
 	PatternAgreement float64 `json:"patternAgreement"`
@@ -172,11 +172,12 @@ func poolExact(tr *trace.Trace) *exactPools {
 		perCloud: make(map[core.Cloud][]float64),
 		dayPlus:  make(map[core.SubscriptionID]int),
 	}
+	minSteps := kb.MinProfileStepsFor(tr.Grid)
 	var buf []float64
 	for i := range tr.VMs {
 		v := &tr.VMs[i]
 		from, to, ok := v.AliveRange(tr.Grid.N)
-		if !ok || to-from < kb.MinProfileSteps {
+		if !ok || to-from < minSteps {
 			continue
 		}
 		p.dayPlus[v.Subscription]++
@@ -237,6 +238,9 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 		if run.lossless || rosterComplete {
 			if lp.Cloud != bp.Cloud {
 				d.add(bp.Subscription, "cloud", bp.Cloud.String(), lp.Cloud.String())
+			}
+			if lp.Family != bp.Family {
+				d.add(bp.Subscription, "family", bp.Family.String(), lp.Family.String())
 			}
 			if got, want := strings.Join(lp.Regions, ","), strings.Join(bp.Regions, ","); got != want {
 				d.add(bp.Subscription, "regions", want, got)
@@ -326,8 +330,16 @@ func compareTrial(tl Trial, tr *trace.Trace, batch *kb.Store, run *streamRun, ma
 
 	if patternTotal > 0 {
 		res.PatternAgreement = float64(patternAgree) / float64(patternTotal)
-		if res.PatternAgreement < minPatternAgreement {
-			d.add("", "dominantPattern", fmt.Sprintf("agreement >= %.2f", minPatternAgreement),
+		minAgree := minPatternAgreement
+		// Family oracle: the serverless batch and streaming classifiers
+		// build their evidence with the identical sketch over the identical
+		// delivered-sample order, so on lossless trials any dominant-class
+		// disagreement is a pipeline bug, not statistical noise.
+		if tl.Family == core.FamilyServerless && run.lossless {
+			minAgree = 1
+		}
+		if res.PatternAgreement < minAgree {
+			d.add("", "dominantPattern", fmt.Sprintf("agreement >= %.2f", minAgree),
 				fmt.Sprintf("%.4f (%d/%d)", res.PatternAgreement, patternAgree, patternTotal))
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cloudlens/internal/core"
 	"cloudlens/internal/faultgen"
 	"cloudlens/internal/kb"
 	"cloudlens/internal/sim"
@@ -45,7 +46,8 @@ import (
 // Config parameterizes a gauntlet run. The zero value is not runnable;
 // use withDefaults via Run.
 type Config struct {
-	// Trials is the number of randomized trials (default 25).
+	// Trials is the number of randomized CPU-family trials (default 25;
+	// -1 disables, for family-only runs).
 	Trials int
 	// Seed derives every trial's workload seed, fault seed, and kill
 	// step; the same Config always runs the same matrix.
@@ -67,12 +69,25 @@ type Config struct {
 	// reference over the same faulted replay and, on lossless trials,
 	// holds the sharded knowledge base bit-exactly to it.
 	ShardCounts []int
+	// FamilyTrials appends serverless-family trials after the CPU matrix
+	// (default 10; -1 disables). These replay a one-minute-grid invocation
+	// trace through the same fault/kill machinery and hold the
+	// dominant-class (family-taxonomy) agreement to 100% on lossless runs:
+	// both sides build the classification evidence with the same sketch,
+	// so any disagreement is a pipeline bug, not statistical noise.
+	FamilyTrials int
+	// FamilyScales are cycled across the serverless trials (default
+	// {0.5, 1}); the serverless universe is app-count-scaled and much
+	// smaller than the CPU one, so it runs at higher scale.
+	FamilyScales []float64
 	// MaxDivergencesPerTrial caps the report size (default 16).
 	MaxDivergencesPerTrial int
 }
 
 func (c Config) withDefaults() Config {
-	if c.Trials <= 0 {
+	if c.Trials < 0 {
+		c.Trials = 0
+	} else if c.Trials == 0 {
 		c.Trials = 25
 	}
 	if c.Days < 3 {
@@ -96,6 +111,14 @@ func (c Config) withDefaults() Config {
 	} else if c.KillEvery == 0 {
 		c.KillEvery = 2
 	}
+	if c.FamilyTrials < 0 {
+		c.FamilyTrials = 0
+	} else if c.FamilyTrials == 0 {
+		c.FamilyTrials = 10
+	}
+	if len(c.FamilyScales) == 0 {
+		c.FamilyScales = []float64{0.5, 1}
+	}
 	if c.MaxDivergencesPerTrial <= 0 {
 		c.MaxDivergencesPerTrial = 16
 	}
@@ -105,8 +128,10 @@ func (c Config) withDefaults() Config {
 // Trial is one fully derived trial recipe. Every field is printed on
 // divergence so the exact trial replays from the report alone.
 type Trial struct {
-	Index     int              `json:"index"`
-	Seed      uint64           `json:"seed"`
+	Index int    `json:"index"`
+	Seed  uint64 `json:"seed"`
+	// Family selects the workload family (zero value: the CPU family).
+	Family    core.Family      `json:"family,omitempty"`
 	Scale     float64          `json:"scale"`
 	GapPolicy stream.GapPolicy `json:"gapPolicy"`
 	Faults    string           `json:"faults"`
@@ -127,8 +152,12 @@ func (t Trial) String() string {
 	if t.Shards > 1 {
 		shards = fmt.Sprintf(" shards=%d", t.Shards)
 	}
-	return fmt.Sprintf("trial %d: seed=%d scale=%g gap=%s faults=%q kill=%s%s",
-		t.Index, t.Seed, t.Scale, t.GapPolicy, t.Faults, kill, shards)
+	family := ""
+	if t.Family != core.FamilyCPU {
+		family = fmt.Sprintf(" family=%s", t.Family)
+	}
+	return fmt.Sprintf("trial %d: seed=%d scale=%g gap=%s faults=%q kill=%s%s%s",
+		t.Index, t.Seed, t.Scale, t.GapPolicy, t.Faults, kill, shards, family)
 }
 
 // Run executes the gauntlet and returns the full report. The error covers
@@ -136,9 +165,10 @@ func (t Trial) String() string {
 // data, reported in the Report, not errors.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	gridN := cfg.Days * 24 * 60 / sim.WeekGrid().StepMinutes()
 	rep := &Report{Config: cfg}
-	for i := 0; i < cfg.Trials; i++ {
+	cpuN := cfg.Days * sim.WeekGrid().StepsPerDay()
+	servN := cfg.Days * workload.ServerlessGrid(cfg.Days).StepsPerDay()
+	for i := 0; i < cfg.Trials+cfg.FamilyTrials; i++ {
 		// A per-trial PRNG seeded from (Seed, index) keeps trials
 		// independent of each other and of the matrix size.
 		rng := rand.New(rand.NewSource(int64(cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)))
@@ -149,6 +179,14 @@ func Run(cfg Config) (*Report, error) {
 			GapPolicy: []stream.GapPolicy{stream.GapCarry, stream.GapSkip, stream.GapInterpolate}[i%3],
 			Faults:    cfg.FaultSpecs[i%len(cfg.FaultSpecs)],
 			KillStep:  -1,
+		}
+		gridN := cpuN
+		if i >= cfg.Trials {
+			// Serverless-family trials: the same fault/kill/gap matrix
+			// replayed over the one-minute invocation grid.
+			tl.Family = core.FamilyServerless
+			tl.Scale = cfg.FamilyScales[(i-cfg.Trials)%len(cfg.FamilyScales)]
+			gridN = servN
 		}
 		if cfg.KillEvery > 0 && i%cfg.KillEvery == cfg.KillEvery-1 {
 			// Anywhere strictly inside the window, including steps where
@@ -201,12 +239,21 @@ func runTrial(tl Trial, cfg Config) (TrialResult, error) {
 // without comparing them (the comparator's own tests corrupt the streaming
 // side first).
 func materializeTrial(tl Trial, cfg Config) (*trace.Trace, *kb.Store, *streamRun, error) {
-	wl := workload.DefaultConfig(tl.Seed)
-	wl.Scale = tl.Scale
-	g := sim.WeekGrid()
-	g.N = cfg.Days * 24 * 60 / g.StepMinutes()
-	wl.Grid = g
-	tr, err := workload.Generate(wl)
+	var tr *trace.Trace
+	var err error
+	if tl.Family == core.FamilyServerless {
+		sc := workload.DefaultServerlessConfig(tl.Seed)
+		sc.Scale = tl.Scale
+		sc.Grid = workload.ServerlessGrid(cfg.Days)
+		tr, err = workload.GenerateServerless(sc)
+	} else {
+		wl := workload.DefaultConfig(tl.Seed)
+		wl.Scale = tl.Scale
+		g := sim.WeekGrid()
+		g.N = cfg.Days * g.StepsPerDay()
+		wl.Grid = g
+		tr, err = workload.Generate(wl)
+	}
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("generate: %w", err)
 	}
@@ -256,7 +303,7 @@ func runStream(tr *trace.Trace, tl Trial, spec faultgen.Spec) (*streamRun, error
 
 	var src stream.Source = stream.NewReplayer(tr, opts)
 	var inj *faultgen.Injector
-	if wrap := spec.Wrap(tr.Grid.N, &inj); wrap != nil {
+	if wrap := spec.Wrap(tr.Grid.N, 0, &inj); wrap != nil {
 		src = wrap(src)
 	}
 	eng := stream.NewEngine(tr, opts)

@@ -18,7 +18,7 @@ func TestGauntletMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-trial differential run")
 	}
-	rep, err := Run(Config{Trials: 6, Seed: 20260806, Scales: []float64{0.05}})
+	rep, err := Run(Config{Trials: 6, Seed: 20260806, Scales: []float64{0.05}, FamilyTrials: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestGauntletShardInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-trial differential run")
 	}
-	rep, err := Run(Config{Trials: 6, Seed: 20260807, Scales: []float64{0.05}, ShardCounts: []int{2, 4, 8}})
+	rep, err := Run(Config{Trials: 6, Seed: 20260807, Scales: []float64{0.05}, ShardCounts: []int{2, 4, 8}, FamilyTrials: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,6 +54,32 @@ func TestGauntletShardInvariance(t *testing.T) {
 	for _, res := range rep.Results {
 		if res.Trial.Shards < 2 {
 			t.Fatalf("trial %d ran unsharded (%d)", res.Trial.Index, res.Trial.Shards)
+		}
+	}
+}
+
+// TestGauntletServerlessFamily runs a compact family-only slice: serverless
+// one-minute-grid trials through the default fault specs, gap policies, and
+// mid-replay kill/resume. Lossless trials must hit exactly 100%
+// dominant-class agreement — the family oracle — because both sides build
+// the classification evidence with the same sketch.
+func TestGauntletServerlessFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial differential run")
+	}
+	rep, err := Run(Config{Trials: -1, Seed: 20260808, FamilyTrials: 6, FamilyScales: []float64{0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("serverless batch and stream diverged:\n%s", rep)
+	}
+	for _, res := range rep.Results {
+		if res.Trial.Family != core.FamilyServerless {
+			t.Fatalf("trial %d ran the %s family, want serverless", res.Trial.Index, res.Trial.Family)
+		}
+		if res.Subscriptions == 0 {
+			t.Fatalf("trial %d extracted no subscriptions", res.Trial.Index)
 		}
 	}
 }

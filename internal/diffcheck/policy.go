@@ -128,7 +128,7 @@ func runPolicyTrial(index int, cfg PolicyConfig) (PolicyTrialResult, error) {
 	wl := workload.DefaultConfig(res.Seed)
 	wl.Scale = cfg.Scale
 	g := sim.WeekGrid()
-	g.N = cfg.Days * 24 * 60 / g.StepMinutes()
+	g.N = cfg.Days * g.StepsPerDay()
 	wl.Grid = g
 	tr, err := workload.Generate(wl)
 	if err != nil {

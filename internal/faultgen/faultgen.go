@@ -62,7 +62,12 @@ type Spec struct {
 	// Stall is the per-batch probability the feed pauses for StallFor
 	// before delivering, simulating an upstream hiccup.
 	Stall float64 `json:"stall,omitempty"`
-	// StallFor is the stall duration (default 50ms when Stall > 0).
+	// StallFor is the stall duration (default 50ms when Stall > 0),
+	// expressed in stream time: on a paced replay (Speedup > 0) the wall
+	// pause is StallFor divided by the speedup, so a hiccup spans the same
+	// number of grid steps whatever the time compression. On an unpaced
+	// replay there is no stream-to-wall mapping and StallFor is the wall
+	// pause itself.
 	StallFor time.Duration `json:"stallFor,omitempty"`
 }
 
@@ -254,8 +259,12 @@ type Injector struct {
 	src       stream.Source
 	spec      Spec
 	finalStep int
-	rng       *rand.Rand
-	out       chan stream.StepBatch
+	// speedup is the replay's simulated-to-wall time ratio; stall pauses
+	// divide by it so they track stream time, not wall time. Zero means
+	// the replay is unpaced and StallFor applies as a wall duration.
+	speedup float64
+	rng     *rand.Rand
+	out     chan stream.StepBatch
 
 	// Cumulative per-sample fault thresholds: one uniform draw per sample
 	// lands in exactly one bucket, keeping fault classes mutually
@@ -312,10 +321,13 @@ func New(src stream.Source, spec Spec, finalStep int) (*Injector, error) {
 }
 
 // Wrap returns a stream.Options.WrapSource hook for this spec, or nil
-// when the spec injects nothing. Construction errors surface on the first
-// Run instead, so the hook stays plumbing-friendly; validate the spec
-// up front (ParseSpec does) when a crisp error matters.
-func (s Spec) Wrap(finalStep int, sink **Injector) func(stream.Source) stream.Source {
+// when the spec injects nothing. speedup is the replay's time compression
+// (stream.Options.Speedup; pass 0 for an unpaced replay): stall pauses
+// divide by it so a stall spans the same stretch of stream time whatever
+// the pacing. Construction errors surface on the first Run instead, so the
+// hook stays plumbing-friendly; validate the spec up front (ParseSpec
+// does) when a crisp error matters.
+func (s Spec) Wrap(finalStep int, speedup float64, sink **Injector) func(stream.Source) stream.Source {
 	if !s.Enabled() {
 		return nil
 	}
@@ -323,6 +335,8 @@ func (s Spec) Wrap(finalStep int, sink **Injector) func(stream.Source) stream.So
 		inj, err := New(src, s, finalStep)
 		if err != nil {
 			inj = &Injector{src: src, out: make(chan stream.StepBatch), runErr: err}
+		} else {
+			inj.speedup = speedup
 		}
 		if sink != nil {
 			*sink = inj
@@ -388,7 +402,8 @@ func (inj *Injector) Run(ctx context.Context) error {
 		b = inj.perturb(b)
 		if inj.spec.Stall > 0 && inj.rng.Float64() < inj.spec.Stall {
 			inj.stalls.Add(1)
-			timer := time.NewTimer(inj.spec.StallFor)
+			pause := inj.stallWall()
+			timer := time.NewTimer(pause)
 			select {
 			case <-timer.C:
 			case <-ctx.Done():
@@ -404,6 +419,19 @@ func (inj *Injector) Run(ctx context.Context) error {
 		}
 	}
 	return <-errCh
+}
+
+// stallWall converts the spec's stream-time stall into the wall pause the
+// current pacing implies. Before this scaling, a paced replay slept the
+// full StallFor in wall time: at -speedup 1000 a "30s" hiccup froze the
+// feed for 30 wall seconds — over eight simulated hours — instead of the
+// 30ms that stretch of stream time takes, overflowing the reorder ring on
+// grids the spec was never tuned for.
+func (inj *Injector) stallWall() time.Duration {
+	if inj.speedup > 0 {
+		return time.Duration(float64(inj.spec.StallFor) / inj.speedup)
+	}
+	return inj.spec.StallFor
 }
 
 // perturb applies the per-sample fault mix in place over the batch's

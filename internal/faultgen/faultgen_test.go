@@ -89,7 +89,7 @@ func faultTrace() *trace.Trace {
 func runFaulty(t *testing.T, tr *trace.Trace, spec Spec) (*stream.Pipeline, *Injector) {
 	t.Helper()
 	var inj *Injector
-	opts := stream.Options{WrapSource: spec.Wrap(tr.Grid.N, &inj)}
+	opts := stream.Options{WrapSource: spec.Wrap(tr.Grid.N, 0, &inj)}
 	p := stream.NewPipeline(tr, opts)
 	p.Start(context.Background())
 	if err := p.Wait(); err != nil {
@@ -188,6 +188,32 @@ func TestInjectorStalls(t *testing.T) {
 	}
 	if st := p.Status(); st.Step != g.N {
 		t.Errorf("stalled replay stopped at step %d, want %d", st.Step, g.N)
+	}
+}
+
+// TestStallWallScalesWithSpeedup pins the time-compression contract for
+// stalls: under a paced replay a stall spans StallFor of simulated time,
+// so the wall pause divides by the speedup; an unpaced replay (speedup 0)
+// takes StallFor as a wall duration.
+func TestStallWallScalesWithSpeedup(t *testing.T) {
+	spec := Spec{Seed: 1, Stall: 0.5, StallFor: 600 * time.Millisecond}
+	for _, tc := range []struct {
+		speedup float64
+		want    time.Duration
+	}{
+		{0, 600 * time.Millisecond},
+		{1, 600 * time.Millisecond},
+		{300, 2 * time.Millisecond},
+		{0.5, 1200 * time.Millisecond},
+	} {
+		var inj *Injector
+		spec.Wrap(10, tc.speedup, &inj)(nil)
+		if inj == nil {
+			t.Fatalf("speedup %v: hook did not surface the injector", tc.speedup)
+		}
+		if got := inj.stallWall(); got != tc.want {
+			t.Errorf("speedup %v: stall pause %v, want %v", tc.speedup, got, tc.want)
+		}
 	}
 }
 

@@ -88,7 +88,7 @@ func regionRollups(profiles []*Profile) []RegionRollup {
 		}
 		// Walk the taxonomy in its canonical order so ties are stable.
 		best, bestN := core.PatternUnknown, 0
-		for _, pat := range core.Patterns() {
+		for _, pat := range core.AllPatterns() {
 			if n := acc.patterns[pat]; n > bestN {
 				best, bestN = pat, n
 			}

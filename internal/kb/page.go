@@ -206,7 +206,7 @@ func parseFilters(vals url.Values) (Query, error) {
 	}
 	if s := vals.Get("pattern"); s != "" {
 		found := false
-		for _, p := range core.Patterns() {
+		for _, p := range core.AllPatterns() {
 			if p.String() == s {
 				q.Pattern = p
 				found = true

@@ -14,6 +14,7 @@ import (
 	"cloudlens/internal/classify"
 	"cloudlens/internal/core"
 	"cloudlens/internal/parallel"
+	"cloudlens/internal/sim"
 	"cloudlens/internal/stats"
 	"cloudlens/internal/trace"
 )
@@ -22,6 +23,10 @@ import (
 type Profile struct {
 	Subscription core.SubscriptionID `json:"subscription"`
 	Cloud        core.Cloud          `json:"cloud"`
+	// Family is the workload family the profile was extracted from; it
+	// decides which taxonomy PatternShares uses and what MeanUtilization
+	// means (CPU fraction vs normalized invocation rate).
+	Family core.Family `json:"family,omitempty"`
 	// Services lists the subscription's deployment groups.
 	Services []string `json:"services"`
 	// Regions lists the deployment regions observed during the week.
@@ -80,10 +85,23 @@ func (o ExtractOptions) withDefaults() ExtractOptions {
 }
 
 // MinProfileSteps is the history (one day) a VM needs to contribute
-// pattern and utilization knowledge. Exported so the streaming pipeline
-// applies the same qualification threshold when it folds live samples into
-// knowledge-base state.
+// pattern and utilization knowledge on the canonical five-minute grid.
+// Grid-independent code must use MinProfileStepsFor: this constant baked
+// the five-minute interval into every qualification test, which broke
+// coarser grids outright (at 15-minute steps the streaming sketches retain
+// fewer than 288 samples, so the qualification flush silently lost
+// history) and made finer grids qualify after a fraction of a day.
 const MinProfileSteps = 288
+
+// MinProfileStepsFor is the qualification threshold for an arbitrary grid:
+// one day of history, whatever the sampling interval. It is always within
+// the streaming sketches' retention window (1.5 days), so the
+// qualification flush recovers every sample. Exported so the streaming
+// pipeline applies the same threshold when it folds live samples into
+// knowledge-base state.
+func MinProfileStepsFor(g sim.Grid) int {
+	return g.StepsPerDay()
+}
 
 // Extract builds a knowledge base from a trace. Subscriptions are profiled
 // independently, so they fan out over the worker pool in sorted (cloud,
@@ -94,7 +112,11 @@ const MinProfileSteps = 288
 func Extract(t *trace.Trace, opts ExtractOptions) *Store {
 	opts = opts.withDefaults()
 	store := NewStore()
-	clOpts := classify.Options{StepsPerHour: 60 / t.Grid.StepMinutes()}
+	cl := classifiers{
+		family: t.Family,
+		cpu:    classify.Options{StepsPerHour: t.Grid.StepsPerHour()},
+		inv:    classify.InvocationOptions{StepsPerHour: t.Grid.StepsPerHour()},
+	}
 
 	type job struct {
 		sub core.SubscriptionID
@@ -116,7 +138,7 @@ func Extract(t *trace.Trace, opts ExtractOptions) *Store {
 		var buf []float64
 		for i := lo; i < hi; i++ {
 			var p *Profile
-			p, buf = extractProfile(t, opts, clOpts, jobs[i].sub, jobs[i].vms, buf)
+			p, buf = extractProfile(t, opts, cl, jobs[i].sub, jobs[i].vms, buf)
 			dst[i-lo] = p
 		}
 	})
@@ -126,16 +148,33 @@ func Extract(t *trace.Trace, opts ExtractOptions) *Store {
 	return store
 }
 
+// classifiers bundles the per-family classifier options so extraction
+// configures them once per trace, not per subscription.
+type classifiers struct {
+	family core.Family
+	cpu    classify.Options
+	inv    classify.InvocationOptions
+}
+
+// classify routes a series through the trace family's classifier.
+func (c classifiers) classify(series []float64) core.Pattern {
+	if c.family == core.FamilyServerless {
+		return classify.ClassifyInvocation(series, c.inv).Pattern
+	}
+	return classify.Classify(series, c.cpu).Pattern
+}
+
 // extractProfile profiles one subscription. buf is a scratch series buffer
 // threaded through consecutive calls on the same worker; the (possibly
 // grown) buffer is returned for reuse.
-func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options,
+func extractProfile(t *trace.Trace, opts ExtractOptions, cl classifiers,
 	sub core.SubscriptionID, vms []*trace.VM, buf []float64) (*Profile, []float64) {
 	snap := t.SnapshotStep()
-	stepMin := t.Grid.StepMinutes()
+	minSteps := MinProfileStepsFor(t.Grid)
 	p := &Profile{
 		Subscription:        sub,
 		Cloud:               vms[0].Cloud,
+		Family:              t.Family,
 		VMsObserved:         len(vms),
 		PatternShares:       make(map[core.Pattern]float64),
 		RegionAgnosticScore: -1,
@@ -159,14 +198,14 @@ func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options
 			p.SnapshotCores += v.Size.Cores
 		}
 		if v.WithinWindow(t.Grid.N) {
-			lifeMin := float64(v.LifetimeSteps() * stepMin)
+			lifeMin := float64(v.LifetimeSteps()) * t.Grid.Step.Minutes()
 			lifetimes = append(lifetimes, lifeMin)
 			if lifeMin < float64(opts.ShortBinMinutes) {
 				shortLived++
 			}
 		}
 		from, to, ok := v.AliveRange(t.Grid.N)
-		if !ok || to-from < MinProfileSteps {
+		if !ok || to-from < minSteps {
 			continue
 		}
 		if classified < opts.MaxClassifyPerSub {
@@ -177,8 +216,7 @@ func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options
 				buf = v.Usage.SeriesInto(buf, t.Grid, from, to)
 				series = buf
 			}
-			res := classify.Classify(series, clOpts)
-			p.PatternShares[res.Pattern]++
+			p.PatternShares[cl.classify(series)]++
 			classified++
 			for i, u := range series {
 				utilSum += u
@@ -200,11 +238,11 @@ func extractProfile(t *trace.Trace, opts ExtractOptions, clOpts classify.Options
 		for k := range p.PatternShares {
 			p.PatternShares[k] /= float64(classified)
 		}
-		// Ties resolve in the fixed core.Patterns() order so extraction is
+		// Ties resolve in the family's fixed pattern order so extraction is
 		// deterministic (map iteration order is not) and the streaming
 		// pipeline's fold converges to the same dominant pattern.
 		best := core.PatternUnknown
-		for _, k := range core.Patterns() {
+		for _, k := range t.Family.Patterns() {
 			if share, ok := p.PatternShares[k]; ok {
 				if best == core.PatternUnknown || share > p.PatternShares[best] {
 					best = k
@@ -249,13 +287,14 @@ func sortedKeys(set map[string]bool) []string {
 // subscription's region-averaged hourly utilization, across all its
 // deployment regions.
 func regionAgnosticScore(t *trace.Trace, c *trace.SeriesCache, vms []*trace.VM) float64 {
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	hours := t.Grid.Hours()
+	minSteps := MinProfileStepsFor(t.Grid)
 	perRegion := make(map[string][]float64)
 	perRegionN := make(map[string][]float64)
 	for _, v := range vms {
 		from, to, ok := v.AliveRange(t.Grid.N)
-		if !ok || to-from < MinProfileSteps {
+		if !ok || to-from < minSteps {
 			continue
 		}
 		var vmSeries []float64

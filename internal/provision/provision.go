@@ -99,7 +99,7 @@ func Run(t *trace.Trace, store *kb.Store, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("provision: service %q has no demand", service)
 	}
 
-	stepsPerDay := 24 * 60 / t.Grid.StepMinutes()
+	stepsPerDay := t.Grid.StepsPerDay()
 	trainEnd := opts.TrainDays * stepsPerDay
 	if trainEnd >= t.Grid.N {
 		return Result{}, fmt.Errorf("provision: %d training days leave no test window", opts.TrainDays)
@@ -233,7 +233,7 @@ func predictiveProvisioner(demand []float64, trainEnd, stepsPerDay int, opts Opt
 // evaluate scores a provisioner over the test window.
 func evaluate(name string, demand []float64, trainEnd int, t *trace.Trace, p provisioner) PolicyResult {
 	res := PolicyResult{Policy: name}
-	stepHours := float64(t.Grid.StepMinutes()) / 60
+	stepHours := t.Grid.Step.Hours()
 	throttledSteps := 0
 	steps := 0
 	for s := trainEnd; s < t.Grid.N; s++ {

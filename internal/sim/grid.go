@@ -43,25 +43,44 @@ func (g Grid) TimeAt(i int) time.Time {
 	return g.Start.Add(time.Duration(i) * g.Step)
 }
 
-// StepMinutes returns the sampling interval in minutes.
+// StepMinutes returns the sampling interval in whole minutes. It is 0 for
+// sub-minute grids: time-bucket arithmetic must go through StepsPerHour /
+// StepsPerDay (or the duration-based bucket methods below), never through
+// 60/StepMinutes(), which divides by zero on a sub-minute grid.
 func (g Grid) StepMinutes() int {
 	return int(g.Step / time.Minute)
 }
 
+// StepsPerHour returns the number of samples per hour, or 0 when the
+// step does not divide one hour evenly (the validity condition every
+// hour-folding consumer requires; trace validation enforces it).
+func (g Grid) StepsPerHour() int {
+	if g.Step <= 0 || time.Hour%g.Step != 0 {
+		return 0
+	}
+	return int(time.Hour / g.Step)
+}
+
+// StepsPerDay returns the number of samples per day, or 0 when the step
+// does not divide one hour evenly.
+func (g Grid) StepsPerDay() int {
+	return 24 * g.StepsPerHour()
+}
+
 // Hours returns the number of whole hours the grid spans.
 func (g Grid) Hours() int {
-	return g.N * g.StepMinutes() / 60
+	return int(time.Duration(g.N) * g.Step / time.Hour)
 }
 
 // HourOf returns the hourly bucket index of sample i (0-based from Start).
 func (g Grid) HourOf(i int) int {
-	return i * g.StepMinutes() / 60
+	return int(time.Duration(i) * g.Step / time.Hour)
 }
 
 // MinuteOfDay returns the local minute-of-day [0, 1440) of sample i under
 // the given time-zone offset in minutes relative to UTC.
 func (g Grid) MinuteOfDay(i, tzOffsetMin int) int {
-	m := i*g.StepMinutes() + tzOffsetMin
+	m := int(time.Duration(i)*g.Step/time.Minute) + tzOffsetMin
 	m %= 24 * 60
 	if m < 0 {
 		m += 24 * 60
@@ -72,7 +91,7 @@ func (g Grid) MinuteOfDay(i, tzOffsetMin int) int {
 // DayOfWeek returns the local day index of sample i, with 0 = Monday
 // (the grid starts on a Monday), under the given time-zone offset.
 func (g Grid) DayOfWeek(i, tzOffsetMin int) int {
-	m := i*g.StepMinutes() + tzOffsetMin
+	m := int(time.Duration(i)*g.Step/time.Minute) + tzOffsetMin
 	d := m / (24 * 60)
 	d %= 7
 	if m < 0 && m%(24*60) != 0 {

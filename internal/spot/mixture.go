@@ -171,8 +171,8 @@ func spotAvailability(t *trace.Trace, region string) ([]float64, error) {
 // simulateJob advances the job step by step under one policy.
 func simulateJob(t *trace.Trace, avail []float64, policy MixturePolicy, opts MixtureOptions) MixtureResult {
 	res := MixtureResult{Policy: policy}
-	stepHours := float64(t.Grid.StepMinutes()) / 60
-	deadlineStep := opts.StartStep + opts.DeadlineHours*60/t.Grid.StepMinutes()
+	stepHours := t.Grid.Step.Hours()
+	deadlineStep := opts.StartStep + opts.DeadlineHours*t.Grid.StepsPerHour()
 	if deadlineStep > t.Grid.N {
 		deadlineStep = t.Grid.N
 	}

@@ -133,7 +133,7 @@ func Run(t *trace.Trace, opts Options) (Result, error) {
 	occupiedFirstHalf := make([]float64, 24)
 	spotCoreSteps := 0.0
 	half := t.Grid.N / 2
-	stepMin := float64(t.Grid.StepMinutes())
+	stepMin := t.Grid.Step.Minutes()
 
 	for s := 0; s < t.Grid.N; s++ {
 		headroom := float64(res.PhysicalCores) - allocated[s]

@@ -34,16 +34,24 @@ const (
 	// records the shard count and one snapshot per shard, so a sharded
 	// pipeline resumes each shard's ring and accumulators independently;
 	// v4 stores pending reorder slots in the columnar layout the hot path
-	// carries them in (VM/CPU columns plus row-form extras).
-	CheckpointVersion = 4
+	// carries them in (VM/CPU columns plus row-form extras); v5 records the
+	// workload family and grid interval in the preamble (a snapshot resumed
+	// under a different taxonomy or sampling interval would corrupt every
+	// accumulator) and the serverless evidence fields (PeakMax, IdleN) per
+	// accumulator.
+	CheckpointVersion = 5
 )
 
 // preamble is decoded alone before the payload so mismatches fail fast and
-// with a precise error.
+// with a precise error. Family and StepNanos are also folded into the
+// fingerprint; carrying them explicitly turns "fingerprint mismatch" into a
+// message that names what actually differs.
 type preamble struct {
 	Magic       string
 	Version     int
 	Fingerprint uint64
+	Family      core.Family
+	StepNanos   int64
 }
 
 // The DTOs below mirror the ingestor's unexported state with exported
@@ -60,9 +68,13 @@ type vmAccState struct {
 	Last             float64
 	PeakSum, RestSum float64
 	PeakN, RestN     int
-	Qualified        bool
-	Hourly           [24]float64
-	HourlyN          [24]int
+	// PeakMax and IdleN are the serverless family's invocation evidence
+	// (running peak, idle-sample count); zero for CPU-family snapshots.
+	PeakMax   float64
+	IdleN     int
+	Qualified bool
+	Hourly    [24]float64
+	HourlyN   [24]int
 	// GapSteps are the unfilled holes GapSkip recorded before the VM
 	// qualified (empty once Qualified); qualify's flush needs them to
 	// restore each retained sample's true step.
@@ -188,7 +200,7 @@ func TraceFingerprint(tr *trace.Trace) uint64 {
 			h.Write(buf[:])
 		}
 	}
-	w(tr.Grid.Start.Unix(), int64(tr.Grid.Step), int64(tr.Grid.N), int64(len(tr.VMs)))
+	w(tr.Grid.Start.Unix(), int64(tr.Grid.Step), int64(tr.Grid.N), int64(tr.Family), int64(len(tr.VMs)))
 	for i := range tr.VMs {
 		v := &tr.VMs[i]
 		io.WriteString(h, string(v.Subscription))
@@ -205,7 +217,13 @@ func TraceFingerprint(tr *trace.Trace) uint64 {
 func writeCheckpoint(w io.Writer, tr *trace.Trace, ck *Checkpoint) error {
 	zw := gzip.NewWriter(w)
 	enc := gob.NewEncoder(zw)
-	pre := preamble{Magic: checkpointMagic, Version: CheckpointVersion, Fingerprint: TraceFingerprint(tr)}
+	pre := preamble{
+		Magic:       checkpointMagic,
+		Version:     CheckpointVersion,
+		Fingerprint: TraceFingerprint(tr),
+		Family:      tr.Family,
+		StepNanos:   int64(tr.Grid.Step),
+	}
 	if err := enc.Encode(pre); err != nil {
 		return fmt.Errorf("stream: encode checkpoint preamble: %w", err)
 	}
@@ -310,6 +328,7 @@ func (ing *Ingestor) checkpointLocked() *ShardCheckpoint {
 		ck.Accs = append(ck.Accs, vmAccState{
 			Idx: acc.idx, From: acc.from, Seen: acc.seen, Next: acc.next, Last: acc.last,
 			PeakSum: acc.peakSum, RestSum: acc.restSum, PeakN: acc.peakN, RestN: acc.restN,
+			PeakMax: acc.peakMax, IdleN: acc.idleN,
 			Qualified: acc.qualified, Hourly: acc.hourly, HourlyN: acc.hourlyN,
 			GapSteps: append([]int32(nil), acc.gapSteps...),
 			AC:       acc.ac.State(),
@@ -339,6 +358,19 @@ func ReadCheckpoint(r io.Reader, tr *trace.Trace) (*Checkpoint, error) {
 	}
 	if pre.Version != CheckpointVersion {
 		return nil, fmt.Errorf("stream: checkpoint version %d, this build reads %d", pre.Version, CheckpointVersion)
+	}
+	// Family and interval are part of the fingerprint too, but checking them
+	// first turns an opaque hash mismatch into an actionable refusal: a
+	// snapshot of one taxonomy or sampling interval must never seed the
+	// accumulators of another.
+	if !pre.Family.Valid() {
+		return nil, fmt.Errorf("stream: checkpoint carries unknown workload family %d", int(pre.Family))
+	}
+	if pre.Family != tr.Family {
+		return nil, fmt.Errorf("stream: checkpoint holds %s-family state, trace is the %s family", pre.Family, tr.Family)
+	}
+	if pre.StepNanos != int64(tr.Grid.Step) {
+		return nil, fmt.Errorf("stream: checkpoint was written on a %v grid, trace samples every %v", time.Duration(pre.StepNanos), tr.Grid.Step)
 	}
 	if fp := TraceFingerprint(tr); pre.Fingerprint != fp {
 		return nil, fmt.Errorf("stream: checkpoint fingerprint %016x does not match trace %016x (different seed, scale, or universe)", pre.Fingerprint, fp)
@@ -495,7 +527,7 @@ func (ck *ShardCheckpoint) validate(tr *trace.Trace) error {
 			return fmt.Errorf("stream: checkpoint carries subscription %s not in trace", ss.ID)
 		}
 		for _, c := range ss.Retired {
-			if c.Pattern < core.PatternUnknown || c.Pattern > core.PatternHourlyPeak {
+			if !c.Pattern.Valid() {
 				return fmt.Errorf("stream: checkpoint subscription %s retired VM %d with unknown pattern %d", ss.ID, c.Idx, c.Pattern)
 			}
 		}
@@ -556,7 +588,7 @@ func RestoreEngine(tr *trace.Trace, opts Options, ck *Checkpoint) (Engine, error
 // restored engine runs under (checkpoint parameters merged over opts),
 // which the resumed pipeline's replayer needs.
 func restoreEngine(tr *trace.Trace, opts Options, ck *Checkpoint) (Engine, Options, error) {
-	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	opts = opts.withDefaults(tr.Grid.StepsPerHour())
 	if err := ck.validate(tr); err != nil {
 		return nil, opts, err
 	}
@@ -590,7 +622,7 @@ func restoreEngine(tr *trace.Trace, opts Options, ck *Checkpoint) (Engine, Optio
 
 // restoreShard rebuilds one ingestor from its shard snapshot.
 func restoreShard(tr *trace.Trace, opts Options, ck *ShardCheckpoint, met *ingestMetrics, selfFold bool, shard int) (*Ingestor, error) {
-	opts = ck.applyOptions(opts.withDefaults(60 / tr.Grid.StepMinutes()))
+	opts = ck.applyOptions(opts.withDefaults(tr.Grid.StepsPerHour()))
 	ing := newIngestorWith(tr, opts, met, selfFold, shard)
 
 	ing.watermark = ck.Watermark
@@ -661,6 +693,7 @@ func restoreShard(tr *trace.Trace, opts Options, ck *ShardCheckpoint, met *inges
 			idx: st.Idx, v: v, sub: ss, from: st.From,
 			seen: st.Seen, next: st.Next, last: st.Last, ac: ac,
 			peakSum: st.PeakSum, restSum: st.RestSum, peakN: st.PeakN, restN: st.RestN,
+			peakMax: st.PeakMax, idleN: st.IdleN,
 			qualified: st.Qualified, hourly: st.Hourly, hourlyN: st.HourlyN,
 			gapSteps: st.GapSteps,
 		}

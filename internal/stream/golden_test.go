@@ -105,7 +105,7 @@ func exactCloudQuantiles(tr *trace.Trace, cloud core.Cloud) [2]float64 {
 			continue
 		}
 		from, to, ok := v.AliveRange(tr.Grid.N)
-		if !ok || to-from < kb.MinProfileSteps {
+		if !ok || to-from < kb.MinProfileStepsFor(tr.Grid) {
 			continue
 		}
 		buf = v.Usage.SeriesInto(buf, tr.Grid, from, to)

@@ -78,6 +78,13 @@ type vmAcc struct {
 	peakSum, restSum float64
 	peakN, restN     int
 
+	// Serverless-family evidence: the running sample peak and the count of
+	// idle samples (below InvocationOptions.IdleEps). Maintained only when
+	// the trace is the serverless family, so the CPU hot path pays one
+	// predictable branch and nothing else.
+	peakMax float64
+	idleN   int
+
 	qualified bool
 	hourly    [24]float64
 	hourlyN   [24]int
@@ -209,12 +216,14 @@ type Ingestor struct {
 	tr           *trace.Trace
 	keys         *trace.KeyTable
 	opts         Options
+	family       core.Family
 	lags         lagSet
 	clOpts       classify.Options
+	invOpts      classify.InvocationOptions
 	minACF       float64
 	snapStep     int
 	stepsPerHour int
-	stepMin      int
+	minSteps     int
 	met          *ingestMetrics
 
 	// shard is the ingestor's position in a sharded group (0 when it is
@@ -265,19 +274,21 @@ func NewIngestor(tr *trace.Trace, opts Options) *Ingestor {
 // set the ingestor reports through, whether it publishes its own folds, and
 // its shard id.
 func newIngestorWith(tr *trace.Trace, opts Options, met *ingestMetrics, selfFold bool, shard int) *Ingestor {
-	stepsPerHour := 60 / tr.Grid.StepMinutes()
+	stepsPerHour := tr.Grid.StepsPerHour()
 	opts = opts.withDefaults(stepsPerHour)
 	keys := tr.Keys()
 	ing := &Ingestor{
 		tr:           tr,
 		keys:         keys,
 		opts:         opts,
+		family:       tr.Family,
 		lags:         newLagSet(stepsPerHour),
 		clOpts:       classify.Options{StepsPerHour: stepsPerHour},
+		invOpts:      classify.InvocationOptions{StepsPerHour: stepsPerHour}.WithDefaults(),
 		minACF:       periodic.DefaultMinACF,
 		snapStep:     tr.SnapshotStep(),
 		stepsPerHour: stepsPerHour,
-		stepMin:      tr.Grid.StepMinutes(),
+		minSteps:     kb.MinProfileStepsFor(tr.Grid),
 		met:          met,
 		shard:        shard,
 		selfFold:     selfFold,
@@ -695,11 +706,21 @@ func (ing *Ingestor) track(idx int32) *vmAcc {
 // observe folds one sample into a VM's accumulators.
 func (ing *Ingestor) observe(acc *vmAcc, step int, cpu float64) {
 	acc.ac.Add(cpu)
-	// Slot alignment is relative to the series origin, matching the batch
-	// classifier's index convention over a materialized series. Under
-	// GapSkip the observed-sample count drifts from the true step offset
-	// after every hole, so the slot must derive from the step itself.
-	if classify.AlignedSlot((step-acc.from)%ing.stepsPerHour, ing.stepsPerHour) {
+	if ing.family == core.FamilyServerless {
+		// Invocation-rate evidence: running peak and idle share, matching
+		// classify.ClassifyInvocation's accumulators over the same samples.
+		if cpu > acc.peakMax {
+			acc.peakMax = cpu
+		}
+		if cpu < ing.invOpts.IdleEps {
+			acc.idleN++
+		}
+	} else if classify.AlignedSlot((step-acc.from)%ing.stepsPerHour, ing.stepsPerHour) {
+		// Slot alignment is relative to the series origin, matching the
+		// batch classifier's index convention over a materialized series.
+		// Under GapSkip the observed-sample count drifts from the true step
+		// offset after every hole, so the slot must derive from the step
+		// itself.
 		acc.peakSum += cpu
 		acc.peakN++
 	} else {
@@ -708,7 +729,7 @@ func (ing *Ingestor) observe(acc *vmAcc, step int, cpu float64) {
 	}
 	ing.clouds[acc.v.Cloud].samples++
 	if !acc.qualified {
-		if acc.ac.N() >= kb.MinProfileSteps {
+		if acc.ac.N() >= ing.minSteps {
 			ing.qualify(acc)
 		}
 		return
@@ -776,7 +797,7 @@ func (ing *Ingestor) retire(idx int32) {
 	delete(ss.live, idx)
 	v := acc.v
 	if v.CreatedStep >= 0 && v.DeletedStep <= ing.tr.Grid.N {
-		lifeMin := float64(v.LifetimeSteps() * ing.stepMin)
+		lifeMin := float64(v.LifetimeSteps()) * ing.tr.Grid.Step.Minutes()
 		ss.lifetimes = append(ss.lifetimes, lifeMin)
 		if lifeMin < float64(ing.opts.ShortBinMinutes) {
 			ss.shortLived++
@@ -802,12 +823,25 @@ func (ing *Ingestor) record(acc *vmAcc) classifiedVM {
 	}
 }
 
-// classifyAcc is the incremental counterpart of classify.Classify: the same
-// evidence — standard deviation, validated daily and hourly
-// autocorrelations, hour alignment — assembled from streaming accumulators
-// instead of a materialized series, then mapped through the shared
-// classify.Result.Decide thresholds.
+// classifyAcc is the incremental counterpart of the family's batch
+// classifier: the same evidence assembled from streaming accumulators
+// instead of a materialized series, then mapped through the shared Decide
+// thresholds.
+//
+// The serverless branch uses the raw daily autocorrelation (AutoCorr.At),
+// exactly as classify.ClassifyInvocation does — not the hill-validated ACF
+// of the CPU branch — so batch and stream compute identical evidence.
 func (ing *Ingestor) classifyAcc(acc *vmAcc) core.Pattern {
+	if ing.family == core.FamilyServerless {
+		n := acc.ac.N()
+		var idleShare float64
+		if n > 0 {
+			idleShare = float64(acc.idleN) / float64(n)
+		}
+		res := classify.InvocationEvidence(acc.ac.Mean(), acc.ac.StdDev(),
+			acc.peakMax, idleShare, acc.ac.At(ing.lags.day))
+		return res.Decide(ing.invOpts)
+	}
 	res := classify.Result{StdDev: acc.ac.StdDev()}
 	res.DailyACF = ing.validatedACF(acc.ac, ing.lags.day)
 	res.HourlyACF = ing.validatedACF(acc.ac, ing.lags.hour)
@@ -882,6 +916,7 @@ func (ing *Ingestor) buildProfile(ss *subState) *kb.Profile {
 	p := &kb.Profile{
 		Subscription:        ss.id,
 		Cloud:               ss.cloud,
+		Family:              ing.family,
 		Regions:             sortedKeys(ss.regions),
 		Services:            sortedKeys(ss.services),
 		VMsObserved:         ss.vmsObserved,
@@ -922,7 +957,7 @@ func (ing *Ingestor) buildProfile(ss *subState) *kb.Profile {
 			}
 		}
 		best := core.PatternUnknown
-		for _, k := range core.Patterns() {
+		for _, k := range ing.family.Patterns() {
 			if share, ok := p.PatternShares[k]; ok {
 				p.PatternShares[k] = share / float64(len(cands))
 				if best == core.PatternUnknown || p.PatternShares[k] > p.PatternShares[best] {

@@ -29,7 +29,7 @@ var (
 	// indexed by core.Pattern so the classifier does an array load, not a
 	// map lookup. Shared across shards: counters are atomic.
 	mClassified = func() []*obs.Counter {
-		patterns := append([]core.Pattern{core.PatternUnknown}, core.Patterns()...)
+		patterns := append([]core.Pattern{core.PatternUnknown}, core.AllPatterns()...)
 		max := core.Pattern(0)
 		for _, p := range patterns {
 			if p > max {

@@ -59,7 +59,7 @@ type Engine interface {
 // NewEngine builds the ingestion engine the options call for: a lone
 // Ingestor when Shards <= 1, a sharded group otherwise.
 func NewEngine(tr *trace.Trace, opts Options) Engine {
-	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	opts = opts.withDefaults(tr.Grid.StepsPerHour())
 	if opts.Shards > 1 {
 		return newShardGroup(tr, opts)
 	}
@@ -126,7 +126,7 @@ type Pipeline struct {
 // Options.WrapSource is set, the replayer is wrapped before ingestion —
 // the hook fault injectors decorate.
 func NewPipeline(tr *trace.Trace, opts Options) *Pipeline {
-	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	opts = opts.withDefaults(tr.Grid.StepsPerHour())
 	return newPipeline(tr, opts, NewEngine(tr, opts))
 }
 
@@ -208,6 +208,7 @@ func (p *Pipeline) Stop() {
 type Status struct {
 	Running         bool    `json:"running"`
 	Done            bool    `json:"done"`
+	Family          string  `json:"family"`
 	Step            int     `json:"step"`
 	Steps           int     `json:"steps"`
 	SamplesIngested int64   `json:"samplesIngested"`
@@ -228,6 +229,7 @@ func (p *Pipeline) Status() Status {
 	pr := p.eng.Progress()
 	st := Status{
 		Done:            pr.Done,
+		Family:          p.tr.Family.String(),
 		Step:            pr.Step,
 		Steps:           pr.Steps,
 		SamplesIngested: pr.SamplesIngested,

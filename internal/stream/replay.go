@@ -386,7 +386,7 @@ type Replayer struct {
 // NewReplayer returns a replayer for the trace. Options follow the
 // documented defaults.
 func NewReplayer(tr *trace.Trace, opts Options) *Replayer {
-	opts = opts.withDefaults(60 / tr.Grid.StepMinutes())
+	opts = opts.withDefaults(tr.Grid.StepsPerHour())
 	return &Replayer{
 		tr:   tr,
 		opts: opts,

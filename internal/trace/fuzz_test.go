@@ -56,13 +56,13 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add(valid)
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"grid":{"start":"2023-03-06T00:00:00Z","step":300000000000,"n":24}}`))
-	// A 30-second step: decoded fine, used to pass Validate, then divided
-	// every hourly analysis by zero.
+	// A 30-second step: sub-minute but divides an hour evenly, so hourly
+	// bucketing works — legal since the serverless family arrived.
 	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":30000000000`), 1))
 	// A 7-minute step: whole minutes, but misaligns hour bucketing.
 	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":420000000000`), 1))
-	// A 90-second step: StepMinutes truncates to 1, hiding the fraction.
-	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":90000000000`), 1))
+	// A 7-second step: does not divide an hour; must be rejected.
+	f.Add(bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":7000000000`), 1))
 	f.Add(bytes.Replace(valid, []byte(`"region":"r1"`), []byte(`"region":"rX"`), 1))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -70,9 +70,11 @@ func FuzzReadJSON(f *testing.F) {
 		if err != nil {
 			return // rejection is the correct outcome for most inputs
 		}
-		// An accepted trace must hold the invariants the analyses assume.
-		if m := tr.Grid.StepMinutes(); m < 1 || 60%m != 0 {
-			t.Fatalf("accepted grid step %v (%d minutes) breaks hourly bucketing", tr.Grid.Step, m)
+		// An accepted trace must hold the invariants the analyses assume:
+		// the step divides one hour evenly (sub-minute included), so every
+		// hourly bucket spans a whole number of steps.
+		if tr.Grid.StepsPerHour() == 0 {
+			t.Fatalf("accepted grid step %v does not divide an hour; hourly bucketing breaks", tr.Grid.Step)
 		}
 		// These all divide by step-derived quantities; they must not panic
 		// on any accepted trace.
@@ -85,15 +87,18 @@ func FuzzReadJSON(f *testing.F) {
 	})
 }
 
-// TestValidateRejectsNonHourlyGrids pins the fuzz-found crash class: a grid
-// step below one minute passed Validate (only positivity was checked) and
-// then SnapshotStep, kb.Extract, and stream.NewIngestor all computed
-// 60/StepMinutes() — an integer divide by zero.
+// TestValidateRejectsNonHourlyGrids pins the grid rule: any step that
+// divides one hour evenly is legal (sub-minute steps included, for the
+// serverless family), everything else is rejected — the analyses' hourly
+// bucketing needs whole steps per hour. The original fuzz-found crash class
+// (integer divide by zero via 60/StepMinutes()) is gone: hour arithmetic is
+// duration-based now, and Grid.StepsPerHour() is the one gate.
 func TestValidateRejectsNonHourlyGrids(t *testing.T) {
 	cases := map[time.Duration]string{
-		30 * time.Second:                "sub-minute step divides hourly bucketing by zero",
-		90 * time.Second:                "fractional minutes truncate silently",
+		7 * time.Second:                 "does not divide an hour",
+		11 * time.Second:                "does not divide an hour",
 		7 * time.Minute:                 "whole minutes that do not divide an hour",
+		25 * time.Minute:                "does not divide an hour",
 		5*time.Minute + time.Nanosecond: "near-miss of the canonical step",
 	}
 	for step, why := range cases {
@@ -103,8 +108,11 @@ func TestValidateRejectsNonHourlyGrids(t *testing.T) {
 			t.Errorf("Validate accepted grid step %v — %s", step, why)
 		}
 	}
-	// The canonical steps must all stay valid.
-	for _, step := range []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour} {
+	// Hour-dividing steps must all stay valid, sub-minute ones included.
+	for _, step := range []time.Duration{
+		30 * time.Second, 90 * time.Second,
+		time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour,
+	} {
 		tr := tinyTrace()
 		tr.Grid.Step = step
 		if err := tr.Validate(); err != nil {
@@ -124,6 +132,7 @@ func TestWriteReadJSONCorpus(t *testing.T) {
 		"valid-trace":     valid,
 		"sub-minute-step": bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":30000000000`), 1),
 		"seven-min-step":  bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":420000000000`), 1),
+		"seven-sec-step":  bytes.Replace(valid, []byte(`"step":300000000000`), []byte(`"step":7000000000`), 1),
 		"unknown-region":  bytes.Replace(valid, []byte(`"region":"r1"`), []byte(`"region":"rX"`), 1),
 		"empty-object":    []byte(`{}`),
 		"not-json":        []byte(`not json`),

@@ -8,7 +8,6 @@ package trace
 
 import (
 	"fmt"
-	"time"
 
 	"cloudlens/internal/core"
 	"cloudlens/internal/platform"
@@ -83,6 +82,10 @@ type Trace struct {
 	Grid     sim.Grid          `json:"grid"`
 	Topology platform.Topology `json:"topology"`
 	VMs      []VM              `json:"vms"`
+	// Family tags which workload family the trace carries (CPU utilization
+	// or serverless invocation rates). The zero value is FamilyCPU, so
+	// traces written before the tag existed decode unchanged.
+	Family core.Family `json:"family,omitempty"`
 	// Meta records generation provenance.
 	Meta Meta `json:"meta"`
 
@@ -103,11 +106,17 @@ func (t *Trace) Validate() error {
 	if t.Grid.N <= 0 || t.Grid.Step <= 0 {
 		return fmt.Errorf("trace: invalid grid %+v", t.Grid)
 	}
-	// Everything downstream buckets steps into hours via 60/StepMinutes():
-	// a sub-minute step divides by zero, a fractional or non-hour-dividing
-	// one silently misaligns every hourly analysis. Reject them at the door.
-	if m := t.Grid.StepMinutes(); m < 1 || 60%m != 0 || t.Grid.Step != time.Duration(m)*time.Minute {
-		return fmt.Errorf("trace: grid step %v must be a whole number of minutes dividing an hour", t.Grid.Step)
+	// Everything downstream buckets steps into hours via Grid.StepsPerHour:
+	// a step that does not divide an hour evenly silently misaligns every
+	// hourly fold. Reject it at the door. Sub-minute steps are legal as
+	// long as they divide the hour (1s, 10s, 30s, ...); the former
+	// whole-minutes rule was a latent grid assumption that blocked the
+	// finer serverless grids.
+	if t.Grid.StepsPerHour() == 0 {
+		return fmt.Errorf("trace: grid step %v must divide one hour evenly", t.Grid.Step)
+	}
+	if !t.Family.Valid() {
+		return fmt.Errorf("trace: invalid workload family %d", int(t.Family))
 	}
 	if err := t.Topology.Validate(); err != nil {
 		return fmt.Errorf("trace: %w", err)
@@ -133,6 +142,10 @@ func (t *Trace) Validate() error {
 		}
 		if err := v.Usage.Validate(); err != nil {
 			return fmt.Errorf("trace: VM %d: %w", v.ID, err)
+		}
+		if !t.Family.Has(v.Usage.Pattern) {
+			return fmt.Errorf("trace: VM %d pattern %s does not belong to the %s family",
+				v.ID, v.Usage.Pattern, t.Family)
 		}
 	}
 	return nil
@@ -164,7 +177,7 @@ func (t *Trace) AliveAt(cloud core.Cloud, step int) []*VM {
 // SnapshotStep returns the canonical "one time point on a weekday" used by
 // the snapshot analyses (Figures 1 and 5d): Wednesday 12:00 UTC.
 func (t *Trace) SnapshotStep() int {
-	stepsPerDay := 24 * 60 / t.Grid.StepMinutes()
+	stepsPerDay := t.Grid.StepsPerDay()
 	return 2*stepsPerDay + stepsPerDay/2
 }
 
@@ -275,7 +288,7 @@ func (t *Trace) prepNodeSeries(dst []float64, vmsOnNode []*VM, from, to int) ([]
 // alive at the start of each hour of the window (Figure 3b).
 func (t *Trace) HourlyAliveCounts(cloud core.Cloud, region string) []float64 {
 	hours := t.Grid.Hours()
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	counts := make([]float64, hours)
 	for i := range t.VMs {
 		v := &t.VMs[i]
@@ -299,7 +312,7 @@ func (t *Trace) HourlyAliveCounts(cloud core.Cloud, region string) []float64 {
 // created in each hour of the window (Figure 3c).
 func (t *Trace) HourlyCreations(cloud core.Cloud, region string) []float64 {
 	hours := t.Grid.Hours()
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	counts := make([]float64, hours)
 	for i := range t.VMs {
 		v := &t.VMs[i]
@@ -319,7 +332,7 @@ func (t *Trace) HourlyCreations(cloud core.Cloud, region string) []float64 {
 // mirrors creation.
 func (t *Trace) HourlyDeletions(cloud core.Cloud, region string) []float64 {
 	hours := t.Grid.Hours()
-	stepsPerHour := 60 / t.Grid.StepMinutes()
+	stepsPerHour := t.Grid.StepsPerHour()
 	counts := make([]float64, hours)
 	for i := range t.VMs {
 		v := &t.VMs[i]

@@ -47,6 +47,50 @@ func Irregular(base float64, seed uint64) Params {
 	}
 }
 
+// Bursty returns a serverless invocation pattern: clustered bursts reaching
+// burstLevel whose per-block probability follows a diurnal envelope peaking
+// at peakMinute, with coldStart damping the first block of a burst that
+// follows an idle block.
+func Bursty(base, burstLevel float64, blockSteps, peakMinute int, coldStart float64, seed uint64) Params {
+	return Params{
+		Pattern:          core.PatternBursty,
+		Base:             base,
+		PeakMinute:       peakMinute,
+		Sharpness:        2,
+		NoiseAmp:         0.01,
+		BurstProb:        0.45,
+		BurstLevel:       burstLevel,
+		BurstBlockSteps:  blockSteps,
+		ColdStartPenalty: coldStart,
+		Seed:             seed,
+	}
+}
+
+// Steady returns a serverless invocation pattern with a near-constant call
+// rate: a hot function kept warm by continuous traffic.
+func Steady(level float64, seed uint64) Params {
+	return Params{
+		Pattern:  core.PatternSteady,
+		Base:     level,
+		NoiseAmp: 0.015,
+		Seed:     seed,
+	}
+}
+
+// Spiky returns a serverless invocation pattern that is idle almost always
+// with rare, very tall spikes — the cold-start-dominated popularity tail.
+func Spiky(spikeLevel float64, blockSteps int, seed uint64) Params {
+	return Params{
+		Pattern:         core.PatternSpiky,
+		Base:            0.01,
+		NoiseAmp:        0.008,
+		SpikeProb:       0.02,
+		SpikeLevel:      spikeLevel,
+		SpikeBlockSteps: blockSteps,
+		Seed:            seed,
+	}
+}
+
 // HourlyPeak returns a meeting-join pattern: a working-hours envelope with
 // ten-minute peaks at the hour and half-hour marks, per Figure 5(c).
 func HourlyPeak(base, amp float64, peakMinute int, seed uint64) Params {

@@ -11,6 +11,16 @@
 //   - hourly-peak: sharp peaks at the hour/half-hour marks riding on a
 //     daytime envelope (scheduled-meeting joins), Figure 5c.
 //
+// The serverless invocation family adds three invocation-rate kinds (values
+// are invocation counts normalized to the function's provisioned peak):
+//
+//   - bursty: clustered bursts of calls whose per-block probability follows
+//     a diurnal envelope, with a cold-start penalty damping the first block
+//     of a burst that follows an idle block;
+//   - steady: a near-constant call rate (hot, always-warm functions);
+//   - spiky: idle almost always with rare, very tall spikes (the cold
+//     tail of the function popularity distribution).
+//
 // A model's value at a step is a pure function of its Params (including a
 // noise seed), so traces store parameters instead of 2016-sample arrays and
 // materialize series on demand.
@@ -68,12 +78,26 @@ type Params struct {
 	PeakWidthMin int `json:"peakWidthMin,omitempty"`
 	// HalfHourPeaks adds peaks at the half-hour marks as well.
 	HalfHourPeaks bool `json:"halfHourPeaks,omitempty"`
+	// BurstProb is the bursty model's per-block burst probability at the
+	// top of its diurnal envelope.
+	BurstProb float64 `json:"burstProb,omitempty"`
+	// BurstLevel is the normalized invocation rate a burst reaches.
+	BurstLevel float64 `json:"burstLevel,omitempty"`
+	// BurstBlockSteps is the burst duration in samples.
+	BurstBlockSteps int `json:"burstBlockSteps,omitempty"`
+	// ColdStartPenalty in [0, 1] damps the first block of a burst that
+	// follows an idle block: cold-start latency eats into the invocations
+	// completed in that interval. 0 disables the effect.
+	ColdStartPenalty float64 `json:"coldStartPenalty,omitempty"`
 }
 
 // Validate reports whether the parameters are internally consistent.
 func (p Params) Validate() error {
-	if p.Pattern != core.PatternDiurnal && p.Pattern != core.PatternStable &&
-		p.Pattern != core.PatternIrregular && p.Pattern != core.PatternHourlyPeak {
+	switch p.Pattern {
+	case core.PatternDiurnal, core.PatternStable, core.PatternIrregular,
+		core.PatternHourlyPeak, core.PatternBursty, core.PatternSteady,
+		core.PatternSpiky:
+	default:
 		return fmt.Errorf("usage: invalid pattern %v", p.Pattern)
 	}
 	if p.Base < 0 || p.Base > 1 {
@@ -82,11 +106,25 @@ func (p Params) Validate() error {
 	if p.Amp < 0 || p.Base+p.Amp > 1.5 {
 		return fmt.Errorf("usage: amplitude %v out of range", p.Amp)
 	}
-	if p.Pattern == core.PatternIrregular && p.SpikeBlockSteps <= 0 {
-		return fmt.Errorf("usage: irregular model needs SpikeBlockSteps > 0")
+	if (p.Pattern == core.PatternIrregular || p.Pattern == core.PatternSpiky) && p.SpikeBlockSteps <= 0 {
+		return fmt.Errorf("usage: %v model needs SpikeBlockSteps > 0", p.Pattern)
 	}
 	if p.Pattern == core.PatternHourlyPeak && p.PeakWidthMin <= 0 {
 		return fmt.Errorf("usage: hourly-peak model needs PeakWidthMin > 0")
+	}
+	if p.Pattern == core.PatternBursty {
+		if p.BurstBlockSteps <= 0 {
+			return fmt.Errorf("usage: bursty model needs BurstBlockSteps > 0")
+		}
+		if !(p.BurstProb >= 0 && p.BurstProb <= 1) {
+			return fmt.Errorf("usage: burst probability %v out of [0,1]", p.BurstProb)
+		}
+		if !(p.BurstLevel >= 0 && p.BurstLevel <= 1) {
+			return fmt.Errorf("usage: burst level %v out of [0,1]", p.BurstLevel)
+		}
+	}
+	if !(p.ColdStartPenalty >= 0 && p.ColdStartPenalty <= 1) {
+		return fmt.Errorf("usage: cold-start penalty %v out of [0,1]", p.ColdStartPenalty)
 	}
 	return nil
 }
@@ -111,6 +149,12 @@ func (p Params) At(g sim.Grid, step int) float64 {
 		v = p.Base + p.spikeComponent(step)
 	case core.PatternHourlyPeak:
 		v = p.Base + p.hourlyPeakComponent(g, step)
+	case core.PatternBursty:
+		v = p.Base + p.burstComponent(g, step)
+	case core.PatternSteady:
+		v = p.Base
+	case core.PatternSpiky:
+		v = p.Base + p.spikeComponent(step)
 	default:
 		v = p.Base
 	}
@@ -179,6 +223,56 @@ func (p Params) hourlyPeakComponent(g sim.Grid, step int) float64 {
 		scale = env / p.Amp
 	}
 	return env + p.PeakAmp*scale
+}
+
+// Salt constants separating the bursty model's independent noise streams.
+const (
+	burstDrawSalt   = 0x3c3c3c3c3c3c3c3c
+	burstHeightSalt = 0xc3c3c3c3c3c3c3c3
+)
+
+// burstComponent produces the serverless burst component: block-aligned
+// bursts whose probability follows the diurnal envelope, damped by the
+// cold-start penalty when the previous block was idle. Like every model it
+// is a pure function of (Params, grid, step) — whether block b-1 burst is
+// recomputed, never stored.
+func (p Params) burstComponent(g sim.Grid, step int) float64 {
+	if p.BurstBlockSteps <= 0 || p.BurstProb <= 0 {
+		return 0
+	}
+	b := step / p.BurstBlockSteps
+	if !p.burstsAt(g, b) {
+		return 0
+	}
+	// Burst height varies per block so repeated bursts differ.
+	h := p.BurstLevel * (0.6 + 0.4*sim.Noise01(p.Seed^burstHeightSalt, b))
+	if p.ColdStartPenalty > 0 && (b == 0 || !p.burstsAt(g, b-1)) {
+		h *= 1 - p.ColdStartPenalty
+	}
+	return h
+}
+
+// burstsAt decides whether block b bursts: one seeded draw per block,
+// accepted with a probability that follows the diurnal envelope at the
+// block's first sample (bursts cluster in the function's busy hours but
+// never fully stop off-peak).
+func (p Params) burstsAt(g sim.Grid, b int) bool {
+	env := p.burstEnvelope(g, b*p.BurstBlockSteps)
+	draw := sim.Noise01(p.Seed^burstDrawSalt, b)
+	return draw < p.BurstProb*(0.25+0.75*env)
+}
+
+// burstEnvelope is the normalized [0, 1] diurnal bell the burst
+// probability rides on.
+func (p Params) burstEnvelope(g sim.Grid, step int) float64 {
+	m := g.MinuteOfDay(step, p.anchorOffset())
+	phase := 2 * math.Pi * float64(m-p.PeakMinute) / (24 * 60)
+	bell := 0.5 * (1 + math.Cos(phase))
+	sharp := p.Sharpness
+	if sharp <= 0 {
+		sharp = 1
+	}
+	return math.Pow(bell, sharp)
 }
 
 // Series materializes the utilization fractions for steps [from, to).

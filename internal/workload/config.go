@@ -229,6 +229,14 @@ func (c *Config) Validate() error {
 	if c.Grid.N <= 0 || c.Grid.Step <= 0 {
 		return fmt.Errorf("workload: invalid grid")
 	}
+	// The CPU generator's scaler, churn, and lifetime arithmetic works in
+	// whole minutes (lifetimes are drawn in minutes and divided by
+	// StepMinutes), so it needs a whole-minute step that divides an hour.
+	// The serverless generator has no such restriction; see
+	// ServerlessConfig.
+	if c.Grid.StepMinutes() < 1 || c.Grid.StepsPerHour() == 0 {
+		return fmt.Errorf("workload: grid step %v must be a whole number of minutes dividing an hour", c.Grid.Step)
+	}
 	if c.Private.Subscriptions <= 0 || c.Public.Subscriptions <= 0 {
 		return fmt.Errorf("workload: subscription counts must be positive")
 	}

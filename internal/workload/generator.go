@@ -359,7 +359,7 @@ func churnBell(minuteOfDay int) float64 {
 
 // churnRate returns the expected creations in one grid step.
 func (g *generator) churnRate(step int, tzOffsetMin int, perHour, amp, weekendFactor float64) float64 {
-	stepsPerHour := 60 / g.cfg.Grid.StepMinutes()
+	stepsPerHour := g.cfg.Grid.StepsPerHour()
 	base := perHour * g.cfg.Scale / float64(stepsPerHour)
 	m := g.cfg.Grid.MinuteOfDay(step, tzOffsetMin)
 	factor := (1 - amp) + amp*churnBell(m)
